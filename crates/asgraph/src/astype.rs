@@ -1,0 +1,216 @@
+//! AS type classification (content / transit / access / enterprise).
+//!
+//! §4.3 of the paper: "CAIDA classifies AS into three types: content,
+//! transit/access, or enterprise. If CAIDA identifies an AS as
+//! transit/access and the AS has users in the APNIC dataset, we classify it
+//! as access." This module models both the raw CAIDA classes and the
+//! paper's user-refined four-way split used in Figures 3 and 4.
+
+use crate::error::GraphError;
+use crate::graph::AsId;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// The raw three-way class from CAIDA's `as2types` dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CaidaClass {
+    /// Hosts/serves content.
+    Content,
+    /// Sells transit and/or serves end users.
+    TransitAccess,
+    /// Self-contained organization network.
+    Enterprise,
+}
+
+/// The paper's refined four-way AS type (§4.3, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum AsType {
+    /// Content/hosting network.
+    Content,
+    /// Transit provider without measurable end users.
+    Transit,
+    /// Eyeball network: transit/access class *with* APNIC-visible users.
+    Access,
+    /// Enterprise network.
+    Enterprise,
+}
+
+impl AsType {
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AsType::Content => "content",
+            AsType::Transit => "transit",
+            AsType::Access => "access",
+            AsType::Enterprise => "enterprise",
+        }
+    }
+
+    /// All four types in the order the paper's Fig. 4 stacks them.
+    pub const ALL: [AsType; 4] = [AsType::Content, AsType::Transit, AsType::Access, AsType::Enterprise];
+}
+
+/// Applies the paper's refinement rule to one AS.
+///
+/// `users` is the APNIC-style estimated user count for the AS (0 when the AS
+/// does not appear in the population dataset).
+pub fn refine(class: CaidaClass, users: u64) -> AsType {
+    match class {
+        CaidaClass::Content => AsType::Content,
+        CaidaClass::Enterprise => AsType::Enterprise,
+        CaidaClass::TransitAccess => {
+            if users > 0 {
+                AsType::Access
+            } else {
+                AsType::Transit
+            }
+        }
+    }
+}
+
+/// A per-AS type database, typically parsed from a CAIDA `as2types` file and
+/// refined with user populations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsTypeDb {
+    classes: BTreeMap<u32, CaidaClass>,
+}
+
+impl AsTypeDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of classified ASes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Sets (or overwrites) the class for an AS.
+    pub fn insert(&mut self, asn: AsId, class: CaidaClass) {
+        self.classes.insert(asn.0, class);
+    }
+
+    /// Raw CAIDA class of an AS.
+    pub fn class(&self, asn: AsId) -> Option<CaidaClass> {
+        self.classes.get(&asn.0).copied()
+    }
+
+    /// The paper's refined type for an AS. Unclassified ASes default to
+    /// `Enterprise` (CAIDA's catch-all for small, invisible networks).
+    pub fn refined(&self, asn: AsId, users: u64) -> AsType {
+        refine(self.class(asn).unwrap_or(CaidaClass::Enterprise), users)
+    }
+
+    /// Parses a CAIDA `as2types` file: `asn|source|type` lines where type is
+    /// `Content`, `Enterprise`, or `Transit/Access`; `#` comments allowed.
+    pub fn parse<R: BufRead>(reader: R) -> Result<Self, GraphError> {
+        let mut db = Self::new();
+        for (i, line) in reader.lines().enumerate() {
+            let lineno = i + 1;
+            let line = line.map_err(|e| GraphError::Parse { line: lineno, message: e.to_string() })?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('|');
+            let err = |message: String| GraphError::Parse { line: lineno, message };
+            let asn: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing ASN".into()))?
+                .trim()
+                .parse()
+                .map_err(|e| err(format!("bad ASN: {e}")))?;
+            let _source = parts.next().ok_or_else(|| err("missing source field".into()))?;
+            let ty = parts.next().ok_or_else(|| err("missing type field".into()))?.trim();
+            let class = match ty {
+                "Content" => CaidaClass::Content,
+                "Enterprise" => CaidaClass::Enterprise,
+                "Transit/Access" => CaidaClass::TransitAccess,
+                other => return Err(err(format!("unknown AS type {other:?}"))),
+            };
+            db.insert(AsId(asn), class);
+        }
+        Ok(db)
+    }
+
+    /// Serializes in `as2types` format (round-trips through [`AsTypeDb::parse`]).
+    pub fn write(&self) -> String {
+        let mut out = String::from("# flatnet as2types export\n");
+        for (&asn, &class) in &self.classes {
+            let ty = match class {
+                CaidaClass::Content => "Content",
+                CaidaClass::Enterprise => "Enterprise",
+                CaidaClass::TransitAccess => "Transit/Access",
+            };
+            out.push_str(&format!("{asn}|flatnet|{ty}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refinement_rule_matches_paper() {
+        assert_eq!(refine(CaidaClass::Content, 0), AsType::Content);
+        assert_eq!(refine(CaidaClass::Content, 10), AsType::Content);
+        assert_eq!(refine(CaidaClass::Enterprise, 10), AsType::Enterprise);
+        assert_eq!(refine(CaidaClass::TransitAccess, 0), AsType::Transit);
+        assert_eq!(refine(CaidaClass::TransitAccess, 1), AsType::Access);
+    }
+
+    #[test]
+    fn parses_as2types() {
+        let text = "# comment\n1|CAIDA_class|Content\n2|CAIDA_class|Transit/Access\n3|CAIDA_class|Enterprise\n";
+        let db = AsTypeDb::parse(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.class(AsId(1)), Some(CaidaClass::Content));
+        assert_eq!(db.class(AsId(2)), Some(CaidaClass::TransitAccess));
+        assert_eq!(db.refined(AsId(2), 500), AsType::Access);
+        assert_eq!(db.refined(AsId(2), 0), AsType::Transit);
+    }
+
+    #[test]
+    fn unknown_as_defaults_to_enterprise() {
+        let db = AsTypeDb::new();
+        assert_eq!(db.refined(AsId(77), 0), AsType::Enterprise);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let err = AsTypeDb::parse("1|x|Potato\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown AS type"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(AsTypeDb::parse("1|x\n".as_bytes()).is_err());
+        assert!(AsTypeDb::parse("abc|x|Content\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrips() {
+        let mut db = AsTypeDb::new();
+        db.insert(AsId(10), CaidaClass::Content);
+        db.insert(AsId(20), CaidaClass::TransitAccess);
+        db.insert(AsId(30), CaidaClass::Enterprise);
+        let text = db.write();
+        let db2 = AsTypeDb::parse(text.as_bytes()).unwrap();
+        assert_eq!(db, db2);
+    }
+
+    #[test]
+    fn all_types_ordered_for_reports() {
+        let names: Vec<&str> = AsType::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["content", "transit", "access", "enterprise"]);
+    }
+}

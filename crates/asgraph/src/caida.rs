@@ -1,0 +1,219 @@
+//! Parsers and writers for CAIDA AS-relationship datasets.
+//!
+//! The paper builds its topologies from two CAIDA products:
+//!
+//! * **serial-1** (`20150901.as-rel.txt`): lines of the form
+//!   `<as1>|<as2>|<rel>` where `rel` is `-1` (as1 is the *provider* of as2)
+//!   or `0` (peering). Comment lines start with `#`.
+//! * **serial-2** (`.as-rel2.txt`): same, with a fourth field naming the
+//!   inference source (`bgp`, `mlp`, ...), i.e.
+//!   `<as1>|<as2>|<rel>|<source>`. The September 2020 snapshot the paper
+//!   uses also incorporates Ark traceroute data through the `mlp` source.
+//!
+//! Both parsers are tolerant of blank lines and comments, strict about
+//! everything else, and report 1-based line numbers on error.
+
+use crate::error::GraphError;
+use crate::graph::{AsGraphBuilder, AsId, Relationship};
+use std::io::BufRead;
+
+/// One parsed relationship record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelRecord {
+    /// For `P2c`, the provider; otherwise just the first AS on the line.
+    pub a: AsId,
+    /// For `P2c`, the customer; otherwise the second AS on the line.
+    pub b: AsId,
+    /// Relationship with `a` oriented as provider when `P2c`.
+    pub rel: Relationship,
+}
+
+fn parse_rel_line(line: &str, lineno: usize, fields: usize) -> Result<Option<RelRecord>, GraphError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split('|');
+    let err = |message: String| GraphError::Parse { line: lineno, message };
+    let a: u32 = parts
+        .next()
+        .ok_or_else(|| err("missing first AS field".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| err(format!("bad first ASN: {e}")))?;
+    let b: u32 = parts
+        .next()
+        .ok_or_else(|| err("missing second AS field".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| err(format!("bad second ASN: {e}")))?;
+    let rel_field = parts.next().ok_or_else(|| err("missing relationship field".into()))?.trim();
+    let rel = match rel_field {
+        "-1" => Relationship::P2c,
+        "0" => Relationship::P2p,
+        other => return Err(err(format!("unknown relationship code {other:?}"))),
+    };
+    // serial-2 carries a trailing source field; serial-1 must not.
+    let extra = parts.count();
+    let expected_extra = fields - 3;
+    if extra != expected_extra {
+        return Err(err(format!(
+            "expected {fields} fields, got {}",
+            3 + extra
+        )));
+    }
+    if a == b {
+        return Err(err(format!("self-loop on AS{a}")));
+    }
+    Ok(Some(RelRecord { a: AsId(a), b: AsId(b), rel }))
+}
+
+/// Parses a CAIDA **serial-1** AS-relationship file (3 fields per line).
+pub fn parse_serial1<R: BufRead>(reader: R) -> Result<AsGraphBuilder, GraphError> {
+    parse_with_fields(reader, 3)
+}
+
+/// Parses a CAIDA **serial-2** AS-relationship file (4 fields per line).
+pub fn parse_serial2<R: BufRead>(reader: R) -> Result<AsGraphBuilder, GraphError> {
+    parse_with_fields(reader, 4)
+}
+
+fn parse_with_fields<R: BufRead>(reader: R, fields: usize) -> Result<AsGraphBuilder, GraphError> {
+    let mut b = AsGraphBuilder::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse { line: i + 1, message: e.to_string() })?;
+        if let Some(rec) = parse_rel_line(&line, i + 1, fields)? {
+            b.add_link(rec.a, rec.b, rec.rel);
+        }
+    }
+    Ok(b)
+}
+
+/// Serializes a graph in serial-1 format (stable, canonical order).
+///
+/// The output round-trips through [`parse_serial1`]. Isolated ASes cannot be
+/// represented by the format and are dropped, matching CAIDA's own files.
+pub fn write_serial1(g: &crate::graph::AsGraph) -> String {
+    let mut out = String::new();
+    out.push_str("# flatnet serial-1 export\n");
+    for &(x, y, rel) in g.edges() {
+        let (a, b) = (g.asn(x).0, g.asn(y).0);
+        let code = match rel {
+            Relationship::P2c => -1,
+            Relationship::P2p => 0,
+        };
+        out.push_str(&format!("{a}|{b}|{code}\n"));
+    }
+    out
+}
+
+/// Serializes a graph in serial-2 format with a uniform `bgp` source tag.
+pub fn write_serial2(g: &crate::graph::AsGraph) -> String {
+    let mut out = String::new();
+    out.push_str("# flatnet serial-2 export\n");
+    for &(x, y, rel) in g.edges() {
+        let (a, b) = (g.asn(x).0, g.asn(y).0);
+        let code = match rel {
+            Relationship::P2c => -1,
+            Relationship::P2p => 0,
+        };
+        out.push_str(&format!("{a}|{b}|{code}|bgp\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NeighborKind;
+
+    const SERIAL1: &str = "\
+# inferred AS relationships
+# as1|as2|rel
+1|2|-1
+2|3|0
+
+3|4|-1
+";
+
+    const SERIAL2: &str = "\
+# serial-2
+1|2|-1|bgp
+2|3|0|mlp
+3|4|-1|bgp
+";
+
+    #[test]
+    fn parses_serial1() {
+        let g = parse_serial1(SERIAL1.as_bytes()).unwrap().build();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let n1 = g.index_of(AsId(1)).unwrap();
+        let n2 = g.index_of(AsId(2)).unwrap();
+        assert_eq!(g.kind_between(n1, n2), Some(NeighborKind::Customer));
+        let n3 = g.index_of(AsId(3)).unwrap();
+        assert_eq!(g.kind_between(n2, n3), Some(NeighborKind::Peer));
+    }
+
+    #[test]
+    fn parses_serial2() {
+        let g = parse_serial2(SERIAL2.as_bytes()).unwrap().build();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn serial1_rejects_serial2_lines() {
+        let err = parse_serial1("1|2|-1|bgp\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn serial2_rejects_serial1_lines() {
+        let err = parse_serial2("1|2|-1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_relationship_code() {
+        let err = parse_serial1("1|2|7\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown relationship code"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_bad_asn() {
+        let err = parse_serial1("x|2|0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad first ASN"));
+        let err = parse_serial1("1|y|0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad second ASN"));
+    }
+
+    #[test]
+    fn rejects_self_loop_with_line_number() {
+        let err = parse_serial1("1|2|0\n5|5|0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn roundtrips_serial1() {
+        let g = parse_serial1(SERIAL1.as_bytes()).unwrap().build();
+        let text = write_serial1(&g);
+        let g2 = parse_serial1(text.as_bytes()).unwrap().build();
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn roundtrips_serial2() {
+        let g = parse_serial2(SERIAL2.as_bytes()).unwrap().build();
+        let text = write_serial2(&g);
+        let g2 = parse_serial2(text.as_bytes()).unwrap().build();
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let g = parse_serial1("  1 | 2 | -1  \n".as_bytes()).unwrap().build();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,569 @@
+//! The immutable, index-compressed AS-level topology graph.
+//!
+//! [`AsGraph`] stores, for every AS, its neighbors split into the three sets
+//! that valley-free routing cares about — *providers*, *customers*, and
+//! *peers* — in CSR (compressed sparse row) layout. All adjacency lists are
+//! sorted by node index so that every traversal over the graph is
+//! deterministic.
+
+use crate::error::GraphError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An Autonomous System number.
+///
+/// The paper works with 16- and 32-bit ASNs from the CAIDA datasets; we store
+/// the full 32-bit space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AsId(pub u32);
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// A dense node index into an [`AsGraph`].
+///
+/// Node indices are assigned in ascending ASN order, so `NodeId(0)` is the
+/// lowest-numbered AS in the graph. Indices are only meaningful relative to
+/// the graph that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The business relationship annotating an inter-AS link.
+///
+/// Orientation matters for [`Relationship::P2c`]: in `add_link(a, b, P2c)`,
+/// `a` is the **provider** and `b` the **customer** (CAIDA's `-1`
+/// annotation). [`Relationship::P2p`] is symmetric (CAIDA's `0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Relationship {
+    /// Provider-to-customer: the left AS sells transit to the right AS.
+    P2c,
+    /// Settlement-free peering.
+    P2p,
+}
+
+impl Relationship {
+    /// Human-readable name matching CAIDA's documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Relationship::P2c => "p2c",
+            Relationship::P2p => "p2p",
+        }
+    }
+}
+
+/// How one AS sees a specific neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborKind {
+    /// The neighbor sells us transit.
+    Provider,
+    /// We sell the neighbor transit.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+}
+
+impl NeighborKind {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NeighborKind::Provider => "provider",
+            NeighborKind::Customer => "customer",
+            NeighborKind::Peer => "peer",
+        }
+    }
+}
+
+/// Internal canonical edge record: `(low_asn, high_asn)` key with the
+/// relationship expressed relative to that orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CanonRel {
+    /// The lower-numbered AS is the provider.
+    LowProvidesHigh,
+    /// The higher-numbered AS is the provider.
+    HighProvidesLow,
+    /// Peering.
+    Peer,
+}
+
+impl CanonRel {
+    fn name(self) -> &'static str {
+        match self {
+            CanonRel::Peer => "p2p",
+            _ => "p2c",
+        }
+    }
+}
+
+/// Incremental builder for [`AsGraph`].
+///
+/// Links may be added in any order; duplicates are ignored and conflicting
+/// re-declarations of the same pair keep the *first* relationship seen (the
+/// paper's augmentation rule: "we do not modify the previously identified
+/// link type"). Use [`AsGraphBuilder::add_link_strict`] to treat conflicts as
+/// errors instead.
+#[derive(Debug, Default, Clone)]
+pub struct AsGraphBuilder {
+    links: BTreeMap<(u32, u32), CanonRel>,
+    /// ASes declared with no links (isolated nodes still count as ASes).
+    isolated: Vec<u32>,
+}
+
+impl AsGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct links added so far.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Declares that an AS exists even if no link mentions it.
+    pub fn add_isolated(&mut self, asn: AsId) {
+        self.isolated.push(asn.0);
+    }
+
+    fn canon(a: u32, b: u32, rel: Relationship) -> ((u32, u32), CanonRel) {
+        let key = (a.min(b), a.max(b));
+        let canon = match rel {
+            Relationship::P2p => CanonRel::Peer,
+            Relationship::P2c if a < b => CanonRel::LowProvidesHigh,
+            Relationship::P2c => CanonRel::HighProvidesLow,
+        };
+        (key, canon)
+    }
+
+    /// Adds a link, first declaration winning on conflict.
+    ///
+    /// For [`Relationship::P2c`], `a` is the provider of `b`. Returns `true`
+    /// if the link was newly inserted, `false` if the pair was already known
+    /// (in which case the existing relationship is preserved). Self-loops are
+    /// silently ignored and return `false`.
+    pub fn add_link(&mut self, a: AsId, b: AsId, rel: Relationship) -> bool {
+        if a == b {
+            return false;
+        }
+        let (key, canon) = Self::canon(a.0, b.0, rel);
+        match self.links.entry(key) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(canon);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Adds a link, erroring on self-loops and conflicting re-declarations.
+    pub fn add_link_strict(&mut self, a: AsId, b: AsId, rel: Relationship) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { asn: a.0 });
+        }
+        let (key, canon) = Self::canon(a.0, b.0, rel);
+        match self.links.entry(key) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(canon);
+                Ok(())
+            }
+            std::collections::btree_map::Entry::Occupied(o) => {
+                let existing = *o.get();
+                if existing == canon {
+                    Ok(())
+                } else {
+                    Err(GraphError::ConflictingRelationship {
+                        a: key.0,
+                        b: key.1,
+                        first: existing.name(),
+                        second: canon.name(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Returns whether a link between the two ASes has been declared.
+    pub fn contains_link(&self, a: AsId, b: AsId) -> bool {
+        self.links.contains_key(&(a.0.min(b.0), a.0.max(b.0)))
+    }
+
+    /// Finalizes the builder into an immutable [`AsGraph`].
+    pub fn build(&self) -> AsGraph {
+        // Collect the node universe: every AS mentioned by a link plus
+        // explicitly declared isolated ASes, in ascending ASN order.
+        let mut asns: Vec<u32> = self
+            .links
+            .keys()
+            .flat_map(|&(a, b)| [a, b])
+            .chain(self.isolated.iter().copied())
+            .collect();
+        asns.sort_unstable();
+        asns.dedup();
+
+        let n = asns.len();
+        let index_of = |asn: u32| -> u32 {
+            asns.binary_search(&asn).expect("asn collected above") as u32
+        };
+
+        // Count per-node degrees per class, then fill CSR arrays.
+        let mut prov_cnt = vec![0u32; n];
+        let mut cust_cnt = vec![0u32; n];
+        let mut peer_cnt = vec![0u32; n];
+        for (&(lo, hi), &rel) in &self.links {
+            let li = index_of(lo) as usize;
+            let hi_i = index_of(hi) as usize;
+            match rel {
+                CanonRel::Peer => {
+                    peer_cnt[li] += 1;
+                    peer_cnt[hi_i] += 1;
+                }
+                CanonRel::LowProvidesHigh => {
+                    cust_cnt[li] += 1;
+                    prov_cnt[hi_i] += 1;
+                }
+                CanonRel::HighProvidesLow => {
+                    prov_cnt[li] += 1;
+                    cust_cnt[hi_i] += 1;
+                }
+            }
+        }
+
+        fn offsets(counts: &[u32]) -> Vec<u32> {
+            let mut off = Vec::with_capacity(counts.len() + 1);
+            let mut acc = 0u32;
+            off.push(0);
+            for &c in counts {
+                acc += c;
+                off.push(acc);
+            }
+            off
+        }
+        let prov_off = offsets(&prov_cnt);
+        let cust_off = offsets(&cust_cnt);
+        let peer_off = offsets(&peer_cnt);
+
+        let mut providers = vec![NodeId(0); *prov_off.last().unwrap() as usize];
+        let mut customers = vec![NodeId(0); *cust_off.last().unwrap() as usize];
+        let mut peers = vec![NodeId(0); *peer_off.last().unwrap() as usize];
+        let mut prov_fill = prov_off.clone();
+        let mut cust_fill = cust_off.clone();
+        let mut peer_fill = peer_off.clone();
+
+        let mut edges = Vec::with_capacity(self.links.len());
+        for (&(lo, hi), &rel) in &self.links {
+            let li = index_of(lo);
+            let hi_i = index_of(hi);
+            let (provider, customer) = match rel {
+                CanonRel::Peer => {
+                    peers[peer_fill[li as usize] as usize] = NodeId(hi_i);
+                    peer_fill[li as usize] += 1;
+                    peers[peer_fill[hi_i as usize] as usize] = NodeId(li);
+                    peer_fill[hi_i as usize] += 1;
+                    edges.push((NodeId(li), NodeId(hi_i), Relationship::P2p));
+                    continue;
+                }
+                CanonRel::LowProvidesHigh => (li, hi_i),
+                CanonRel::HighProvidesLow => (hi_i, li),
+            };
+            customers[cust_fill[provider as usize] as usize] = NodeId(customer);
+            cust_fill[provider as usize] += 1;
+            providers[prov_fill[customer as usize] as usize] = NodeId(provider);
+            prov_fill[customer as usize] += 1;
+            edges.push((NodeId(provider), NodeId(customer), Relationship::P2c));
+        }
+
+        // Adjacency lists must be sorted for deterministic iteration.
+        let sort_ranges = |adj: &mut [NodeId], off: &[u32]| {
+            for w in off.windows(2) {
+                adj[w[0] as usize..w[1] as usize].sort_unstable();
+            }
+        };
+        sort_ranges(&mut providers, &prov_off);
+        sort_ranges(&mut customers, &cust_off);
+        sort_ranges(&mut peers, &peer_off);
+
+        AsGraph {
+            asns,
+            prov_off,
+            cust_off,
+            peer_off,
+            providers,
+            customers,
+            peers,
+            edges,
+        }
+    }
+}
+
+/// An immutable AS-level topology with relationship-classed adjacency.
+///
+/// See the [crate docs](crate) for an overview and an example.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AsGraph {
+    /// Sorted ASNs; position is the node index.
+    asns: Vec<u32>,
+    prov_off: Vec<u32>,
+    cust_off: Vec<u32>,
+    peer_off: Vec<u32>,
+    providers: Vec<NodeId>,
+    customers: Vec<NodeId>,
+    peers: Vec<NodeId>,
+    /// Canonical edge list (provider-first for `P2c`), sorted by canonical
+    /// `(min_asn, max_asn)` pair.
+    edges: Vec<(NodeId, NodeId, Relationship)>,
+}
+
+impl AsGraph {
+    /// An empty graph.
+    pub fn empty() -> Self {
+        AsGraphBuilder::new().build()
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Whether the graph has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Number of inter-AS links.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The ASN of a node.
+    #[inline]
+    pub fn asn(&self, n: NodeId) -> AsId {
+        AsId(self.asns[n.idx()])
+    }
+
+    /// Looks up the node index of an ASN, if present.
+    #[inline]
+    pub fn index_of(&self, asn: AsId) -> Option<NodeId> {
+        self.asns.binary_search(&asn.0).ok().map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates all node indices in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.asns.len() as u32).map(NodeId)
+    }
+
+    /// Iterates all ASNs in ascending order.
+    pub fn asns(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.asns.iter().map(|&a| AsId(a))
+    }
+
+    /// The providers of `n` (ASes `n` buys transit from), sorted.
+    #[inline]
+    pub fn providers(&self, n: NodeId) -> &[NodeId] {
+        &self.providers[self.prov_off[n.idx()] as usize..self.prov_off[n.idx() + 1] as usize]
+    }
+
+    /// The customers of `n` (ASes buying transit from `n`), sorted.
+    #[inline]
+    pub fn customers(&self, n: NodeId) -> &[NodeId] {
+        &self.customers[self.cust_off[n.idx()] as usize..self.cust_off[n.idx() + 1] as usize]
+    }
+
+    /// The settlement-free peers of `n`, sorted.
+    #[inline]
+    pub fn peers(&self, n: NodeId) -> &[NodeId] {
+        &self.peers[self.peer_off[n.idx()] as usize..self.peer_off[n.idx() + 1] as usize]
+    }
+
+    /// All neighbors of `n` with how `n` sees each of them.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, NeighborKind)> + '_ {
+        self.providers(n)
+            .iter()
+            .map(|&p| (p, NeighborKind::Provider))
+            .chain(self.customers(n).iter().map(|&c| (c, NeighborKind::Customer)))
+            .chain(self.peers(n).iter().map(|&p| (p, NeighborKind::Peer)))
+    }
+
+    /// Total neighbor count (node degree).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.providers(n).len() + self.customers(n).len() + self.peers(n).len()
+    }
+
+    /// How `a` sees `b`, if they are neighbors.
+    pub fn kind_between(&self, a: NodeId, b: NodeId) -> Option<NeighborKind> {
+        if self.providers(a).binary_search(&b).is_ok() {
+            Some(NeighborKind::Provider)
+        } else if self.customers(a).binary_search(&b).is_ok() {
+            Some(NeighborKind::Customer)
+        } else if self.peers(a).binary_search(&b).is_ok() {
+            Some(NeighborKind::Peer)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical edge list: `(provider, customer, P2c)` or
+    /// `(a, b, P2p)`, in deterministic order.
+    pub fn edges(&self) -> &[(NodeId, NodeId, Relationship)] {
+        &self.edges
+    }
+
+    /// Re-opens the graph as a builder (used by topology augmentation).
+    pub fn to_builder(&self) -> AsGraphBuilder {
+        let mut b = AsGraphBuilder::new();
+        for &(x, y, rel) in &self.edges {
+            b.add_link(self.asn(x), self.asn(y), rel);
+        }
+        // Preserve isolated nodes.
+        for n in self.nodes() {
+            if self.degree(n) == 0 {
+                b.add_isolated(self.asn(n));
+            }
+        }
+        b
+    }
+
+    /// ASes that buy transit from nobody (no providers). The Tier-1 clique is
+    /// a subset of these.
+    pub fn transit_free(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.providers(n).is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> AsGraph {
+        // 1 and 2 are providers of 3 and 4; 3 peers with 4.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(3), Relationship::P2c);
+        b.add_link(AsId(1), AsId(4), Relationship::P2c);
+        b.add_link(AsId(2), AsId(3), Relationship::P2c);
+        b.add_link(AsId(2), AsId(4), Relationship::P2c);
+        b.add_link(AsId(3), AsId(4), Relationship::P2p);
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        b.build()
+    }
+
+    #[test]
+    fn builds_expected_adjacency() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 6);
+        let n3 = g.index_of(AsId(3)).unwrap();
+        let n4 = g.index_of(AsId(4)).unwrap();
+        let n1 = g.index_of(AsId(1)).unwrap();
+        assert_eq!(g.providers(n3).len(), 2);
+        assert_eq!(g.peers(n3), &[n4]);
+        assert_eq!(g.customers(n1), &[n3, n4]);
+        assert_eq!(g.kind_between(n3, n1), Some(NeighborKind::Provider));
+        assert_eq!(g.kind_between(n1, n3), Some(NeighborKind::Customer));
+        assert_eq!(g.kind_between(n3, n4), Some(NeighborKind::Peer));
+        assert_eq!(g.kind_between(n3, n3), None);
+    }
+
+    #[test]
+    fn node_indices_follow_asn_order() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(900), AsId(20), Relationship::P2c);
+        b.add_link(AsId(900), AsId(500), Relationship::P2p);
+        let g = b.build();
+        let asns: Vec<u32> = g.asns().map(|a| a.0).collect();
+        assert_eq!(asns, vec![20, 500, 900]);
+        assert_eq!(g.asn(NodeId(0)), AsId(20));
+    }
+
+    #[test]
+    fn duplicate_links_are_ignored_first_wins() {
+        let mut b = AsGraphBuilder::new();
+        assert!(b.add_link(AsId(1), AsId(2), Relationship::P2c));
+        assert!(!b.add_link(AsId(1), AsId(2), Relationship::P2c));
+        // Conflicting re-declaration keeps the first.
+        assert!(!b.add_link(AsId(2), AsId(1), Relationship::P2p));
+        let g = b.build();
+        let n1 = g.index_of(AsId(1)).unwrap();
+        let n2 = g.index_of(AsId(2)).unwrap();
+        assert_eq!(g.kind_between(n1, n2), Some(NeighborKind::Customer));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn strict_add_detects_conflicts() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link_strict(AsId(1), AsId(2), Relationship::P2c).unwrap();
+        // Same declaration again is fine.
+        b.add_link_strict(AsId(1), AsId(2), Relationship::P2c).unwrap();
+        let err = b.add_link_strict(AsId(1), AsId(2), Relationship::P2p).unwrap_err();
+        assert!(matches!(err, GraphError::ConflictingRelationship { .. }));
+        // Reversed p2c orientation is a conflict too.
+        let err = b.add_link_strict(AsId(2), AsId(1), Relationship::P2c).unwrap_err();
+        assert!(matches!(err, GraphError::ConflictingRelationship { .. }));
+        let err = b.add_link_strict(AsId(3), AsId(3), Relationship::P2p).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { asn: 3 }));
+    }
+
+    #[test]
+    fn self_loops_silently_dropped_by_lenient_add() {
+        let mut b = AsGraphBuilder::new();
+        assert!(!b.add_link(AsId(7), AsId(7), Relationship::P2p));
+        assert_eq!(b.link_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_survive_build_and_roundtrip() {
+        let mut b = AsGraphBuilder::new();
+        b.add_isolated(AsId(42));
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        let g = b.build();
+        assert_eq!(g.len(), 3);
+        let n42 = g.index_of(AsId(42)).unwrap();
+        assert_eq!(g.degree(n42), 0);
+        let g2 = g.to_builder().build();
+        assert_eq!(g2.len(), 3);
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn transit_free_finds_provider_less_ases() {
+        let g = diamond();
+        let tf: Vec<u32> = g.transit_free().into_iter().map(|n| g.asn(n).0).collect();
+        assert_eq!(tf, vec![1, 2]);
+    }
+
+    #[test]
+    fn roundtrip_through_builder_preserves_graph() {
+        let g = diamond();
+        let g2 = g.to_builder().build();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn neighbors_iterator_covers_all_classes() {
+        let g = diamond();
+        let n3 = g.index_of(AsId(3)).unwrap();
+        let mut kinds: Vec<(u32, &str)> = g
+            .neighbors(n3)
+            .map(|(n, k)| (g.asn(n).0, k.name()))
+            .collect();
+        kinds.sort();
+        assert_eq!(kinds, vec![(1, "provider"), (2, "provider"), (4, "peer")]);
+        assert_eq!(g.degree(n3), 3);
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # flatnet-asgraph — AS-level Internet topology substrate
+//!
+//! This crate models the Internet's Autonomous-System-level topology the way
+//! "Cloud Provider Connectivity in the Flat Internet" (IMC 2020) does:
+//!
+//! * ASes are identified by their AS number ([`AsId`]) and connected by
+//!   *relationship-annotated* links: customer-to-provider ([`Relationship::P2c`],
+//!   read "left provides transit to right") or settlement-free peering
+//!   ([`Relationship::P2p`]).
+//! * Topologies are usually loaded from CAIDA AS-relationship files
+//!   ([`caida`] parses both the `serial-1` and `serial-2` formats used for the
+//!   paper's September 2015 and September 2020 snapshots) and then *augmented*
+//!   with peer links discovered by traceroutes from inside cloud networks
+//!   ([`augment`]).
+//! * Classic AS metrics are provided: customer cone, transit degree, node
+//!   degree ([`cone`]), plus Tier-1 clique inference and tier assignment
+//!   ([`tiers`]), and CAIDA-style AS type classification ([`astype`]).
+//!
+//! The central type is [`AsGraph`]: an immutable, index-compressed adjacency
+//! structure with neighbors split by relationship class, which is exactly the
+//! access pattern valley-free route propagation needs. Build one with
+//! [`AsGraphBuilder`], from a CAIDA file via [`caida::parse_serial2`] /
+//! [`caida::parse_serial1`], or synthetically with the `flatnet-netgen` crate.
+//!
+//! ```
+//! use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship};
+//!
+//! let mut b = AsGraphBuilder::new();
+//! // AS 100 provides transit to AS 200; AS 200 peers with AS 300.
+//! b.add_link(AsId(100), AsId(200), Relationship::P2c);
+//! b.add_link(AsId(200), AsId(300), Relationship::P2p);
+//! let g = b.build();
+//! assert_eq!(g.len(), 3);
+//! let n200 = g.index_of(AsId(200)).unwrap();
+//! assert_eq!(g.providers(n200).len(), 1);
+//! assert_eq!(g.peers(n200).len(), 1);
+//! ```
+
+pub mod astype;
+pub mod augment;
+pub mod caida;
+pub mod cone;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod problink;
+pub mod relinfer;
+pub mod tiers;
+
+pub use astype::AsType;
+pub use augment::{augment_many, augment_with_peers, AugmentReport};
+pub use error::GraphError;
+pub use graph::{AsGraph, AsGraphBuilder, AsId, NodeId, Relationship};
+pub use problink::{refine_relationships, RefinedRelationships};
+pub use relinfer::{infer_relationships, score_inference, InferredRelationships, RelAccuracy};
+pub use tiers::{infer_clique, TierAssignment, Tiers};

@@ -1,0 +1,44 @@
+//! Ablation benches: the erratum semantics and the topology views that
+//! DESIGN.md's experiment index calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_bgpsim::{simulate_leak, LeakScenario, LockingSemantics};
+use flatnet_core::reachability::reachability_profile;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(800, 1));
+    let google = net.clouds[0].asn;
+    let gnode = net.node(google);
+    let locking: Vec<_> = net.truth.neighbors(gnode).map(|(n, _)| n).collect();
+    let leaker = net.node(net.tier2[3]);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, semantics) in [
+        ("corrected", LockingSemantics::Corrected),
+        ("pre_erratum", LockingSemantics::PreErratum),
+    ] {
+        let scenario = LeakScenario {
+            victim: gnode,
+            leaker,
+            victim_export: None,
+            locking: locking.clone(),
+            semantics,
+        };
+        group.bench_function(format!("global_lock_leak_{name}"), |b| {
+            b.iter(|| simulate_leak(&net.truth, &scenario))
+        });
+    }
+    // Topology views: public vs truth.
+    let clouds: Vec<_> = net.cloud_providers().map(|cl| cl.asn).collect();
+    for (name, g) in [("public", &net.public), ("truth", &net.truth)] {
+        let tiers = net.tiers_for(g);
+        group.bench_function(format!("cloud_profile_{name}"), |b| {
+            b.iter(|| reachability_profile(g, &tiers, &clouds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

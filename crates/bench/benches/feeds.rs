@@ -1,0 +1,31 @@
+//! §2.3/§4.1 feed pipeline benches: RIB collection, MRT codec, Gao
+//! inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_asgraph::infer_relationships;
+use flatnet_bgpsim::collect_ribs;
+use flatnet_core::feeds::place_monitors;
+use flatnet_mrt::{from_rib_entries, parse_mrt, write_mrt};
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_feeds(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(800, 1));
+    let monitors = place_monitors(&net, 20, 1);
+    let origins: Vec<_> = net.truth.nodes().step_by(4).collect();
+    let mut group = c.benchmark_group("feeds");
+    group.sample_size(10);
+    group.bench_function("collect_ribs_20mon_200orig", |b| {
+        b.iter(|| collect_ribs(&net.truth, &monitors, &origins))
+    });
+    let ribs = collect_ribs(&net.truth, &monitors, &origins);
+    let rib = from_rib_entries(&ribs, |o| net.addressing.origin_prefix(o));
+    group.bench_function("mrt_write", |b| b.iter(|| write_mrt(&rib, 1)));
+    let bytes = write_mrt(&rib, 1);
+    group.bench_function("mrt_parse", |b| b.iter(|| parse_mrt(&bytes).unwrap()));
+    let paths: Vec<_> = ribs.iter().map(|e| e.path.clone()).collect();
+    group.bench_function("gao_inference", |b| b.iter(|| infer_relationships(&paths, 60.0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_feeds);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 10: leak resilience across the 2015 and 2020 epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::leaks::{leak_cdf, Announce, Locking};
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_fig10(c: &mut Criterion) {
+    let net15 = generate(&NetGenConfig::paper_2015(800, 1));
+    let net20 = generate(&NetGenConfig::paper_2020(800, 1));
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for (name, net) in [("2015", &net15), ("2020", &net20)] {
+        let tiers = net.tiers_for(&net.truth);
+        let google = net.clouds[0].asn;
+        group.bench_function(format!("google_leaks_{name}"), |b| {
+            b.iter(|| {
+                leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 25, 7, None)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

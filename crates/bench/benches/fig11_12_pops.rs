@@ -1,0 +1,26 @@
+//! Figs. 11/12: PoP deployment split and population coverage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::pops_exp::{continent_coverage, coverage_row, deployment_split};
+use flatnet_geo::pops::Footprint;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_pops(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(800, 1));
+    let grid = &net.popgrid;
+    let clouds: Vec<&Footprint> = net
+        .cloud_providers()
+        .map(|cl| &net.geo.footprints[&cl.asn.0])
+        .collect();
+    let transits: Vec<&Footprint> = net.tier1.iter().map(|a| &net.geo.footprints[&a.0]).collect();
+    let mut group = c.benchmark_group("fig11_12");
+    group.sample_size(10);
+    group.bench_function("deployment_split", |b| b.iter(|| deployment_split(&clouds, &transits)));
+    group.bench_function("coverage_row_google", |b| b.iter(|| coverage_row(grid, clouds[0])));
+    let pts = clouds[0].points();
+    group.bench_function("continent_coverage", |b| b.iter(|| continent_coverage(grid, &pts)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pops);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 13: path-length splits per cloud, three weightings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::pathlen::path_length_profile;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_fig13(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(1500, 1));
+    let users = net.user_weights();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    for cloud in net.cloud_providers() {
+        group.bench_function(format!("pathlen_{}", cloud.spec.name), |b| {
+            b.iter(|| path_length_profile(&net.truth, cloud.asn, &users))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 2: the three-level reachability profile for the focus networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::reachability::reachability_profile;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_fig2(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(1200, 1));
+    let tiers = net.tiers_for(&net.truth);
+    let focus: Vec<_> = net
+        .cloud_providers()
+        .map(|cl| cl.asn)
+        .chain(net.tier1.iter().copied())
+        .chain(net.tier2.iter().copied())
+        .collect();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("reachability_profile_44_networks", |b| {
+        b.iter(|| reachability_profile(&net.truth, &tiers, &focus))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 3: customer cones for all ASes + the scatter assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_asgraph::cone::customer_cone_sizes;
+use flatnet_core::cone_compare::cone_vs_hfr;
+use flatnet_core::reachability::hierarchy_free_all;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_fig3(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(1500, 1));
+    let tiers = net.tiers_for(&net.truth);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("customer_cone_sizes_1500", |b| {
+        b.iter(|| customer_cone_sizes(&net.truth))
+    });
+    let hfr = hierarchy_free_all(&net.truth, &tiers);
+    let clouds: Vec<_> = net.cloud_providers().map(|cl| cl.asn).collect();
+    group.bench_function("cone_vs_hfr_scatter", |b| {
+        b.iter(|| cone_vs_hfr(&net.truth, &tiers, &hfr, &clouds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 4: unreachable-type breakdown per provider.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_asgraph::astype::refine;
+use flatnet_core::unreachable::unreachable_breakdown;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(1500, 1));
+    let tiers = net.tiers_for(&net.truth);
+    let type_of = |n: flatnet_asgraph::NodeId| {
+        let m = &net.meta[n.idx()];
+        refine(m.class, m.users)
+    };
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("unreachable_breakdown_google", |b| {
+        b.iter(|| unreachable_breakdown(&net.truth, &tiers, net.clouds[0].asn, type_of))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

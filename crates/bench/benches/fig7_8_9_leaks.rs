@@ -1,0 +1,29 @@
+//! Figs. 7/8/9: route-leak CDFs (per configuration, and user-weighted).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::leaks::{leak_cdf, Announce, Locking};
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_leaks(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(800, 1));
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let weights = net.user_weights();
+    let mut group = c.benchmark_group("fig7_8_9");
+    group.sample_size(10);
+    group.bench_function("leak_cdf_announce_all_30", |b| {
+        b.iter(|| leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 30, 7, None))
+    });
+    group.bench_function("leak_cdf_t12_lock_30", |b| {
+        b.iter(|| leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::Tier12, 30, 7, None))
+    });
+    group.bench_function("leak_cdf_user_weighted_30", |b| {
+        b.iter(|| {
+            leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 30, 7, Some(&weights))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaks);
+criterion_main!(benches);

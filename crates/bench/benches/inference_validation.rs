@@ -1,0 +1,31 @@
+//! §4.1/§5: the traceroute campaign and neighbor-inference pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_tracesim::{infer_neighbors, run_campaign, CampaignOptions, Methodology};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut cfg = NetGenConfig::tiny(1);
+    cfg.n_ases = 300;
+    let net = generate(&cfg);
+    let opts = CampaignOptions { dest_sample: 0.5, max_vps: 4, ..Default::default() };
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    group.bench_function("campaign_300ases_4vps", |b| b.iter(|| run_campaign(&net, &opts)));
+    let campaign = run_campaign(&net, &opts);
+    let google = net.clouds[0].asn;
+    group.bench_function("infer_neighbors_final", |b| {
+        b.iter(|| {
+            infer_neighbors(
+                campaign.for_cloud(google),
+                &net.addressing.resolver,
+                &Methodology::final_methodology(),
+                google,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmarks of the core simulator: propagation, DAG construction,
+//! and reliance, across topology sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flatnet_bgpsim::{propagate, reliance, NextHopDag, PropagationOptions};
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    for n in [500usize, 1500, 4000] {
+        let net = generate(&NetGenConfig::paper_2020(n, 1));
+        let google = net.node(net.clouds[0].asn);
+        let opts = PropagationOptions::default();
+        group.bench_with_input(BenchmarkId::new("propagate", n), &n, |b, _| {
+            b.iter(|| propagate(&net.truth, google, &opts))
+        });
+        let out = propagate(&net.truth, google, &opts);
+        group.bench_with_input(BenchmarkId::new("dag_build", n), &n, |b, _| {
+            b.iter(|| NextHopDag::build(&net.truth, &opts, &out))
+        });
+        let dag = NextHopDag::build(&net.truth, &opts, &out);
+        group.bench_with_input(BenchmarkId::new("reliance", n), &n, |b, _| {
+            b.iter(|| reliance(&dag))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

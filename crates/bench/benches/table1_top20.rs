@@ -1,0 +1,23 @@
+//! Table 1: whole-Internet hierarchy-free reachability + ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::reachability::{hierarchy_free_all, rank_by_hierarchy_free};
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(800, 1));
+    let tiers = net.tiers_for(&net.truth);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("hierarchy_free_all_800", |b| {
+        b.iter(|| hierarchy_free_all(&net.truth, &tiers))
+    });
+    let hfr = hierarchy_free_all(&net.truth, &tiers);
+    group.bench_function("rank_by_hierarchy_free", |b| {
+        b.iter(|| rank_by_hierarchy_free(&net.truth, &hfr))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 2 / Fig. 6: hierarchy-free reliance per cloud + histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::reliance_exp::reliance_under_hierarchy_free;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_table2(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(1500, 1));
+    let tiers = net.tiers_for(&net.truth);
+    let mut group = c.benchmark_group("table2_fig6");
+    group.sample_size(10);
+    group.bench_function("reliance_hierarchy_free_google", |b| {
+        b.iter(|| reliance_under_hierarchy_free(&net.truth, &tiers, net.clouds[0].asn))
+    });
+    let prof = reliance_under_hierarchy_free(&net.truth, &tiers, net.clouds[0].asn).unwrap();
+    group.bench_function("fig6_histogram", |b| b.iter(|| prof.histogram(25.0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 3: footprint consolidation and rDNS confirmation stats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flatnet_core::pops_exp::rdns_table;
+use flatnet_geo::pops::Footprint;
+use flatnet_geo::rdns::LearnedConvention;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn bench_table3(c: &mut Criterion) {
+    let net = generate(&NetGenConfig::paper_2020(800, 1));
+    let fps: Vec<&Footprint> = net
+        .geo
+        .footprints
+        .values()
+        .collect();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("rdns_table_all_networks", |b| b.iter(|| rdns_table(&fps)));
+    // Hoiho-style convention learning on generated hostnames.
+    let (asn, conv) = net.geo.conventions.iter().next().expect("conventions exist");
+    let fp = &net.geo.footprints[asn];
+    let samples: Vec<(String, String)> = fp
+        .sites()
+        .iter()
+        .map(|s| (conv.hostname("xe-0-1-0", &s.city, 1), s.city.clone()))
+        .collect();
+    group.bench_function("hoiho_learn_convention", |b| {
+        b.iter(|| LearnedConvention::learn(&samples, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

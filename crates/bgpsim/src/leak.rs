@@ -1,0 +1,528 @@
+//! Route-leak resilience simulation (§8).
+//!
+//! A *misconfigured AS* (the leaker) announces the same prefix as a cloud
+//! provider (the victim) to all of its neighbors. Both announcements
+//! propagate under normal valley-free policy and "the two routes compete
+//! for propagation based on AS-path length" after local preference. An AS
+//! is **detoured** if *any* of its tied-best routes leads to the leaker —
+//! the paper's explicit worst-case tie handling.
+//!
+//! Peer locking (per the paper's published erratum): a deploying neighbor
+//! of the victim discards routes for the victim's prefixes received from
+//! anyone but the victim itself. In simulator terms the deployer's import
+//! policy is [`ImportPolicy::OnlyDirectFromOrigin`] for the victim's
+//! announcement and [`ImportPolicy::Never`] for the leaker's, so leaked
+//! routes never propagate *through* a locking AS.
+
+use crate::propagate::{propagate, ImportPolicy, PropagationOptions, RoutingOutcome};
+use flatnet_asgraph::{AsGraph, NodeId};
+
+/// How one AS routes the contested prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetourState {
+    /// All tied-best routes lead to the legitimate origin.
+    Legit,
+    /// At least one tied-best route leads to the leaker (worst case).
+    Detoured,
+    /// The AS received no route to the prefix at all.
+    NoRoute,
+}
+
+/// Which peer-locking semantics to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockingSemantics {
+    /// The published erratum's corrected behaviour: a deploying AS accepts
+    /// the victim's prefix only directly from the victim, so leaked copies
+    /// can never propagate *through* it.
+    #[default]
+    Corrected,
+    /// The paper's original simulation flaw: deployers filtered leaks
+    /// announced directly to them, but copies that first passed through a
+    /// non-deploying AS were accepted and re-propagated — underestimating
+    /// peer locking's benefit. Kept for the erratum ablation.
+    PreErratum,
+}
+
+/// One leak experiment configuration.
+#[derive(Debug, Clone)]
+pub struct LeakScenario {
+    /// The legitimate origin (cloud provider).
+    pub victim: NodeId,
+    /// The misconfigured AS leaking the prefix (announces to all neighbors).
+    pub leaker: NodeId,
+    /// Neighbors the victim announces to; `None` = all neighbors
+    /// (§8.2's announcement configurations).
+    pub victim_export: Option<Vec<NodeId>>,
+    /// Victim neighbors deploying peer locking for the victim's prefixes.
+    pub locking: Vec<NodeId>,
+    /// Corrected (erratum) vs original peer-locking semantics.
+    pub semantics: LockingSemantics,
+}
+
+impl LeakScenario {
+    /// A plain scenario: victim announces to all, no peer locking.
+    pub fn simple(victim: NodeId, leaker: NodeId) -> Self {
+        LeakScenario {
+            victim,
+            leaker,
+            victim_export: None,
+            locking: Vec::new(),
+            semantics: LockingSemantics::Corrected,
+        }
+    }
+}
+
+/// Outcome of a leak simulation.
+#[derive(Debug, Clone)]
+pub struct LeakOutcome {
+    victim: NodeId,
+    leaker: NodeId,
+    states: Vec<DetourState>,
+}
+
+impl LeakOutcome {
+    /// Per-node routing states, indexed by node.
+    pub fn states(&self) -> &[DetourState] {
+        &self.states
+    }
+
+    /// State of one node.
+    pub fn state(&self, n: NodeId) -> DetourState {
+        self.states[n.idx()]
+    }
+
+    /// The legitimate origin.
+    pub fn victim(&self) -> NodeId {
+        self.victim
+    }
+
+    /// The leaker.
+    pub fn leaker(&self) -> NodeId {
+        self.leaker
+    }
+
+    /// Number of detoured ASes (the leaker itself counts: its traffic to
+    /// the prefix terminates locally).
+    pub fn detoured_count(&self) -> usize {
+        self.states.iter().filter(|&&s| s == DetourState::Detoured).count()
+    }
+
+    /// Fraction of all ASes in the topology that are detoured — the
+    /// quantity on the x-axis of Figures 7, 8, and 10.
+    pub fn fraction_detoured(&self) -> f64 {
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        self.detoured_count() as f64 / self.states.len() as f64
+    }
+
+    /// Weighted detour fraction: share of `weights` mass (e.g. estimated
+    /// user population per AS, Fig. 9) sitting in detoured ASes. Zero when
+    /// the total weight is zero.
+    pub fn weighted_fraction_detoured(&self, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.states.len(), "weights must cover every node");
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let detoured: f64 = self
+            .states
+            .iter()
+            .zip(weights)
+            .filter(|(s, _)| **s == DetourState::Detoured)
+            .map(|(_, w)| *w)
+            .sum();
+        detoured / total
+    }
+}
+
+/// Runs one leak scenario.
+///
+/// Panics if `victim == leaker` (a meaningless configuration callers are
+/// expected to avoid when sampling misconfigured ASes).
+pub fn simulate_leak(g: &AsGraph, scenario: &LeakScenario) -> LeakOutcome {
+    assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
+    let n = g.len();
+
+    // Victim propagation: under corrected semantics, locking neighbors
+    // accept only the direct route. Under the pre-erratum semantics the
+    // legitimate propagation was unrestricted.
+    let mut victim_import = vec![ImportPolicy::Normal; n];
+    if scenario.semantics == LockingSemantics::Corrected {
+        for &l in &scenario.locking {
+            if l != scenario.victim {
+                victim_import[l.idx()] = ImportPolicy::OnlyDirectFromOrigin;
+            }
+        }
+    }
+    let export_mask: Option<Vec<bool>> = scenario.victim_export.as_ref().map(|list| {
+        let mut m = vec![false; n];
+        for &x in list {
+            m[x.idx()] = true;
+        }
+        m
+    });
+    let victim_opts = PropagationOptions {
+        excluded: None,
+        origin_export: export_mask.as_deref(),
+        import: Some(&victim_import),
+    };
+    let legit = propagate(g, scenario.victim, &victim_opts);
+
+    // Leaker propagation: under corrected semantics locking ASes never
+    // accept the leaked copy, so it cannot pass through them either; under
+    // pre-erratum semantics they only filter the copy announced to them
+    // directly by the leaker.
+    let mut leak_import = vec![ImportPolicy::Normal; n];
+    for &l in &scenario.locking {
+        leak_import[l.idx()] = match scenario.semantics {
+            LockingSemantics::Corrected => ImportPolicy::Never,
+            LockingSemantics::PreErratum => ImportPolicy::RejectDirectFromOrigin,
+        };
+    }
+    // The victim itself never accepts the leaked route for its own prefix.
+    leak_import[scenario.victim.idx()] = ImportPolicy::Never;
+    let leak_opts = PropagationOptions { excluded: None, origin_export: None, import: Some(&leak_import) };
+    let leaked = propagate(g, scenario.leaker, &leak_opts);
+
+    LeakOutcome {
+        victim: scenario.victim,
+        leaker: scenario.leaker,
+        states: compare(&legit, &leaked, scenario, n),
+    }
+}
+
+fn compare(
+    legit: &RoutingOutcome,
+    leaked: &RoutingOutcome,
+    scenario: &LeakScenario,
+    n: usize,
+) -> Vec<DetourState> {
+    let mut states = vec![DetourState::NoRoute; n];
+    for i in 0..n as u32 {
+        let t = NodeId(i);
+        if t == scenario.victim {
+            states[t.idx()] = DetourState::Legit;
+            continue;
+        }
+        if t == scenario.leaker {
+            states[t.idx()] = DetourState::Detoured;
+            continue;
+        }
+        let sl = legit.selection(t);
+        let sm = leaked.selection(t);
+        states[t.idx()] = match (sl, sm) {
+            (None, None) => DetourState::NoRoute,
+            (Some(_), None) => DetourState::Legit,
+            (None, Some(_)) => DetourState::Detoured,
+            // Lexicographic (class, length); the leaked route wins ties in
+            // the worst-case analysis.
+            (Some(l), Some(m)) => {
+                if m <= l {
+                    DetourState::Detoured
+                } else {
+                    DetourState::Legit
+                }
+            }
+        };
+    }
+    states
+}
+
+/// Simulates a **more-specific (sub-prefix) hijack**: the leaker announces
+/// a longer prefix inside the victim's space, so longest-prefix-match —
+/// not BGP preference — decides, and *every* AS holding the leaked route
+/// is detoured regardless of its legitimate route.
+///
+/// §8 deliberately studies same-length leaks ("the leaked routes have the
+/// same prefix length as the legitimate routes"); this extension
+/// quantifies the nastier variant. Peer locking is the only defence the
+/// model offers: under [`LockingSemantics::Corrected`], deployers drop the
+/// sub-prefix entirely, so it cannot spread through them.
+pub fn simulate_subprefix_hijack(g: &AsGraph, scenario: &LeakScenario) -> LeakOutcome {
+    assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
+    let n = g.len();
+    let mut leak_import = vec![ImportPolicy::Normal; n];
+    for &l in &scenario.locking {
+        leak_import[l.idx()] = match scenario.semantics {
+            LockingSemantics::Corrected => ImportPolicy::Never,
+            LockingSemantics::PreErratum => ImportPolicy::RejectDirectFromOrigin,
+        };
+    }
+    leak_import[scenario.victim.idx()] = ImportPolicy::Never;
+    let leak_opts =
+        PropagationOptions { excluded: None, origin_export: None, import: Some(&leak_import) };
+    let leaked = propagate(g, scenario.leaker, &leak_opts);
+
+    let mut states = vec![DetourState::NoRoute; n];
+    for i in 0..n as u32 {
+        let t = NodeId(i);
+        if t == scenario.victim {
+            states[t.idx()] = DetourState::Legit;
+        } else if t == scenario.leaker || leaked.reachable(t) {
+            // LPM: any AS with the sub-prefix routes to the hijacker.
+            states[t.idx()] = DetourState::Detoured;
+        } else {
+            // The covering legitimate prefix still serves everyone else;
+            // treat "no sub-prefix route" as staying legit (the victim's
+            // announcement configuration is irrelevant under LPM).
+            states[t.idx()] = DetourState::Legit;
+        }
+    }
+    LeakOutcome { victim: scenario.victim, leaker: scenario.leaker, states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship};
+
+    #[test]
+    fn subprefix_hijack_detours_everything_reachable() {
+        // Like `topology()`, but 40 also buys transit from T (1): its
+        // 1-hop peer route to the victim wins the same-length competition,
+        // yet the sub-prefix arriving via its provider still captures it.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(30), Relationship::P2c);
+        b.add_link(AsId(1), AsId(20), Relationship::P2c);
+        b.add_link(AsId(1), AsId(40), Relationship::P2c);
+        b.add_link(AsId(10), AsId(1), Relationship::P2p);
+        b.add_link(AsId(10), AsId(40), Relationship::P2p);
+        let g = b.build();
+        let same = simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 30)));
+        assert_eq!(same.state(node(&g, 40)), DetourState::Legit);
+        let out = simulate_subprefix_hijack(&g, &LeakScenario::simple(node(&g, 10), node(&g, 30)));
+        assert_eq!(out.state(node(&g, 1)), DetourState::Detoured);
+        assert_eq!(out.state(node(&g, 20)), DetourState::Detoured);
+        assert_eq!(out.state(node(&g, 40)), DetourState::Detoured);
+        assert_eq!(out.state(node(&g, 10)), DetourState::Legit);
+        assert!(out.detoured_count() > same.detoured_count());
+    }
+
+    #[test]
+    fn global_locking_contains_subprefix_hijacks() {
+        let g = topology();
+        let victim = node(&g, 10);
+        let scenario = LeakScenario {
+            victim,
+            leaker: node(&g, 30),
+            victim_export: None,
+            locking: g.neighbors(victim).map(|(n, _)| n).collect(),
+            semantics: LockingSemantics::Corrected,
+        };
+        let out = simulate_subprefix_hijack(&g, &scenario);
+        // The locking transit drops the sub-prefix: only the leaker
+        // itself is detoured.
+        assert_eq!(out.detoured_count(), 1);
+        assert_eq!(out.state(node(&g, 1)), DetourState::Legit);
+        assert_eq!(out.state(node(&g, 40)), DetourState::Legit);
+    }
+
+    fn node(g: &AsGraph, asn: u32) -> NodeId {
+        g.index_of(AsId(asn)).unwrap()
+    }
+
+    /// Victim 10 peers with transit T (1) and with edge ASes 40, 50.
+    /// Leaker 30 is a customer of T. T also serves customer 20.
+    fn topology() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(30), Relationship::P2c);
+        b.add_link(AsId(1), AsId(20), Relationship::P2c);
+        b.add_link(AsId(10), AsId(1), Relationship::P2p);
+        b.add_link(AsId(10), AsId(40), Relationship::P2p);
+        b.add_link(AsId(10), AsId(50), Relationship::P2p);
+        b.build()
+    }
+
+    #[test]
+    fn customer_preference_attracts_transit() {
+        let g = topology();
+        let out = simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 30)));
+        // T prefers the leaked *customer* route from 30 over the peer route
+        // from the victim.
+        assert_eq!(out.state(node(&g, 1)), DetourState::Detoured);
+        // ...and passes the leaked route to its customer 20.
+        assert_eq!(out.state(node(&g, 20)), DetourState::Detoured);
+        // Direct peers of the victim hold a 1-hop peer route; the leaked
+        // copy reaches them as a longer peer route via T? No — T exports a
+        // customer-learned route to peers, length 2 > 1. Legit wins.
+        assert_eq!(out.state(node(&g, 40)), DetourState::Legit);
+        assert_eq!(out.state(node(&g, 10)), DetourState::Legit);
+        assert_eq!(out.state(node(&g, 30)), DetourState::Detoured);
+        assert_eq!(out.detoured_count(), 3);
+        assert!((out.fraction_detoured() - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peer_locking_at_transit_stops_the_leak() {
+        let g = topology();
+        let scenario = LeakScenario {
+            victim: node(&g, 10),
+            leaker: node(&g, 30),
+            victim_export: None,
+            locking: vec![node(&g, 1)],
+            semantics: LockingSemantics::Corrected,
+        };
+        let out = simulate_leak(&g, &scenario);
+        // T discards the leaked route (peer lock) and keeps the direct
+        // peer route from the victim.
+        assert_eq!(out.state(node(&g, 1)), DetourState::Legit);
+        assert_eq!(out.state(node(&g, 20)), DetourState::Legit);
+        // Only the leaker itself is detoured.
+        assert_eq!(out.detoured_count(), 1);
+    }
+
+    #[test]
+    fn pre_erratum_semantics_let_leaks_through_locking_ases() {
+        // The leak reaches locking AS 1 via intermediary 2, which is 1's
+        // *customer*. Under the original (pre-erratum) semantics, AS 1
+        // accepts that indirect copy, and local preference makes the
+        // customer-learned leak beat the victim's direct peer route — so 1
+        // and its customer 20 are detoured. Under the corrected semantics
+        // the indirect copy is discarded and both stay safe.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(30), Relationship::P2c);
+        b.add_link(AsId(1), AsId(2), Relationship::P2c);
+        b.add_link(AsId(1), AsId(20), Relationship::P2c);
+        b.add_link(AsId(10), AsId(1), Relationship::P2p);
+        let g = b.build();
+        let mut scenario = LeakScenario {
+            victim: node(&g, 10),
+            leaker: node(&g, 30),
+            victim_export: None,
+            locking: vec![node(&g, 1)],
+            semantics: LockingSemantics::PreErratum,
+        };
+        let out = simulate_leak(&g, &scenario);
+        assert_eq!(out.state(node(&g, 1)), DetourState::Detoured);
+        assert_eq!(out.state(node(&g, 2)), DetourState::Detoured);
+        // (AS 20 compares the two independently propagated routes — the
+        // victim's provider route wins on length there, the same per-AS
+        // comparison the paper's simulator makes.)
+        // Corrected semantics: the locking AS is immune again.
+        scenario.semantics = LockingSemantics::Corrected;
+        let out = simulate_leak(&g, &scenario);
+        assert_eq!(out.state(node(&g, 1)), DetourState::Legit);
+        assert_eq!(out.state(node(&g, 20)), DetourState::Legit);
+    }
+
+    #[test]
+    fn pre_erratum_still_filters_direct_leaks() {
+        // Leaker adjacent to the locking AS: both semantics filter it.
+        let g = topology();
+        for semantics in [LockingSemantics::PreErratum, LockingSemantics::Corrected] {
+            let scenario = LeakScenario {
+                victim: node(&g, 10),
+                leaker: node(&g, 30),
+                victim_export: None,
+                locking: vec![node(&g, 1)],
+                semantics,
+            };
+            let out = simulate_leak(&g, &scenario);
+            assert_eq!(out.state(node(&g, 1)), DetourState::Legit, "{semantics:?}");
+            assert_eq!(out.state(node(&g, 20)), DetourState::Legit, "{semantics:?}");
+        }
+    }
+
+    #[test]
+    fn leak_does_not_propagate_through_locking_as() {
+        // Erratum semantics: a leaked route reaching a locking AS via some
+        // other AS is still discarded.
+        // Chain: leaker 30 -> its provider 2 -> 2 peers with locking T (1),
+        // T has customer 20; victim 10 peers with T only.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(30), Relationship::P2c);
+        b.add_link(AsId(2), AsId(1), Relationship::P2p);
+        b.add_link(AsId(1), AsId(20), Relationship::P2c);
+        b.add_link(AsId(10), AsId(1), Relationship::P2p);
+        let g = b.build();
+        let scenario = LeakScenario {
+            victim: node(&g, 10),
+            leaker: node(&g, 30),
+            victim_export: None,
+            locking: vec![node(&g, 1)],
+            semantics: LockingSemantics::Corrected,
+        };
+        let out = simulate_leak(&g, &scenario);
+        // Without locking, T would hear the leak from peer 2 (customer
+        // route at 2, exportable to peers) and pass it to customer 20
+        // tying/beating the legit peer route. With locking, 20 is safe.
+        assert_eq!(out.state(node(&g, 1)), DetourState::Legit);
+        assert_eq!(out.state(node(&g, 20)), DetourState::Legit);
+        // 2 itself prefers its customer's leaked route.
+        assert_eq!(out.state(node(&g, 2)), DetourState::Detoured);
+    }
+
+    #[test]
+    fn announce_to_transit_only_reduces_resilience() {
+        let g = topology();
+        // Victim announces only to T — its direct peers 40/50 now depend on
+        // T's route and tie-break worst-case toward the leak? 40 hears
+        // nothing (T exports peer-learned route only to customers), so 40
+        // has no route at all; it is not detoured but also not served.
+        let scenario = LeakScenario {
+            victim: node(&g, 10),
+            leaker: node(&g, 30),
+            victim_export: Some(vec![node(&g, 1)]),
+            locking: vec![],
+            semantics: LockingSemantics::Corrected,
+        };
+        let out = simulate_leak(&g, &scenario);
+        assert_eq!(out.state(node(&g, 40)), DetourState::NoRoute);
+        // T still prefers the leaked customer route.
+        assert_eq!(out.state(node(&g, 1)), DetourState::Detoured);
+        assert_eq!(out.state(node(&g, 20)), DetourState::Detoured);
+    }
+
+    #[test]
+    fn equal_routes_detour_worst_case() {
+        // t has two providers: one leads to victim, one to leaker, equal
+        // class and length.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(10), Relationship::P2c); // provider 2 -> victim
+        b.add_link(AsId(3), AsId(30), Relationship::P2c); // provider 3 -> leaker
+        b.add_link(AsId(2), AsId(5), Relationship::P2c);
+        b.add_link(AsId(3), AsId(5), Relationship::P2c);
+        let g = b.build();
+        let out = simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 30)));
+        assert_eq!(out.state(node(&g, 5)), DetourState::Detoured);
+    }
+
+    #[test]
+    fn weighted_fraction_uses_population_mass() {
+        let g = topology();
+        let out = simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 30)));
+        // Put all weight on a legit AS: weighted fraction 0.
+        let mut w = vec![0.0; g.len()];
+        w[node(&g, 40).idx()] = 100.0;
+        assert_eq!(out.weighted_fraction_detoured(&w), 0.0);
+        // All weight on the detoured transit: fraction 1.
+        let mut w = vec![0.0; g.len()];
+        w[node(&g, 1).idx()] = 7.0;
+        assert_eq!(out.weighted_fraction_detoured(&w), 1.0);
+        // Zero weights: defined as 0.
+        let w = vec![0.0; g.len()];
+        assert_eq!(out.weighted_fraction_detoured(&w), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "victim cannot leak")]
+    fn victim_equals_leaker_panics() {
+        let g = topology();
+        simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 10)));
+    }
+
+    #[test]
+    fn victim_never_accepts_the_leak() {
+        // Victim's provider hears the leak from another customer; victim
+        // must stay Legit regardless.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(10), Relationship::P2c);
+        b.add_link(AsId(1), AsId(30), Relationship::P2c);
+        let g = b.build();
+        let out = simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 30)));
+        assert_eq!(out.state(node(&g, 10)), DetourState::Legit);
+        assert_eq!(out.victim(), node(&g, 10));
+        assert_eq!(out.leaker(), node(&g, 30));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # flatnet-bgpsim — valley-free BGP route propagation, all ties kept
+//!
+//! This crate implements the simulator at the heart of "Cloud Provider
+//! Connectivity in the Flat Internet" (IMC 2020, §6.1): routes from an
+//! origin AS propagate over an [`AsGraph`](flatnet_asgraph::AsGraph) under
+//! the standard Gao-Rexford policy model —
+//!
+//! * **valley-free export**: an AS exports routes learned from customers
+//!   (and its own prefixes) to everyone, but routes learned from peers or
+//!   providers only to its customers;
+//! * **local preference**: customer routes over peer routes over provider
+//!   routes, then shortest AS path;
+//! * **all paths tied for best propagate, without breaking ties** — the
+//!   paper's explicit modelling choice for both reachability and the
+//!   worst-case route-leak analysis.
+//!
+//! The module map follows the paper's analyses:
+//!
+//! * [`mod@propagate`] — the three-phase propagation itself, with support for
+//!   *node exclusion* (the `I \ P_o \ T1 \ T2` subgraphs behind
+//!   hierarchy-free reachability), *origin export restriction* (§8's
+//!   "announce to Tier-1/Tier-2/providers only"), and *import policies*
+//!   (§8's peer locking).
+//! * [`dag`] — the tied-best next-hop DAG and exact/floating path counting.
+//! * [`mod@reliance`] — `rely(o, a)` (§7.1) in O(E) via a topological DP.
+//! * [`leak`] — route-leak competition between a legitimate origin and a
+//!   misconfigured AS (§8), with the erratum-corrected peer-locking rule.
+//! * [`paths`] — tied-best path enumeration (used to check simulated paths
+//!   against traceroute-observed paths, Appendix A).
+//! * [`collectors`] — RouteViews-style RIB collection at monitor ASes,
+//!   the raw input AS-relationship datasets are inferred from.
+
+pub mod collectors;
+pub mod dag;
+pub mod leak;
+pub mod paths;
+pub mod propagate;
+pub mod reliance;
+
+pub use collectors::{collect_ribs, visible_links, RibEntry};
+pub use dag::NextHopDag;
+pub use leak::{simulate_leak, simulate_subprefix_hijack, DetourState, LeakOutcome, LeakScenario, LockingSemantics};
+pub use propagate::{
+    propagate, ImportPolicy, PropagationOptions, RouteClass, RoutingOutcome, UNREACHED,
+};
+pub use reliance::reliance;

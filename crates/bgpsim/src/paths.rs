@@ -1,0 +1,141 @@
+//! Tied-best path enumeration over the next-hop DAG.
+//!
+//! Appendix A of the paper validates the simulator by checking whether the
+//! AS path observed in each traceroute appears among the simulated paths
+//! tied for best. These helpers enumerate (bounded) and test membership
+//! without enumerating.
+
+use crate::dag::NextHopDag;
+use flatnet_asgraph::NodeId;
+
+/// Error from a bounded enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyPaths {
+    /// The limit that was exceeded.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for TooManyPaths {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "more than {} tied-best paths", self.limit)
+    }
+}
+
+impl std::error::Error for TooManyPaths {}
+
+/// Enumerates every tied-best path from `t` to the origin, each written
+/// `[t, ..., origin]`. Fails once more than `limit` paths accumulate (tie
+/// counts can be exponential). An unreachable `t` yields an empty vector.
+pub fn enumerate_paths(
+    dag: &NextHopDag,
+    t: NodeId,
+    limit: usize,
+) -> Result<Vec<Vec<NodeId>>, TooManyPaths> {
+    let mut out = Vec::new();
+    if dag.path_count(t) == 0.0 {
+        return Ok(out);
+    }
+    let mut current = vec![t];
+    walk(dag, t, &mut current, &mut out, limit)?;
+    Ok(out)
+}
+
+fn walk(
+    dag: &NextHopDag,
+    u: NodeId,
+    current: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+    limit: usize,
+) -> Result<(), TooManyPaths> {
+    if u == dag.origin() {
+        if out.len() >= limit {
+            return Err(TooManyPaths { limit });
+        }
+        out.push(current.clone());
+        return Ok(());
+    }
+    for &h in dag.next_hops(u) {
+        current.push(h);
+        walk(dag, h, current, out, limit)?;
+        current.pop();
+    }
+    Ok(())
+}
+
+/// Whether `path` (written `[t, ..., origin]`) is one of the tied-best
+/// paths — i.e. every consecutive hop is a tied-best next hop. O(|path|).
+pub fn contains_path(dag: &NextHopDag, path: &[NodeId]) -> bool {
+    if path.is_empty() || *path.last().unwrap() != dag.origin() {
+        return false;
+    }
+    path.windows(2).all(|w| dag.next_hops(w[0]).binary_search(&w[1]).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{propagate, PropagationOptions};
+    use flatnet_asgraph::{AsGraph, AsGraphBuilder, AsId, Relationship};
+
+    fn node(g: &AsGraph, asn: u32) -> NodeId {
+        g.index_of(AsId(asn)).unwrap()
+    }
+
+    fn diamond() -> (AsGraph, NextHopDag) {
+        // origin 1; 2 and 3 providers of 1; 4 provider of both.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(1), Relationship::P2c);
+        b.add_link(AsId(4), AsId(2), Relationship::P2c);
+        b.add_link(AsId(4), AsId(3), Relationship::P2c);
+        b.add_isolated(AsId(9));
+        let g = b.build();
+        let opts = PropagationOptions::default();
+        let out = propagate(&g, node(&g, 1), &opts);
+        let dag = NextHopDag::build(&g, &opts, &out);
+        (g, dag)
+    }
+
+    #[test]
+    fn enumerates_both_diamond_paths() {
+        let (g, dag) = diamond();
+        let mut paths = enumerate_paths(&dag, node(&g, 4), 100).unwrap();
+        paths.sort();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0], vec![node(&g, 4), node(&g, 2), node(&g, 1)]);
+        assert_eq!(paths[1], vec![node(&g, 4), node(&g, 3), node(&g, 1)]);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let (g, dag) = diamond();
+        let err = enumerate_paths(&dag, node(&g, 4), 1).unwrap_err();
+        assert_eq!(err, TooManyPaths { limit: 1 });
+        assert!(err.to_string().contains("more than 1"));
+    }
+
+    #[test]
+    fn unreachable_enumerates_empty() {
+        let (g, dag) = diamond();
+        assert!(enumerate_paths(&dag, node(&g, 9), 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn origin_has_the_trivial_path() {
+        let (g, dag) = diamond();
+        let paths = enumerate_paths(&dag, node(&g, 1), 10).unwrap();
+        assert_eq!(paths, vec![vec![node(&g, 1)]]);
+    }
+
+    #[test]
+    fn contains_path_agrees_with_enumeration() {
+        let (g, dag) = diamond();
+        assert!(contains_path(&dag, &[node(&g, 4), node(&g, 2), node(&g, 1)]));
+        assert!(contains_path(&dag, &[node(&g, 4), node(&g, 3), node(&g, 1)]));
+        // Wrong order / non-best / not ending at origin.
+        assert!(!contains_path(&dag, &[node(&g, 4), node(&g, 1)]));
+        assert!(!contains_path(&dag, &[node(&g, 4), node(&g, 2)]));
+        assert!(!contains_path(&dag, &[]));
+        assert!(contains_path(&dag, &[node(&g, 1)]));
+    }
+}

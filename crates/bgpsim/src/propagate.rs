@@ -1,0 +1,776 @@
+//! Three-phase valley-free route propagation keeping all tied-best routes.
+//!
+//! For an origin `o`, the set of best routes every other AS holds toward `o`
+//! is fully characterized by three per-node shortest distances:
+//!
+//! 1. **customer phase** — `dist_c[u]`: shortest route `u` learned from a
+//!    *customer* (or `u == o`). An AS exports such routes to everyone, so
+//!    these spread upward along c2p edges like a plain BFS from `o`.
+//! 2. **peer phase** — `dist_p[u]`: shortest route learned from a *peer*.
+//!    Peers only export customer/origin routes, so
+//!    `dist_p[u] = min over peers v of dist_c[v] + 1` — one relaxation pass.
+//! 3. **provider phase** — `dist_d[u]`: shortest route learned from a
+//!    *provider*. Providers export their *selected best* (customer, else
+//!    peer, else provider class) to customers, so these distances chain and
+//!    are computed with a Dijkstra over p2c-down edges.
+//!
+//! Selection applies local preference first (customer > peer > provider)
+//! and path length second; every neighbor achieving the selected class and
+//! length is a tied-best next hop.
+//!
+//! The same machinery supports the paper's constrained scenarios through
+//! [`PropagationOptions`]: node exclusion (reachability subgraphs), origin
+//! export restriction, and per-node import policies (peer locking).
+
+use flatnet_asgraph::{AsGraph, NodeId};
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Sentinel distance for "no route of this class".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Which relationship class the selected best route was learned over.
+///
+/// Order encodes local preference: lower is preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// Learned from a customer (or the AS's own origin route).
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a transit provider.
+    Provider,
+}
+
+impl RouteClass {
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteClass::Customer => "customer",
+            RouteClass::Peer => "peer",
+            RouteClass::Provider => "provider",
+        }
+    }
+}
+
+/// Per-node route import behaviour, used to model §8's peer locking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImportPolicy {
+    /// Accept routes normally.
+    #[default]
+    Normal,
+    /// Accept the prefix only when received directly from the origin —
+    /// what a neighbor deploying *peer locking* for the origin's prefixes
+    /// does. Leaked copies arriving over any other adjacency are discarded,
+    /// so leaks can never propagate *through* such a node (the published
+    /// erratum's corrected semantics).
+    OnlyDirectFromOrigin,
+    /// Reject the prefix only when received *directly* from the origin,
+    /// accept it from anyone else. This models the paper's **original
+    /// (pre-erratum) simulation flaw**: peer-locking deployers filtered
+    /// leaks announced straight to them but let copies that detoured
+    /// through non-deploying ASes back in.
+    RejectDirectFromOrigin,
+    /// Never accept the prefix (used for the leak origin's propagation as
+    /// seen by peer-locking deployers under the corrected semantics).
+    Never,
+}
+
+/// Knobs for one propagation run. The default propagates over the full
+/// graph with no restrictions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PropagationOptions<'a> {
+    /// Nodes removed from the topology (`I \ X` subgraphs). Indexed by node;
+    /// `true` = excluded. Excluding the origin itself yields an empty
+    /// outcome. `None` = nothing excluded.
+    pub excluded: Option<&'a [bool]>,
+    /// If set, the origin announces only to neighbors flagged `true`
+    /// (§8.2's "announce to T1, T2, and providers" configurations).
+    /// `None` = announce to all neighbors.
+    pub origin_export: Option<&'a [bool]>,
+    /// Per-node import policies (peer locking). `None` = all `Normal`.
+    pub import: Option<&'a [ImportPolicy]>,
+}
+
+impl<'a> PropagationOptions<'a> {
+    #[inline]
+    fn is_excluded(&self, n: NodeId) -> bool {
+        self.excluded.map(|m| m[n.idx()]).unwrap_or(false)
+    }
+
+    #[inline]
+    fn import_of(&self, n: NodeId) -> ImportPolicy {
+        self.import.map(|m| m[n.idx()]).unwrap_or(ImportPolicy::Normal)
+    }
+
+    /// Whether AS `u` may import the origin's prefix from neighbor `v`.
+    #[inline]
+    fn import_ok(&self, origin: NodeId, u: NodeId, v: NodeId) -> bool {
+        if self.is_excluded(u) || self.is_excluded(v) {
+            return false;
+        }
+        match self.import_of(u) {
+            ImportPolicy::Normal => {}
+            ImportPolicy::OnlyDirectFromOrigin => {
+                if v != origin {
+                    return false;
+                }
+            }
+            ImportPolicy::RejectDirectFromOrigin => {
+                if v == origin {
+                    return false;
+                }
+            }
+            ImportPolicy::Never => return false,
+        }
+        if v == origin {
+            if let Some(mask) = self.origin_export {
+                return mask[u.idx()];
+            }
+        }
+        true
+    }
+}
+
+/// The result of propagating one origin's announcement.
+///
+/// Holds, for every node, the shortest distance per route class; selection
+/// and tied-best next hops are derived views.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    origin: NodeId,
+    dist_c: Vec<u32>,
+    dist_p: Vec<u32>,
+    dist_d: Vec<u32>,
+}
+
+impl RoutingOutcome {
+    /// The announcing AS.
+    pub fn origin(&self) -> NodeId {
+        self.origin
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn len(&self) -> usize {
+        self.dist_c.len()
+    }
+
+    /// Whether the outcome covers an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.dist_c.is_empty()
+    }
+
+    /// The selected best route of `n`: class and AS-path length (number of
+    /// inter-AS hops to the origin). `None` if `n` received no route.
+    /// The origin itself selects `(Customer, 0)`.
+    #[inline]
+    pub fn selection(&self, n: NodeId) -> Option<(RouteClass, u32)> {
+        let i = n.idx();
+        if self.dist_c[i] != UNREACHED {
+            Some((RouteClass::Customer, self.dist_c[i]))
+        } else if self.dist_p[i] != UNREACHED {
+            Some((RouteClass::Peer, self.dist_p[i]))
+        } else if self.dist_d[i] != UNREACHED {
+            Some((RouteClass::Provider, self.dist_d[i]))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `n` received the announcement.
+    #[inline]
+    pub fn reachable(&self, n: NodeId) -> bool {
+        self.dist_c[n.idx()] != UNREACHED
+            || self.dist_p[n.idx()] != UNREACHED
+            || self.dist_d[n.idx()] != UNREACHED
+    }
+
+    /// Number of ASes that received the announcement, **excluding** the
+    /// origin itself (an AS does not "reach" itself; the paper's maximum
+    /// possible reachability is `|V| - 1` from the origin's perspective,
+    /// attained by the Tier-1 ISPs over the full graph).
+    pub fn reachable_count(&self) -> usize {
+        let mut count = 0usize;
+        for i in 0..self.dist_c.len() {
+            if self.dist_c[i] != UNREACHED || self.dist_p[i] != UNREACHED || self.dist_d[i] != UNREACHED
+            {
+                count += 1;
+            }
+        }
+        count.saturating_sub(1) // origin always has dist_c == 0
+    }
+
+    /// All reachable nodes (the paper's `reach(o, G)` set), origin excluded.
+    pub fn reach_set(&self) -> Vec<NodeId> {
+        (0..self.dist_c.len() as u32)
+            .map(NodeId)
+            .filter(|&n| n != self.origin && self.reachable(n))
+            .collect()
+    }
+
+    /// The tied-best next hops of `n` toward the origin, under the same
+    /// graph and options the outcome was computed with. Empty for the
+    /// origin and for unreachable nodes. Sorted by node index.
+    pub fn next_hops(&self, g: &AsGraph, opts: &PropagationOptions<'_>, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if n == self.origin {
+            return out;
+        }
+        let Some((class, len)) = self.selection(n) else {
+            return out;
+        };
+        match class {
+            RouteClass::Customer => {
+                for &c in g.customers(n) {
+                    if opts.import_ok(self.origin, n, c)
+                        && self.dist_c[c.idx()] != UNREACHED
+                        && self.dist_c[c.idx()] + 1 == len
+                    {
+                        out.push(c);
+                    }
+                }
+            }
+            RouteClass::Peer => {
+                for &v in g.peers(n) {
+                    if opts.import_ok(self.origin, n, v)
+                        && self.dist_c[v.idx()] != UNREACHED
+                        && self.dist_c[v.idx()] + 1 == len
+                    {
+                        out.push(v);
+                    }
+                }
+            }
+            RouteClass::Provider => {
+                for &w in g.providers(n) {
+                    if opts.import_ok(self.origin, n, w) {
+                        if let Some((_, wlen)) = self.selection(w) {
+                            if wlen + 1 == len {
+                                out.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Propagates `origin`'s announcement over `g` under `opts`.
+///
+/// Runs in O(V + E log V) (the log from the provider-phase Dijkstra; the
+/// first two phases are linear) and is deterministic: adjacency lists are
+/// sorted and ties never depend on iteration order.
+pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> RoutingOutcome {
+    let n = g.len();
+    let mut out = RoutingOutcome {
+        origin,
+        dist_c: vec![UNREACHED; n],
+        dist_p: vec![UNREACHED; n],
+        dist_d: vec![UNREACHED; n],
+    };
+    if n == 0 || opts.is_excluded(origin) {
+        return out;
+    }
+
+    // Phase 1: customer routes spread up provider edges (plain BFS, all
+    // edges weight 1). The origin's own route behaves like a customer route.
+    out.dist_c[origin.idx()] = 0;
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    queue.push_back(origin);
+    while let Some(u) = queue.pop_front() {
+        let du = out.dist_c[u.idx()];
+        for &p in g.providers(u) {
+            if out.dist_c[p.idx()] == UNREACHED && opts.import_ok(origin, p, u) {
+                out.dist_c[p.idx()] = du + 1;
+                queue.push_back(p);
+            }
+        }
+    }
+
+    // Phase 2: peers export customer/origin routes; a single relaxation.
+    for i in 0..n as u32 {
+        let u = NodeId(i);
+        if opts.is_excluded(u) || u == origin {
+            continue;
+        }
+        let mut best = UNREACHED;
+        for &v in g.peers(u) {
+            if out.dist_c[v.idx()] != UNREACHED && opts.import_ok(origin, u, v) {
+                best = best.min(out.dist_c[v.idx()] + 1);
+            }
+        }
+        out.dist_p[u.idx()] = best;
+    }
+
+    // Phase 3: providers export their selected best to customers; distances
+    // chain downward, so run Dijkstra seeded from every AS that already
+    // holds a customer or peer route.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+    let sel_static = |o: &RoutingOutcome, w: NodeId| -> u32 {
+        if o.dist_c[w.idx()] != UNREACHED {
+            o.dist_c[w.idx()]
+        } else {
+            o.dist_p[w.idx()]
+        }
+    };
+    for i in 0..n as u32 {
+        let w = NodeId(i);
+        if out.dist_c[w.idx()] != UNREACHED || out.dist_p[w.idx()] != UNREACHED {
+            let s = sel_static(&out, w);
+            for &u in g.customers(w) {
+                // A node with a customer/peer route already prefers it over
+                // any provider route; still record dist_d for completeness
+                // of tie information at equal class only — the selection
+                // function ignores dist_d when a better class exists.
+                if opts.import_ok(origin, u, w) && u != origin && s + 1 < out.dist_d[u.idx()] {
+                    out.dist_d[u.idx()] = s + 1;
+                    heap.push(std::cmp::Reverse((s + 1, u.0)));
+                }
+            }
+        }
+    }
+    while let Some(std::cmp::Reverse((d, ui))) = heap.pop() {
+        let u = NodeId(ui);
+        if d != out.dist_d[u.idx()] {
+            continue; // stale entry
+        }
+        // `u` only *exports* its provider route if that is its selection.
+        if out.dist_c[u.idx()] != UNREACHED || out.dist_p[u.idx()] != UNREACHED {
+            continue;
+        }
+        for &x in g.customers(u) {
+            if x == origin {
+                continue;
+            }
+            if opts.import_ok(origin, x, u) && d + 1 < out.dist_d[x.idx()] {
+                out.dist_d[x.idx()] = d + 1;
+                heap.push(std::cmp::Reverse((d + 1, x.0)));
+            }
+        }
+    }
+
+    // A node that selects a customer or peer route never uses its provider
+    // route; clear dist_d there so `selection` and `next_hops` agree and
+    // downstream consumers (DAG, reliance) see only selected routes.
+    for i in 0..n {
+        if out.dist_c[i] != UNREACHED || out.dist_p[i] != UNREACHED {
+            out.dist_d[i] = UNREACHED;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship};
+
+    fn node(g: &AsGraph, asn: u32) -> NodeId {
+        g.index_of(AsId(asn)).unwrap()
+    }
+
+    /// Figure-1-style topology:
+    ///
+    /// * AS 1: the cloud's transit provider (also a Tier-1).
+    /// * AS 2: a Tier-1 the cloud peers with; AS 20 is its customer.
+    /// * AS 3: a Tier-2 the cloud peers with; AS 30 is its customer.
+    /// * AS 40, 50: user ISPs the cloud peers with.
+    /// * AS 60: user ISP reachable only through provider AS 1.
+    /// * AS 10: the cloud.
+    fn fig1() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(10), Relationship::P2c);
+        b.add_link(AsId(1), AsId(60), Relationship::P2c);
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        b.add_link(AsId(2), AsId(3), Relationship::P2c);
+        b.add_link(AsId(2), AsId(20), Relationship::P2c);
+        b.add_link(AsId(3), AsId(30), Relationship::P2c);
+        b.add_link(AsId(10), AsId(2), Relationship::P2p);
+        b.add_link(AsId(10), AsId(3), Relationship::P2p);
+        b.add_link(AsId(10), AsId(40), Relationship::P2p);
+        b.add_link(AsId(10), AsId(50), Relationship::P2p);
+        b.build()
+    }
+
+    #[test]
+    fn full_graph_reaches_everyone() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let out = propagate(&g, cloud, &PropagationOptions::default());
+        assert_eq!(out.reachable_count(), g.len() - 1);
+        // AS 60 is reached through the provider: 10 -> 1 -> 60, length 2.
+        let n60 = node(&g, 60);
+        assert_eq!(out.selection(n60), Some((RouteClass::Provider, 2)));
+        assert_eq!(out.origin(), cloud);
+    }
+
+    #[test]
+    fn provider_free_reachability_matches_hand_count() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let mut excl = vec![false; g.len()];
+        excl[node(&g, 1).idx()] = true; // remove the transit provider
+        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
+        let out = propagate(&g, cloud, &opts);
+        // Reaches peers 2, 3, 40, 50 and their customers 20, 30 — not 60.
+        assert_eq!(out.reachable_count(), 6);
+        assert!(!out.reachable(node(&g, 60)));
+        assert!(!out.reachable(node(&g, 1)));
+        assert!(out.reachable(node(&g, 20)));
+    }
+
+    #[test]
+    fn tier1_free_removes_clique_customers_too() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let mut excl = vec![false; g.len()];
+        for asn in [1, 2] {
+            excl[node(&g, asn).idx()] = true; // providers + Tier-1s
+        }
+        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
+        let out = propagate(&g, cloud, &opts);
+        // Left: peer 3 (+30), peers 40, 50. AS 20 lost with AS 2.
+        assert_eq!(out.reachable_count(), 4);
+        assert!(!out.reachable(node(&g, 20)));
+    }
+
+    #[test]
+    fn hierarchy_free_keeps_only_direct_peer_edges() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let mut excl = vec![false; g.len()];
+        for asn in [1, 2, 3] {
+            excl[node(&g, asn).idx()] = true; // providers + T1 + T2
+        }
+        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
+        let out = propagate(&g, cloud, &opts);
+        let mut reached: Vec<u32> = out.reach_set().iter().map(|&n| g.asn(n).0).collect();
+        reached.sort_unstable();
+        assert_eq!(reached, vec![40, 50]);
+    }
+
+    #[test]
+    fn valley_free_blocks_peer_peer_transit() {
+        // 1 -p2p- 2 -p2p- 3: an announcement from 1 must not cross 2 to 3.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        b.add_link(AsId(2), AsId(3), Relationship::P2p);
+        let g = b.build();
+        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        assert!(out.reachable(node(&g, 2)));
+        assert!(!out.reachable(node(&g, 3)));
+    }
+
+    #[test]
+    fn valley_free_blocks_provider_then_peer() {
+        // 1 is customer of 2; 2 peers with 3; 3 has customer 4.
+        // 2 learned 1's route from a customer => exports to peer 3. ✔
+        // 3 learned it from a peer => exports only to customers => 4 gets it.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(2), AsId(3), Relationship::P2p);
+        b.add_link(AsId(3), AsId(4), Relationship::P2c);
+        b.add_link(AsId(4), AsId(5), Relationship::P2p);
+        let g = b.build();
+        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        assert_eq!(out.selection(node(&g, 2)), Some((RouteClass::Customer, 1)));
+        assert_eq!(out.selection(node(&g, 3)), Some((RouteClass::Peer, 2)));
+        assert_eq!(out.selection(node(&g, 4)), Some((RouteClass::Provider, 3)));
+        // 4 learned from a provider: not exported to 4's peer 5.
+        assert!(!out.reachable(node(&g, 5)));
+    }
+
+    #[test]
+    fn prefers_customer_over_shorter_peer() {
+        // 10 has customer chain 10<-20<-30 (origin 30) and also peers with 30.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(10), AsId(20), Relationship::P2c);
+        b.add_link(AsId(20), AsId(30), Relationship::P2c);
+        b.add_link(AsId(10), AsId(30), Relationship::P2p);
+        let g = b.build();
+        let out = propagate(&g, node(&g, 30), &PropagationOptions::default());
+        // Customer route of length 2 beats the peer route of length 1.
+        assert_eq!(out.selection(node(&g, 10)), Some((RouteClass::Customer, 2)));
+        let hops = out.next_hops(&g, &PropagationOptions::default(), node(&g, 10));
+        assert_eq!(hops, vec![node(&g, 20)]);
+    }
+
+    #[test]
+    fn ties_keep_all_next_hops() {
+        // Origin 1 has two providers 2 and 3; both are customers of 4.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(1), Relationship::P2c);
+        b.add_link(AsId(4), AsId(2), Relationship::P2c);
+        b.add_link(AsId(4), AsId(3), Relationship::P2c);
+        let g = b.build();
+        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        let hops = out.next_hops(&g, &PropagationOptions::default(), node(&g, 4));
+        assert_eq!(hops.len(), 2);
+        assert_eq!(out.selection(node(&g, 4)), Some((RouteClass::Customer, 2)));
+    }
+
+    #[test]
+    fn origin_export_restriction_limits_spread() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        // Announce only to the provider AS 1.
+        let mut mask = vec![false; g.len()];
+        mask[node(&g, 1).idx()] = true;
+        let opts = PropagationOptions { origin_export: Some(&mask), ..Default::default() };
+        let out = propagate(&g, cloud, &opts);
+        // Peers 40/50 don't hear it directly and have no other path.
+        assert!(!out.reachable(node(&g, 40)));
+        assert!(!out.reachable(node(&g, 50)));
+        // AS 1 has it as a customer route; exports to peer 2 and customer 60.
+        assert!(out.reachable(node(&g, 60)));
+        assert!(out.reachable(node(&g, 2)));
+        assert_eq!(out.selection(node(&g, 2)), Some((RouteClass::Peer, 2)));
+        // 2 learned from peer: exports to customers 3, 20 only.
+        assert!(out.reachable(node(&g, 20)));
+        assert_eq!(out.selection(node(&g, 3)), Some((RouteClass::Provider, 3)));
+    }
+
+    #[test]
+    fn import_never_blocks_node_and_transit_through_it() {
+        // chain origin 1 <- 2 <- 3 (2 is customer of 3... build: 2 provider of 1, 3 provider of 2)
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(2), Relationship::P2c);
+        let g = b.build();
+        let mut import = vec![ImportPolicy::Normal; g.len()];
+        import[node(&g, 2).idx()] = ImportPolicy::Never;
+        let opts = PropagationOptions { import: Some(&import), ..Default::default() };
+        let out = propagate(&g, node(&g, 1), &opts);
+        assert!(!out.reachable(node(&g, 2)));
+        assert!(!out.reachable(node(&g, 3)));
+    }
+
+    #[test]
+    fn only_direct_import_accepts_just_the_origin_adjacency() {
+        // Origin 1 peers with 2; 2 also reachable via provider 3 (longer).
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        b.add_link(AsId(3), AsId(2), Relationship::P2c);
+        b.add_link(AsId(3), AsId(1), Relationship::P2c);
+        let g = b.build();
+        let mut import = vec![ImportPolicy::Normal; g.len()];
+        import[node(&g, 2).idx()] = ImportPolicy::OnlyDirectFromOrigin;
+        let opts = PropagationOptions { import: Some(&import), ..Default::default() };
+        let out = propagate(&g, node(&g, 1), &opts);
+        assert_eq!(out.selection(node(&g, 2)), Some((RouteClass::Peer, 1)));
+        let hops = out.next_hops(&g, &opts, node(&g, 2));
+        assert_eq!(hops, vec![node(&g, 1)]);
+    }
+
+    #[test]
+    fn excluded_origin_yields_empty_outcome() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let mut excl = vec![false; g.len()];
+        excl[cloud.idx()] = true;
+        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
+        let out = propagate(&g, cloud, &opts);
+        assert_eq!(out.reachable_count(), 0);
+        assert!(!out.reachable(cloud));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AsGraph::empty();
+        // No nodes: nothing to propagate. (Constructing a NodeId for an
+        // empty graph is a caller bug; we simulate via a 1-node graph.)
+        assert!(g.is_empty());
+        let mut b = AsGraphBuilder::new();
+        b.add_isolated(AsId(1));
+        let g = b.build();
+        let out = propagate(&g, NodeId(0), &PropagationOptions::default());
+        assert_eq!(out.reachable_count(), 0);
+        assert!(out.reachable(NodeId(0))); // the origin holds its own route
+    }
+
+    #[test]
+    fn next_hops_of_origin_and_unreachable_are_empty() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let mut excl = vec![false; g.len()];
+        excl[node(&g, 1).idx()] = true;
+        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
+        let out = propagate(&g, cloud, &opts);
+        assert!(out.next_hops(&g, &opts, cloud).is_empty());
+        assert!(out.next_hops(&g, &opts, node(&g, 60)).is_empty());
+    }
+
+    #[test]
+    fn provider_route_ties_across_two_providers() {
+        // Origin 1; 2 and 3 both providers of 4 and both peers of 1.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        b.add_link(AsId(1), AsId(3), Relationship::P2p);
+        b.add_link(AsId(2), AsId(4), Relationship::P2c);
+        b.add_link(AsId(3), AsId(4), Relationship::P2c);
+        let g = b.build();
+        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        assert_eq!(out.selection(node(&g, 4)), Some((RouteClass::Provider, 2)));
+        let hops = out.next_hops(&g, &PropagationOptions::default(), node(&g, 4));
+        assert_eq!(hops.len(), 2);
+    }
+
+    /// Exhaustive cross-check on random small graphs: the 3-phase result
+    /// must equal a fixpoint computation that literally simulates export
+    /// rules until stable.
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference implementation: Jacobi iteration of the raw export
+        /// rules, recomputing every node's full candidate set each round.
+        /// Converges on the Gao-Rexford domain (no provider-customer
+        /// cycles), which is what `arb_graph` generates.
+        fn reference(g: &AsGraph, origin: NodeId) -> Vec<Option<(RouteClass, u32)>> {
+            let n = g.len();
+            let mut best: Vec<Option<(RouteClass, u32)>> = vec![None; n];
+            best[origin.idx()] = Some((RouteClass::Customer, 0));
+            for _round in 0..=2 * n {
+                let mut next = best.clone();
+                let mut changed = false;
+                for u in g.nodes() {
+                    if u == origin {
+                        continue;
+                    }
+                    let mut cand: Option<(RouteClass, u32)> = None;
+                    let mut consider = |c: (RouteClass, u32)| {
+                        cand = Some(match cand {
+                            None => c,
+                            Some(b) => b.min(c),
+                        });
+                    };
+                    for &c in g.customers(u) {
+                        // c exports its selection iff it is customer-class.
+                        if let Some((RouteClass::Customer, l)) = best[c.idx()] {
+                            consider((RouteClass::Customer, l + 1));
+                        }
+                    }
+                    for &p in g.peers(u) {
+                        if let Some((RouteClass::Customer, l)) = best[p.idx()] {
+                            consider((RouteClass::Peer, l + 1));
+                        }
+                    }
+                    for &w in g.providers(u) {
+                        if let Some((_, l)) = best[w.idx()] {
+                            consider((RouteClass::Provider, l + 1));
+                        }
+                    }
+                    if cand != best[u.idx()] {
+                        next[u.idx()] = cand;
+                        changed = true;
+                    }
+                }
+                best = next;
+                if !changed {
+                    break;
+                }
+            }
+            best
+        }
+
+        /// Random *acyclic* relationship graphs: in a p2c link the provider
+        /// always has the smaller ASN, so provider-customer cycles (which
+        /// the Gao-Rexford model excludes) cannot occur.
+        fn arb_graph() -> impl Strategy<Value = AsGraph> {
+            proptest::collection::vec((0u32..10, 0u32..10, 0u8..2), 1..30).prop_map(|links| {
+                let mut b = AsGraphBuilder::new();
+                for (a, c, r) in links {
+                    if a == c {
+                        continue;
+                    }
+                    if r == 1 {
+                        b.add_link(AsId(a), AsId(c), Relationship::P2p);
+                    } else {
+                        b.add_link(AsId(a.min(c)), AsId(a.max(c)), Relationship::P2c);
+                    }
+                }
+                b.add_isolated(AsId(99));
+                b.build()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn three_phase_equals_fixpoint(g in arb_graph(), seed in 0u32..10) {
+                let origin = NodeId(seed % g.len() as u32);
+                let out = propagate(&g, origin, &PropagationOptions::default());
+                let reference = reference(&g, origin);
+                for n in g.nodes() {
+                    prop_assert_eq!(out.selection(n), reference[n.idx()], "node {} (origin {})", n, origin);
+                }
+            }
+
+            /// Adding a settlement-free peer link can only grow the set of
+            /// ASes that receive an announcement: customer routes are
+            /// untouched, peer routes only gain options, and providers
+            /// still export *some* best route to their customers. (Path
+            /// lengths and classes may change arbitrarily — only the
+            /// reach *set* is monotone.)
+            #[test]
+            fn reach_set_monotone_under_added_peer_link(
+                g in arb_graph(),
+                seed in 0u32..10,
+                a in 0u32..10,
+                b in 0u32..10,
+            ) {
+                let origin = NodeId(seed % g.len() as u32);
+                let before = propagate(&g, origin, &PropagationOptions::default());
+                // Add one new peer link between two random ASes.
+                let mut builder = g.to_builder();
+                let (x, y) = (AsId(a), AsId(b));
+                if x == y || builder.contains_link(x, y) {
+                    return Ok(());
+                }
+                builder.add_link(x, y, Relationship::P2p);
+                let g2 = builder.build();
+                // Same node universe iff both endpoints already existed.
+                if g2.len() != g.len() {
+                    return Ok(());
+                }
+                let origin2 = g2.index_of(g.asn(origin)).unwrap();
+                let after = propagate(&g2, origin2, &PropagationOptions::default());
+                for n in g.nodes() {
+                    let n2 = g2.index_of(g.asn(n)).unwrap();
+                    prop_assert!(
+                        !before.reachable(n) || after.reachable(n2),
+                        "node {} lost reachability when peer link {}-{} was added",
+                        g.asn(n), x, y
+                    );
+                }
+            }
+
+            #[test]
+            fn next_hops_are_consistent(g in arb_graph(), seed in 0u32..10) {
+                let origin = NodeId(seed % g.len() as u32);
+                let opts = PropagationOptions::default();
+                let out = propagate(&g, origin, &opts);
+                for n in g.nodes() {
+                    let hops = out.next_hops(&g, &opts, n);
+                    if n == origin {
+                        prop_assert!(hops.is_empty());
+                        continue;
+                    }
+                    match out.selection(n) {
+                        None => prop_assert!(hops.is_empty()),
+                        Some((_, len)) => {
+                            // Every reachable non-origin node has >= 1 next hop,
+                            // and each next hop is exactly one hop closer.
+                            prop_assert!(!hops.is_empty(), "node {} reachable but no next hops", n);
+                            for h in hops {
+                                let (_, hl) = out.selection(h).unwrap();
+                                prop_assert_eq!(hl + 1, len);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Reachability reliance, `rely(o, a)` (§7.1).
+//!
+//! The paper defines the reliance of an origin `o` on an AS `a` as the sum,
+//! over every AS `t` that receives routes to `o`, of the fraction of `t`'s
+//! tied-best paths in which `a` appears. We adopt the convention that a
+//! path "received by `t`" includes `t` itself, which reproduces both
+//! extremes the paper calibrates against:
+//!
+//! * a **full mesh** (everyone peers with everyone) gives `rely(o, a) = 1`
+//!   for every `a`: the only path containing `a` is `a`'s own direct path;
+//! * a **pure hierarchy** with a single provider `P` above `o` gives
+//!   `rely(o, P) =` (number of ASes receiving routes): every path crosses
+//!   `P`.
+//!
+//! Computed exactly in one O(E) sweep over the next-hop DAG: a uniformly
+//! random tied-best path from `t` moves from `v` to next hop `h` with
+//! probability `N(h)/N(v)` (`N` = tied-best path counts), making it uniform
+//! over `t`'s paths. The visit mass `W(u) = Σ_t P[path from t visits u]`
+//! then satisfies `W(u) = 1 + Σ_{v: u ∈ NH(v)} W(v) · N(u)/N(v)`, evaluated
+//! in reverse topological order. `rely(o, u) = W(u)` for every reachable
+//! `u ≠ o` (and `W(o)` is the total number of ASes with routes, a useful
+//! cross-check).
+
+use crate::dag::NextHopDag;
+
+/// Computes `rely(origin, a)` for **every** AS `a` from a next-hop DAG.
+///
+/// Returns a vector indexed by node: `0.0` for unreachable nodes, `W(a)`
+/// (in units of "ASes", the paper's unit) otherwise. The entry for the
+/// origin equals the total number of ASes holding routes (including the
+/// origin itself).
+pub fn reliance(dag: &NextHopDag) -> Vec<f64> {
+    let mut w = vec![0.0f64; dag.len()];
+    // Every reachable node starts a unit of visit mass at itself.
+    for &u in dag.topo_order() {
+        w[u.idx()] += 1.0;
+    }
+    // Reverse topological order: farthest nodes first, so each W(v) is
+    // final before its mass is pushed to its next hops.
+    for &v in dag.topo_order().iter().rev() {
+        let wv = w[v.idx()];
+        let nv = dag.path_count(v);
+        if nv == 0.0 {
+            continue;
+        }
+        for &h in dag.next_hops(v) {
+            w[h.idx()] += wv * dag.path_count(h) / nv;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{propagate, PropagationOptions};
+    use flatnet_asgraph::{AsGraph, AsGraphBuilder, AsId, NodeId, Relationship};
+
+    fn node(g: &AsGraph, asn: u32) -> NodeId {
+        g.index_of(AsId(asn)).unwrap()
+    }
+
+    fn rely_of(g: &AsGraph, origin: u32) -> (AsGraph, Vec<f64>) {
+        let opts = PropagationOptions::default();
+        let out = propagate(g, node(g, origin), &opts);
+        let dag = NextHopDag::build(g, &opts, &out);
+        let w = reliance(&dag);
+        (g.clone(), w)
+    }
+
+    #[test]
+    fn full_mesh_reliance_is_one_everywhere() {
+        // 5 ASes all peering with each other.
+        let mut b = AsGraphBuilder::new();
+        for a in 1..=5u32 {
+            for c in (a + 1)..=5 {
+                b.add_link(AsId(a), AsId(c), Relationship::P2p);
+            }
+        }
+        let g = b.build();
+        let (_, w) = rely_of(&g, 1);
+        for asn in 2..=5u32 {
+            assert!((w[node(&g, asn).idx()] - 1.0).abs() < 1e-12, "AS{asn}: {}", w[node(&g, asn).idx()]);
+        }
+        // Origin's W = all 5 ASes hold routes.
+        assert!((w[node(&g, 1).idx()] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_hierarchy_reliance_on_sole_provider_is_everyone() {
+        // o=1 under provider 2; 2 under provider 3; 3 has another customer
+        // subtree 4 -> {5, 6}.
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(2), Relationship::P2c);
+        b.add_link(AsId(3), AsId(4), Relationship::P2c);
+        b.add_link(AsId(4), AsId(5), Relationship::P2c);
+        b.add_link(AsId(4), AsId(6), Relationship::P2c);
+        let g = b.build();
+        let (_, w) = rely_of(&g, 1);
+        // Every one of the 6 ASes holds a route; all of 2..6's paths (and
+        // 2's own) pass through 2.
+        assert!((w[node(&g, 1).idx()] - 6.0).abs() < 1e-12);
+        assert!((w[node(&g, 2).idx()] - 5.0).abs() < 1e-12); // 2,3,4,5,6
+        assert!((w[node(&g, 3).idx()] - 4.0).abs() < 1e-12); // 3,4,5,6
+        assert!((w[node(&g, 4).idx()] - 3.0).abs() < 1e-12); // 4,5,6
+        assert!((w[node(&g, 5).idx()] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig5_fractional_reliance() {
+        // Origin 1; providers 2, 3, 4; 5 above {2,3}; 6 above {4};
+        // 7 above {5,6}. From 7 there are 3 tied paths: 5-2, 5-3, 6-4.
+        let mut b = AsGraphBuilder::new();
+        for p in [2, 3, 4] {
+            b.add_link(AsId(p), AsId(1), Relationship::P2c);
+        }
+        b.add_link(AsId(5), AsId(2), Relationship::P2c);
+        b.add_link(AsId(5), AsId(3), Relationship::P2c);
+        b.add_link(AsId(6), AsId(4), Relationship::P2c);
+        b.add_link(AsId(7), AsId(5), Relationship::P2c);
+        b.add_link(AsId(7), AsId(6), Relationship::P2c);
+        let g = b.build();
+        let (_, w) = rely_of(&g, 1);
+        // W(5): itself 1 + from 7: 2/3 of 7's paths go via 5 = 5/3.
+        assert!((w[node(&g, 5).idx()] - (1.0 + 2.0 / 3.0)).abs() < 1e-12);
+        // W(6): itself + 1/3 from 7.
+        assert!((w[node(&g, 6).idx()] - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+        // W(2): itself + 1/2 of 5's mass (5's W = 5/3, half flows to 2)
+        //        = 1 + (5/3)/2 = 11/6.
+        assert!((w[node(&g, 2).idx()] - (1.0 + 5.0 / 6.0)).abs() < 1e-12);
+        // W(4): itself + all of 6's mass = 1 + 4/3 = 7/3.
+        assert!((w[node(&g, 4).idx()] - (1.0 + 4.0 / 3.0)).abs() < 1e-12);
+        // Origin: 7 ASes hold routes.
+        assert!((w[node(&g, 1).idx()] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliance_conserves_total_mass() {
+        // Sum over non-origin nodes of (W(u) - 1) equals the expected number
+        // of intermediate hops summed over all receivers, and W(origin)
+        // equals the number of receivers. Check consistency: for each t the
+        // random path visits exactly dist(t) + 1 nodes including t and o.
+        let mut b = AsGraphBuilder::new();
+        // Small mixed topology.
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(2), Relationship::P2c);
+        b.add_link(AsId(3), AsId(4), Relationship::P2c);
+        b.add_link(AsId(1), AsId(5), Relationship::P2p);
+        b.add_link(AsId(5), AsId(6), Relationship::P2c);
+        let g = b.build();
+        let opts = PropagationOptions::default();
+        let out = propagate(&g, node(&g, 1), &opts);
+        let dag = NextHopDag::build(&g, &opts, &out);
+        let w = reliance(&dag);
+        let total_w: f64 = dag.topo_order().iter().map(|&u| w[u.idx()]).sum();
+        let expected: f64 = dag
+            .topo_order()
+            .iter()
+            .map(|&u| (dag.dist(u).unwrap() + 1) as f64)
+            .sum();
+        assert!((total_w - expected).abs() < 1e-9, "{total_w} vs {expected}");
+    }
+
+    /// Brute-force cross-check on random DAG-inducing topologies.
+    mod prop {
+        use super::*;
+        use crate::paths::enumerate_paths;
+        use proptest::prelude::*;
+
+        /// Acyclic random graphs (provider = smaller ASN), matching the
+        /// Gao-Rexford domain.
+        fn arb_graph() -> impl Strategy<Value = AsGraph> {
+            proptest::collection::vec((0u32..8, 0u32..8, 0u8..2), 1..24).prop_map(|links| {
+                let mut b = AsGraphBuilder::new();
+                for (a, c, r) in links {
+                    if a == c {
+                        continue;
+                    }
+                    if r == 1 {
+                        b.add_link(AsId(a), AsId(c), Relationship::P2p);
+                    } else {
+                        b.add_link(AsId(a.min(c)), AsId(a.max(c)), Relationship::P2c);
+                    }
+                }
+                b.add_isolated(AsId(99));
+                b.build()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn matches_brute_force_path_enumeration(g in arb_graph(), seed in 0u32..8) {
+                let origin = NodeId(seed % g.len() as u32);
+                let opts = PropagationOptions::default();
+                let out = propagate(&g, origin, &opts);
+                let dag = NextHopDag::build(&g, &opts, &out);
+                let w = reliance(&dag);
+                // Brute force: enumerate all tied-best paths per receiver.
+                let mut expect = vec![0.0f64; g.len()];
+                for &t in dag.topo_order() {
+                    let paths = enumerate_paths(&dag, t, 10_000).unwrap();
+                    let per_path = 1.0 / paths.len() as f64;
+                    for p in &paths {
+                        // Paths include t itself and the origin.
+                        for &hop in p {
+                            expect[hop.idx()] += per_path;
+                        }
+                    }
+                }
+                for u in g.nodes() {
+                    prop_assert!((w[u.idx()] - expect[u.idx()]).abs() < 1e-9,
+                        "node {}: got {} want {}", u, w[u.idx()], expect[u.idx()]);
+                }
+            }
+        }
+    }
+}

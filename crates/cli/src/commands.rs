@@ -1,0 +1,532 @@
+//! The `flatnet` subcommand implementations.
+
+use crate::opts::Opts;
+use flatnet_asgraph::caida;
+use flatnet_asgraph::{AsGraph, AsId, Tiers};
+use flatnet_core::leaks::{leak_cdf, Announce, Locking};
+use flatnet_core::reachability::{hierarchy_free_all, rank_by_hierarchy_free, reachability_profile};
+use flatnet_core::report::{thousands, TextTable};
+use flatnet_netgen::{generate, Epoch, NetGenConfig};
+use flatnet_prefixdb::{AnnouncedDb, PeeringDb, Resolver, WhoisDb};
+use flatnet_tracesim::{infer_neighbors, run_campaign, scamper, CampaignOptions, Methodology};
+use flatnet_asgraph::cone::customer_cone_sizes;
+use std::fs;
+use std::path::Path;
+
+/// Loads an AS-relationship file, accepting either CAIDA format.
+fn load_graph(path: &str) -> Result<AsGraph, String> {
+    let data = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // Try serial-2 first (4 fields), then serial-1.
+    match caida::parse_serial2(data.as_bytes()) {
+        Ok(b) => Ok(b.build()),
+        Err(_) => caida::parse_serial1(data.as_bytes())
+            .map(|b| b.build())
+            .map_err(|e| format!("{path}: not a CAIDA as-rel file: {e}")),
+    }
+}
+
+/// Resolves tier sets: explicit lists when given, AS-Rank-style inference
+/// otherwise.
+fn tiers_for(g: &AsGraph, opts: &Opts) -> Result<Tiers, String> {
+    let t1 = opts.as_list("tier1")?;
+    let t2 = opts.as_list("tier2")?;
+    match (t1, t2) {
+        (Some(t1), t2) => Ok(Tiers::from_lists(g, &t1, &t2.unwrap_or_default())),
+        (None, Some(_)) => Err("--tier2 requires --tier1".into()),
+        (None, None) => {
+            let tiers = flatnet_asgraph::tiers::infer_tiers(g, 32, 28);
+            eprintln!(
+                "note: inferred {} Tier-1s and {} Tier-2s (pass --tier1/--tier2 to override)",
+                tiers.tier1().len(),
+                tiers.tier2().len()
+            );
+            Ok(tiers)
+        }
+    }
+}
+
+/// `flatnet gen` — write a full synthetic dataset to a directory.
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let out = opts.required("out")?.to_string();
+    let n_ases: usize = opts.num_or("ases", 2000)?;
+    let seed: u64 = opts.num_or("seed", 2020)?;
+    let trace_sample: f64 = opts.num_or("trace-sample", 0.5)?;
+    let epoch = match opts.get("epoch").unwrap_or("2020") {
+        "2020" => Epoch::Y2020,
+        "2015" => Epoch::Y2015,
+        other => return Err(format!("--epoch must be 2020 or 2015, got {other:?}")),
+    };
+    let cfg = match epoch {
+        Epoch::Y2020 => NetGenConfig::paper_2020(n_ases, seed),
+        Epoch::Y2015 => NetGenConfig::paper_2015(n_ases, seed),
+    };
+    let net = generate(&cfg);
+    let dir = Path::new(&out);
+    flatnet_netgen::write_dataset(&net, dir)?;
+    let campaign = run_campaign(
+        &net,
+        &CampaignOptions { seed, dest_sample: trace_sample, ..Default::default() },
+    );
+    fs::write(dir.join("traces.txt"), scamper::write_traces(&campaign.traces))
+        .map_err(|e| format!("traces.txt: {e}"))?;
+    fs::write(dir.join("traces.warts"), flatnet_tracesim::warts::write_warts(&campaign.traces))
+        .map_err(|e| format!("traces.warts: {e}"))?;
+
+    println!(
+        "wrote dataset to {out}: {} ASes, {} public links, {} truth links, {} traces",
+        net.truth.len(),
+        net.public.edge_count(),
+        net.truth.edge_count(),
+        campaign.len()
+    );
+    Ok(())
+}
+
+/// `flatnet reach` — reachability profile for given origins.
+pub fn reach(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_graph(opts.required("as-rel")?)?;
+    let origins = opts
+        .as_list("origin")?
+        .ok_or("missing required flag --origin")?;
+    let tiers = tiers_for(&g, &opts)?;
+    let profile = reachability_profile(&g, &tiers, &origins);
+    if profile.is_empty() {
+        return Err("none of the given origins exist in the topology".into());
+    }
+    let mut t = TextTable::new(["origin", "provider-free", "tier1-free", "hierarchy-free", "hf %"]);
+    for r in &profile {
+        t.row([
+            r.asn.to_string(),
+            thousands(r.provider_free as u64),
+            thousands(r.tier1_free as u64),
+            thousands(r.hierarchy_free as u64),
+            format!("{:.1}%", r.hierarchy_free_pct()),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `flatnet rank` — Table-1-style ranking.
+pub fn rank(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_graph(opts.required("as-rel")?)?;
+    let top: usize = opts.num_or("top", 20)?;
+    let tiers = tiers_for(&g, &opts)?;
+    let hfr = hierarchy_free_all(&g, &tiers);
+    let ranked = rank_by_hierarchy_free(&g, &hfr);
+    let mut t = TextTable::new(["#", "origin", "hierarchy-free reach", "%"]);
+    for r in ranked.iter().take(top) {
+        t.row([
+            r.rank.to_string(),
+            r.asn.to_string(),
+            thousands(r.reach as u64),
+            format!("{:.1}%", r.pct),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `flatnet cone` — customer-cone / transit-degree ranking.
+pub fn cone(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_graph(opts.required("as-rel")?)?;
+    let top: usize = opts.num_or("top", 20)?;
+    let cones = customer_cone_sizes(&g);
+    let mut order: Vec<_> = g.nodes().collect();
+    order.sort_by_key(|&n| (std::cmp::Reverse(cones[n.idx()]), g.asn(n)));
+    let mut t = TextTable::new(["#", "origin", "customer cone", "transit degree", "node degree"]);
+    for (i, &n) in order.iter().take(top).enumerate() {
+        t.row([
+            (i + 1).to_string(),
+            g.asn(n).to_string(),
+            thousands(cones[n.idx()] as u64),
+            flatnet_asgraph::cone::transit_degree(&g, n).to_string(),
+            g.degree(n).to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `flatnet leak` — §8 resilience CDF.
+pub fn leak(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_graph(opts.required("as-rel")?)?;
+    let victim = opts
+        .as_list("victim")?
+        .and_then(|v| v.first().copied())
+        .ok_or("missing required flag --victim")?;
+    let leakers: usize = opts.num_or("leakers", 200)?;
+    let seed: u64 = opts.num_or("seed", 1)?;
+    let locking = match opts.get("lock").unwrap_or("none") {
+        "none" => Locking::None,
+        "t1" => Locking::Tier1,
+        "t12" => Locking::Tier12,
+        "global" => Locking::Global,
+        other => return Err(format!("--lock must be none|t1|t12|global, got {other:?}")),
+    };
+    let tiers = tiers_for(&g, &opts)?;
+    let cdf = leak_cdf(&g, &tiers, victim, Announce::ToAll, locking, leakers, seed, None)
+        .ok_or_else(|| format!("{victim} is not in the topology"))?;
+    println!(
+        "victim {victim}, {} leak simulations, locking: {}",
+        cdf.fractions.len(),
+        locking.name()
+    );
+    println!(
+        "ASes detoured: median {:.1}%  p90 {:.1}%  worst {:.1}%",
+        100.0 * cdf.median(),
+        100.0 * cdf.percentile(90.0),
+        100.0 * cdf.max()
+    );
+    Ok(())
+}
+
+/// `flatnet infer` — §4.1 neighbor inference from a trace file.
+pub fn infer(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["initial"])?;
+    let traces_path = opts.required("traces")?;
+    let prefixes_path = opts.required("prefixes")?;
+    let cloud = opts
+        .as_list("cloud")?
+        .and_then(|v| v.first().copied())
+        .ok_or("missing required flag --cloud")?;
+    // Sniff the format: warts records start with the 0x1205 magic.
+    let raw = fs::read(traces_path).map_err(|e| format!("{traces_path}: {e}"))?;
+    let traces = if raw.starts_with(&[0x12, 0x05]) {
+        flatnet_tracesim::warts::parse_warts(&raw).map_err(|e| e.to_string())?
+    } else {
+        let text = String::from_utf8(raw).map_err(|_| format!("{traces_path}: not UTF-8"))?;
+        scamper::parse_traces(&text)?
+    };
+    let prefix_text =
+        fs::read_to_string(prefixes_path).map_err(|e| format!("{prefixes_path}: {e}"))?;
+    let announced = AnnouncedDb::parse(&prefix_text)?;
+    let resolver = Resolver::new(PeeringDb::new(), announced, WhoisDb::new());
+    let methodology = if opts.switch("initial") {
+        Methodology::initial()
+    } else {
+        Methodology::final_methodology()
+    };
+    let neighbors = infer_neighbors(traces.iter(), &resolver, &methodology, cloud);
+    println!("# {} neighbors inferred for {cloud} from {} traces", neighbors.len(), traces.len());
+    for n in &neighbors {
+        println!("{}", n.0);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    /// A unique temp directory per test.
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("flatnet-cli-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn gen_then_analyze_roundtrip() {
+        let dir = tmpdir("gen");
+        let out = dir.to_str().unwrap().to_string();
+        gen(&argv(&["--out", &out, "--ases", "300", "--seed", "7", "--trace-sample", "0.3"]))
+            .unwrap();
+        for f in ["as-rel.txt", "as-rel-truth.txt", "as2types.txt", "prefixes.txt", "users.txt", "traces.txt", "traces.warts", "tiers.txt"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let rel = dir.join("as-rel-truth.txt");
+        let rel_s = rel.to_str().unwrap();
+        // reach over the generated truth file for Google.
+        reach(&argv(&["--as-rel", rel_s, "--origin", "15169"])).unwrap();
+        // rank and cone run end to end.
+        rank(&argv(&["--as-rel", rel_s, "--top", "5"])).unwrap();
+        cone(&argv(&["--as-rel", rel_s, "--top", "5"])).unwrap();
+        // leak with explicit tiny leaker count.
+        leak(&argv(&["--as-rel", rel_s, "--victim", "15169", "--leakers", "5", "--lock", "t1"]))
+            .unwrap();
+        // infer against the generated traces + prefixes.
+        let prefixes = dir.join("prefixes.txt");
+        for traces in ["traces.txt", "traces.warts"] {
+            infer(&argv(&[
+                "--traces",
+                dir.join(traces).to_str().unwrap(),
+                "--prefixes",
+                prefixes.to_str().unwrap(),
+                "--cloud",
+                "15169",
+            ]))
+            .unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(load_graph("/nonexistent/file").is_err());
+        assert!(reach(&argv(&["--as-rel", "/nonexistent"])).is_err());
+        assert!(gen(&argv(&["--ases", "10"])).is_err()); // missing --out
+        assert!(leak(&argv(&["--as-rel", "/nonexistent", "--victim", "1"])).is_err());
+        let dir = tmpdir("err");
+        let f = dir.join("bad.txt");
+        fs::write(&f, "not a caida file\n").unwrap();
+        assert!(load_graph(f.to_str().unwrap()).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiers_flags() {
+        let dir = tmpdir("tiers");
+        let f = dir.join("rel.txt");
+        fs::write(&f, "1|2|-1|bgp\n2|3|-1|bgp\n").unwrap();
+        let fs_ = f.to_str().unwrap();
+        // Explicit tiers.
+        reach(&argv(&["--as-rel", fs_, "--origin", "3", "--tier1", "1", "--tier2", "2"])).unwrap();
+        // tier2 without tier1 is an error.
+        assert!(reach(&argv(&["--as-rel", fs_, "--origin", "3", "--tier2", "2"])).is_err());
+        // Unknown origin.
+        assert!(reach(&argv(&["--as-rel", fs_, "--origin", "99"])).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leak_lock_validation() {
+        let dir = tmpdir("lock");
+        let f = dir.join("rel.txt");
+        fs::write(&f, "1|2|-1|bgp\n1|3|-1|bgp\n").unwrap();
+        let fs_ = f.to_str().unwrap();
+        assert!(leak(&argv(&["--as-rel", fs_, "--victim", "2", "--lock", "bogus"])).is_err());
+        leak(&argv(&["--as-rel", fs_, "--victim", "2", "--leakers", "2"])).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// `flatnet collect` — simulate route collectors and write MRT.
+pub fn collect(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_graph(opts.required("as-rel")?)?;
+    let out = opts.required("out")?.to_string();
+    let n_origins: usize = opts.num_or("origins", g.len())?;
+    let seed: u64 = opts.num_or("seed", 1)?;
+    let monitors: Vec<_> = match opts.as_list("monitors")? {
+        Some(list) => list
+            .iter()
+            .map(|&a| g.index_of(a).ok_or_else(|| format!("monitor {a} not in topology")))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => {
+            // Default: the 30 largest transit ASes (RouteViews peers are
+            // overwhelmingly transit networks).
+            let cones = customer_cone_sizes(&g);
+            let mut order: Vec<_> = g.nodes().collect();
+            order.sort_by_key(|&n| (std::cmp::Reverse(cones[n.idx()]), g.asn(n)));
+            order.into_iter().take(30).collect()
+        }
+    };
+    // Deterministic origin sample.
+    let mut origins: Vec<_> = g.nodes().collect();
+    if n_origins < origins.len() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for i in (1..origins.len()).rev() {
+            origins.swap(i, rng.gen_range(0..=i));
+        }
+        origins.truncate(n_origins);
+        origins.sort_unstable();
+    }
+    let ribs = flatnet_bgpsim::collect_ribs(&g, &monitors, &origins);
+    // Synthesize one /20 per origin for the MRT prefix field.
+    let mrt = flatnet_mrt::from_rib_entries(&ribs, |origin| {
+        Some(flatnet_prefixdb::Ipv4Prefix::new(
+            std::net::Ipv4Addr::from(0x0100_0000u32.wrapping_add(origin.0 << 12)),
+            20,
+        ))
+    });
+    let bytes = flatnet_mrt::write_mrt(&mrt, 1_600_000_000);
+    fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {}: {} monitors, {} RIB entries, {} bytes",
+        out,
+        monitors.len(),
+        ribs.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `flatnet relinfer` — Gao inference from an MRT dump.
+pub fn relinfer(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let path = opts.required("mrt")?;
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let rib = flatnet_mrt::parse_mrt(&bytes).map_err(|e| e.to_string())?;
+    let entries = flatnet_mrt::to_rib_entries(&rib);
+    let paths: Vec<Vec<AsId>> = entries.iter().map(|e| e.path.clone()).collect();
+    let inferred = flatnet_asgraph::infer_relationships(&paths, 60.0);
+    println!(
+        "{} paths -> {} links observed: {} inferred p2c, {} inferred p2p",
+        paths.len(),
+        inferred.observed_links,
+        inferred.inferred_p2c,
+        inferred.inferred_p2p
+    );
+    if let Some(truth_path) = opts.get("truth") {
+        let truth = load_graph(truth_path)?;
+        let acc = flatnet_asgraph::score_inference(&inferred.graph, &truth);
+        println!(
+            "vs truth: c2p accuracy {:.1}% ({} correct / {} flipped / {} as-p2p), p2p recall {:.1}%, p2p invisible {:.1}%",
+            100.0 * acc.c2p_accuracy(),
+            acc.c2p_correct,
+            acc.c2p_flipped,
+            acc.c2p_as_p2p,
+            100.0 * acc.p2p_recall(),
+            100.0 * acc.p2p_invisible_fraction()
+        );
+    }
+    if let Some(out) = opts.get("out") {
+        fs::write(out, caida::write_serial1(&inferred.graph)).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote inferred topology to {out}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod mrt_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn collect_then_relinfer_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("flatnet-cli-mrt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let out = dir.to_str().unwrap().to_string();
+        gen(&argv(&["--out", &out, "--ases", "250", "--seed", "9", "--trace-sample", "0.1"])).unwrap();
+        let rel = dir.join("as-rel-truth.txt");
+        let mrt = dir.join("ribs.mrt");
+        collect(&argv(&[
+            "--as-rel",
+            rel.to_str().unwrap(),
+            "--out",
+            mrt.to_str().unwrap(),
+            "--origins",
+            "120",
+        ]))
+        .unwrap();
+        assert!(mrt.exists());
+        let inferred = dir.join("inferred.txt");
+        relinfer(&argv(&[
+            "--mrt",
+            mrt.to_str().unwrap(),
+            "--truth",
+            rel.to_str().unwrap(),
+            "--out",
+            inferred.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The inferred file is a loadable serial-1 topology.
+        let g = load_graph(inferred.to_str().unwrap()).unwrap();
+        assert!(g.edge_count() > 100);
+        // Explicit monitor list and error paths.
+        collect(&argv(&[
+            "--as-rel",
+            rel.to_str().unwrap(),
+            "--out",
+            mrt.to_str().unwrap(),
+            "--monitors",
+            "3356,174",
+        ]))
+        .unwrap();
+        assert!(collect(&argv(&[
+            "--as-rel",
+            rel.to_str().unwrap(),
+            "--out",
+            mrt.to_str().unwrap(),
+            "--monitors",
+            "999999",
+        ]))
+        .is_err());
+        assert!(relinfer(&argv(&["--mrt", "/nonexistent"])).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// `flatnet dot` — Graphviz export of an AS neighborhood.
+pub fn dot(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let g = load_graph(opts.required("as-rel")?)?;
+    let focus = opts
+        .as_list("focus")?
+        .and_then(|v| v.first().copied())
+        .ok_or("missing required flag --focus")?;
+    let n = g.index_of(focus).ok_or_else(|| format!("{focus} not in topology"))?;
+    // The focus AS plus its direct neighborhood.
+    let mut include = vec![focus];
+    for (m, _) in g.neighbors(n) {
+        include.push(g.asn(m));
+    }
+    let dot_opts = flatnet_asgraph::dot::DotOptions {
+        labels: Default::default(),
+        highlight: vec![focus],
+        restrict_to: Some(include),
+    };
+    let rendered = flatnet_asgraph::dot::to_dot(&g, &dot_opts);
+    match opts.get("out") {
+        Some(path) => {
+            fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_neighborhood_export() {
+        let dir = std::env::temp_dir().join(format!("flatnet-cli-dot-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let rel = dir.join("rel.txt");
+        fs::write(&rel, "1|2|-1|bgp\n2|3|-1|bgp\n2|4|0|bgp\n3|5|-1|bgp\n").unwrap();
+        let out = dir.join("g.dot");
+        let argv: Vec<String> = [
+            "--as-rel",
+            rel.to_str().unwrap(),
+            "--focus",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dot(&argv).unwrap();
+        let text = fs::read_to_string(&out).unwrap();
+        // Neighborhood of AS2: 1 (provider), 3 (customer), 4 (peer) — not 5.
+        assert!(text.contains("n1 -> n2;"));
+        assert!(text.contains("n2 -> n3;"));
+        assert!(text.contains("dir=none"));
+        assert!(!text.contains("n5"));
+        // Missing focus errors.
+        let bad: Vec<String> =
+            ["--as-rel", rel.to_str().unwrap(), "--focus", "99"].iter().map(|s| s.to_string()).collect();
+        assert!(dot(&bad).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

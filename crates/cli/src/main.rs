@@ -1,0 +1,89 @@
+//! `flatnet` — command-line front end for the flat-Internet analyses.
+//!
+//! Works on real CAIDA AS-relationship files or on datasets produced by
+//! `flatnet gen`. See `flatnet help` for the full command set.
+
+mod commands;
+mod opts;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flatnet — hierarchy-free reachability & friends (IMC 2020 reproduction)
+
+USAGE:
+  flatnet gen    --out DIR [--ases N] [--seed S] [--epoch 2020|2015]
+      Generate a synthetic dataset: as-rel (public + truth), as2types,
+      announced prefixes, per-AS users, and a scamper-style traceroute
+      campaign.
+
+  flatnet reach  --as-rel FILE --origin ASN[,ASN...]
+                 [--tier1 ASN,.. --tier2 ASN,..]
+      Provider-free / Tier-1-free / hierarchy-free reachability for the
+      given origins. Tiers are inferred (AS-Rank style) unless given.
+
+  flatnet rank   --as-rel FILE [--top N] [--tier1 .. --tier2 ..]
+      Rank all ASes by hierarchy-free reachability (Table-1 style).
+
+  flatnet cone   --as-rel FILE [--top N]
+      Rank all ASes by customer cone and transit degree.
+
+  flatnet leak   --as-rel FILE --victim ASN [--leakers K]
+                 [--lock none|t1|t12|global] [--tier1 .. --tier2 ..]
+      Route-leak resilience CDF for a victim (§8).
+
+  flatnet infer  --traces FILE --prefixes FILE --cloud ASN [--initial]
+      Infer a cloud's neighbors from a scamper-style trace file and an
+      announced-prefix dump (§4.1/§5). --initial uses the paper's first
+      (flawed) methodology instead of the final one.
+
+  flatnet collect  --as-rel FILE --out FILE.mrt [--monitors ASN,..]
+                   [--origins N] [--seed S]
+      Simulate route collectors over a topology and write their RIBs as
+      an MRT TABLE_DUMP_V2 dump. Monitors default to the 30 largest
+      transit ASes.
+
+  flatnet relinfer --mrt FILE [--truth FILE] [--out FILE]
+      Gao-style AS-relationship inference from an MRT RIB dump; with
+      --truth, scores the result; with --out, writes the inferred
+      topology as a CAIDA serial-1 file.
+
+  flatnet dot    --as-rel FILE --focus ASN [--out FILE.dot]
+      Graphviz export of an AS and its direct neighborhood.
+
+  flatnet help
+      This message.
+
+Common flags take comma-separated AS numbers. All commands print text
+tables to stdout and are deterministic.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "gen" => commands::gen(rest),
+        "reach" => commands::reach(rest),
+        "rank" => commands::rank(rest),
+        "cone" => commands::cone(rest),
+        "leak" => commands::leak(rest),
+        "infer" => commands::infer(rest),
+        "collect" => commands::collect(rest),
+        "relinfer" => commands::relinfer(rest),
+        "dot" => commands::dot(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `flatnet help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("flatnet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Route-leak resilience experiments (§8, Figures 7-10).
+//!
+//! Each figure is a CDF over randomly chosen misconfigured ASes of the
+//! fraction of ASes (or users, Fig. 9) detoured when the victim announces
+//! under a given configuration.
+
+use crate::parallel::parallel_map;
+use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
+use flatnet_bgpsim::{simulate_leak, simulate_subprefix_hijack, LeakScenario, LockingSemantics};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// §8.2's announcement configurations for the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Announce {
+    /// Announce to all neighbors (the clouds' real behaviour).
+    ToAll,
+    /// Announce only to Tier-1s, Tier-2s, and transit providers — the
+    /// counterfactual that ignores the cloud's rich edge peering.
+    ToTier12AndProviders,
+}
+
+/// §8.2's peer-locking deployments (always subsets of the victim's
+/// neighbors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Locking {
+    /// Nobody filters.
+    None,
+    /// Tier-1 neighbors deploy peer locking.
+    Tier1,
+    /// Tier-1 and Tier-2 neighbors deploy it.
+    Tier12,
+    /// Every neighbor deploys it ("global peer lock").
+    Global,
+}
+
+impl Locking {
+    /// Report label (matching the figures' legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Locking::None => "announce to all",
+            Locking::Tier1 => "T1 peer lock",
+            Locking::Tier12 => "T1+T2 peer lock",
+            Locking::Global => "global peer lock",
+        }
+    }
+}
+
+/// A CDF over simulated leaks: sorted detour fractions, one per
+/// misconfigured AS.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeakCdf {
+    /// Sorted ascending; `fractions[i]` is the detour fraction of the
+    /// (i+1)-th least-damaging leaker.
+    pub fractions: Vec<f64>,
+}
+
+impl LeakCdf {
+    /// Median detour fraction (0 when empty).
+    pub fn median(&self) -> f64 {
+        percentile_sorted(&self.fractions, 50.0)
+    }
+
+    /// Arbitrary percentile (nearest-rank) of the sorted fractions.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted(&self.fractions, p)
+    }
+
+    /// Fraction of simulations whose detour fraction is ≤ `x` (the CDF
+    /// evaluated at `x`).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.fractions.is_empty() {
+            return 0.0;
+        }
+        let below = self.fractions.iter().filter(|&&f| f <= x).count();
+        below as f64 / self.fractions.len() as f64
+    }
+
+    /// Worst case across all simulations.
+    pub fn max(&self) -> f64 {
+        self.fractions.last().copied().unwrap_or(0.0)
+    }
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Deterministically samples `k` distinct leaker nodes ≠ victim.
+fn sample_leakers(g: &AsGraph, victim: Option<NodeId>, k: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1EAC_1EAC_1EAC_1EAC);
+    let mut chosen = Vec::with_capacity(k);
+    let mut guard = 0;
+    while chosen.len() < k.min(g.len().saturating_sub(1)) && guard < 100 * k + 1000 {
+        let n = NodeId(rng.gen_range(0..g.len() as u32));
+        if Some(n) != victim && !chosen.contains(&n) {
+            chosen.push(n);
+        }
+        guard += 1;
+    }
+    chosen
+}
+
+/// Builds one [`LeakScenario`] for a victim under the given configuration.
+fn scenario_for(
+    g: &AsGraph,
+    tiers: &Tiers,
+    victim: NodeId,
+    leaker: NodeId,
+    announce: Announce,
+    locking: Locking,
+    semantics: LockingSemantics,
+) -> LeakScenario {
+    let neighbors: Vec<NodeId> = g.neighbors(victim).map(|(n, _)| n).collect();
+    let providers: Vec<NodeId> = g.providers(victim).to_vec();
+    let victim_export = match announce {
+        Announce::ToAll => None,
+        Announce::ToTier12AndProviders => Some(
+            neighbors
+                .iter()
+                .copied()
+                .filter(|&n| tiers.is_tier1(n) || tiers.is_tier2(n) || providers.contains(&n))
+                .collect(),
+        ),
+    };
+    let locking_set: Vec<NodeId> = match locking {
+        Locking::None => Vec::new(),
+        Locking::Tier1 => neighbors.iter().copied().filter(|&n| tiers.is_tier1(n)).collect(),
+        Locking::Tier12 => neighbors
+            .iter()
+            .copied()
+            .filter(|&n| tiers.is_tier1(n) || tiers.is_tier2(n))
+            .collect(),
+        Locking::Global => neighbors,
+    };
+    LeakScenario { victim, leaker, victim_export, locking: locking_set, semantics }
+}
+
+/// Runs the leak CDF for one victim and configuration over `n_leakers`
+/// random misconfigured ASes. Set `user_weights` to weight detoured ASes
+/// by estimated users (Fig. 9) instead of counting ASes (Figs. 7/8/10).
+pub fn leak_cdf(
+    g: &AsGraph,
+    tiers: &Tiers,
+    victim: AsId,
+    announce: Announce,
+    locking: Locking,
+    n_leakers: usize,
+    seed: u64,
+    user_weights: Option<&[f64]>,
+) -> Option<LeakCdf> {
+    leak_cdf_with_semantics(
+        g,
+        tiers,
+        victim,
+        announce,
+        locking,
+        LockingSemantics::Corrected,
+        n_leakers,
+        seed,
+        user_weights,
+    )
+}
+
+/// As [`leak_cdf`], but with explicit peer-locking semantics — used by the
+/// erratum ablation, which contrasts the paper's original (flawed) filter
+/// model against the published correction.
+#[allow(clippy::too_many_arguments)]
+pub fn leak_cdf_with_semantics(
+    g: &AsGraph,
+    tiers: &Tiers,
+    victim: AsId,
+    announce: Announce,
+    locking: Locking,
+    semantics: LockingSemantics,
+    n_leakers: usize,
+    seed: u64,
+    user_weights: Option<&[f64]>,
+) -> Option<LeakCdf> {
+    let v = g.index_of(victim)?;
+    let leakers = sample_leakers(g, Some(v), n_leakers, seed);
+    let mut fractions = parallel_map(&leakers, 0, |&m| {
+        let sc = scenario_for(g, tiers, v, m, announce, locking, semantics);
+        let out = simulate_leak(g, &sc);
+        match user_weights {
+            Some(w) => out.weighted_fraction_detoured(w),
+            None => out.fraction_detoured(),
+        }
+    });
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(LeakCdf { fractions })
+}
+
+/// CDF for **more-specific (sub-prefix) hijacks** against a victim: the
+/// hijacker's longer prefix wins by longest-prefix match wherever it
+/// propagates, so only peer locking helps. An extension beyond §8's
+/// same-length leaks.
+pub fn subprefix_hijack_cdf(
+    g: &AsGraph,
+    tiers: &Tiers,
+    victim: AsId,
+    locking: Locking,
+    n_leakers: usize,
+    seed: u64,
+    user_weights: Option<&[f64]>,
+) -> Option<LeakCdf> {
+    let v = g.index_of(victim)?;
+    let leakers = sample_leakers(g, Some(v), n_leakers, seed);
+    let mut fractions = parallel_map(&leakers, 0, |&m| {
+        let sc = scenario_for(g, tiers, v, m, Announce::ToAll, locking, LockingSemantics::Corrected);
+        let out = simulate_subprefix_hijack(g, &sc);
+        match user_weights {
+            Some(w) => out.weighted_fraction_detoured(w),
+            None => out.fraction_detoured(),
+        }
+    });
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(LeakCdf { fractions })
+}
+
+/// The figures' *average resilience* baseline: for each of `n_leakers`
+/// random misconfigured ASes, the mean detour fraction across `n_victims`
+/// random legitimate origins announcing to all neighbors.
+pub fn average_resilience_cdf(
+    g: &AsGraph,
+    n_leakers: usize,
+    n_victims: usize,
+    seed: u64,
+    user_weights: Option<&[f64]>,
+) -> LeakCdf {
+    let leakers = sample_leakers(g, None, n_leakers, seed);
+    let mut fractions = parallel_map(&leakers, 0, |&m| {
+        let victims = sample_leakers(g, Some(m), n_victims, seed ^ m.0 as u64 ^ 0xF00D);
+        if victims.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for &v in &victims {
+            let sc = LeakScenario::simple(v, m);
+            let out = simulate_leak(g, &sc);
+            acc += match user_weights {
+                Some(w) => out.weighted_fraction_detoured(w),
+                None => out.fraction_detoured(),
+            };
+        }
+        acc / victims.len() as f64
+    });
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LeakCdf { fractions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatnet_asgraph::{AsGraphBuilder, Relationship};
+
+    /// Victim 10 peers with Tier-1 1 (which serves customers 20..24) and
+    /// with edge ASes 40, 50; leakers live among 1's customers.
+    fn sample() -> (AsGraph, Tiers) {
+        let mut b = AsGraphBuilder::new();
+        for c in 20..25 {
+            b.add_link(AsId(1), AsId(c), Relationship::P2c);
+        }
+        b.add_link(AsId(10), AsId(1), Relationship::P2p);
+        b.add_link(AsId(10), AsId(40), Relationship::P2p);
+        b.add_link(AsId(10), AsId(50), Relationship::P2p);
+        let g = b.build();
+        let tiers = Tiers::from_lists(&g, &[AsId(1)], &[]);
+        (g, tiers)
+    }
+
+    #[test]
+    fn locking_monotonically_improves_resilience() {
+        let (g, tiers) = sample();
+        let run = |locking| {
+            leak_cdf(&g, &tiers, AsId(10), Announce::ToAll, locking, 6, 7, None)
+                .unwrap()
+                .median()
+        };
+        let none = run(Locking::None);
+        let t1 = run(Locking::Tier1);
+        let global = run(Locking::Global);
+        assert!(t1 <= none, "t1 {t1} vs none {none}");
+        assert!(global <= t1, "global {global} vs t1 {t1}");
+    }
+
+    #[test]
+    fn cdf_accessors() {
+        let cdf = LeakCdf { fractions: vec![0.1, 0.2, 0.3, 0.4] };
+        assert!((cdf.median() - 0.2).abs() < 1e-12);
+        assert!((cdf.percentile(100.0) - 0.4).abs() < 1e-12);
+        assert_eq!(cdf.max(), 0.4);
+        assert!((cdf.cdf_at(0.25) - 0.5).abs() < 1e-12);
+        let empty = LeakCdf { fractions: vec![] };
+        assert_eq!(empty.median(), 0.0);
+        assert_eq!(empty.cdf_at(0.5), 0.0);
+        assert_eq!(empty.max(), 0.0);
+    }
+
+    #[test]
+    fn leaker_sampling_is_deterministic_and_excludes_victim() {
+        let (g, _) = sample();
+        let v = g.index_of(AsId(10)).unwrap();
+        let a = sample_leakers(&g, Some(v), 5, 3);
+        let b = sample_leakers(&g, Some(v), 5, 3);
+        assert_eq!(a, b);
+        assert!(!a.contains(&v));
+        assert_eq!(a.len(), 5);
+        let all = sample_leakers(&g, Some(v), 100, 3);
+        assert_eq!(all.len(), g.len() - 1);
+    }
+
+    #[test]
+    fn restricting_announcement_cannot_improve_reach_of_legit_routes() {
+        let (g, tiers) = sample();
+        let all = leak_cdf(&g, &tiers, AsId(10), Announce::ToAll, Locking::None, 7, 1, None).unwrap();
+        let t12 = leak_cdf(
+            &g,
+            &tiers,
+            AsId(10),
+            Announce::ToTier12AndProviders,
+            Locking::None,
+            7,
+            1,
+            None,
+        )
+        .unwrap();
+        // Announcing narrowly can only keep equal or worsen the detour
+        // picture in this topology (peers lose their direct route).
+        assert!(t12.median() >= all.median());
+    }
+
+    #[test]
+    fn user_weighted_cdf_uses_weights() {
+        let (g, tiers) = sample();
+        // All users sit in AS 40, a direct peer of the victim: it only
+        // detours when AS 40 itself is the leaker (one of the 8 possible
+        // leakers), never otherwise.
+        let mut w = vec![0.0; g.len()];
+        w[g.index_of(AsId(40)).unwrap().idx()] = 1000.0;
+        let cdf =
+            leak_cdf(&g, &tiers, AsId(10), Announce::ToAll, Locking::None, 8, 2, Some(&w)).unwrap();
+        assert_eq!(cdf.fractions.len(), 8);
+        let zeros = cdf.fractions.iter().filter(|&&f| f == 0.0).count();
+        assert_eq!(zeros, 7, "{:?}", cdf.fractions);
+        assert_eq!(cdf.max(), 1.0);
+    }
+
+    #[test]
+    fn average_resilience_runs() {
+        let (g, _) = sample();
+        let cdf = average_resilience_cdf(&g, 4, 3, 9, None);
+        assert_eq!(cdf.fractions.len(), 4);
+        for f in &cdf.fractions {
+            assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn unknown_victim() {
+        let (g, tiers) = sample();
+        assert!(leak_cdf(&g, &tiers, AsId(999), Announce::ToAll, Locking::None, 3, 1, None).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Parallel per-origin sweeps.
+//!
+//! Every whole-Internet experiment (hierarchy-free reachability for all
+//! ASes, leak CDFs, ...) is a map over independent origins; this helper
+//! fans the map out over scoped threads with a static partition, so the
+//! result is deterministic regardless of thread count.
+
+/// Applies `f` to every item, in parallel, preserving order.
+///
+/// `f` must be cheap to call from multiple threads concurrently (it gets
+/// `&T` and may not mutate shared state). Uses `threads` workers, or the
+/// available parallelism when `threads == 0`.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+
+    crossbeam::thread::scope(|s| {
+        let mut rest: &mut [Option<R>] = &mut results;
+        let mut offset = 0usize;
+        let fref = &f;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let slice = &items[offset..offset + take];
+            s.spawn(move |_| {
+                for (out, item) in head.iter_mut().zip(slice) {
+                    *out = Some(fref(item));
+                }
+            });
+            rest = tail;
+            offset += take;
+        }
+    })
+    .expect("worker panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 4, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..257).collect();
+        let a = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9E3779B9));
+        let b = parallel_map(&items, 7, |&x| x.wrapping_mul(0x9E3779B9));
+        let c = parallel_map(&items, 0, |&x| x.wrapping_mul(0x9E3779B9));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x * 2), vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # flatnet-geo — geographic substrate for PoP deployment analysis
+//!
+//! Section 9 of "Cloud Provider Connectivity in the Flat Internet" compares
+//! cloud and transit providers' Point-of-Presence deployments against world
+//! population: which networks put PoPs near people, and what share of the
+//! population lives within 500/700/1000 km of each network's PoPs
+//! (Figures 11 and 12), cross-checked against router hostnames in reverse
+//! DNS (Table 3) and PeeringDB facility data (Appendix D geolocation).
+//!
+//! This crate provides those building blocks from scratch:
+//!
+//! * [`coords`] — latitude/longitude points, haversine distance, continents;
+//! * [`cities`] — a built-in table of ~120 real metro areas (public
+//!   coordinates and rough metro populations) that seeds the synthetic
+//!   population grid and PoP deployments;
+//! * [`popgrid`] — a GPWv4-like gridded population model with
+//!   population-within-radius queries;
+//! * [`pops`] — network PoP footprints consolidated from multiple sources
+//!   (published maps, PeeringDB-like facility lists, rDNS confirmations);
+//! * [`rdns`] — router-hostname naming conventions: generation, hoiho-style
+//!   convention learning, and location-code extraction;
+//! * [`mod@geolocate`] — the paper's Appendix-D active-geolocation procedure
+//!   (candidate facilities + RTT-constrained verification).
+
+pub mod cities;
+pub mod coords;
+pub mod geolocate;
+pub mod popgrid;
+pub mod pops;
+pub mod rdns;
+
+pub use cities::{City, CITIES};
+pub use coords::{haversine_km, Continent, GeoPoint};
+pub use geolocate::{geolocate, GeolocationResult};
+pub use popgrid::PopulationGrid;
+pub use pops::{Footprint, PopSite, SiteSource};
+pub use rdns::{HostnameConvention, LearnedConvention};

@@ -1,0 +1,465 @@
+//! Binary encoding/decoding of the RFC 6396 TABLE_DUMP_V2 subset.
+//!
+//! Wire layout implemented here:
+//!
+//! ```text
+//! MRT common header:  timestamp u32 | type u16 | subtype u16 | length u32
+//!   type 13 = TABLE_DUMP_V2
+//!   subtype 1 = PEER_INDEX_TABLE:
+//!     collector BGP id u32 | view name len u16 | view name bytes |
+//!     peer count u16 | peers: { peer type u8 (0x02 = IPv4 + AS4) |
+//!                               BGP id u32 | IPv4 addr [4] | ASN u32 }
+//!   subtype 2 = RIB_IPV4_UNICAST:
+//!     sequence u32 | prefix len u8 | prefix bytes ceil(len/8) |
+//!     entry count u16 | entries: { peer index u16 | originated u32 |
+//!                                  attr len u16 | BGP attributes }
+//! BGP attributes: flags u8 | type u8 | len u8 (u16 when flags & 0x10) | data
+//!   ORIGIN (1): 1 byte, 0 = IGP
+//!   AS_PATH (2): segments { type u8 (2 = AS_SEQUENCE) | count u8 |
+//!                           ASNs u32 each } — 4-byte ASes per RFC 6396
+//!   NEXT_HOP (3): 4 bytes
+//! ```
+
+use crate::model::{MrtPeer, MrtRib, MrtRoute};
+use flatnet_asgraph::AsId;
+use flatnet_prefixdb::Ipv4Prefix;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+const MRT_TYPE_TABLE_DUMP_V2: u16 = 13;
+const SUBTYPE_PEER_INDEX_TABLE: u16 = 1;
+const SUBTYPE_RIB_IPV4_UNICAST: u16 = 2;
+const PEER_TYPE_IPV4_AS4: u8 = 0x02;
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXTENDED_LEN: u8 = 0x10;
+const SEG_AS_SEQUENCE: u8 = 2;
+
+/// Decode errors with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtError {
+    /// Byte offset the error was detected at.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MRT parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+// ---------------------------------------------------------------- writer
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_record(out: &mut Vec<u8>, timestamp: u32, subtype: u16, body: &[u8]) {
+    put_u32(out, timestamp);
+    put_u16(out, MRT_TYPE_TABLE_DUMP_V2);
+    put_u16(out, subtype);
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+fn encode_attributes(path: &[AsId], next_hop: Ipv4Addr) -> Vec<u8> {
+    let mut attrs = Vec::new();
+    // ORIGIN = IGP.
+    attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_ORIGIN, 1, 0]);
+    // AS_PATH: one AS_SEQUENCE segment (extended length for long paths).
+    let mut seg = Vec::with_capacity(2 + 4 * path.len());
+    // RFC 4271 caps a segment at 255 ASes; chunk longer paths.
+    for chunk in path.chunks(255) {
+        seg.push(SEG_AS_SEQUENCE);
+        seg.push(chunk.len() as u8);
+        for a in chunk {
+            seg.extend_from_slice(&a.0.to_be_bytes());
+        }
+    }
+    if path.is_empty() {
+        // Zero-segment AS_PATH: the peer originates the prefix.
+    }
+    attrs.push(FLAG_TRANSITIVE | FLAG_EXTENDED_LEN);
+    attrs.push(ATTR_AS_PATH);
+    put_u16(&mut attrs, seg.len() as u16);
+    attrs.extend_from_slice(&seg);
+    // NEXT_HOP.
+    attrs.extend_from_slice(&[FLAG_TRANSITIVE, ATTR_NEXT_HOP, 4]);
+    attrs.extend_from_slice(&next_hop.octets());
+    attrs
+}
+
+/// Serializes a RIB snapshot as MRT bytes: one PEER_INDEX_TABLE record
+/// followed by one RIB_IPV4_UNICAST record per route.
+pub fn write_mrt(rib: &MrtRib, timestamp: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+
+    let mut body = Vec::new();
+    put_u32(&mut body, rib.collector_id);
+    let name = rib.view_name.as_bytes();
+    put_u16(&mut body, name.len() as u16);
+    body.extend_from_slice(name);
+    put_u16(&mut body, rib.peers.len() as u16);
+    for p in &rib.peers {
+        body.push(PEER_TYPE_IPV4_AS4);
+        put_u32(&mut body, p.bgp_id);
+        body.extend_from_slice(&p.addr.octets());
+        put_u32(&mut body, p.asn.0);
+    }
+    put_record(&mut out, timestamp, SUBTYPE_PEER_INDEX_TABLE, &body);
+
+    for (seq, route) in rib.routes.iter().enumerate() {
+        let mut body = Vec::new();
+        put_u32(&mut body, seq as u32);
+        body.push(route.prefix.len());
+        let nbytes = route.prefix.len().div_ceil(8) as usize;
+        body.extend_from_slice(&route.prefix.network_bits().to_be_bytes()[..nbytes]);
+        put_u16(&mut body, route.entries.len() as u16);
+        for (peer_idx, path) in &route.entries {
+            put_u16(&mut body, *peer_idx);
+            put_u32(&mut body, timestamp); // originated time
+            let next_hop = rib
+                .peers
+                .get(*peer_idx as usize)
+                .map(|p| p.addr)
+                .unwrap_or(Ipv4Addr::UNSPECIFIED);
+            let attrs = encode_attributes(path, next_hop);
+            put_u16(&mut body, attrs.len() as u16);
+            body.extend_from_slice(&attrs);
+        }
+        put_record(&mut out, timestamp, SUBTYPE_RIB_IPV4_UNICAST, &body);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> MrtError {
+        MrtError { offset: self.pos, message: message.into() }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MrtError> {
+        if self.pos + n > self.data.len() {
+            return Err(self.err(format!("truncated: wanted {n} bytes")));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, MrtError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, MrtError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, MrtError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+fn parse_peer_table(body: &mut Cursor<'_>, rib: &mut MrtRib) -> Result<(), MrtError> {
+    rib.collector_id = body.u32()?;
+    let name_len = body.u16()? as usize;
+    rib.view_name = String::from_utf8_lossy(body.take(name_len)?).into_owned();
+    let count = body.u16()?;
+    for _ in 0..count {
+        let ptype = body.u8()?;
+        if ptype != PEER_TYPE_IPV4_AS4 {
+            return Err(body.err(format!("unsupported peer type {ptype:#x} (IPv4+AS4 only)")));
+        }
+        let bgp_id = body.u32()?;
+        let addr: [u8; 4] = body.take(4)?.try_into().unwrap();
+        let asn = body.u32()?;
+        rib.peers.push(MrtPeer { bgp_id, addr: Ipv4Addr::from(addr), asn: AsId(asn) });
+    }
+    Ok(())
+}
+
+fn parse_as_path(data: &[u8], base: usize) -> Result<Vec<AsId>, MrtError> {
+    let mut c = Cursor { data, pos: 0 };
+    let mut path = Vec::new();
+    while !c.done() {
+        let seg_type = c.u8()?;
+        if seg_type != SEG_AS_SEQUENCE {
+            return Err(MrtError {
+                offset: base + c.pos,
+                message: format!("unsupported AS_PATH segment type {seg_type}"),
+            });
+        }
+        let count = c.u8()? as usize;
+        for _ in 0..count {
+            path.push(AsId(c.u32()?));
+        }
+    }
+    Ok(path)
+}
+
+fn parse_rib_record(body: &mut Cursor<'_>, rib: &mut MrtRib) -> Result<(), MrtError> {
+    let _seq = body.u32()?;
+    let plen = body.u8()?;
+    if plen > 32 {
+        return Err(body.err(format!("bad prefix length {plen}")));
+    }
+    let nbytes = plen.div_ceil(8) as usize;
+    let raw = body.take(nbytes)?;
+    let mut bits = [0u8; 4];
+    bits[..nbytes].copy_from_slice(raw);
+    let prefix = Ipv4Prefix::new(Ipv4Addr::from(bits), plen);
+    let count = body.u16()?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let peer_idx = body.u16()?;
+        let _originated = body.u32()?;
+        let attr_len = body.u16()? as usize;
+        let attr_base = body.pos;
+        let attrs = body.take(attr_len)?;
+        let mut a = Cursor { data: attrs, pos: 0 };
+        let mut path = Vec::new();
+        while !a.done() {
+            let flags = a.u8()?;
+            let ty = a.u8()?;
+            let len = if flags & FLAG_EXTENDED_LEN != 0 {
+                a.u16()? as usize
+            } else {
+                a.u8()? as usize
+            };
+            let data_pos = a.pos;
+            let data = a.take(len)?;
+            if ty == ATTR_AS_PATH {
+                path = parse_as_path(data, attr_base + data_pos)?;
+            }
+        }
+        entries.push((peer_idx, path));
+    }
+    rib.routes.push(MrtRoute { prefix, entries });
+    Ok(())
+}
+
+/// Parses MRT bytes produced by [`write_mrt`] (or any TABLE_DUMP_V2 dump
+/// restricted to IPv4+AS4 peers and IPv4-unicast RIB records). Unknown
+/// record types are rejected with their offset.
+pub fn parse_mrt(bytes: &[u8]) -> Result<MrtRib, MrtError> {
+    let mut c = Cursor { data: bytes, pos: 0 };
+    let mut rib = MrtRib::default();
+    let mut saw_peer_table = false;
+    while !c.done() {
+        let _timestamp = c.u32()?;
+        let ty = c.u16()?;
+        let subtype = c.u16()?;
+        let len = c.u32()? as usize;
+        let body_start = c.pos;
+        let body = c.take(len)?;
+        if ty != MRT_TYPE_TABLE_DUMP_V2 {
+            return Err(MrtError {
+                offset: body_start,
+                message: format!("unsupported MRT type {ty} (TABLE_DUMP_V2 only)"),
+            });
+        }
+        let mut bc = Cursor { data: body, pos: 0 };
+        match subtype {
+            SUBTYPE_PEER_INDEX_TABLE => {
+                parse_peer_table(&mut bc, &mut rib)?;
+                saw_peer_table = true;
+            }
+            SUBTYPE_RIB_IPV4_UNICAST => {
+                if !saw_peer_table {
+                    return Err(MrtError {
+                        offset: body_start,
+                        message: "RIB record before PEER_INDEX_TABLE".into(),
+                    });
+                }
+                parse_rib_record(&mut bc, &mut rib)?;
+            }
+            other => {
+                return Err(MrtError {
+                    offset: body_start,
+                    message: format!("unsupported TABLE_DUMP_V2 subtype {other}"),
+                })
+            }
+        }
+        if !bc.done() {
+            return Err(MrtError {
+                offset: body_start + bc.pos,
+                message: "trailing bytes in record body".into(),
+            });
+        }
+    }
+    Ok(rib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MrtRib {
+        MrtRib {
+            collector_id: 0xC011_EC70,
+            view_name: "flatnet".into(),
+            peers: vec![
+                MrtPeer { bgp_id: 100, addr: Ipv4Addr::new(10, 0, 0, 100), asn: AsId(100) },
+                MrtPeer { bgp_id: 101, addr: Ipv4Addr::new(10, 0, 0, 101), asn: AsId(4_200_000_001) },
+            ],
+            routes: vec![
+                MrtRoute {
+                    prefix: "192.0.2.0/24".parse().unwrap(),
+                    entries: vec![
+                        (0, vec![AsId(200), AsId(300)]),
+                        (1, vec![AsId(300)]),
+                    ],
+                },
+                MrtRoute {
+                    prefix: "10.0.0.0/8".parse().unwrap(),
+                    entries: vec![(0, vec![])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bytes() {
+        let rib = sample();
+        let bytes = write_mrt(&rib, 1_600_000_000);
+        let back = parse_mrt(&bytes).unwrap();
+        assert_eq!(back, rib);
+    }
+
+    #[test]
+    fn header_fields_are_wire_correct() {
+        let bytes = write_mrt(&sample(), 42);
+        // timestamp
+        assert_eq!(&bytes[0..4], &42u32.to_be_bytes());
+        // type 13 / subtype 1
+        assert_eq!(&bytes[4..6], &13u16.to_be_bytes());
+        assert_eq!(&bytes[6..8], &1u16.to_be_bytes());
+        let len = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        // Second record starts right after.
+        assert_eq!(&bytes[12 + len + 4..12 + len + 6], &13u16.to_be_bytes());
+        assert_eq!(&bytes[12 + len + 6..12 + len + 8], &2u16.to_be_bytes());
+    }
+
+    #[test]
+    fn as4_numbers_survive() {
+        let rib = sample();
+        let bytes = write_mrt(&rib, 1);
+        let back = parse_mrt(&bytes).unwrap();
+        assert_eq!(back.peers[1].asn, AsId(4_200_000_001));
+    }
+
+    #[test]
+    fn long_paths_chunk_into_multiple_segments() {
+        let long: Vec<AsId> = (1..=600u32).map(AsId).collect();
+        let rib = MrtRib {
+            collector_id: 1,
+            view_name: String::new(),
+            peers: vec![MrtPeer { bgp_id: 1, addr: Ipv4Addr::LOCALHOST, asn: AsId(1) }],
+            routes: vec![MrtRoute { prefix: "10.0.0.0/8".parse().unwrap(), entries: vec![(0, long.clone())] }],
+        };
+        let back = parse_mrt(&write_mrt(&rib, 1)).unwrap();
+        assert_eq!(back.routes[0].entries[0].1, long);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse_mrt(&[1, 2, 3]).is_err());
+        let mut bytes = write_mrt(&sample(), 1);
+        bytes.truncate(bytes.len() - 3);
+        let err = parse_mrt(&bytes).unwrap_err();
+        assert!(err.message.contains("truncated"), "{err}");
+        // Unknown type.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 0);
+        put_u16(&mut bad, 99);
+        put_u16(&mut bad, 1);
+        put_u32(&mut bad, 0);
+        assert!(parse_mrt(&bad).unwrap_err().message.contains("unsupported MRT type"));
+    }
+
+    #[test]
+    fn rejects_rib_before_peer_table() {
+        let rib = sample();
+        let bytes = write_mrt(&rib, 1);
+        // Strip the first record (the peer table).
+        let len = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let rest = &bytes[12 + len..];
+        let err = parse_mrt(rest).unwrap_err();
+        assert!(err.message.contains("before PEER_INDEX_TABLE"), "{err}");
+    }
+
+    #[test]
+    fn empty_rib_roundtrip() {
+        let rib = MrtRib {
+            collector_id: 7,
+            view_name: "v".into(),
+            peers: vec![],
+            routes: vec![],
+        };
+        assert_eq!(parse_mrt(&write_mrt(&rib, 0)).unwrap(), rib);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_rib() -> impl Strategy<Value = MrtRib> {
+            let peer = (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(id, a, asn)| MrtPeer {
+                bgp_id: id,
+                addr: Ipv4Addr::from(a),
+                asn: AsId(asn),
+            });
+            let peers = proptest::collection::vec(peer, 1..5);
+            peers.prop_flat_map(|peers| {
+                let n_peers = peers.len() as u16;
+                let path = proptest::collection::vec(any::<u32>().prop_map(AsId), 0..6);
+                let entry = (0..n_peers, path);
+                let route = (any::<u32>(), 0u8..=32, proptest::collection::vec(entry, 0..4))
+                    .prop_map(|(bits, len, entries)| MrtRoute {
+                        prefix: Ipv4Prefix::new(Ipv4Addr::from(bits), len),
+                        entries,
+                    });
+                (
+                    Just(peers),
+                    proptest::collection::vec(route, 0..6),
+                    any::<u32>(),
+                    "[a-z]{0,12}",
+                )
+                    .prop_map(|(peers, routes, collector_id, view_name)| MrtRib {
+                        collector_id,
+                        view_name,
+                        peers,
+                        routes,
+                    })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn any_rib_roundtrips(rib in arb_rib(), ts in any::<u32>()) {
+                let bytes = write_mrt(&rib, ts);
+                let back = parse_mrt(&bytes).unwrap();
+                prop_assert_eq!(back, rib);
+            }
+
+            #[test]
+            fn parser_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = parse_mrt(&bytes); // must not panic
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! In-memory RIB model and conversions to/from the simulator's collector
+//! output.
+
+use flatnet_asgraph::AsId;
+use flatnet_bgpsim::RibEntry;
+use flatnet_prefixdb::Ipv4Prefix;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// One peer (monitor session) in the PEER_INDEX_TABLE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrtPeer {
+    /// Peer BGP identifier.
+    pub bgp_id: u32,
+    /// Peer IPv4 address.
+    pub addr: Ipv4Addr,
+    /// Peer AS number (AS4).
+    pub asn: AsId,
+}
+
+/// One RIB_IPV4_UNICAST record: a prefix with one entry per peer that
+/// carries a route for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrtRoute {
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// `(peer index, AS path)` pairs. The AS path excludes the peer's own
+    /// AS (as in a real RIB) and ends at the origin.
+    pub entries: Vec<(u16, Vec<AsId>)>,
+}
+
+/// A complete RIB snapshot: peer table + routes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MrtRib {
+    /// Collector BGP id (header of the PEER_INDEX_TABLE).
+    pub collector_id: u32,
+    /// Optional view name.
+    pub view_name: String,
+    /// The peer table; RIB entries reference it by index.
+    pub peers: Vec<MrtPeer>,
+    /// RIB records, one per prefix.
+    pub routes: Vec<MrtRoute>,
+}
+
+/// Builds an [`MrtRib`] from simulated collector output.
+///
+/// `prefix_of` maps an origin AS to the prefix it announces; origins
+/// without a prefix are skipped. Peers are synthesized deterministically
+/// from the monitor ASNs (BGP id = ASN, address `10.x.y.z` derived from
+/// the ASN). Paths are stored without the monitor's own AS, matching real
+/// RIB semantics ([`to_rib_entries`] adds it back).
+pub fn from_rib_entries(
+    entries: &[RibEntry],
+    mut prefix_of: impl FnMut(AsId) -> Option<Ipv4Prefix>,
+) -> MrtRib {
+    let mut peer_index: BTreeMap<u32, u16> = BTreeMap::new();
+    let mut peers = Vec::new();
+    for e in entries {
+        peer_index.entry(e.monitor.0).or_insert_with(|| {
+            let idx = peers.len() as u16;
+            let a = e.monitor.0;
+            peers.push(MrtPeer {
+                bgp_id: a,
+                addr: Ipv4Addr::new(10, (a >> 16) as u8, (a >> 8) as u8, a as u8),
+                asn: e.monitor,
+            });
+            idx
+        });
+    }
+    let mut by_origin: BTreeMap<u32, Vec<(u16, Vec<AsId>)>> = BTreeMap::new();
+    for e in entries {
+        let idx = peer_index[&e.monitor.0];
+        // Drop the monitor's own AS from the stored path.
+        let path: Vec<AsId> = e.path.iter().copied().skip(1).collect();
+        by_origin.entry(e.origin.0).or_default().push((idx, path));
+    }
+    let mut routes = Vec::new();
+    for (origin, entries) in by_origin {
+        if let Some(prefix) = prefix_of(AsId(origin)) {
+            routes.push(MrtRoute { prefix, entries });
+        }
+    }
+    MrtRib { collector_id: 0xC011_EC70, view_name: "flatnet".into(), peers, routes }
+}
+
+/// Expands an [`MrtRib`] back into flat collector entries (monitor AS
+/// prepended to each stored path). Entries referencing out-of-range peer
+/// indices are skipped. Origins are taken from the last path element;
+/// empty paths (the peer originates the prefix itself) yield a one-hop
+/// entry at the peer.
+pub fn to_rib_entries(rib: &MrtRib) -> Vec<RibEntry> {
+    let mut out = Vec::new();
+    for route in &rib.routes {
+        for (idx, path) in &route.entries {
+            let Some(peer) = rib.peers.get(*idx as usize) else { continue };
+            let mut full = Vec::with_capacity(path.len() + 1);
+            full.push(peer.asn);
+            full.extend_from_slice(path);
+            let origin = *full.last().unwrap();
+            out.push(RibEntry { monitor: peer.asn, origin, path: full });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(monitor: u32, path: &[u32]) -> RibEntry {
+        let path: Vec<AsId> = path.iter().map(|&a| AsId(a)).collect();
+        RibEntry { monitor: AsId(monitor), origin: *path.last().unwrap(), path }
+    }
+
+    #[test]
+    fn from_and_to_rib_entries_roundtrip() {
+        let entries = vec![
+            entry(100, &[100, 200, 300]),
+            entry(100, &[100, 400]),
+            entry(101, &[101, 200, 300]),
+        ];
+        let rib = from_rib_entries(&entries, |origin| {
+            Some(Ipv4Prefix::new(Ipv4Addr::from(origin.0 << 12), 20))
+        });
+        assert_eq!(rib.peers.len(), 2);
+        assert_eq!(rib.routes.len(), 2); // origins 300 and 400
+        let mut back = to_rib_entries(&rib);
+        back.sort_by_key(|e| (e.monitor, e.origin));
+        let mut want = entries.clone();
+        want.sort_by_key(|e| (e.monitor, e.origin));
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn origins_without_prefix_are_dropped() {
+        let entries = vec![entry(100, &[100, 200])];
+        let rib = from_rib_entries(&entries, |_| None);
+        assert!(rib.routes.is_empty());
+        assert_eq!(rib.peers.len(), 1); // peer table still built
+    }
+
+    #[test]
+    fn self_originated_prefix_roundtrip() {
+        // Monitor originates the prefix: stored path is empty.
+        let entries = vec![entry(100, &[100])];
+        let rib = from_rib_entries(&entries, |origin| {
+            Some(Ipv4Prefix::new(Ipv4Addr::from(origin.0 << 12), 20))
+        });
+        assert_eq!(rib.routes[0].entries[0].1, Vec::<AsId>::new());
+        let back = to_rib_entries(&rib);
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn bad_peer_index_skipped() {
+        let mut rib = from_rib_entries(&[entry(100, &[100, 200])], |o| {
+            Some(Ipv4Prefix::new(Ipv4Addr::from(o.0), 24))
+        });
+        rib.routes[0].entries[0].0 = 42; // out of range
+        assert!(to_rib_entries(&rib).is_empty());
+    }
+}

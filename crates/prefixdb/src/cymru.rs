@@ -1,0 +1,167 @@
+//! Team Cymru-style IP→origin-ASN database over *globally announced*
+//! prefixes.
+//!
+//! The real service answers "which origin AS announces the most specific
+//! BGP prefix covering this IP?". Our database is fed either from synthetic
+//! announcements (`flatnet-netgen`) or from a simple `prefix|asn` text dump,
+//! and answers via longest-prefix match. Crucially for the paper's §5, this
+//! database only knows **announced** space: IXP peering LANs that are not in
+//! BGP miss here, and IXP LANs announced by the IXP's own AS resolve to the
+//! IXP AS rather than the member AS — both failure modes the inference
+//! pipeline must handle.
+
+use crate::ipv4::Ipv4Prefix;
+use crate::trie::PrefixTrie;
+use flatnet_asgraph::AsId;
+use std::net::Ipv4Addr;
+
+/// Longest-prefix-match database of announced prefixes and origin ASes.
+#[derive(Debug, Clone, Default)]
+pub struct AnnouncedDb {
+    trie: PrefixTrie<AsId>,
+}
+
+impl AnnouncedDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Registers an announcement. Re-announcing the same prefix overwrites
+    /// the origin (last one wins, as a route collector would converge).
+    pub fn announce(&mut self, prefix: Ipv4Prefix, origin: AsId) {
+        self.trie.insert(prefix, origin);
+    }
+
+    /// The origin AS of the most specific announced prefix covering `ip`.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Option<AsId> {
+        self.trie.lookup(ip).map(|(_, &asn)| asn)
+    }
+
+    /// As [`AnnouncedDb::resolve`], also reporting the matched prefix.
+    pub fn resolve_with_prefix(&self, ip: Ipv4Addr) -> Option<(Ipv4Prefix, AsId)> {
+        self.trie.lookup(ip).map(|(p, &asn)| (p, asn))
+    }
+
+    /// Whether this exact prefix is announced.
+    pub fn is_announced(&self, prefix: Ipv4Prefix) -> bool {
+        self.trie.get(prefix).is_some()
+    }
+
+    /// Iterates announcements in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, AsId)> + '_ {
+        self.trie.iter().map(|(p, &asn)| (p, asn))
+    }
+
+    /// Parses a `prefix|asn` text dump (one per line, `#` comments).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut db = Self::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (pfx, asn) = line
+                .split_once('|')
+                .ok_or_else(|| format!("line {}: expected prefix|asn", i + 1))?;
+            let prefix: Ipv4Prefix = pfx
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let asn: u32 = asn
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad ASN: {e}", i + 1))?;
+            db.announce(prefix, AsId(asn));
+        }
+        Ok(db)
+    }
+
+    /// Serializes as `prefix|asn` lines (round-trips through [`AnnouncedDb::parse`]).
+    pub fn write(&self) -> String {
+        let mut out = String::from("# flatnet announced-prefix dump\n");
+        for (p, asn) in self.iter() {
+            out.push_str(&format!("{p}|{}\n", asn.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn resolves_most_specific_origin() {
+        let mut db = AnnouncedDb::new();
+        db.announce("10.0.0.0/8".parse().unwrap(), AsId(100));
+        db.announce("10.1.0.0/16".parse().unwrap(), AsId(200));
+        assert_eq!(db.resolve(ip("10.1.1.1")), Some(AsId(200)));
+        assert_eq!(db.resolve(ip("10.2.1.1")), Some(AsId(100)));
+        assert_eq!(db.resolve(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn unannounced_ixp_space_misses() {
+        // The NL-IX example from §4.1: 193.238.116.0/22 is NOT in BGP.
+        let mut db = AnnouncedDb::new();
+        db.announce("193.0.0.0/8".parse().unwrap(), AsId(3333));
+        // The /8 covers it, so Cymru-style resolution gives the covering
+        // announcement — the *wrong* AS for an IXP peering address. The
+        // realistic case where nothing covers it:
+        let empty = AnnouncedDb::new();
+        assert_eq!(empty.resolve(ip("193.238.116.5")), None);
+        // And the misleading case:
+        assert_eq!(db.resolve(ip("193.238.116.5")), Some(AsId(3333)));
+    }
+
+    #[test]
+    fn reannouncement_overwrites() {
+        let mut db = AnnouncedDb::new();
+        db.announce("10.0.0.0/8".parse().unwrap(), AsId(1));
+        db.announce("10.0.0.0/8".parse().unwrap(), AsId(2));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.resolve(ip("10.0.0.1")), Some(AsId(2)));
+    }
+
+    #[test]
+    fn parse_and_write_roundtrip() {
+        let text = "# dump\n10.0.0.0/8|100\n192.0.2.0/24|65000\n";
+        let db = AnnouncedDb::parse(text).unwrap();
+        assert_eq!(db.len(), 2);
+        let db2 = AnnouncedDb::parse(&db.write()).unwrap();
+        assert_eq!(db.iter().collect::<Vec<_>>(), db2.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(AnnouncedDb::parse("10.0.0.0/8\n").is_err());
+        assert!(AnnouncedDb::parse("10.0.0.0/99|1\n").is_err());
+        assert!(AnnouncedDb::parse("10.0.0.0/8|asn\n").is_err());
+    }
+
+    #[test]
+    fn resolve_with_prefix_reports_match() {
+        let mut db = AnnouncedDb::new();
+        db.announce("10.1.0.0/16".parse().unwrap(), AsId(9));
+        let (p, asn) = db.resolve_with_prefix(ip("10.1.2.3")).unwrap();
+        assert_eq!(p, "10.1.0.0/16".parse().unwrap());
+        assert_eq!(asn, AsId(9));
+        assert!(db.is_announced("10.1.0.0/16".parse().unwrap()));
+        assert!(!db.is_announced("10.0.0.0/8".parse().unwrap()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Probe budgets and campaign duration under rate limits (§4.1/§4.4).
+//!
+//! "We restrict our measurements at each VM to 1000 pps to avoid rate
+//! limiting" — and §4.4 names *measurement budgets* as the reason nobody
+//! has mapped other edge networks' neighbors. This module makes those
+//! operational constraints computable: how many probes a campaign costs
+//! and how long it takes per VM at a given packet rate.
+
+use crate::engine::Campaign;
+use std::time::Duration;
+
+/// The paper's per-VM probe rate.
+pub const PAPER_PPS: u32 = 1000;
+
+/// Probe-cost accounting for a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeBudget {
+    /// Traceroutes launched.
+    pub traces: usize,
+    /// Total probes sent, assuming `attempts` probes per hop (scamper
+    /// default retries) — unresponsive hops still consume probes.
+    pub probes: u64,
+    /// The per-hop attempt count the estimate used.
+    pub attempts: u32,
+}
+
+impl ProbeBudget {
+    /// Wall-clock time to send this many probes from ONE vantage point at
+    /// `pps` packets per second.
+    pub fn duration_at(&self, pps: u32) -> Duration {
+        if pps == 0 {
+            return Duration::MAX;
+        }
+        Duration::from_secs_f64(self.probes as f64 / pps as f64)
+    }
+}
+
+/// Accounts the probes a campaign consumed (`attempts` probes per hop).
+pub fn probe_budget(campaign: &Campaign, attempts: u32) -> ProbeBudget {
+    let probes: u64 = campaign
+        .traces
+        .iter()
+        .map(|t| t.hops.len() as u64 * attempts as u64)
+        .sum();
+    ProbeBudget { traces: campaign.len(), probes, attempts }
+}
+
+/// The paper-scale estimate: probing every routable IPv4 /24 (~11.7M
+/// destinations at the time) with `hops_per_trace` average hops and
+/// `attempts` probes per hop, from one VM at `pps` — the reason full
+/// sweeps take days and per-AS supplemental sweeps exist.
+pub fn full_sweep_duration(
+    destinations: u64,
+    hops_per_trace: f64,
+    attempts: u32,
+    pps: u32,
+) -> Duration {
+    if pps == 0 {
+        return Duration::MAX;
+    }
+    let probes = destinations as f64 * hops_per_trace * attempts as f64;
+    Duration::from_secs_f64(probes / pps as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_campaign, CampaignOptions};
+    use flatnet_netgen::{generate, NetGenConfig};
+
+    #[test]
+    fn accounts_campaign_probes() {
+        let mut cfg = NetGenConfig::tiny(42);
+        cfg.n_ases = 150;
+        let net = generate(&cfg);
+        let c = run_campaign(&net, &CampaignOptions { dest_sample: 0.4, max_vps: 2, ..Default::default() });
+        let b = probe_budget(&c, 2);
+        assert_eq!(b.traces, c.len());
+        let hops: u64 = c.traces.iter().map(|t| t.hops.len() as u64).sum();
+        assert_eq!(b.probes, hops * 2);
+        // Duration scales inversely with rate.
+        let fast = b.duration_at(2 * PAPER_PPS);
+        let slow = b.duration_at(PAPER_PPS);
+        assert!((slow.as_secs_f64() - 2.0 * fast.as_secs_f64()).abs() < 1e-9);
+        assert_eq!(b.duration_at(0), Duration::MAX);
+    }
+
+    #[test]
+    fn paper_scale_sweep_takes_days() {
+        // ~11.7M routable /24s, ~16 hops, 2 attempts, 1000 pps.
+        let d = full_sweep_duration(11_700_000, 16.0, 2, PAPER_PPS);
+        let days = d.as_secs_f64() / 86_400.0;
+        // > 4 days from a single VM: why the paper measures from many VMs
+        // and runs supplemental one-prefix-per-AS sweeps.
+        assert!(days > 4.0 && days < 5.0, "{days} days");
+        assert_eq!(full_sweep_duration(1, 1.0, 1, 0), Duration::MAX);
+    }
+}

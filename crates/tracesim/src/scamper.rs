@@ -1,0 +1,182 @@
+//! A scamper-like plain-text traceroute format.
+//!
+//! The paper collects ICMP traceroutes with Scamper (§4.1). We serialize
+//! to a compact text form modeled on `scamper -O text` output so campaigns
+//! can be dumped, diffed, and re-loaded:
+//!
+//! ```text
+//! trace from AS15169/city3 to 10.0.0.1 asn 64512 complete
+//!  1 1.0.0.1 0.512 ms
+//!  2 *
+//!  3 10.0.0.1 12.250 ms
+//! ```
+
+use crate::model::{Hop, Traceroute, VantagePoint};
+use flatnet_asgraph::AsId;
+
+/// Serializes one traceroute.
+pub fn write_trace(t: &Traceroute) -> String {
+    let mut out = format!(
+        "trace from AS{}/city{} to {} asn {} {}\n",
+        t.vp.cloud.0,
+        t.vp.city,
+        t.dst,
+        t.dst_asn.0,
+        if t.completed { "complete" } else { "incomplete" }
+    );
+    for h in &t.hops {
+        match (h.addr, h.rtt_ms) {
+            (Some(a), Some(rtt)) => out.push_str(&format!("{:2} {} {:.3} ms\n", h.ttl, a, rtt)),
+            (Some(a), None) => out.push_str(&format!("{:2} {}\n", h.ttl, a)),
+            (None, _) => out.push_str(&format!("{:2} *\n", h.ttl)),
+        }
+    }
+    out
+}
+
+/// Serializes a campaign (traces separated by their headers).
+pub fn write_traces(traces: &[Traceroute]) -> String {
+    traces.iter().map(write_trace).collect()
+}
+
+/// Parses the output of [`write_traces`].
+pub fn parse_traces(text: &str) -> Result<Vec<Traceroute>, String> {
+    let mut out: Vec<Traceroute> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |m: &str| format!("line {}: {m}", lineno + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("trace from ") {
+            // AS15169/city3 to 10.0.0.1 asn 64512 complete
+            let mut parts = rest.split_whitespace();
+            let vp = parts.next().ok_or_else(|| err("missing vp"))?;
+            let (asn_s, city_s) = vp.split_once('/').ok_or_else(|| err("bad vp"))?;
+            let cloud: u32 = asn_s
+                .strip_prefix("AS")
+                .ok_or_else(|| err("bad vp asn"))?
+                .parse()
+                .map_err(|_| err("bad vp asn"))?;
+            let city: usize = city_s
+                .strip_prefix("city")
+                .ok_or_else(|| err("bad vp city"))?
+                .parse()
+                .map_err(|_| err("bad vp city"))?;
+            if parts.next() != Some("to") {
+                return Err(err("expected 'to'"));
+            }
+            let dst = parts
+                .next()
+                .ok_or_else(|| err("missing dst"))?
+                .parse()
+                .map_err(|_| err("bad dst"))?;
+            if parts.next() != Some("asn") {
+                return Err(err("expected 'asn'"));
+            }
+            let dst_asn: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing asn"))?
+                .parse()
+                .map_err(|_| err("bad asn"))?;
+            let completed = match parts.next() {
+                Some("complete") => true,
+                Some("incomplete") => false,
+                _ => return Err(err("missing completion flag")),
+            };
+            out.push(Traceroute {
+                vp: VantagePoint { cloud: AsId(cloud), city },
+                dst,
+                dst_asn: AsId(dst_asn),
+                hops: Vec::new(),
+                completed,
+            });
+        } else {
+            let t = out.last_mut().ok_or_else(|| err("hop before any trace header"))?;
+            let mut parts = line.split_whitespace();
+            let ttl: u8 = parts
+                .next()
+                .ok_or_else(|| err("missing ttl"))?
+                .parse()
+                .map_err(|_| err("bad ttl"))?;
+            let addr = match parts.next().ok_or_else(|| err("missing addr"))? {
+                "*" => None,
+                a => Some(a.parse().map_err(|_| err("bad addr"))?),
+            };
+            let rtt_ms = match parts.next() {
+                None => None,
+                Some(v) => {
+                    if parts.next() != Some("ms") {
+                        return Err(err("expected 'ms' after RTT"));
+                    }
+                    Some(v.parse().map_err(|_| err("bad RTT"))?)
+                }
+            };
+            t.hops.push(Hop { ttl, addr, rtt_ms });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Traceroute> {
+        vec![
+            Traceroute {
+                vp: VantagePoint { cloud: AsId(15169), city: 3 },
+                dst: "10.0.0.1".parse().unwrap(),
+                dst_asn: AsId(64512),
+                hops: vec![
+                    Hop { ttl: 1, addr: Some("1.0.0.1".parse().unwrap()), rtt_ms: Some(0.512) },
+                    Hop { ttl: 2, addr: None, rtt_ms: None },
+                    Hop { ttl: 3, addr: Some("10.0.0.1".parse().unwrap()), rtt_ms: Some(12.25) },
+                ],
+                completed: true,
+            },
+            Traceroute {
+                vp: VantagePoint { cloud: AsId(8075), city: 0 },
+                dst: "10.1.0.1".parse().unwrap(),
+                dst_asn: AsId(64513),
+                hops: vec![Hop { ttl: 1, addr: None, rtt_ms: None }],
+                completed: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips() {
+        let traces = sample();
+        let text = write_traces(&traces);
+        let parsed = parse_traces(&text).unwrap();
+        assert_eq!(parsed, traces);
+    }
+
+    #[test]
+    fn renders_stars_for_losses() {
+        let text = write_trace(&sample()[0]);
+        assert!(text.contains(" 2 *\n"), "{text}");
+        assert!(text.contains("complete"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_traces(" 1 1.2.3.4\n").is_err()); // hop before header
+        assert!(parse_traces("trace from X to 1.2.3.4 asn 5 complete\n").is_err());
+        assert!(parse_traces("trace from AS1/city0 to nope asn 5 complete\n").is_err());
+        assert!(parse_traces("trace from AS1/city0 to 1.2.3.4 asn 5 maybe\n").is_err());
+        let bad_hop = "trace from AS1/city0 to 1.2.3.4 asn 5 complete\n x 1.2.3.4\n";
+        assert!(parse_traces(bad_hop).is_err());
+        // RTT must be followed by the 'ms' unit, and be numeric.
+        let bad_rtt = "trace from AS1/city0 to 1.2.3.4 asn 5 complete\n 1 1.2.3.4 5.0\n";
+        assert!(parse_traces(bad_rtt).is_err());
+        let bad_rtt2 = "trace from AS1/city0 to 1.2.3.4 asn 5 complete\n 1 1.2.3.4 x ms\n";
+        assert!(parse_traces(bad_rtt2).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(parse_traces("").unwrap(), Vec::new());
+    }
+}

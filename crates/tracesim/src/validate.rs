@@ -1,0 +1,108 @@
+//! Validation of inferred neighbor sets against ground truth (§5).
+//!
+//! The paper validated with Microsoft and Google directly; here the
+//! generator's ground truth plays the operator. The two §5 headline
+//! metrics are the **false discovery rate** `FP / (FP + TP)` and the
+//! **false negative rate** `FN / (FN + TP)`.
+
+use flatnet_asgraph::AsId;
+use std::collections::BTreeSet;
+
+/// Confusion counts for one inferred neighbor set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Correctly inferred neighbors.
+    pub tp: usize,
+    /// Inferred ASes that are not real neighbors.
+    pub fp: usize,
+    /// Real neighbors the inference missed.
+    pub fn_: usize,
+    /// The false positives themselves (for debugging methodology).
+    pub false_positives: Vec<AsId>,
+    /// The missed neighbors.
+    pub false_negatives: Vec<AsId>,
+}
+
+impl ValidationReport {
+    /// False discovery rate `FP / (FP + TP)`; 0 when nothing was inferred.
+    pub fn fdr(&self) -> f64 {
+        if self.fp + self.tp == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tp) as f64
+        }
+    }
+
+    /// False negative rate `FN / (FN + TP)`; 0 when there is no truth.
+    pub fn fnr(&self) -> f64 {
+        if self.fn_ + self.tp == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / (self.fn_ + self.tp) as f64
+        }
+    }
+
+    /// One-line summary, §5 style.
+    pub fn summary(&self) -> String {
+        format!(
+            "TP {} FP {} FN {} | FDR {:.1}% FNR {:.1}%",
+            self.tp,
+            self.fp,
+            self.fn_,
+            100.0 * self.fdr(),
+            100.0 * self.fnr()
+        )
+    }
+}
+
+/// Scores an inferred neighbor set against the true one.
+pub fn validate_neighbors(inferred: &BTreeSet<AsId>, truth: &BTreeSet<AsId>) -> ValidationReport {
+    let tp = inferred.intersection(truth).count();
+    let false_positives: Vec<AsId> = inferred.difference(truth).copied().collect();
+    let false_negatives: Vec<AsId> = truth.difference(inferred).copied().collect();
+    ValidationReport {
+        tp,
+        fp: false_positives.len(),
+        fn_: false_negatives.len(),
+        false_positives,
+        false_negatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> BTreeSet<AsId> {
+        v.iter().map(|&a| AsId(a)).collect()
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let r = validate_neighbors(&set(&[1, 2, 3]), &set(&[2, 3, 4, 5]));
+        assert_eq!((r.tp, r.fp, r.fn_), (2, 1, 2));
+        assert!((r.fdr() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.fnr() - 0.5).abs() < 1e-12);
+        assert_eq!(r.false_positives, vec![AsId(1)]);
+        assert_eq!(r.false_negatives, vec![AsId(4), AsId(5)]);
+    }
+
+    #[test]
+    fn perfect_inference() {
+        let r = validate_neighbors(&set(&[7, 8]), &set(&[7, 8]));
+        assert_eq!(r.fdr(), 0.0);
+        assert_eq!(r.fnr(), 0.0);
+        assert!(r.summary().contains("FDR 0.0%"));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let r = validate_neighbors(&set(&[]), &set(&[]));
+        assert_eq!(r.fdr(), 0.0);
+        assert_eq!(r.fnr(), 0.0);
+        let r = validate_neighbors(&set(&[]), &set(&[1]));
+        assert_eq!(r.fnr(), 1.0);
+        let r = validate_neighbors(&set(&[1]), &set(&[]));
+        assert_eq!(r.fdr(), 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! §9: PoP deployments vs population (Figures 11-12, Table 3).
+//!
+//! ```sh
+//! cargo run --release --example pop_coverage
+//! ```
+
+use flatnet_core::pops_exp::{
+    continent_coverage, coverage_row, deployment_split, rdns_table, RADII_KM,
+};
+use flatnet_core::report::TextTable;
+use flatnet_geo::pops::{union_footprints, Footprint};
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn main() {
+    let cfg = NetGenConfig::paper_2020(800, 5);
+    let net = generate(&cfg);
+    let grid = &net.popgrid;
+
+    let cloud_fps: Vec<&Footprint> = net
+        .cloud_providers()
+        .map(|c| &net.geo.footprints[&c.asn.0])
+        .collect();
+    let transit_fps: Vec<&Footprint> = net
+        .tier1
+        .iter()
+        .chain(net.tier2.iter().take(6))
+        .map(|a| &net.geo.footprints[&a.0])
+        .collect();
+
+    // Fig. 11: deployment split.
+    let split = deployment_split(&cloud_fps, &transit_fps);
+    println!("== Fig. 11: PoP metros by cohort ==");
+    println!("cloud-only    : {:?}", split.cloud_only);
+    println!("transit-only  : {:?}", split.transit_only);
+    println!("both cohorts  : {} metros", split.both.len());
+
+    // Fig. 12a: per-continent coverage per cohort.
+    println!("\n== Fig. 12a: % of continent population within 500/700/1000 km ==");
+    let cloud_union = union_footprints("clouds", &cloud_fps);
+    let transit_union = union_footprints("transit", &transit_fps);
+    let mut t = TextTable::new(["continent", "cloud 500", "700", "1000", "transit 500", "700", "1000"]);
+    let cloud_rows = continent_coverage(grid, &cloud_union.points());
+    let transit_rows = continent_coverage(grid, &transit_union.points());
+    for (c, tr) in cloud_rows.iter().zip(&transit_rows) {
+        t.row([
+            c.continent.name().to_string(),
+            format!("{:.1}%", c.coverage[0]),
+            format!("{:.1}%", c.coverage[1]),
+            format!("{:.1}%", c.coverage[2]),
+            format!("{:.1}%", tr.coverage[0]),
+            format!("{:.1}%", tr.coverage[1]),
+            format!("{:.1}%", tr.coverage[2]),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Fig. 12b: per-provider worldwide coverage.
+    println!("== Fig. 12b: worldwide population coverage per network ==");
+    let mut rows: Vec<_> = cloud_fps
+        .iter()
+        .chain(transit_fps.iter())
+        .map(|fp| coverage_row(grid, fp))
+        .collect();
+    rows.sort_by(|a, b| b.world[0].partial_cmp(&a.world[0]).unwrap());
+    let mut t = TextTable::new(["network", "500 km", "700 km", "1000 km"]);
+    for r in &rows {
+        t.row([
+            r.name.clone(),
+            format!("{:.1}%", r.world[0]),
+            format!("{:.1}%", r.world[1]),
+            format!("{:.1}%", r.world[2]),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(radii: {RADII_KM:?} km)");
+
+    // Table 3: PoPs and rDNS confirmation.
+    println!("\n== Table 3: PoPs, router hostnames, % rDNS-confirmed ==");
+    let all_fps: Vec<&Footprint> = cloud_fps.iter().chain(transit_fps.iter()).copied().collect();
+    let mut t = TextTable::new(["network", "ASN", "# PoPs", "# hostnames", "% rDNS"]);
+    for row in rdns_table(&all_fps) {
+        t.row([
+            row.name,
+            row.asn.to_string(),
+            row.pops.to_string(),
+            row.hostnames.to_string(),
+            format!("{:.1}%", row.rdns_pct),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,61 @@
+//! §8: route-leak resilience of a cloud provider under different
+//! announcement configurations and peer-locking deployments (Figures 7-9).
+//!
+//! ```sh
+//! cargo run --release --example route_leak_study
+//! ```
+
+use flatnet_core::leaks::{average_resilience_cdf, leak_cdf, Announce, Locking};
+use flatnet_core::report::ascii_cdf;
+use flatnet_netgen::{generate, NetGenConfig};
+
+fn main() {
+    let cfg = NetGenConfig::paper_2020(1000, 11);
+    let net = generate(&cfg);
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let n_leakers = 150;
+
+    println!("route leaks against {} (AS{}), {} random leakers\n", net.name_of(google), google.0, n_leakers);
+    println!("{:<42} {:>7} {:>7} {:>7}  cdf (x: 0..100% ASes detoured)", "configuration", "median", "p90", "worst");
+
+    let scenarios: [(&str, Announce, Locking); 5] = [
+        ("announce to all, global peer lock", Announce::ToAll, Locking::Global),
+        ("announce to all, T1+T2 peer lock", Announce::ToAll, Locking::Tier12),
+        ("announce to all, T1 peer lock", Announce::ToAll, Locking::Tier1),
+        ("announce to all", Announce::ToAll, Locking::None),
+        ("announce to T1, T2, and providers", Announce::ToTier12AndProviders, Locking::None),
+    ];
+    for (name, announce, locking) in scenarios {
+        let cdf = leak_cdf(&net.truth, &tiers, google, announce, locking, n_leakers, 99, None)
+            .expect("google exists");
+        println!(
+            "{:<42} {:>6.1}% {:>6.1}% {:>6.1}%  |{}|",
+            name,
+            100.0 * cdf.median(),
+            100.0 * cdf.percentile(90.0),
+            100.0 * cdf.max(),
+            ascii_cdf(&cdf.fractions, 40),
+        );
+    }
+
+    let avg = average_resilience_cdf(&net.truth, 60, 40, 99, None);
+    println!(
+        "{:<42} {:>6.1}% {:>6.1}% {:>6.1}%  |{}|",
+        "average resilience (random origins)",
+        100.0 * avg.median(),
+        100.0 * avg.percentile(90.0),
+        100.0 * avg.max(),
+        ascii_cdf(&avg.fractions, 40),
+    );
+
+    // Fig. 9: weight detoured ASes by their estimated user populations.
+    let weights = net.user_weights();
+    let cdf = leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, n_leakers, 99, Some(&weights))
+        .expect("google exists");
+    println!(
+        "\nusers detoured, announce to all:          {:>6.1}% median, {:>6.1}% worst",
+        100.0 * cdf.median(),
+        100.0 * cdf.max()
+    );
+}

@@ -1,0 +1,128 @@
+//! Cross-crate format and dataset plumbing: CAIDA serialization of
+//! generated topologies, scamper round-trips of full campaigns, Appendix A
+//! path validation, and Appendix D geolocation over the synthetic world.
+
+use flatnet_asgraph::caida::{parse_serial1, parse_serial2, write_serial1, write_serial2};
+use flatnet_core::path_validation::validate_paths;
+use flatnet_geo::cities::CITIES;
+use flatnet_geo::geolocate::{fiber_rtt_ms, geolocate};
+use flatnet_netgen::{generate, NetGenConfig, SyntheticInternet};
+use flatnet_tracesim::scamper::{parse_traces, write_traces};
+use flatnet_tracesim::{run_campaign, CampaignOptions};
+
+fn net() -> SyntheticInternet {
+    let mut cfg = NetGenConfig::tiny(42);
+    cfg.n_ases = 300;
+    generate(&cfg)
+}
+
+#[test]
+fn generated_topologies_roundtrip_through_caida_formats() {
+    let net = net();
+    for g in [&net.truth, &net.public] {
+        let text1 = write_serial1(g);
+        let back1 = parse_serial1(text1.as_bytes()).unwrap().build();
+        assert_eq!(back1.edge_count(), g.edge_count());
+        let text2 = write_serial2(g);
+        let back2 = parse_serial2(text2.as_bytes()).unwrap().build();
+        assert_eq!(back2.edges(), back1.edges());
+        // Relationship annotations survive.
+        for &(x, y, rel) in g.edges() {
+            let a = back1.index_of(g.asn(x)).unwrap();
+            let b = back1.index_of(g.asn(y)).unwrap();
+            let kind = back1.kind_between(a, b).unwrap();
+            match rel {
+                flatnet_asgraph::Relationship::P2c => {
+                    assert_eq!(kind, flatnet_asgraph::graph::NeighborKind::Customer)
+                }
+                flatnet_asgraph::Relationship::P2p => {
+                    assert_eq!(kind, flatnet_asgraph::graph::NeighborKind::Peer)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn campaigns_roundtrip_through_scamper_text() {
+    let net = net();
+    let campaign = run_campaign(
+        &net,
+        &CampaignOptions { dest_sample: 0.2, max_vps: 2, ..Default::default() },
+    );
+    assert!(campaign.len() > 100);
+    let text = write_traces(&campaign.traces);
+    let parsed = parse_traces(&text).unwrap();
+    assert_eq!(parsed, campaign.traces);
+}
+
+#[test]
+fn appendix_a_agreement_band() {
+    let net = net();
+    let campaign = run_campaign(
+        &net,
+        &CampaignOptions { dest_sample: 0.5, max_vps: 3, ..Default::default() },
+    );
+    let clouds: Vec<_> = net.clouds.iter().map(|c| c.asn).collect();
+    let agreement = validate_paths(&net.truth, &net.addressing.resolver, &campaign, &clouds);
+    // The paper saw 73-92% agreement; on the ground-truth graph (which
+    // generated the traffic) only resolution noise should miss.
+    for cloud in &net.clouds {
+        let a = &agreement[&cloud.asn.0];
+        assert!(a.scored > 50, "{} scored {}", cloud.spec.name, a.scored);
+        assert!(
+            a.pct() > 65.0,
+            "{} agreement {:.1}% ({}/{})",
+            cloud.spec.name,
+            a.pct(),
+            a.matching,
+            a.scored
+        );
+    }
+}
+
+#[test]
+fn appendix_d_geolocation_on_synthetic_facilities() {
+    // Build candidate lists from the synthetic PeeringDB facilities and
+    // verify the RTT procedure pins router locations.
+    let net = net();
+    // Take a Tier-1 with a footprint; its PoP cities are the candidates.
+    let t1 = net.tier1[0];
+    let fp = &net.geo.footprints[&t1.0];
+    let candidates: Vec<(String, flatnet_geo::GeoPoint)> =
+        fp.sites().iter().map(|s| (s.city.clone(), s.point)).collect();
+    assert!(candidates.len() > 5);
+    // A "router" at the 3rd PoP city.
+    let true_site = &fp.sites()[2];
+    let got = geolocate(&candidates, None, |vp| Some(fiber_rtt_ms(*vp, true_site.point)));
+    let got = got.expect("geolocates");
+    // Accepts a city within ~100 km of the truth (usually the same city).
+    assert!(
+        flatnet_geo::haversine_km(got.point, true_site.point) <= 100.0,
+        "placed {} at {}",
+        true_site.city,
+        got.city
+    );
+    // With an rDNS hint, the answer is exact.
+    let hinted = geolocate(&candidates, Some(&true_site.city), |vp| {
+        Some(fiber_rtt_ms(*vp, true_site.point))
+    })
+    .expect("geolocates with hint");
+    assert_eq!(hinted.city, true_site.city);
+}
+
+#[test]
+fn city_table_supports_rdns_roundtrip_for_conventions() {
+    let net = net();
+    let codes: Vec<&str> = CITIES.iter().map(|c| c.code).collect();
+    let mut exercised = 0;
+    for (asn, conv) in &net.geo.conventions {
+        let fp = &net.geo.footprints[asn];
+        for site in fp.sites().iter().take(3) {
+            let h = conv.hostname("xe-1-0-0", &site.city, 2);
+            assert_eq!(conv.extract(&h, &codes), Some(site.city.as_str()), "{h}");
+            exercised += 1;
+        }
+    }
+    assert!(exercised > 20);
+}

@@ -1,0 +1,370 @@
+//! Shape assertions for the paper's secondary analyses: route leaks (§8),
+//! reliance (§7), cone comparison (§6.6), path lengths (App. E),
+//! 2015-vs-2020 retrospective (§6.5), and PoP coverage (§9).
+
+use flatnet_core::cone_compare::{cone_vs_hfr, summarize};
+use flatnet_core::leaks::{average_resilience_cdf, leak_cdf, Announce, Locking};
+use flatnet_core::pathlen::path_length_profile;
+use flatnet_core::pops_exp::{coverage_row, deployment_split};
+use flatnet_core::reachability::{hierarchy_free_all, reachability_profile};
+use flatnet_core::reliance_exp::{
+    reliance_under_hierarchy_free, reliance_under_tier1_free, tier1_free_reach_also_excluding,
+};
+use flatnet_core::unreachable::unreachable_breakdown;
+use flatnet_asgraph::astype::{refine, AsType};
+use flatnet_geo::pops::Footprint;
+use flatnet_netgen::{generate, NetGenConfig, SyntheticInternet};
+
+fn net() -> SyntheticInternet {
+    generate(&NetGenConfig::paper_2020(600, 42))
+}
+
+#[test]
+fn peer_locking_strictly_dominates_fig8() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let run = |a, l| {
+        leak_cdf(&net.truth, &tiers, google, a, l, 80, 9, None)
+            .unwrap()
+    };
+    let none = run(Announce::ToAll, Locking::None);
+    let t1 = run(Announce::ToAll, Locking::Tier1);
+    let t12 = run(Announce::ToAll, Locking::Tier12);
+    let global = run(Announce::ToAll, Locking::Global);
+    // Fig. 8's ordering: global ≻ T1+T2 ≻ T1 ≻ none on the worst case and
+    // the median.
+    assert!(global.max() <= t12.max() + 1e-9);
+    assert!(t12.max() <= t1.max() + 1e-9);
+    assert!(t1.median() <= none.median() + 1e-9);
+    // Global peer locking makes the victim virtually immune. (The paper's
+    // Google neighbors nearly everything that matters; at our compressed
+    // scale the victim peers with under half of the synthetic Internet, so
+    // assert a near-zero median and a worst case that is a small fraction
+    // of the unlocked one.)
+    assert!(global.median() < 0.02, "global lock median {:.3}", global.median());
+    assert!(
+        global.max() < 0.4 * none.max(),
+        "global lock worst {:.3} vs unlocked worst {:.3}",
+        global.max(),
+        none.max()
+    );
+    // T1+T2 locking shrinks the damage distribution as a whole (the
+    // paper's Internet concentrates transit in the T1/T2 layer more than
+    // our compressed synthetic one, where regional mids carry
+    // proportionally more paths, so we compare means rather than the
+    // absolute ≤20% worst-case bound of Fig. 8).
+    let mean = |c: &flatnet_core::leaks::LeakCdf| {
+        c.fractions.iter().sum::<f64>() / c.fractions.len().max(1) as f64
+    };
+    assert!(mean(&t12) < mean(&t1), "t12 mean {:.4} vs t1 mean {:.4}", mean(&t12), mean(&t1));
+    assert!(mean(&t1) < mean(&none), "t1 mean {:.4} vs none mean {:.4}", mean(&t1), mean(&none));
+    assert!(
+        mean(&global) < 0.25 * mean(&none),
+        "global mean {:.4} vs none mean {:.4}",
+        mean(&global),
+        mean(&none)
+    );
+}
+
+#[test]
+fn announcing_only_to_the_hierarchy_is_worse_than_average_fig8() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let narrow = leak_cdf(
+        &net.truth,
+        &tiers,
+        google,
+        Announce::ToTier12AndProviders,
+        Locking::None,
+        80,
+        9,
+        None,
+    )
+    .unwrap();
+    let full = leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 80, 9, None).unwrap();
+    let avg = average_resilience_cdf(&net.truth, 40, 25, 9, None);
+    // Fig. 8: Google's real footprint beats the average; the
+    // hierarchy-only counterfactual is worse than announcing to all.
+    assert!(full.median() <= avg.median() + 1e-9, "full {} vs avg {}", full.median(), avg.median());
+    assert!(
+        narrow.median() >= full.median(),
+        "narrow {} vs full {}",
+        narrow.median(),
+        full.median()
+    );
+}
+
+#[test]
+fn users_detoured_tracks_ases_detoured_fig9() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let weights = net.user_weights();
+    let by_as = leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 60, 3, None).unwrap();
+    let by_user =
+        leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 60, 3, Some(&weights))
+            .unwrap();
+    // Same number of simulations, broadly similar medians (the paper sees
+    // a slight left skew for users).
+    assert_eq!(by_as.fractions.len(), by_user.fractions.len());
+    assert!((by_as.median() - by_user.median()).abs() < 0.35);
+}
+
+#[test]
+fn resilience_2015_vs_2020_changes_are_small_fig10() {
+    let net20 = net();
+    let net15 = generate(&NetGenConfig::paper_2015(600, 42));
+    let t20 = net20.tiers_for(&net20.truth);
+    let t15 = net15.tiers_for(&net15.truth);
+    let g20 = leak_cdf(&net20.truth, &t20, net20.clouds[0].asn, Announce::ToAll, Locking::None, 60, 5, None)
+        .unwrap();
+    let g15 = leak_cdf(&net15.truth, &t15, net15.clouds[0].asn, Announce::ToAll, Locking::None, 60, 5, None)
+        .unwrap();
+    // §8.4: only small changes between the epochs.
+    assert!((g20.median() - g15.median()).abs() < 0.25, "2020 {} vs 2015 {}", g20.median(), g15.median());
+}
+
+#[test]
+fn cloud_reliance_is_nearly_flat_table2_fig6() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    for cloud in net.cloud_providers() {
+        let prof = reliance_under_hierarchy_free(&net.truth, &tiers, cloud.asn).unwrap();
+        // §7.2: the bulk of networks have reliance ~1; only a handful are
+        // heavily relied upon.
+        let near_one = prof.entries.iter().filter(|e| e.rely < 2.0).count();
+        assert!(
+            near_one as f64 > 0.8 * prof.entries.len() as f64,
+            "{}: only {near_one}/{} near 1",
+            cloud.spec.name,
+            prof.entries.len()
+        );
+        // Top reliance is far from the hierarchical extreme (= receivers).
+        let top = prof.top(1)[0].rely;
+        assert!(
+            top < 0.5 * prof.receivers as f64,
+            "{}: top reliance {top} vs receivers {}",
+            cloud.spec.name,
+            prof.receivers
+        );
+    }
+}
+
+#[test]
+fn hierarchical_tier1s_lean_on_few_tier2s_appendix_b() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    // Sprint-like: the last Tier-1s in the list are non-diversified.
+    let sprint = *net.tier1.last().unwrap();
+    let profile = reachability_profile(&net.truth, &tiers, &[sprint]);
+    let r = &profile[0];
+    // Appendix B setup only makes sense when T2 removal actually bites.
+    assert!(r.tier1_free > r.hierarchy_free, "{r:?}");
+    let decline = r.tier1_free - r.hierarchy_free;
+    // Find the top-6 Tier-2s by reliance under Tier-1-free constraints and
+    // remove just those: this should cover most of the decline (the paper:
+    // "covers almost the entire decrease").
+    let rel = reliance_under_tier1_free(&net.truth, &tiers, sprint).unwrap();
+    let t2_set: std::collections::BTreeSet<u32> = net.tier2.iter().map(|a| a.0).collect();
+    let top_t2: Vec<_> = rel
+        .entries
+        .iter()
+        .filter(|e| t2_set.contains(&e.asn.0))
+        .take(6)
+        .map(|e| e.asn)
+        .collect();
+    assert!(!top_t2.is_empty());
+    let reduced = tier1_free_reach_also_excluding(&net.truth, &tiers, sprint, &top_t2).unwrap();
+    let covered = r.tier1_free.saturating_sub(reduced);
+    assert!(
+        covered as f64 > 0.5 * decline as f64,
+        "top-6 Tier-2s cover {covered} of {decline}"
+    );
+}
+
+#[test]
+fn many_high_hfr_ases_few_big_cones_fig3() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let hfr = hierarchy_free_all(&net.truth, &tiers);
+    let clouds: Vec<_> = net.cloud_providers().map(|c| c.asn).collect();
+    let points = cone_vs_hfr(&net.truth, &tiers, &hfr, &clouds);
+    // The paper's threshold (1,000 ASes) is ~1.5% of its 69,488-AS
+    // Internet; use the same relative bar here.
+    let threshold = ((net.truth.len() as f64) * 0.015).ceil() as u32;
+    let s = summarize(&points, threshold);
+    // §6.6's asymmetry: far more ASes clear the bar on hierarchy-free
+    // reachability than on customer cone (164x in the paper; demand a
+    // healthy multiple here).
+    assert!(
+        s.high_hfr as f64 > 3.0 * s.high_cone as f64,
+        "hfr {} vs cone {} at threshold {}",
+        s.high_hfr,
+        s.high_cone,
+        threshold
+    );
+    assert!(s.high_cone >= 1);
+}
+
+#[test]
+fn unreachable_types_reflect_peering_strategy_fig4() {
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let type_of = |n: flatnet_asgraph::NodeId| {
+        let m = &net.meta[n.idx()];
+        refine(m.class, m.users)
+    };
+    let google = unreachable_breakdown(&net.truth, &tiers, net.clouds[0].asn, type_of).unwrap();
+    let amazon = unreachable_breakdown(&net.truth, &tiers, net.clouds[3].asn, type_of).unwrap();
+    // Fig. 4: Google focuses peering on access networks, so access is a
+    // *smaller* share of its unreachables than of Amazon's.
+    assert!(amazon.total > google.total, "amazon {} google {}", amazon.total, google.total);
+    assert!(
+        google.pct(AsType::Access) < amazon.pct(AsType::Access),
+        "google access {:.1}% vs amazon {:.1}%",
+        google.pct(AsType::Access),
+        amazon.pct(AsType::Access)
+    );
+}
+
+#[test]
+fn reachability_grew_from_2015_to_2020_table1() {
+    let net20 = net();
+    let net15 = generate(&NetGenConfig::paper_2015(600, 42));
+    for (name_idx, _) in [(0, "Google"), (3, "Amazon")] {
+        let t20 = net20.tiers_for(&net20.truth);
+        let t15 = net15.tiers_for(&net15.truth);
+        let c20 = net20.clouds[name_idx].asn;
+        let c15 = net15.clouds[name_idx].asn;
+        let r20 = &reachability_profile(&net20.truth, &t20, &[c20])[0];
+        let r15 = &reachability_profile(&net15.truth, &t15, &[c15])[0];
+        // §6.5: percentage reachability increased for the clouds.
+        assert!(
+            r20.hierarchy_free_pct() > r15.hierarchy_free_pct(),
+            "cloud {name_idx}: 2020 {:.1}% vs 2015 {:.1}%",
+            r20.hierarchy_free_pct(),
+            r15.hierarchy_free_pct()
+        );
+    }
+}
+
+#[test]
+fn path_lengths_fig13() {
+    let net = net();
+    let users = net.user_weights();
+    let google = path_length_profile(&net.truth, net.clouds[0].asn, &users).unwrap();
+    let amazon = path_length_profile(&net.truth, net.clouds[3].asn, &users).unwrap();
+    // Direct connectivity (1 hop) is much higher for Google than Amazon,
+    // and Google serves the majority of users within 2 hops.
+    assert!(google.all_ases.one > amazon.all_ases.one);
+    assert!(google.population.one + google.population.two > 60.0);
+    // Splits are percentages.
+    let sum = google.all_ases.one + google.all_ases.two + google.all_ases.three_plus;
+    assert!((sum - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn cloud_pops_near_population_fig12() {
+    let net = net();
+    let grid = &net.popgrid;
+    for cloud in net.cloud_providers() {
+        let fp: &Footprint = &net.geo.footprints[&cloud.asn.0];
+        let row = coverage_row(grid, fp);
+        // Clouds deploy near population: hundreds of millions within
+        // 1000 km (here: >25% of world metro population).
+        assert!(row.world[2] > 25.0, "{} covers {:.1}%", cloud.spec.name, row.world[2]);
+    }
+    // Shanghai/Beijing are cloud-only metros (Fig. 11).
+    let cloud_fps: Vec<&Footprint> = net.cloud_providers().map(|c| &net.geo.footprints[&c.asn.0]).collect();
+    let transit_fps: Vec<&Footprint> = net.tier1.iter().map(|a| &net.geo.footprints[&a.0]).collect();
+    let split = deployment_split(&cloud_fps, &transit_fps);
+    for code in ["sha", "bjs"] {
+        if cloud_fps.iter().any(|f| f.has_city(code)) {
+            assert!(split.cloud_only.iter().any(|c| c == code), "{code} not cloud-only");
+        }
+    }
+}
+
+#[test]
+fn erratum_semantics_pre_erratum_underestimates_locking() {
+    use flatnet_bgpsim::LockingSemantics;
+    use flatnet_core::leaks::leak_cdf_with_semantics;
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let mean = |c: &flatnet_core::leaks::LeakCdf| {
+        c.fractions.iter().sum::<f64>() / c.fractions.len().max(1) as f64
+    };
+    for locking in [Locking::Tier12, Locking::Global] {
+        let pre = leak_cdf_with_semantics(
+            &net.truth, &tiers, google, Announce::ToAll, locking,
+            LockingSemantics::PreErratum, 60, 11, None,
+        )
+        .unwrap();
+        let cor = leak_cdf_with_semantics(
+            &net.truth, &tiers, google, Announce::ToAll, locking,
+            LockingSemantics::Corrected, 60, 11, None,
+        )
+        .unwrap();
+        // The erratum's statement: the original model under-credited peer
+        // locking, i.e. showed MORE detouring than the corrected one.
+        assert!(
+            mean(&pre) >= mean(&cor),
+            "{:?}: pre-erratum mean {:.4} vs corrected {:.4}",
+            locking,
+            mean(&pre),
+            mean(&cor)
+        );
+    }
+}
+
+#[test]
+fn bgp_feeds_hide_cloud_peering_section_4_1() {
+    let net = net();
+    let exp = flatnet_core::feeds::run_feed_experiment(&net, 40, 300, 5);
+    // §4.1: feeds miss the vast majority of cloud edge peering (~90% for
+    // Google/Microsoft), while c2p inference from the same feeds is solid.
+    assert!(
+        exp.cloud_peer_invisible_fraction() > 0.75,
+        "cloud peer invisibility {:.2}",
+        exp.cloud_peer_invisible_fraction()
+    );
+    assert!(
+        exp.accuracy.c2p_accuracy() > 0.80,
+        "c2p accuracy {:.2}",
+        exp.accuracy.c2p_accuracy()
+    );
+    assert!(exp.accuracy.p2p_recall() < 0.4, "p2p recall {:.2}", exp.accuracy.p2p_recall());
+}
+
+#[test]
+fn subprefix_hijacks_are_worse_and_only_locking_helps() {
+    use flatnet_core::leaks::subprefix_hijack_cdf;
+    let net = net();
+    let tiers = net.tiers_for(&net.truth);
+    let google = net.clouds[0].asn;
+    let same_len =
+        leak_cdf(&net.truth, &tiers, google, Announce::ToAll, Locking::None, 50, 21, None).unwrap();
+    let sub = subprefix_hijack_cdf(&net.truth, &tiers, google, Locking::None, 50, 21, None).unwrap();
+    let mean = |c: &flatnet_core::leaks::LeakCdf| {
+        c.fractions.iter().sum::<f64>() / c.fractions.len().max(1) as f64
+    };
+    // LPM strictly dominates BGP preference: sub-prefix hijacks detour far
+    // more than same-length leaks.
+    assert!(
+        mean(&sub) > 3.0 * mean(&same_len),
+        "sub-prefix mean {:.3} vs same-length {:.3}",
+        mean(&sub),
+        mean(&same_len)
+    );
+    // Peer locking is the one mitigation that still works.
+    let locked = subprefix_hijack_cdf(&net.truth, &tiers, google, Locking::Global, 50, 21, None).unwrap();
+    assert!(
+        mean(&locked) < 0.3 * mean(&sub),
+        "global lock {:.3} vs unlocked {:.3}",
+        mean(&locked),
+        mean(&sub)
+    );
+}
