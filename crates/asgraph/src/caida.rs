@@ -15,6 +15,7 @@
 
 use crate::error::GraphError;
 use crate::graph::{AsGraphBuilder, AsId, Relationship};
+use crate::ingest::{ParseDiagnostics, ParseOptions, RecordLocation};
 use std::io::BufRead;
 
 /// One parsed relationship record.
@@ -70,23 +71,64 @@ fn parse_rel_line(line: &str, lineno: usize, fields: usize) -> Result<Option<Rel
 
 /// Parses a CAIDA **serial-1** AS-relationship file (3 fields per line).
 pub fn parse_serial1<R: BufRead>(reader: R) -> Result<AsGraphBuilder, GraphError> {
-    parse_with_fields(reader, 3)
+    parse_with_fields(reader, 3, &ParseOptions::strict()).map(|(b, _)| b)
 }
 
 /// Parses a CAIDA **serial-2** AS-relationship file (4 fields per line).
 pub fn parse_serial2<R: BufRead>(reader: R) -> Result<AsGraphBuilder, GraphError> {
-    parse_with_fields(reader, 4)
+    parse_with_fields(reader, 4, &ParseOptions::strict()).map(|(b, _)| b)
 }
 
-fn parse_with_fields<R: BufRead>(reader: R, fields: usize) -> Result<AsGraphBuilder, GraphError> {
+/// [`parse_serial1`] with explicit strictness; lenient mode skips
+/// malformed lines (up to the error budget) and reports them in the
+/// returned [`ParseDiagnostics`].
+pub fn parse_serial1_with<R: BufRead>(
+    reader: R,
+    opts: &ParseOptions,
+) -> Result<(AsGraphBuilder, ParseDiagnostics), GraphError> {
+    parse_with_fields(reader, 3, opts)
+}
+
+/// [`parse_serial2`] with explicit strictness (see [`parse_serial1_with`]).
+pub fn parse_serial2_with<R: BufRead>(
+    reader: R,
+    opts: &ParseOptions,
+) -> Result<(AsGraphBuilder, ParseDiagnostics), GraphError> {
+    parse_with_fields(reader, 4, opts)
+}
+
+fn parse_with_fields<R: BufRead>(
+    reader: R,
+    fields: usize,
+    opts: &ParseOptions,
+) -> Result<(AsGraphBuilder, ParseDiagnostics), GraphError> {
     let mut b = AsGraphBuilder::new();
+    let mut diag = ParseDiagnostics::new();
     for (i, line) in reader.lines().enumerate() {
+        // I/O errors are not per-record problems; always fatal.
         let line = line.map_err(|e| GraphError::Parse { line: i + 1, message: e.to_string() })?;
-        if let Some(rec) = parse_rel_line(&line, i + 1, fields)? {
-            b.add_link(rec.a, rec.b, rec.rel);
+        match parse_rel_line(&line, i + 1, fields) {
+            Ok(Some(rec)) => {
+                diag.record_ok();
+                b.add_link(rec.a, rec.b, rec.rel);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                if opts.budget_allows(diag.dropped()) {
+                    diag.record_dropped(RecordLocation::Line(i + 1), e.to_string());
+                } else if opts.strict {
+                    return Err(e);
+                } else {
+                    diag.record_dropped(RecordLocation::Line(i + 1), e.to_string());
+                    return Err(GraphError::Parse {
+                        line: i + 1,
+                        message: opts.budget_exhausted_message(diag.issues.last().unwrap()),
+                    });
+                }
+            }
         }
     }
-    Ok(b)
+    Ok((b, diag))
 }
 
 /// Serializes a graph in serial-1 format (stable, canonical order).
@@ -215,5 +257,60 @@ mod tests {
     fn whitespace_tolerant() {
         let g = parse_serial1("  1 | 2 | -1  \n".as_bytes()).unwrap().build();
         assert_eq!(g.edge_count(), 1);
+    }
+
+    const DIRTY: &str = "\
+# comment
+1|2|-1
+garbage line
+3|4|zero
+5|6|0
+7|7|0
+8|9|-1
+";
+
+    #[test]
+    fn lenient_skips_and_counts_garbage_lines() {
+        let (b, diag) =
+            parse_serial1_with(DIRTY.as_bytes(), &ParseOptions::lenient()).unwrap();
+        let g = b.build();
+        assert_eq!(diag.dropped(), 3, "{:?}", diag.issues);
+        assert_eq!(diag.records_ok, 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(diag.issues[0].location, RecordLocation::Line(3));
+        assert_eq!(diag.issues[1].location, RecordLocation::Line(4));
+        assert_eq!(diag.issues[2].location, RecordLocation::Line(6));
+        assert!(diag.issues[2].message.contains("self-loop"), "{}", diag.issues[2]);
+    }
+
+    #[test]
+    fn strict_fails_at_first_garbage_line() {
+        let err = parse_serial1_with(DIRTY.as_bytes(), &ParseOptions::strict()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }), "{err}");
+        // The convenience wrappers stay strict.
+        assert!(parse_serial1(DIRTY.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lenient_error_budget_is_enforced() {
+        let opts = ParseOptions::lenient().with_max_errors(2);
+        let err = parse_serial1_with(DIRTY.as_bytes(), &opts).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("error budget exhausted"), "{msg}");
+        assert!(msg.contains("max 2"), "{msg}");
+        // A budget that covers the damage succeeds.
+        let opts = ParseOptions::lenient().with_max_errors(3);
+        let (b, diag) = parse_serial1_with(DIRTY.as_bytes(), &opts).unwrap();
+        assert_eq!(diag.dropped(), 3);
+        assert_eq!(b.build().edge_count(), 3);
+    }
+
+    #[test]
+    fn lenient_on_clean_input_reports_clean() {
+        let (b, diag) =
+            parse_serial2_with(SERIAL2.as_bytes(), &ParseOptions::lenient()).unwrap();
+        assert!(diag.is_clean());
+        assert_eq!(diag.records_ok, 3);
+        assert_eq!(b.build().edge_count(), 3);
     }
 }

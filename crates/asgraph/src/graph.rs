@@ -109,6 +109,36 @@ impl CanonRel {
             _ => "p2c",
         }
     }
+
+    /// Orientation-aware name, so conflicting `p2c` directions read
+    /// differently in reports.
+    fn describe(self) -> &'static str {
+        match self {
+            CanonRel::Peer => "p2p",
+            CanonRel::LowProvidesHigh => "p2c (lower AS provides)",
+            CanonRel::HighProvidesLow => "p2c (higher AS provides)",
+        }
+    }
+}
+
+/// A conflicting re-declaration of a link's relationship, recorded (not
+/// applied) by [`AsGraphBuilder::add_link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelConflict {
+    /// Lower-numbered AS of the pair.
+    pub a: AsId,
+    /// Higher-numbered AS of the pair.
+    pub b: AsId,
+    /// The relationship kept (first declaration).
+    pub kept: &'static str,
+    /// The relationship dropped (later declaration).
+    pub dropped: &'static str,
+}
+
+impl fmt::Display for RelConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}: kept {}, dropped {}", self.a, self.b, self.kept, self.dropped)
+    }
 }
 
 /// Incremental builder for [`AsGraph`].
@@ -116,13 +146,17 @@ impl CanonRel {
 /// Links may be added in any order; duplicates are ignored and conflicting
 /// re-declarations of the same pair keep the *first* relationship seen (the
 /// paper's augmentation rule: "we do not modify the previously identified
-/// link type"). Use [`AsGraphBuilder::add_link_strict`] to treat conflicts as
+/// link type"). Conflicts are recorded and available from
+/// [`AsGraphBuilder::conflicts`] so topology health checks can surface
+/// them. Use [`AsGraphBuilder::add_link_strict`] to treat conflicts as
 /// errors instead.
 #[derive(Debug, Default, Clone)]
 pub struct AsGraphBuilder {
     links: BTreeMap<(u32, u32), CanonRel>,
     /// ASes declared with no links (isolated nodes still count as ASes).
     isolated: Vec<u32>,
+    /// Conflicting re-declarations seen by `add_link` (first one kept).
+    conflicts: Vec<RelConflict>,
 }
 
 impl AsGraphBuilder {
@@ -167,8 +201,25 @@ impl AsGraphBuilder {
                 v.insert(canon);
                 true
             }
-            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Occupied(o) => {
+                let existing = *o.get();
+                if existing != canon {
+                    self.conflicts.push(RelConflict {
+                        a: AsId(key.0),
+                        b: AsId(key.1),
+                        kept: existing.describe(),
+                        dropped: canon.describe(),
+                    });
+                }
+                false
+            }
         }
+    }
+
+    /// Conflicting re-declarations recorded by [`AsGraphBuilder::add_link`]
+    /// (the first declaration won each time).
+    pub fn conflicts(&self) -> &[RelConflict] {
+        &self.conflicts
     }
 
     /// Adds a link, erroring on self-loops and conflicting re-declarations.

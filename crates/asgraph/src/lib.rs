@@ -45,14 +45,18 @@ pub mod cone;
 pub mod dot;
 pub mod error;
 pub mod graph;
+pub mod ingest;
 pub mod problink;
 pub mod relinfer;
 pub mod tiers;
+pub mod validate;
 
 pub use astype::AsType;
 pub use augment::{augment_many, augment_with_peers, AugmentReport};
 pub use error::GraphError;
 pub use graph::{AsGraph, AsGraphBuilder, AsId, NodeId, Relationship};
+pub use ingest::{ParseDiagnostics, ParseIssue, ParseOptions, RecordLocation};
 pub use problink::{refine_relationships, RefinedRelationships};
 pub use relinfer::{infer_relationships, score_inference, InferredRelationships, RelAccuracy};
 pub use tiers::{infer_clique, TierAssignment, Tiers};
+pub use validate::{validate_topology, HealthCheck, HealthReport, Severity, ValidateOptions};

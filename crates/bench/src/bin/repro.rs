@@ -9,7 +9,14 @@
 //!
 //! Experiments: peers validation fig2 table1 fig3 fig4 table2 fig6 fig7
 //! fig8 fig9 fig10 fig11 fig12 fig13 table3 appendix_a appendix_b
-//! appendix_d | all. Flags: `--ases N` `--seed S` `--leakers K` `--fast`.
+//! appendix_d | all. Flags: `--ases N` `--seed S` `--leakers K` `--fast`
+//! `--checkpoint DIR`.
+//!
+//! Experiments are panic-isolated: one blowing up doesn't kill the run, it
+//! is reported and the remaining experiments still execute (exit code 1 at
+//! the end). With `--checkpoint DIR`, each completed experiment drops a
+//! `DIR/<name>.done` marker and an interrupted `all` run resumes where it
+//! left off, skipping experiments already marked done.
 
 use flatnet_asgraph::astype::{refine, AsType};
 use flatnet_asgraph::AsId;
@@ -32,23 +39,58 @@ use flatnet_geo::geolocate::{fiber_rtt_ms, geolocate};
 use flatnet_geo::pops::{union_footprints, Footprint};
 use flatnet_tracesim::CampaignOptions;
 
-fn main() {
+/// Parses a flag's value, reporting the flag name and the offending value
+/// instead of panicking.
+fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let v = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse().map_err(|e| format!("bad value {v:?} for {flag}: {e}"))
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(0) => std::process::ExitCode::SUCCESS,
+        Ok(failed) => {
+            eprintln!("{failed} experiment(s) failed");
+            std::process::ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with --help for usage");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_scale();
     let mut wanted: Vec<String> = Vec::new();
+    let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--ases" => scale.n_ases = it.next().expect("--ases N").parse().expect("number"),
-            "--seed" => scale.seed = it.next().expect("--seed S").parse().expect("number"),
-            "--leakers" => scale.n_leakers = it.next().expect("--leakers K").parse().expect("number"),
+            "--ases" => scale.n_ases = flag_value("--ases", it.next())?,
+            "--seed" => scale.seed = flag_value("--seed", it.next())?,
+            "--leakers" => scale.n_leakers = flag_value("--leakers", it.next())?,
             "--fast" => scale = Scale::fast(),
+            "--checkpoint" => {
+                let dir = it.next().ok_or("--checkpoint requires a directory")?;
+                checkpoint = Some(std::path::PathBuf::from(dir));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [EXPERIMENT...] [--ases N] [--seed S] [--leakers K] [--fast]");
+                println!("usage: repro [EXPERIMENT...] [--ases N] [--seed S] [--leakers K] [--fast] [--checkpoint DIR]");
                 println!("experiments: peers validation fig2 table1 fig3 fig4 table2 fig6 fig7 fig8");
                 println!("             fig9 fig10 fig11 fig12 fig13 table3 appendix_a appendix_b");
                 println!("             appendix_d erratum ablation_topology rankings feeds all");
-                return;
+                println!("--checkpoint DIR: drop a DIR/<name>.done marker per finished experiment");
+                println!("                  and skip already-marked experiments on the next run");
+                return Ok(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
             }
             other => wanted.push(other.to_string()),
         }
@@ -63,42 +105,87 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
+    if let Some(dir) = &checkpoint {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+    }
 
     let lab = Lab::new(scale);
     println!(
         "# flatnet repro — {} ASes (2020 epoch), seed {}, {} leak sims/config\n",
         scale.n_ases, scale.seed, scale.n_leakers
     );
+    let mut failed = 0usize;
     for w in &wanted {
-        let t0 = std::time::Instant::now();
-        match w.as_str() {
-            "peers" => peers(&lab),
-            "validation" => validation(&lab),
-            "fig2" => fig2(&lab),
-            "table1" => table1(&lab),
-            "fig3" => fig3(&lab),
-            "fig4" => fig4(&lab),
-            "table2" => table2(&lab),
-            "fig6" => fig6(&lab),
-            "fig7" => fig7(&lab),
-            "fig8" => fig8(&lab),
-            "fig9" => fig9(&lab),
-            "fig10" => fig10(&lab),
-            "fig11" => fig11(&lab),
-            "fig12" => fig12(&lab),
-            "fig13" => fig13(&lab),
-            "table3" => table3(&lab),
-            "appendix_a" => appendix_a(&lab),
-            "appendix_b" => appendix_b(&lab),
-            "appendix_d" => appendix_d(&lab),
-            "erratum" => erratum(&lab),
-            "ablation_topology" => ablation_topology(&lab),
-            "rankings" => rankings(&lab),
-            "feeds" => feeds(&lab),
-            other => eprintln!("unknown experiment {other:?} (see --help)"),
+        let marker = checkpoint.as_ref().map(|dir| dir.join(format!("{w}.done")));
+        if let Some(m) = &marker {
+            if m.exists() {
+                println!("[{w} skipped: already checkpointed at {}]\n", m.display());
+                continue;
+            }
         }
-        println!("[{w} took {:.1?}]\n", t0.elapsed());
+        let t0 = std::time::Instant::now();
+        // Panic isolation: one experiment blowing up must not take down
+        // the rest of an `all` run (or an existing checkpoint trail).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_experiment(w, &lab)
+        }));
+        match outcome {
+            Ok(true) => {
+                let elapsed = t0.elapsed();
+                if let Some(m) = &marker {
+                    let note = format!(
+                        "completed in {elapsed:.1?} (ases={}, seed={}, leakers={})\n",
+                        scale.n_ases, scale.seed, scale.n_leakers
+                    );
+                    std::fs::write(m, note)
+                        .map_err(|e| format!("cannot write checkpoint {}: {e}", m.display()))?;
+                }
+                println!("[{w} took {elapsed:.1?}]\n");
+            }
+            Ok(false) => eprintln!("unknown experiment {w:?} (see --help)"),
+            Err(payload) => {
+                failed += 1;
+                eprintln!(
+                    "[{w} FAILED after {:.1?}: {}]\n",
+                    t0.elapsed(),
+                    flatnet_core::parallel::panic_message(payload.as_ref())
+                );
+            }
+        }
     }
+    Ok(failed)
+}
+
+/// Dispatches one experiment; false means the name is unknown.
+fn run_experiment(name: &str, lab: &Lab) -> bool {
+    match name {
+        "peers" => peers(lab),
+        "validation" => validation(lab),
+        "fig2" => fig2(lab),
+        "table1" => table1(lab),
+        "fig3" => fig3(lab),
+        "fig4" => fig4(lab),
+        "table2" => table2(lab),
+        "fig6" => fig6(lab),
+        "fig7" => fig7(lab),
+        "fig8" => fig8(lab),
+        "fig9" => fig9(lab),
+        "fig10" => fig10(lab),
+        "fig11" => fig11(lab),
+        "fig12" => fig12(lab),
+        "fig13" => fig13(lab),
+        "table3" => table3(lab),
+        "appendix_a" => appendix_a(lab),
+        "appendix_b" => appendix_b(lab),
+        "appendix_d" => appendix_d(lab),
+        "erratum" => erratum(lab),
+        "ablation_topology" => ablation_topology(lab),
+        "rankings" => rankings(lab),
+        "feeds" => feeds(lab),
+        _ => return false,
+    }
+    true
 }
 
 /// §4.1: peer counts, BGP feeds alone vs augmented with traceroutes.

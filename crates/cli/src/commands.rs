@@ -2,7 +2,9 @@
 
 use crate::opts::Opts;
 use flatnet_asgraph::caida;
-use flatnet_asgraph::{AsGraph, AsId, Tiers};
+use flatnet_asgraph::graph::RelConflict;
+use flatnet_asgraph::ingest::{ParseDiagnostics, ParseOptions};
+use flatnet_asgraph::{validate_topology, AsGraph, AsId, Tiers, ValidateOptions};
 use flatnet_core::leaks::{leak_cdf, Announce, Locking};
 use flatnet_core::reachability::{hierarchy_free_all, rank_by_hierarchy_free, reachability_profile};
 use flatnet_core::report::{thousands, TextTable};
@@ -13,16 +15,69 @@ use flatnet_asgraph::cone::customer_cone_sizes;
 use std::fs;
 use std::path::Path;
 
-/// Loads an AS-relationship file, accepting either CAIDA format.
-fn load_graph(path: &str) -> Result<AsGraph, String> {
-    let data = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    // Try serial-2 first (4 fields), then serial-1.
-    match caida::parse_serial2(data.as_bytes()) {
-        Ok(b) => Ok(b.build()),
-        Err(_) => caida::parse_serial1(data.as_bytes())
-            .map(|b| b.build())
-            .map_err(|e| format!("{path}: not a CAIDA as-rel file: {e}")),
+/// Parse strictness from the shared `--lenient` / `--max-errors` flags
+/// (`--max-errors N` implies `--lenient`).
+fn parse_mode(opts: &Opts) -> Result<ParseOptions, String> {
+    let mut mode =
+        if opts.switch("lenient") { ParseOptions::lenient() } else { ParseOptions::strict() };
+    if let Some(v) = opts.get("max-errors") {
+        let n: usize =
+            v.parse().map_err(|_| format!("--max-errors: bad value {v:?} (want a count)"))?;
+        mode = ParseOptions::lenient().with_max_errors(n);
     }
+    Ok(mode)
+}
+
+/// Surfaces what a lenient parse dropped.
+fn note_diag(path: &str, diag: &ParseDiagnostics) {
+    if !diag.is_clean() {
+        eprintln!("note: {path}: {}", diag.summary());
+    }
+}
+
+/// Loads an AS-relationship file, accepting either CAIDA format.
+fn load_graph(path: &str, mode: &ParseOptions) -> Result<AsGraph, String> {
+    load_graph_full(path, mode).map(|(g, _)| g)
+}
+
+/// As [`load_graph`], also returning the relationship conflicts seen while
+/// building (for `--validate`).
+fn load_graph_full(
+    path: &str,
+    mode: &ParseOptions,
+) -> Result<(AsGraph, Vec<RelConflict>), String> {
+    let data = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // Sniff the format from the first data line: serial-2 has 4 fields.
+    // (Trying one format and falling back would let a lenient parse of the
+    // wrong format "succeed" by dropping every line.)
+    let fields = data
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.split('|').count())
+        .unwrap_or(3);
+    let result = if fields == 4 {
+        caida::parse_serial2_with(data.as_bytes(), mode)
+    } else {
+        caida::parse_serial1_with(data.as_bytes(), mode)
+    };
+    let (b, diag) = result.map_err(|e| format!("{path}: not a CAIDA as-rel file: {e}"))?;
+    note_diag(path, &diag);
+    let conflicts = b.conflicts().to_vec();
+    Ok((b.build(), conflicts))
+}
+
+/// `--validate`: pre-flight topology health checks; critical findings
+/// abort the command.
+fn run_validation(g: &AsGraph, tiers: &Tiers, conflicts: &[RelConflict]) -> Result<(), String> {
+    let t1: Vec<AsId> = tiers.tier1().iter().map(|&n| g.asn(n)).collect();
+    let t2: Vec<AsId> = tiers.tier2().iter().map(|&n| g.asn(n)).collect();
+    let report = validate_topology(g, &t1, &t2, conflicts, &ValidateOptions::default());
+    eprintln!("{}", report.render());
+    if !report.is_usable() {
+        return Err("topology failed pre-flight health checks (critical findings above)".into());
+    }
+    Ok(())
 }
 
 /// Resolves tier sets: explicit lists when given, AS-Rank-style inference
@@ -47,7 +102,7 @@ fn tiers_for(g: &AsGraph, opts: &Opts) -> Result<Tiers, String> {
 
 /// `flatnet gen` — write a full synthetic dataset to a directory.
 pub fn gen(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
+    let opts = Opts::parse(args, &[], &["out", "ases", "seed", "trace-sample", "epoch"])?;
     let out = opts.required("out")?.to_string();
     let n_ases: usize = opts.num_or("ases", 2000)?;
     let seed: u64 = opts.num_or("seed", 2020)?;
@@ -85,12 +140,20 @@ pub fn gen(args: &[String]) -> Result<(), String> {
 
 /// `flatnet reach` — reachability profile for given origins.
 pub fn reach(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
-    let g = load_graph(opts.required("as-rel")?)?;
+    let opts = Opts::parse(
+        args,
+        &["lenient", "validate"],
+        &["as-rel", "origin", "tier1", "tier2", "max-errors"],
+    )?;
+    let mode = parse_mode(&opts)?;
+    let (g, conflicts) = load_graph_full(opts.required("as-rel")?, &mode)?;
     let origins = opts
         .as_list("origin")?
         .ok_or("missing required flag --origin")?;
     let tiers = tiers_for(&g, &opts)?;
+    if opts.switch("validate") {
+        run_validation(&g, &tiers, &conflicts)?;
+    }
     let profile = reachability_profile(&g, &tiers, &origins);
     if profile.is_empty() {
         return Err("none of the given origins exist in the topology".into());
@@ -111,10 +174,18 @@ pub fn reach(args: &[String]) -> Result<(), String> {
 
 /// `flatnet rank` — Table-1-style ranking.
 pub fn rank(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
-    let g = load_graph(opts.required("as-rel")?)?;
+    let opts = Opts::parse(
+        args,
+        &["lenient", "validate"],
+        &["as-rel", "top", "tier1", "tier2", "max-errors"],
+    )?;
+    let mode = parse_mode(&opts)?;
+    let (g, conflicts) = load_graph_full(opts.required("as-rel")?, &mode)?;
     let top: usize = opts.num_or("top", 20)?;
     let tiers = tiers_for(&g, &opts)?;
+    if opts.switch("validate") {
+        run_validation(&g, &tiers, &conflicts)?;
+    }
     let hfr = hierarchy_free_all(&g, &tiers);
     let ranked = rank_by_hierarchy_free(&g, &hfr);
     let mut t = TextTable::new(["#", "origin", "hierarchy-free reach", "%"]);
@@ -132,8 +203,9 @@ pub fn rank(args: &[String]) -> Result<(), String> {
 
 /// `flatnet cone` — customer-cone / transit-degree ranking.
 pub fn cone(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
-    let g = load_graph(opts.required("as-rel")?)?;
+    let opts = Opts::parse(args, &["lenient"], &["as-rel", "top", "max-errors"])?;
+    let mode = parse_mode(&opts)?;
+    let g = load_graph(opts.required("as-rel")?, &mode)?;
     let top: usize = opts.num_or("top", 20)?;
     let cones = customer_cone_sizes(&g);
     let mut order: Vec<_> = g.nodes().collect();
@@ -154,8 +226,13 @@ pub fn cone(args: &[String]) -> Result<(), String> {
 
 /// `flatnet leak` — §8 resilience CDF.
 pub fn leak(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
-    let g = load_graph(opts.required("as-rel")?)?;
+    let opts = Opts::parse(
+        args,
+        &["lenient", "validate"],
+        &["as-rel", "victim", "leakers", "seed", "lock", "tier1", "tier2", "max-errors"],
+    )?;
+    let mode = parse_mode(&opts)?;
+    let (g, conflicts) = load_graph_full(opts.required("as-rel")?, &mode)?;
     let victim = opts
         .as_list("victim")?
         .and_then(|v| v.first().copied())
@@ -170,6 +247,9 @@ pub fn leak(args: &[String]) -> Result<(), String> {
         other => return Err(format!("--lock must be none|t1|t12|global, got {other:?}")),
     };
     let tiers = tiers_for(&g, &opts)?;
+    if opts.switch("validate") {
+        run_validation(&g, &tiers, &conflicts)?;
+    }
     let cdf = leak_cdf(&g, &tiers, victim, Announce::ToAll, locking, leakers, seed, None)
         .ok_or_else(|| format!("{victim} is not in the topology"))?;
     println!(
@@ -188,7 +268,12 @@ pub fn leak(args: &[String]) -> Result<(), String> {
 
 /// `flatnet infer` — §4.1 neighbor inference from a trace file.
 pub fn infer(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["initial"])?;
+    let opts = Opts::parse(
+        args,
+        &["initial", "lenient"],
+        &["traces", "prefixes", "cloud", "max-errors"],
+    )?;
+    let mode = parse_mode(&opts)?;
     let traces_path = opts.required("traces")?;
     let prefixes_path = opts.required("prefixes")?;
     let cloud = opts
@@ -198,14 +283,20 @@ pub fn infer(args: &[String]) -> Result<(), String> {
     // Sniff the format: warts records start with the 0x1205 magic.
     let raw = fs::read(traces_path).map_err(|e| format!("{traces_path}: {e}"))?;
     let traces = if raw.starts_with(&[0x12, 0x05]) {
-        flatnet_tracesim::warts::parse_warts(&raw).map_err(|e| e.to_string())?
+        let (traces, diag) =
+            flatnet_tracesim::warts::parse_warts_with(&raw, &mode).map_err(|e| e.to_string())?;
+        note_diag(traces_path, &diag);
+        traces
     } else {
         let text = String::from_utf8(raw).map_err(|_| format!("{traces_path}: not UTF-8"))?;
-        scamper::parse_traces(&text)?
+        let (traces, diag) = scamper::parse_traces_with(&text, &mode)?;
+        note_diag(traces_path, &diag);
+        traces
     };
     let prefix_text =
         fs::read_to_string(prefixes_path).map_err(|e| format!("{prefixes_path}: {e}"))?;
-    let announced = AnnouncedDb::parse(&prefix_text)?;
+    let (announced, diag) = AnnouncedDb::parse_with(&prefix_text, &mode)?;
+    note_diag(prefixes_path, &diag);
     let resolver = Resolver::new(PeeringDb::new(), announced, WhoisDb::new());
     let methodology = if opts.switch("initial") {
         Methodology::initial()
@@ -273,14 +364,65 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(load_graph("/nonexistent/file").is_err());
+        let strict = ParseOptions::strict();
+        assert!(load_graph("/nonexistent/file", &strict).is_err());
         assert!(reach(&argv(&["--as-rel", "/nonexistent"])).is_err());
         assert!(gen(&argv(&["--ases", "10"])).is_err()); // missing --out
         assert!(leak(&argv(&["--as-rel", "/nonexistent", "--victim", "1"])).is_err());
         let dir = tmpdir("err");
         let f = dir.join("bad.txt");
         fs::write(&f, "not a caida file\n").unwrap();
-        assert!(load_graph(f.to_str().unwrap()).is_err());
+        assert!(load_graph(f.to_str().unwrap(), &strict).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_flag_tolerates_bad_lines() {
+        let dir = tmpdir("lenient");
+        let f = dir.join("rel.txt");
+        // One garbage line amid valid serial-2 records.
+        fs::write(&f, "1|2|-1|bgp\ngarbage line here\n2|3|-1|bgp\n3|4|0|bgp\n").unwrap();
+        let fs_ = f.to_str().unwrap();
+        // Strict load fails...
+        assert!(reach(&argv(&["--as-rel", fs_, "--origin", "4", "--tier1", "1"])).is_err());
+        // ...lenient succeeds and still finds the origin.
+        reach(&argv(&["--as-rel", fs_, "--origin", "4", "--tier1", "1", "--lenient"])).unwrap();
+        // --max-errors implies lenient; a zero budget still aborts.
+        assert!(reach(&argv(&[
+            "--as-rel", fs_, "--origin", "4", "--tier1", "1", "--max-errors", "0"
+        ]))
+        .is_err());
+        reach(&argv(&["--as-rel", fs_, "--origin", "4", "--tier1", "1", "--max-errors", "5"]))
+            .unwrap();
+        // Bad flag values name the offending value.
+        let err = reach(&argv(&[
+            "--as-rel", fs_, "--origin", "4", "--tier1", "1", "--max-errors", "lots"
+        ]))
+        .unwrap_err();
+        assert!(err.contains("\"lots\""), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_flag_gates_on_health() {
+        let dir = tmpdir("validate");
+        let f = dir.join("rel.txt");
+        // 1 and 2 are a peered Tier-1 clique; 3 is their customer.
+        fs::write(&f, "1|2|0|bgp\n1|3|-1|bgp\n2|3|-1|bgp\n").unwrap();
+        let fs_ = f.to_str().unwrap();
+        reach(&argv(&[
+            "--as-rel", fs_, "--origin", "3", "--tier1", "1,2", "--validate",
+        ]))
+        .unwrap();
+        // Declaring the customer a Tier-1 breaks the clique: 3 does not peer
+        // with anyone, so --validate must refuse to run the measurement.
+        let err = reach(&argv(&[
+            "--as-rel", fs_, "--origin", "3", "--tier1", "1,2,3", "--validate",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("health"), "{err}");
+        // Same topology without --validate still runs.
+        reach(&argv(&["--as-rel", fs_, "--origin", "3", "--tier1", "1,2,3"])).unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -313,8 +455,13 @@ mod tests {
 
 /// `flatnet collect` — simulate route collectors and write MRT.
 pub fn collect(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
-    let g = load_graph(opts.required("as-rel")?)?;
+    let opts = Opts::parse(
+        args,
+        &["lenient"],
+        &["as-rel", "out", "origins", "seed", "monitors", "max-errors"],
+    )?;
+    let mode = parse_mode(&opts)?;
+    let g = load_graph(opts.required("as-rel")?, &mode)?;
     let out = opts.required("out")?.to_string();
     let n_origins: usize = opts.num_or("origins", g.len())?;
     let seed: u64 = opts.num_or("seed", 1)?;
@@ -365,10 +512,12 @@ pub fn collect(args: &[String]) -> Result<(), String> {
 
 /// `flatnet relinfer` — Gao inference from an MRT dump.
 pub fn relinfer(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
+    let opts = Opts::parse(args, &["lenient"], &["mrt", "truth", "out", "max-errors"])?;
+    let mode = parse_mode(&opts)?;
     let path = opts.required("mrt")?;
     let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let rib = flatnet_mrt::parse_mrt(&bytes).map_err(|e| e.to_string())?;
+    let (rib, diag) = flatnet_mrt::parse_mrt_with(&bytes, &mode).map_err(|e| e.to_string())?;
+    note_diag(path, &diag);
     let entries = flatnet_mrt::to_rib_entries(&rib);
     let paths: Vec<Vec<AsId>> = entries.iter().map(|e| e.path.clone()).collect();
     let inferred = flatnet_asgraph::infer_relationships(&paths, 60.0);
@@ -380,7 +529,7 @@ pub fn relinfer(args: &[String]) -> Result<(), String> {
         inferred.inferred_p2p
     );
     if let Some(truth_path) = opts.get("truth") {
-        let truth = load_graph(truth_path)?;
+        let truth = load_graph(truth_path, &mode)?;
         let acc = flatnet_asgraph::score_inference(&inferred.graph, &truth);
         println!(
             "vs truth: c2p accuracy {:.1}% ({} correct / {} flipped / {} as-p2p), p2p recall {:.1}%, p2p invisible {:.1}%",
@@ -437,7 +586,7 @@ mod mrt_tests {
         ]))
         .unwrap();
         // The inferred file is a loadable serial-1 topology.
-        let g = load_graph(inferred.to_str().unwrap()).unwrap();
+        let g = load_graph(inferred.to_str().unwrap(), &ParseOptions::strict()).unwrap();
         assert!(g.edge_count() > 100);
         // Explicit monitor list and error paths.
         collect(&argv(&[
@@ -465,8 +614,9 @@ mod mrt_tests {
 
 /// `flatnet dot` — Graphviz export of an AS neighborhood.
 pub fn dot(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
-    let g = load_graph(opts.required("as-rel")?)?;
+    let opts = Opts::parse(args, &["lenient"], &["as-rel", "focus", "out", "max-errors"])?;
+    let mode = parse_mode(&opts)?;
+    let g = load_graph(opts.required("as-rel")?, &mode)?;
     let focus = opts
         .as_list("focus")?
         .and_then(|v| v.first().copied())

@@ -18,11 +18,12 @@ USAGE:
       campaign.
 
   flatnet reach  --as-rel FILE --origin ASN[,ASN...]
-                 [--tier1 ASN,.. --tier2 ASN,..]
+                 [--tier1 ASN,.. --tier2 ASN,..] [--validate]
       Provider-free / Tier-1-free / hierarchy-free reachability for the
       given origins. Tiers are inferred (AS-Rank style) unless given.
 
   flatnet rank   --as-rel FILE [--top N] [--tier1 .. --tier2 ..]
+                 [--validate]
       Rank all ASes by hierarchy-free reachability (Table-1 style).
 
   flatnet cone   --as-rel FILE [--top N]
@@ -30,6 +31,7 @@ USAGE:
 
   flatnet leak   --as-rel FILE --victim ASN [--leakers K]
                  [--lock none|t1|t12|global] [--tier1 .. --tier2 ..]
+                 [--validate]
       Route-leak resilience CDF for a victim (§8).
 
   flatnet infer  --traces FILE --prefixes FILE --cloud ASN [--initial]
@@ -55,7 +57,17 @@ USAGE:
       This message.
 
 Common flags take comma-separated AS numbers. All commands print text
-tables to stdout and are deterministic.";
+tables to stdout and are deterministic.
+
+Fault tolerance (every command that reads a file):
+  --lenient        Skip malformed records instead of aborting; dropped
+                   record counts are reported on stderr.
+  --max-errors N   Cap on skipped records in lenient mode (implies
+                   --lenient; default 1000). Parsing aborts once the
+                   budget is exhausted.
+  --validate       (reach/rank/leak) Run topology health checks before
+                   measuring; critical findings (e.g. a broken Tier-1
+                   clique) abort the run.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

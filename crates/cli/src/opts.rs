@@ -12,10 +12,15 @@ pub struct Opts {
 }
 
 impl Opts {
-    /// Parses `args`. Flags start with `--`; a flag followed by another
-    /// flag (or nothing) is a boolean switch. Positional arguments are
-    /// rejected — every command here is flag-driven.
-    pub fn parse(args: &[String], known_switches: &[&str]) -> Result<Opts, String> {
+    /// Parses `args`. Flags start with `--`; `known_switches` are boolean,
+    /// everything else must be in `known_values` and take a value.
+    /// Positional arguments and unknown flags are rejected — a typo'd
+    /// `--lenient` or `--validate` must not silently degrade to defaults.
+    pub fn parse(
+        args: &[String],
+        known_switches: &[&str],
+        known_values: &[&str],
+    ) -> Result<Opts, String> {
         let mut opts = Opts::default();
         let mut i = 0;
         while i < args.len() {
@@ -27,6 +32,9 @@ impl Opts {
                 opts.switches.push(name.to_string());
                 i += 1;
                 continue;
+            }
+            if !known_values.contains(&name) {
+                return Err(format!("unknown flag --{name} (see `flatnet help`)"));
             }
             let Some(value) = args.get(i + 1) else {
                 return Err(format!("flag --{name} needs a value"));
@@ -96,7 +104,12 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let o = Opts::parse(&argv(&["--as-rel", "f.txt", "--initial", "--top", "5"]), &["initial"]).unwrap();
+        let o = Opts::parse(
+            &argv(&["--as-rel", "f.txt", "--initial", "--top", "5"]),
+            &["initial"],
+            &["as-rel", "top"],
+        )
+        .unwrap();
         assert_eq!(o.required("as-rel").unwrap(), "f.txt");
         assert!(o.switch("initial"));
         assert_eq!(o.num_or("top", 20usize).unwrap(), 5);
@@ -106,21 +119,32 @@ mod tests {
 
     #[test]
     fn as_lists() {
-        let o = Opts::parse(&argv(&["--tier1", "3356, AS174,1299"]), &[]).unwrap();
+        let o = Opts::parse(&argv(&["--tier1", "3356, AS174,1299"]), &[], &["tier1"]).unwrap();
         let t1 = o.as_list("tier1").unwrap().unwrap();
         assert_eq!(t1, vec![AsId(3356), AsId(174), AsId(1299)]);
         assert_eq!(o.as_list("tier2").unwrap(), None);
-        let bad = Opts::parse(&argv(&["--tier1", "x"]), &[]).unwrap();
+        let bad = Opts::parse(&argv(&["--tier1", "x"]), &[], &["tier1"]).unwrap();
         assert!(bad.as_list("tier1").is_err());
     }
 
     #[test]
     fn rejects_malformed() {
-        assert!(Opts::parse(&argv(&["positional"]), &[]).is_err());
-        assert!(Opts::parse(&argv(&["--flag"]), &[]).is_err());
-        assert!(Opts::parse(&argv(&["--a", "--b"]), &[]).is_err());
-        let o = Opts::parse(&argv(&["--top", "x"]), &[]).unwrap();
+        let any = &["flag", "a", "top"][..];
+        assert!(Opts::parse(&argv(&["positional"]), &[], any).is_err());
+        assert!(Opts::parse(&argv(&["--flag"]), &[], any).is_err());
+        assert!(Opts::parse(&argv(&["--a", "--b"]), &[], any).is_err());
+        let o = Opts::parse(&argv(&["--top", "x"]), &[], any).unwrap();
         assert!(o.num_or("top", 1usize).is_err());
         assert!(o.required("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Opts::parse(&argv(&["--bogus", "x"]), &["lenient"], &["as-rel"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        // A typo'd switch is caught, not silently treated as a value flag.
+        let err =
+            Opts::parse(&argv(&["--leniant"]), &["lenient"], &["as-rel"]).unwrap_err();
+        assert!(err.contains("--leniant"), "{err}");
     }
 }

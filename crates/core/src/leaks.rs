@@ -143,6 +143,7 @@ fn scenario_for(
 /// Runs the leak CDF for one victim and configuration over `n_leakers`
 /// random misconfigured ASes. Set `user_weights` to weight detoured ASes
 /// by estimated users (Fig. 9) instead of counting ASes (Figs. 7/8/10).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's experiment knobs
 pub fn leak_cdf(
     g: &AsGraph,
     tiers: &Tiers,

@@ -1,9 +1,28 @@
 //! Provider-free, Tier-1-free, and hierarchy-free reachability
 //! (§6.1-6.4; Figure 2, Table 1).
 
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, try_parallel_map};
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
 use flatnet_bgpsim::{propagate, PropagationOptions};
+use std::fmt;
+
+/// A worker panic in a fault-isolated reachability sweep, tied back to the
+/// origin AS whose computation blew up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPanic {
+    /// The origin AS whose worker panicked.
+    pub asn: AsId,
+    /// The panic payload, downcast to text where possible.
+    pub message: String,
+}
+
+impl fmt::Display for SweepPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reachability worker for origin {} panicked: {}", self.asn, self.message)
+    }
+}
+
+impl std::error::Error for SweepPanic {}
 
 /// The three reachability levels of one origin (Fig. 2's stacked bars).
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -90,12 +109,58 @@ pub fn reachability_profile(g: &AsGraph, tiers: &Tiers, origins: &[AsId]) -> Vec
     })
 }
 
+/// [`reachability_profile`] with panic isolation: a worker panic aborts
+/// the sweep with the offending origin's ASN and the panic message instead
+/// of tearing down the process.
+pub fn try_reachability_profile(
+    g: &AsGraph,
+    tiers: &Tiers,
+    origins: &[AsId],
+) -> Result<Vec<ReachabilityResult>, SweepPanic> {
+    let nodes: Vec<(AsId, NodeId)> = origins
+        .iter()
+        .filter_map(|&a| g.index_of(a).map(|n| (a, n)))
+        .collect();
+    let results = try_parallel_map(&nodes, 0, |&(asn, n)| ReachabilityResult {
+        asn,
+        provider_free: reach_excluding(g, n, None, false),
+        tier1_free: reach_excluding(g, n, Some(tiers), false),
+        hierarchy_free: reach_excluding(g, n, Some(tiers), true),
+        max_possible: g.len() - 1,
+    });
+    collect_sweep(results, |i| nodes[i].0)
+}
+
 /// Hierarchy-free reachability of **every** AS in the graph (the paper
 /// computes this for Fig. 3 and the Table 1 top-20 ranking). Indexed by
 /// node. Parallel; O(V·E) total.
 pub fn hierarchy_free_all(g: &AsGraph, tiers: &Tiers) -> Vec<u32> {
     let nodes: Vec<NodeId> = g.nodes().collect();
     parallel_map(&nodes, 0, |&n| reach_excluding(g, n, Some(tiers), true) as u32)
+}
+
+/// [`hierarchy_free_all`] with panic isolation (see
+/// [`try_reachability_profile`]).
+pub fn try_hierarchy_free_all(g: &AsGraph, tiers: &Tiers) -> Result<Vec<u32>, SweepPanic> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let results = try_parallel_map(&nodes, 0, |&n| reach_excluding(g, n, Some(tiers), true) as u32);
+    collect_sweep(results, |i| g.asn(nodes[i]))
+}
+
+/// Collects per-item sweep results, converting the first failure into a
+/// [`SweepPanic`] naming the origin the item index maps to.
+fn collect_sweep<R>(
+    results: Vec<Result<R, crate::parallel::SweepError>>,
+    origin_of: impl Fn(usize) -> AsId,
+) -> Result<Vec<R>, SweepPanic> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => return Err(SweepPanic { asn: origin_of(e.index), message: e.message }),
+        }
+    }
+    Ok(out)
 }
 
 /// One row of Table 1: an AS ranked by hierarchy-free reachability.
@@ -279,6 +344,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_variants_agree_with_plain_ones() {
+        let (g, tiers) = fig1();
+        assert_eq!(try_hierarchy_free_all(&g, &tiers).unwrap(), hierarchy_free_all(&g, &tiers));
+        let origins = [AsId(10), AsId(2)];
+        assert_eq!(
+            try_reachability_profile(&g, &tiers, &origins).unwrap(),
+            reachability_profile(&g, &tiers, &origins)
+        );
+    }
+
+    #[test]
+    fn sweep_panic_names_the_offending_origin() {
+        let (g, _) = fig1();
+        // Tiers built against a *larger* graph hold node ids that are out
+        // of bounds for `g`, so every worker panics on the mask indexing;
+        // the reported origin must be the first swept AS.
+        let mut b = AsGraphBuilder::new();
+        for i in 1..200u32 {
+            b.add_link(AsId(1000), AsId(1000 + i), Relationship::P2c);
+        }
+        let big = b.build();
+        let bad_tiers = Tiers::from_lists(&big, &[AsId(1199)], &[]);
+        let err = try_hierarchy_free_all(&g, &bad_tiers).unwrap_err();
+        assert_eq!(err.asn, g.asn(g.nodes().next().unwrap()));
+        assert!(err.message.contains("index out of bounds"), "{err}");
+        assert!(err.to_string().contains(&format!("origin {}", err.asn)), "{err}");
     }
 
     #[test]

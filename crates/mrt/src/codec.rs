@@ -21,6 +21,7 @@
 //! ```
 
 use crate::model::{MrtPeer, MrtRib, MrtRoute};
+use flatnet_asgraph::ingest::{ParseDiagnostics, ParseOptions, RecordLocation};
 use flatnet_asgraph::AsId;
 use flatnet_prefixdb::Ipv4Prefix;
 use std::fmt;
@@ -174,11 +175,24 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Minimum encoded size of one peer entry (type + BGP id + addr + ASN).
+const PEER_ENTRY_BYTES: usize = 13;
+/// Minimum encoded size of one RIB entry (peer index + originated + attr len).
+const RIB_ENTRY_MIN_BYTES: usize = 8;
+
 fn parse_peer_table(body: &mut Cursor<'_>, rib: &mut MrtRib) -> Result<(), MrtError> {
     rib.collector_id = body.u32()?;
     let name_len = body.u16()? as usize;
     rib.view_name = String::from_utf8_lossy(body.take(name_len)?).into_owned();
     let count = body.u16()?;
+    let remaining = body.data.len() - body.pos;
+    if count as usize * PEER_ENTRY_BYTES > remaining {
+        return Err(body.err(format!(
+            "peer count {count} needs {} bytes but only {remaining} remain",
+            count as usize * PEER_ENTRY_BYTES
+        )));
+    }
+    rib.peers.reserve(count as usize);
     for _ in 0..count {
         let ptype = body.u8()?;
         if ptype != PEER_TYPE_IPV4_AS4 {
@@ -223,6 +237,13 @@ fn parse_rib_record(body: &mut Cursor<'_>, rib: &mut MrtRib) -> Result<(), MrtEr
     bits[..nbytes].copy_from_slice(raw);
     let prefix = Ipv4Prefix::new(Ipv4Addr::from(bits), plen);
     let count = body.u16()?;
+    let remaining = body.data.len() - body.pos;
+    if count as usize * RIB_ENTRY_MIN_BYTES > remaining {
+        return Err(body.err(format!(
+            "entry count {count} needs at least {} bytes but only {remaining} remain",
+            count as usize * RIB_ENTRY_MIN_BYTES
+        )));
+    }
     let mut entries = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let peer_idx = body.u16()?;
@@ -252,56 +273,129 @@ fn parse_rib_record(body: &mut Cursor<'_>, rib: &mut MrtRib) -> Result<(), MrtEr
     Ok(())
 }
 
+/// Parses one record body. Mutations to `rib` are rolled back by the caller
+/// if this returns an error, so lenient mode can skip the record cleanly.
+fn parse_record_body(
+    ty: u16,
+    subtype: u16,
+    body: &[u8],
+    body_start: usize,
+    rib: &mut MrtRib,
+    saw_peer_table: &mut bool,
+) -> Result<(), MrtError> {
+    if ty != MRT_TYPE_TABLE_DUMP_V2 {
+        return Err(MrtError {
+            offset: body_start,
+            message: format!("unsupported MRT type {ty} (TABLE_DUMP_V2 only)"),
+        });
+    }
+    let mut bc = Cursor { data: body, pos: 0 };
+    match subtype {
+        SUBTYPE_PEER_INDEX_TABLE => {
+            parse_peer_table(&mut bc, rib)?;
+            *saw_peer_table = true;
+        }
+        SUBTYPE_RIB_IPV4_UNICAST => {
+            if !*saw_peer_table {
+                return Err(MrtError {
+                    offset: body_start,
+                    message: "RIB record before PEER_INDEX_TABLE".into(),
+                });
+            }
+            parse_rib_record(&mut bc, rib)?;
+        }
+        other => {
+            return Err(MrtError {
+                offset: body_start,
+                message: format!("unsupported TABLE_DUMP_V2 subtype {other}"),
+            })
+        }
+    }
+    if !bc.done() {
+        return Err(MrtError {
+            offset: body_start + bc.pos,
+            message: "trailing bytes in record body".into(),
+        });
+    }
+    Ok(())
+}
+
 /// Parses MRT bytes produced by [`write_mrt`] (or any TABLE_DUMP_V2 dump
 /// restricted to IPv4+AS4 peers and IPv4-unicast RIB records). Unknown
 /// record types are rejected with their offset.
 pub fn parse_mrt(bytes: &[u8]) -> Result<MrtRib, MrtError> {
+    parse_mrt_with(bytes, &ParseOptions::strict()).map(|(rib, _)| rib)
+}
+
+/// [`parse_mrt`] with explicit strictness.
+///
+/// In lenient mode a record whose *body* fails to parse (bad peer type, bad
+/// prefix length, malformed attributes, trailing bytes) is skipped — the
+/// record length from the header lets the parser resynchronise at the next
+/// record boundary — and tallied in [`ParseDiagnostics`], up to the error
+/// budget. Framing corruption (a truncated header, or a record length that
+/// overruns the remaining buffer) is always fatal: past it, record
+/// boundaries can no longer be trusted.
+pub fn parse_mrt_with(
+    bytes: &[u8],
+    opts: &ParseOptions,
+) -> Result<(MrtRib, ParseDiagnostics), MrtError> {
     let mut c = Cursor { data: bytes, pos: 0 };
     let mut rib = MrtRib::default();
     let mut saw_peer_table = false;
+    let mut diag = ParseDiagnostics::new();
+    let mut record_no = 0usize;
     while !c.done() {
         let _timestamp = c.u32()?;
         let ty = c.u16()?;
         let subtype = c.u16()?;
+        let len_field_at = c.pos;
         let len = c.u32()? as usize;
+        // Satellite check: validate the record length against the remaining
+        // buffer *before* slicing, so a corrupt/oversized length field gets a
+        // dedicated error naming both sizes instead of a generic failure.
+        let remaining = c.data.len() - c.pos;
+        if len > remaining {
+            return Err(MrtError {
+                offset: len_field_at,
+                message: format!(
+                    "record length {len} exceeds the {remaining} bytes remaining \
+                     (truncated dump or corrupt length field)"
+                ),
+            });
+        }
         let body_start = c.pos;
         let body = c.take(len)?;
-        if ty != MRT_TYPE_TABLE_DUMP_V2 {
-            return Err(MrtError {
-                offset: body_start,
-                message: format!("unsupported MRT type {ty} (TABLE_DUMP_V2 only)"),
-            });
-        }
-        let mut bc = Cursor { data: body, pos: 0 };
-        match subtype {
-            SUBTYPE_PEER_INDEX_TABLE => {
-                parse_peer_table(&mut bc, &mut rib)?;
-                saw_peer_table = true;
-            }
-            SUBTYPE_RIB_IPV4_UNICAST => {
-                if !saw_peer_table {
+        // Snapshot so a failed record can be rolled back and skipped.
+        let peers_before = rib.peers.len();
+        let routes_before = rib.routes.len();
+        let collector_before = rib.collector_id;
+        let view_before = (subtype == SUBTYPE_PEER_INDEX_TABLE).then(|| rib.view_name.clone());
+        match parse_record_body(ty, subtype, body, body_start, &mut rib, &mut saw_peer_table) {
+            Ok(()) => diag.record_ok(),
+            Err(e) => {
+                rib.peers.truncate(peers_before);
+                rib.routes.truncate(routes_before);
+                rib.collector_id = collector_before;
+                if let Some(v) = view_before {
+                    rib.view_name = v;
+                }
+                if opts.budget_allows(diag.dropped()) {
+                    diag.record_dropped(RecordLocation::Record(record_no), e.to_string());
+                } else if opts.strict {
+                    return Err(e);
+                } else {
+                    diag.record_dropped(RecordLocation::Record(record_no), e.to_string());
                     return Err(MrtError {
                         offset: body_start,
-                        message: "RIB record before PEER_INDEX_TABLE".into(),
+                        message: opts.budget_exhausted_message(diag.issues.last().unwrap()),
                     });
                 }
-                parse_rib_record(&mut bc, &mut rib)?;
-            }
-            other => {
-                return Err(MrtError {
-                    offset: body_start,
-                    message: format!("unsupported TABLE_DUMP_V2 subtype {other}"),
-                })
             }
         }
-        if !bc.done() {
-            return Err(MrtError {
-                offset: body_start + bc.pos,
-                message: "trailing bytes in record body".into(),
-            });
-        }
+        record_no += 1;
     }
-    Ok(rib)
+    Ok((rib, diag))
 }
 
 #[cfg(test)]
@@ -400,6 +494,91 @@ mod tests {
         let rest = &bytes[12 + len..];
         let err = parse_mrt(rest).unwrap_err();
         assert!(err.message.contains("before PEER_INDEX_TABLE"), "{err}");
+    }
+
+    /// Clobbers the prefix-length byte of the first RIB record (record #1,
+    /// after the peer table) so its body fails to parse while the record
+    /// framing stays intact.
+    fn corrupt_first_rib_record(bytes: &mut [u8]) {
+        let l0 = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        // record 1 header at 12+l0; body starts 12 bytes later; plen is at
+        // body offset 4 (after the u32 sequence number).
+        bytes[12 + l0 + 12 + 4] = 99;
+    }
+
+    #[test]
+    fn oversized_length_field_errors_cleanly() {
+        let mut bytes = write_mrt(&sample(), 1);
+        bytes[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = parse_mrt(&bytes).unwrap_err();
+        assert_eq!(err.offset, 8, "{err}");
+        assert!(err.message.contains("corrupt length field"), "{err}");
+        assert!(err.message.contains(&format!("{}", u32::MAX)), "{err}");
+    }
+
+    #[test]
+    fn lenient_skips_bad_record_and_resyncs() {
+        let rib = sample();
+        let mut bytes = write_mrt(&rib, 1);
+        corrupt_first_rib_record(&mut bytes);
+        // Strict fails at the corrupt record.
+        let err = parse_mrt(&bytes).unwrap_err();
+        assert!(err.message.contains("bad prefix length"), "{err}");
+        // Lenient drops exactly that record and keeps everything else.
+        let (back, diag) = parse_mrt_with(&bytes, &ParseOptions::lenient()).unwrap();
+        assert_eq!(diag.dropped(), 1, "{:?}", diag.issues);
+        assert_eq!(diag.records_ok, 2);
+        assert_eq!(diag.issues[0].location, RecordLocation::Record(1));
+        assert!(diag.issues[0].message.contains("bad prefix length"), "{}", diag.issues[0]);
+        assert_eq!(back.peers, rib.peers);
+        assert_eq!(back.routes.len(), 1);
+        assert_eq!(back.routes[0], rib.routes[1]);
+    }
+
+    #[test]
+    fn lenient_framing_corruption_is_still_fatal() {
+        let mut bytes = write_mrt(&sample(), 1);
+        bytes[8..12].copy_from_slice(&10_000_000u32.to_be_bytes());
+        let err = parse_mrt_with(&bytes, &ParseOptions::lenient()).unwrap_err();
+        assert!(err.message.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn lenient_rolls_back_failed_peer_table() {
+        let rib = sample();
+        let mut bytes = write_mrt(&rib, 1);
+        // Peer table body: collector u32, name_len u16, name, count u16.
+        let count_at = 12 + 4 + 2 + rib.view_name.len();
+        bytes[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_be_bytes());
+        // Strict: the bogus count errors before any huge allocation.
+        let err = parse_mrt(&bytes).unwrap_err();
+        assert!(err.message.contains("peer count 65535"), "{err}");
+        // Lenient: the peer table is dropped, so every RIB record that
+        // depends on it is dropped too and nothing leaks into the result.
+        let (back, diag) = parse_mrt_with(&bytes, &ParseOptions::lenient()).unwrap();
+        assert_eq!(diag.dropped(), 3, "{:?}", diag.issues);
+        assert!(back.peers.is_empty());
+        assert!(back.routes.is_empty());
+        assert!(diag.issues[1].message.contains("before PEER_INDEX_TABLE"));
+    }
+
+    #[test]
+    fn lenient_error_budget_is_enforced() {
+        let mut bytes = write_mrt(&sample(), 1);
+        corrupt_first_rib_record(&mut bytes);
+        // Also corrupt the second RIB record the same way.
+        let l0 = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let r1 = 12 + l0;
+        let l1 = u32::from_be_bytes(bytes[r1 + 8..r1 + 12].try_into().unwrap()) as usize;
+        bytes[r1 + 12 + l1 + 12 + 4] = 99;
+        let err =
+            parse_mrt_with(&bytes, &ParseOptions::lenient().with_max_errors(1)).unwrap_err();
+        assert!(err.message.contains("error budget exhausted"), "{err}");
+        let (back, diag) =
+            parse_mrt_with(&bytes, &ParseOptions::lenient().with_max_errors(2)).unwrap();
+        assert_eq!(diag.dropped(), 2);
+        assert!(back.routes.is_empty());
+        assert_eq!(back.peers.len(), 2);
     }
 
     #[test]

@@ -22,5 +22,5 @@
 mod codec;
 mod model;
 
-pub use codec::{parse_mrt, write_mrt, MrtError};
+pub use codec::{parse_mrt, parse_mrt_with, write_mrt, MrtError};
 pub use model::{from_rib_entries, to_rib_entries, MrtPeer, MrtRib, MrtRoute};

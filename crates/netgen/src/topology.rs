@@ -349,10 +349,8 @@ pub fn build(cfg: &NetGenConfig) -> Topology {
         // Sparse edge-edge peering (mostly invisible to BGP feeds).
         if i > 0 && rng.gen::<f64>() < 0.06 {
             let other = edge[rng.gen_range(0..i)].0;
-            if truth.add_link(asn, other, Relationship::P2p) {
-                if rng.gen::<f64>() > 0.10 {
-                    hidden.push((asn, other));
-                }
+            if truth.add_link(asn, other, Relationship::P2p) && rng.gen::<f64>() > 0.10 {
+                hidden.push((asn, other));
             }
         }
         // Content edges peer with mids (CDN-style).
@@ -363,10 +361,11 @@ pub fn build(cfg: &NetGenConfig) -> Topology {
             }
         }
         // The HE-like Tier-2 peers opportunistically at the edge too.
-        if rng.gen::<f64>() < 0.18 {
-            if truth.add_link(asn, tier2[0], Relationship::P2p) && rng.gen::<f64>() > 0.5 {
-                hidden.push((asn, tier2[0]));
-            }
+        if rng.gen::<f64>() < 0.18
+            && truth.add_link(asn, tier2[0], Relationship::P2p)
+            && rng.gen::<f64>() > 0.5
+        {
+            hidden.push((asn, tier2[0]));
         }
     }
 

@@ -12,6 +12,7 @@
 
 use crate::ipv4::Ipv4Prefix;
 use crate::trie::PrefixTrie;
+use flatnet_asgraph::ingest::{ParseDiagnostics, ParseOptions, RecordLocation};
 use flatnet_asgraph::AsId;
 use std::net::Ipv4Addr;
 
@@ -65,26 +66,60 @@ impl AnnouncedDb {
 
     /// Parses a `prefix|asn` text dump (one per line, `#` comments).
     pub fn parse(text: &str) -> Result<Self, String> {
+        Self::parse_with(text, &ParseOptions::strict()).map(|(db, _)| db)
+    }
+
+    /// [`AnnouncedDb::parse`] with explicit strictness; lenient mode skips
+    /// malformed lines (up to the error budget) and tallies them in the
+    /// returned [`ParseDiagnostics`].
+    pub fn parse_with(
+        text: &str,
+        opts: &ParseOptions,
+    ) -> Result<(Self, ParseDiagnostics), String> {
         let mut db = Self::new();
+        let mut diag = ParseDiagnostics::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (pfx, asn) = line
-                .split_once('|')
-                .ok_or_else(|| format!("line {}: expected prefix|asn", i + 1))?;
-            let prefix: Ipv4Prefix = pfx
-                .trim()
-                .parse()
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
-            let asn: u32 = asn
-                .trim()
-                .parse()
-                .map_err(|e| format!("line {}: bad ASN: {e}", i + 1))?;
-            db.announce(prefix, AsId(asn));
+            match Self::parse_line(line, i + 1) {
+                Ok((prefix, origin)) => {
+                    diag.record_ok();
+                    db.announce(prefix, origin);
+                }
+                Err(e) => {
+                    if opts.budget_allows(diag.dropped()) {
+                        diag.record_dropped(RecordLocation::Line(i + 1), e);
+                    } else if opts.strict {
+                        return Err(e);
+                    } else {
+                        diag.record_dropped(RecordLocation::Line(i + 1), e);
+                        return Err(format!(
+                            "line {}: {}",
+                            i + 1,
+                            opts.budget_exhausted_message(diag.issues.last().unwrap())
+                        ));
+                    }
+                }
+            }
         }
-        Ok(db)
+        Ok((db, diag))
+    }
+
+    fn parse_line(line: &str, lineno: usize) -> Result<(Ipv4Prefix, AsId), String> {
+        let (pfx, asn) = line
+            .split_once('|')
+            .ok_or_else(|| format!("line {lineno}: expected prefix|asn"))?;
+        let prefix: Ipv4Prefix = pfx
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        let asn: u32 = asn
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad ASN: {e}"))?;
+        Ok((prefix, AsId(asn)))
     }
 
     /// Serializes as `prefix|asn` lines (round-trips through [`AnnouncedDb::parse`]).
@@ -152,6 +187,24 @@ mod tests {
         assert!(AnnouncedDb::parse("10.0.0.0/8\n").is_err());
         assert!(AnnouncedDb::parse("10.0.0.0/99|1\n").is_err());
         assert!(AnnouncedDb::parse("10.0.0.0/8|asn\n").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_counts_bad_lines() {
+        let text = "10.0.0.0/8|100\nnot-a-line\n10.0.0.0/99|1\n192.0.2.0/24|65000\n";
+        let (db, diag) = AnnouncedDb::parse_with(text, &ParseOptions::lenient()).unwrap();
+        assert_eq!(diag.dropped(), 2, "{:?}", diag.issues);
+        assert_eq!(diag.records_ok, 2);
+        assert_eq!(db.len(), 2);
+        assert_eq!(diag.issues[0].location, RecordLocation::Line(2));
+        assert_eq!(diag.issues[1].location, RecordLocation::Line(3));
+        // Strict fails at the first bad line.
+        let err = AnnouncedDb::parse_with(text, &ParseOptions::strict()).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // An exhausted budget aborts even in lenient mode.
+        let err = AnnouncedDb::parse_with(text, &ParseOptions::lenient().with_max_errors(1))
+            .unwrap_err();
+        assert!(err.contains("error budget exhausted"), "{err}");
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl Ipv4Prefix {
 
     /// Prefix length.
     #[inline]
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -17,6 +17,7 @@
 //! All integers are big-endian, as in the real format.
 
 use crate::model::{Hop, Traceroute, VantagePoint};
+use flatnet_asgraph::ingest::{ParseDiagnostics, ParseOptions, RecordLocation};
 use flatnet_asgraph::AsId;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -109,10 +110,79 @@ impl<'a> Cur<'a> {
     }
 }
 
+/// Minimum encoded size of one hop (ttl + flags).
+const HOP_MIN_BYTES: usize = 2;
+
+fn parse_trace_body(body: &[u8], body_start: usize) -> Result<Traceroute, WartsError> {
+    let mut b = Cur { data: body, pos: 0 };
+    let cloud = AsId(b.u32().map_err(|e| off(e, body_start))?);
+    let city = b.u32().map_err(|e| off(e, body_start))? as usize;
+    let dst = Ipv4Addr::from(b.u32().map_err(|e| off(e, body_start))?);
+    let dst_asn = AsId(b.u32().map_err(|e| off(e, body_start))?);
+    let flags = b.u8().map_err(|e| off(e, body_start))?;
+    let n_hops = b.u16().map_err(|e| off(e, body_start))?;
+    let remaining = body.len() - b.pos;
+    if n_hops as usize * HOP_MIN_BYTES > remaining {
+        return Err(WartsError {
+            offset: body_start + b.pos,
+            message: format!(
+                "hop count {n_hops} needs at least {} bytes but only {remaining} remain",
+                n_hops as usize * HOP_MIN_BYTES
+            ),
+        });
+    }
+    let mut hops = Vec::with_capacity(n_hops as usize);
+    for _ in 0..n_hops {
+        let ttl = b.u8().map_err(|e| off(e, body_start))?;
+        let hflags = b.u8().map_err(|e| off(e, body_start))?;
+        let addr = if hflags & HOP_HAS_ADDR != 0 {
+            Some(Ipv4Addr::from(b.u32().map_err(|e| off(e, body_start))?))
+        } else {
+            None
+        };
+        let rtt_ms = if hflags & HOP_HAS_RTT != 0 {
+            Some(b.u32().map_err(|e| off(e, body_start))? as f64 / 1000.0)
+        } else {
+            None
+        };
+        hops.push(Hop { ttl, addr, rtt_ms });
+    }
+    if b.pos != body.len() {
+        return Err(WartsError {
+            offset: body_start + b.pos,
+            message: "trailing bytes in trace record".into(),
+        });
+    }
+    Ok(Traceroute {
+        vp: VantagePoint { cloud, city },
+        dst,
+        dst_asn,
+        hops,
+        completed: flags & FLAG_COMPLETED != 0,
+    })
+}
+
 /// Parses bytes produced by [`write_warts`].
 pub fn parse_warts(bytes: &[u8]) -> Result<Vec<Traceroute>, WartsError> {
+    parse_warts_with(bytes, &ParseOptions::strict()).map(|(t, _)| t)
+}
+
+/// [`parse_warts`] with explicit strictness.
+///
+/// In lenient mode a record whose *body* fails to decode is skipped (the
+/// record length in the header lets the parser resynchronise at the next
+/// record) and tallied, up to the error budget. Framing corruption — a bad
+/// magic, an unknown record type, a truncated header, or a record length
+/// overrunning the buffer — is always fatal because record boundaries can
+/// no longer be trusted past it.
+pub fn parse_warts_with(
+    bytes: &[u8],
+    opts: &ParseOptions,
+) -> Result<(Vec<Traceroute>, ParseDiagnostics), WartsError> {
     let mut c = Cur { data: bytes, pos: 0 };
     let mut out = Vec::new();
+    let mut diag = ParseDiagnostics::new();
+    let mut record_no = 0usize;
     while c.pos < bytes.len() {
         let magic = c.u16()?;
         if magic != MAGIC {
@@ -125,47 +195,42 @@ pub fn parse_warts(bytes: &[u8]) -> Result<Vec<Traceroute>, WartsError> {
         if ty != TYPE_TRACE {
             return Err(c.err(format!("unsupported record type {ty:#06x}")));
         }
+        let len_field_at = c.pos;
         let len = c.u32()? as usize;
-        let body_start = c.pos;
-        let body = c.take(len)?;
-        let mut b = Cur { data: body, pos: 0 };
-        let cloud = AsId(b.u32().map_err(|e| off(e, body_start))?);
-        let city = b.u32().map_err(|e| off(e, body_start))? as usize;
-        let dst = Ipv4Addr::from(b.u32().map_err(|e| off(e, body_start))?);
-        let dst_asn = AsId(b.u32().map_err(|e| off(e, body_start))?);
-        let flags = b.u8().map_err(|e| off(e, body_start))?;
-        let n_hops = b.u16().map_err(|e| off(e, body_start))?;
-        let mut hops = Vec::with_capacity(n_hops as usize);
-        for _ in 0..n_hops {
-            let ttl = b.u8().map_err(|e| off(e, body_start))?;
-            let hflags = b.u8().map_err(|e| off(e, body_start))?;
-            let addr = if hflags & HOP_HAS_ADDR != 0 {
-                Some(Ipv4Addr::from(b.u32().map_err(|e| off(e, body_start))?))
-            } else {
-                None
-            };
-            let rtt_ms = if hflags & HOP_HAS_RTT != 0 {
-                Some(b.u32().map_err(|e| off(e, body_start))? as f64 / 1000.0)
-            } else {
-                None
-            };
-            hops.push(Hop { ttl, addr, rtt_ms });
-        }
-        if b.pos != body.len() {
+        let remaining = bytes.len() - c.pos;
+        if len > remaining {
             return Err(WartsError {
-                offset: body_start + b.pos,
-                message: "trailing bytes in trace record".into(),
+                offset: len_field_at,
+                message: format!(
+                    "record length {len} exceeds the {remaining} bytes remaining \
+                     (truncated dump or corrupt length field)"
+                ),
             });
         }
-        out.push(Traceroute {
-            vp: VantagePoint { cloud, city },
-            dst,
-            dst_asn,
-            hops,
-            completed: flags & FLAG_COMPLETED != 0,
-        });
+        let body_start = c.pos;
+        let body = c.take(len)?;
+        match parse_trace_body(body, body_start) {
+            Ok(t) => {
+                out.push(t);
+                diag.record_ok();
+            }
+            Err(e) => {
+                if opts.budget_allows(diag.dropped()) {
+                    diag.record_dropped(RecordLocation::Record(record_no), e.to_string());
+                } else if opts.strict {
+                    return Err(e);
+                } else {
+                    diag.record_dropped(RecordLocation::Record(record_no), e.to_string());
+                    return Err(WartsError {
+                        offset: body_start,
+                        message: opts.budget_exhausted_message(diag.issues.last().unwrap()),
+                    });
+                }
+            }
+        }
+        record_no += 1;
     }
-    Ok(out)
+    Ok((out, diag))
 }
 
 fn off(mut e: WartsError, base: usize) -> WartsError {
@@ -231,6 +296,58 @@ mod tests {
     #[test]
     fn empty_roundtrip() {
         assert_eq!(parse_warts(&write_warts(&[])).unwrap(), Vec::new());
+    }
+
+    /// Clobbers the hop count of the first record (body offset 17: after
+    /// four u32 fields and the flags byte) so the body fails to decode
+    /// while its framing stays intact.
+    fn corrupt_first_record_body(bytes: &mut [u8]) {
+        bytes[8 + 17..8 + 19].copy_from_slice(&u16::MAX.to_be_bytes());
+    }
+
+    #[test]
+    fn oversized_length_field_errors_cleanly() {
+        let mut bytes = write_warts(&sample());
+        bytes[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = parse_warts(&bytes).unwrap_err();
+        assert_eq!(err.offset, 4, "{err}");
+        assert!(err.message.contains("corrupt length field"), "{err}");
+    }
+
+    #[test]
+    fn lenient_skips_bad_record_and_resyncs() {
+        let traces = sample();
+        let mut bytes = write_warts(&traces);
+        corrupt_first_record_body(&mut bytes);
+        // Strict fails on the bogus hop count.
+        let err = parse_warts(&bytes).unwrap_err();
+        assert!(err.message.contains("hop count 65535"), "{err}");
+        // Lenient drops exactly that record.
+        let (back, diag) = parse_warts_with(&bytes, &ParseOptions::lenient()).unwrap();
+        assert_eq!(diag.dropped(), 1, "{:?}", diag.issues);
+        assert_eq!(diag.records_ok, 1);
+        assert_eq!(diag.issues[0].location, RecordLocation::Record(0));
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], traces[1]);
+    }
+
+    #[test]
+    fn lenient_framing_corruption_is_still_fatal() {
+        let mut bytes = write_warts(&sample());
+        bytes[0] = 0xFF;
+        assert!(parse_warts_with(&bytes, &ParseOptions::lenient()).is_err());
+        let mut bytes = write_warts(&sample());
+        bytes[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(parse_warts_with(&bytes, &ParseOptions::lenient()).is_err());
+    }
+
+    #[test]
+    fn lenient_budget_exhaustion_fails() {
+        let mut bytes = write_warts(&sample());
+        corrupt_first_record_body(&mut bytes);
+        let err = parse_warts_with(&bytes, &ParseOptions::lenient().with_max_errors(0))
+            .unwrap_err();
+        assert!(err.message.contains("error budget exhausted"), "{err}");
     }
 
     mod prop {

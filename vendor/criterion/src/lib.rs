@@ -1,0 +1,156 @@
+//! Offline stub of `criterion`: same registration API, a much simpler
+//! engine. Each benchmark runs its closure for a handful of iterations
+//! and prints the median wall-clock time. No statistics, no HTML
+//! reports — enough to keep `cargo bench` working and the bench code
+//! honest in environments without crates.io access.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Iterations measured per benchmark (upstream's `sample_size` is
+/// accepted but treated as a hint only).
+const SAMPLES: usize = 10;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            hint::black_box(f());
+            let dt = t0.elapsed();
+            if dt < best {
+                best = dt;
+            }
+        }
+        println!("    best of {}: {:?}", self.samples, best);
+    }
+}
+
+/// A parameterized benchmark label, e.g. `BenchmarkId::new("solve", n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The top-level benchmark registry.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup { _c: self, samples: SAMPLES }
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  bench {}", id.into().label);
+        f(&mut Bencher { samples: SAMPLES });
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts upstream's sample-count knob (used here as a cap).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, SAMPLES);
+        self
+    }
+
+    /// Accepts upstream's time budget knob (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  bench {}", id.into().label);
+        f(&mut Bencher { samples: self.samples });
+        self
+    }
+
+    /// Like `bench_function`, passing `input` to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  bench {}", id.into().label);
+        f(&mut Bencher { samples: self.samples }, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

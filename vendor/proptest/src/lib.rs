@@ -1,0 +1,87 @@
+//! Offline stub of `proptest`: generation-only property testing.
+//!
+//! Implements the subset this workspace uses — [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, [`arbitrary::any`], `Just`, integer range
+//! strategies, tuple strategies, [`collection::vec`], [`option::of`],
+//! simple `"[a-z]{0,12}"`-style string patterns, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (so
+//! every run explores the same inputs and failures reproduce), and a
+//! failing case is reported by panic without shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!([$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = { $cfg }.cases;
+            let __strat = ($($s,)+);
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for _ in 0..cases {
+                let ($($p,)+) =
+                    $crate::strategy::Strategy::gen_value(&__strat, &mut __rng);
+                // Bodies may `return Ok(())` early, as in upstream proptest.
+                let __result: ::core::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!("property failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_fns!([$cfg] $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

@@ -1,0 +1,26 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Bias toward Some (3 in 4), as upstream does.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}
+
+/// `None` or `Some(value from s)`.
+pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+    OptionStrategy { inner: s }
+}

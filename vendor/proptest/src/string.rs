@@ -1,0 +1,138 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! A `&str` is itself a strategy (as in upstream proptest, where the
+//! pattern is a full regex). This stub supports the subset the
+//! workspace uses: literal characters, character classes like
+//! `[a-z0-9_]`, and quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` are capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    /// Candidate characters (expanded from a class or a literal).
+    Chars(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Term> {
+    let mut chars = pat.chars().peekable();
+    let mut terms = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in {pat:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            for ch in lo..=hi {
+                                set.push(ch);
+                            }
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty character class in {pat:?}");
+                Piece::Chars(set)
+            }
+            '\\' => Piece::Chars(vec![chars.next().expect("dangling escape")]),
+            other => Piece::Chars(vec![other]),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat count"),
+                        hi.trim().parse().expect("bad repeat count"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repeat bounds in {pat:?}");
+        terms.push(Term { piece, min, max });
+    }
+    terms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for term in parse_pattern(self) {
+            let span = (term.max - term.min) as u64 + 1;
+            let reps = term.min + rng.below(span) as usize;
+            let Piece::Chars(set) = &term.piece;
+            for _ in 0..reps {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repeat_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = "[a-z]{0,12}".gen_value(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::deterministic();
+        let s = "ab[0-9]{3}".gen_value(&mut rng);
+        assert!(s.starts_with("ab") && s.len() == 5, "{s:?}");
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

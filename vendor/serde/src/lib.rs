@@ -1,0 +1,13 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no code
+//! path serializes anything), so the traits are empty markers and the
+//! derive macros expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
