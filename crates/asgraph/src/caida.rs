@@ -128,6 +128,7 @@ fn parse_with_fields<R: BufRead>(
             }
         }
     }
+    diag.publish("caida");
     Ok((b, diag))
 }
 

@@ -140,6 +140,13 @@ impl ParseDiagnostics {
         self.issues.is_empty()
     }
 
+    /// Publishes this tally to the global metric registry under the shared
+    /// `parse.<format>.records_ok` / `parse.<format>.records_dropped`
+    /// counter names. Parsers call this once per completed parse.
+    pub fn publish(&self, format: &str) {
+        flatnet_obs::record_parse(format, self.records_ok as u64, self.dropped() as u64);
+    }
+
     /// One-line human summary, e.g. for CLI output.
     pub fn summary(&self) -> String {
         if self.is_clean() {

@@ -8,11 +8,13 @@
 //! pays for what it uniquely needs.
 
 use flatnet_asgraph::{AsGraph, AsId, Tiers};
-use flatnet_core::pipeline::{measure, Measured};
-use flatnet_core::reachability::hierarchy_free_all;
+use flatnet_core::pipeline::{measure_checked, HealthPolicy, Measured, PreflightOptions};
+use flatnet_core::reachability::hierarchy_free_all_t;
 use flatnet_netgen::{generate, NetGenConfig, SyntheticInternet};
 use flatnet_tracesim::{CampaignOptions, Methodology};
 use std::cell::OnceCell;
+
+pub mod repro;
 
 /// Experiment scale knobs (see `repro --help`).
 #[derive(Debug, Clone, Copy)]
@@ -25,17 +27,20 @@ pub struct Scale {
     pub n_leakers: usize,
     /// Random origin/leaker pairs for the average-resilience baseline.
     pub n_avg: usize,
+    /// Worker threads for parallel sweeps (`0` = available parallelism).
+    /// Results are identical for any count; only timings change.
+    pub threads: usize,
 }
 
 impl Scale {
     /// The default repro scale (a few minutes on a laptop).
     pub fn default_scale() -> Self {
-        Scale { n_ases: 4000, seed: 2020, n_leakers: 200, n_avg: 60 }
+        Scale { n_ases: 4000, seed: 2020, n_leakers: 200, n_avg: 60, threads: 0 }
     }
 
     /// A fast scale for smoke runs and benches.
     pub fn fast() -> Self {
-        Scale { n_ases: 800, seed: 2020, n_leakers: 60, n_avg: 25 }
+        Scale { n_ases: 800, seed: 2020, n_leakers: 60, n_avg: 25, threads: 0 }
     }
 }
 
@@ -81,21 +86,34 @@ impl Lab {
         CampaignOptions { dest_sample: 1.0, ..Default::default() }
     }
 
+    /// Runs the pipeline behind a Warn-policy preflight health check:
+    /// problems are logged, never fatal — the generator's topologies are
+    /// healthy by construction, and an experiment run should not die on a
+    /// degraded-but-usable graph.
+    fn measure_warned(net: &SyntheticInternet) -> Measured {
+        let pre = PreflightOptions { policy: HealthPolicy::Warn, ..Default::default() };
+        let (m, report) =
+            measure_checked(net, &Self::campaign_opts(), &Methodology::final_methodology(), &pre)
+                .expect("Warn policy never refuses to run");
+        if let Some(r) = report {
+            if !r.is_usable() {
+                flatnet_obs::warn!("topology preflight found critical problems:\n{}", r.render());
+            }
+        }
+        m
+    }
+
     /// The 2020 measurement pipeline output (campaign + inference +
     /// augmented topology).
     pub fn measured2020(&self) -> &Measured {
-        self.measured2020.get_or_init(|| {
-            measure(self.net2020(), &Self::campaign_opts(), &Methodology::final_methodology())
-        })
+        self.measured2020.get_or_init(|| Self::measure_warned(self.net2020()))
     }
 
     /// The 2015 pipeline output (the paper reused a 2015 traceroute
     /// dataset with its own noisier mapping; we run the same pipeline on
     /// the 2015 topology).
     pub fn measured2015(&self) -> &Measured {
-        self.measured2015.get_or_init(|| {
-            measure(self.net2015(), &Self::campaign_opts(), &Methodology::final_methodology())
-        })
+        self.measured2015.get_or_init(|| Self::measure_warned(self.net2015()))
     }
 
     /// The augmented 2020 graph (what §6-§8 run on).
@@ -121,13 +139,13 @@ impl Lab {
     /// Hierarchy-free reachability of every AS, 2020 augmented graph.
     pub fn hfr2020(&self) -> &[u32] {
         self.hfr2020
-            .get_or_init(|| hierarchy_free_all(self.graph2020(), &self.tiers2020()))
+            .get_or_init(|| hierarchy_free_all_t(self.graph2020(), &self.tiers2020(), self.scale.threads))
     }
 
     /// Hierarchy-free reachability of every AS, 2015 augmented graph.
     pub fn hfr2015(&self) -> &[u32] {
         self.hfr2015
-            .get_or_init(|| hierarchy_free_all(self.graph2015(), &self.tiers2015()))
+            .get_or_init(|| hierarchy_free_all_t(self.graph2015(), &self.tiers2015(), self.scale.threads))
     }
 
     /// Display name helper against the 2020 Internet.
@@ -157,7 +175,7 @@ mod tests {
 
     #[test]
     fn lab_builds_lazily_and_consistently() {
-        let lab = Lab::new(Scale { n_ases: 300, seed: 1, n_leakers: 5, n_avg: 3 });
+        let lab = Lab::new(Scale { n_ases: 300, seed: 1, n_leakers: 5, n_avg: 3, threads: 0 });
         assert_eq!(lab.net2020().truth.len(), 300);
         assert!(lab.net2015().truth.len() < 300);
         assert!(lab.graph2020().edge_count() > 0);

@@ -23,8 +23,37 @@
 //! export restriction, and per-node import policies (peer locking).
 
 use flatnet_asgraph::{AsGraph, NodeId};
+use flatnet_obs::Counter;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Pre-resolved handles into the global metric registry; `propagate` is
+/// the innermost loop of every sweep, so tallies are accumulated in
+/// locals and flushed with one atomic add per counter per call.
+struct PropagateMetrics {
+    runs: Counter,
+    routes_customer: Counter,
+    routes_peer: Counter,
+    routes_provider: Counter,
+    export_checks: Counter,
+    dijkstra_pops: Counter,
+}
+
+fn metrics() -> &'static PropagateMetrics {
+    static METRICS: OnceLock<PropagateMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = flatnet_obs::global();
+        PropagateMetrics {
+            runs: reg.counter("propagate.runs"),
+            routes_customer: reg.counter("propagate.routes_customer"),
+            routes_peer: reg.counter("propagate.routes_peer"),
+            routes_provider: reg.counter("propagate.routes_provider"),
+            export_checks: reg.counter("propagate.export_checks"),
+            dijkstra_pops: reg.counter("propagate.dijkstra_pops"),
+        }
+    })
+}
 
 /// Sentinel distance for "no route of this class".
 pub const UNREACHED: u32 = u32::MAX;
@@ -263,6 +292,10 @@ impl RoutingOutcome {
 /// sorted and ties never depend on iteration order.
 pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> RoutingOutcome {
     let n = g.len();
+    let obs = metrics();
+    obs.runs.inc();
+    let mut export_checks = 0u64;
+    let mut dijkstra_pops = 0u64;
     let mut out = RoutingOutcome {
         origin,
         dist_c: vec![UNREACHED; n],
@@ -281,6 +314,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
     while let Some(u) = queue.pop_front() {
         let du = out.dist_c[u.idx()];
         for &p in g.providers(u) {
+            export_checks += 1;
             if out.dist_c[p.idx()] == UNREACHED && opts.import_ok(origin, p, u) {
                 out.dist_c[p.idx()] = du + 1;
                 queue.push_back(p);
@@ -296,6 +330,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
         }
         let mut best = UNREACHED;
         for &v in g.peers(u) {
+            export_checks += 1;
             if out.dist_c[v.idx()] != UNREACHED && opts.import_ok(origin, u, v) {
                 best = best.min(out.dist_c[v.idx()] + 1);
             }
@@ -319,6 +354,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
         if out.dist_c[w.idx()] != UNREACHED || out.dist_p[w.idx()] != UNREACHED {
             let s = sel_static(&out, w);
             for &u in g.customers(w) {
+                export_checks += 1;
                 // A node with a customer/peer route already prefers it over
                 // any provider route; still record dist_d for completeness
                 // of tie information at equal class only — the selection
@@ -331,6 +367,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
         }
     }
     while let Some(std::cmp::Reverse((d, ui))) = heap.pop() {
+        dijkstra_pops += 1;
         let u = NodeId(ui);
         if d != out.dist_d[u.idx()] {
             continue; // stale entry
@@ -340,6 +377,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
             continue;
         }
         for &x in g.customers(u) {
+            export_checks += 1;
             if x == origin {
                 continue;
             }
@@ -353,11 +391,23 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
     // A node that selects a customer or peer route never uses its provider
     // route; clear dist_d there so `selection` and `next_hops` agree and
     // downstream consumers (DAG, reliance) see only selected routes.
+    let (mut sel_c, mut sel_p, mut sel_d) = (0u64, 0u64, 0u64);
     for i in 0..n {
-        if out.dist_c[i] != UNREACHED || out.dist_p[i] != UNREACHED {
+        if out.dist_c[i] != UNREACHED {
+            sel_c += 1;
             out.dist_d[i] = UNREACHED;
+        } else if out.dist_p[i] != UNREACHED {
+            sel_p += 1;
+            out.dist_d[i] = UNREACHED;
+        } else if out.dist_d[i] != UNREACHED {
+            sel_d += 1;
         }
     }
+    obs.routes_customer.add(sel_c);
+    obs.routes_peer.add(sel_p);
+    obs.routes_provider.add(sel_d);
+    obs.export_checks.add(export_checks);
+    obs.dijkstra_pops.add(dijkstra_pops);
     out
 }
 

@@ -31,7 +31,7 @@ fn parse_mode(opts: &Opts) -> Result<ParseOptions, String> {
 /// Surfaces what a lenient parse dropped.
 fn note_diag(path: &str, diag: &ParseDiagnostics) {
     if !diag.is_clean() {
-        eprintln!("note: {path}: {}", diag.summary());
+        flatnet_obs::warn!("{path}: {}", diag.summary());
     }
 }
 
@@ -73,7 +73,7 @@ fn run_validation(g: &AsGraph, tiers: &Tiers, conflicts: &[RelConflict]) -> Resu
     let t1: Vec<AsId> = tiers.tier1().iter().map(|&n| g.asn(n)).collect();
     let t2: Vec<AsId> = tiers.tier2().iter().map(|&n| g.asn(n)).collect();
     let report = validate_topology(g, &t1, &t2, conflicts, &ValidateOptions::default());
-    eprintln!("{}", report.render());
+    flatnet_obs::info!("{}", report.render());
     if !report.is_usable() {
         return Err("topology failed pre-flight health checks (critical findings above)".into());
     }
@@ -90,8 +90,8 @@ fn tiers_for(g: &AsGraph, opts: &Opts) -> Result<Tiers, String> {
         (None, Some(_)) => Err("--tier2 requires --tier1".into()),
         (None, None) => {
             let tiers = flatnet_asgraph::tiers::infer_tiers(g, 32, 28);
-            eprintln!(
-                "note: inferred {} Tier-1s and {} Tier-2s (pass --tier1/--tier2 to override)",
+            flatnet_obs::info!(
+                "inferred {} Tier-1s and {} Tier-2s (pass --tier1/--tier2 to override)",
                 tiers.tier1().len(),
                 tiers.tier2().len()
             );

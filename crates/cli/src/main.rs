@@ -53,11 +53,24 @@ USAGE:
   flatnet dot    --as-rel FILE --focus ASN [--out FILE.dot]
       Graphviz export of an AS and its direct neighborhood.
 
+  flatnet repro  [EXPERIMENT...] [--ases N] [--seed S] [--fast]
+                 [--checkpoint DIR] [--threads N]
+      Regenerate the paper's tables and figures on the synthetic
+      substrate (see `flatnet repro --help` for the experiment list).
+
   flatnet help
       This message.
 
 Common flags take comma-separated AS numbers. All commands print text
 tables to stdout and are deterministic.
+
+Observability (any command):
+  --metrics PATH   On exit, write a flatnet-obs/v1 JSON snapshot of the
+                   process's spans, counters, and histograms to PATH.
+  --log-level L    Stderr verbosity: error|warn|info|debug (default
+                   info; $FLATNET_LOG is read first).
+  --threads N      (repro) Worker threads for parallel sweeps; 0 = all
+                   cores. Counter metrics are identical for any N.
 
 Fault tolerance (every command that reads a file):
   --lenient        Skip malformed records instead of aborting; dropped
@@ -69,8 +82,46 @@ Fault tolerance (every command that reads a file):
                    measuring; critical findings (e.g. a broken Tier-1
                    clique) abort the run.";
 
+/// Pulls the global `--metrics PATH` / `--log-level LEVEL` flags out of
+/// the argument list (applying the log level immediately) so subcommand
+/// parsers, which reject unknown flags, never see them. The `repro`
+/// subcommand handles both itself, so its args pass through untouched.
+fn strip_global_flags(args: Vec<String>) -> Result<(Vec<String>, Option<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut metrics = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics" => {
+                metrics = Some(it.next().ok_or("--metrics requires a file path")?);
+            }
+            "--log-level" => {
+                let name = it.next().ok_or("--log-level requires error|warn|info|debug")?;
+                let level = flatnet_obs::log::parse_level(&name)
+                    .ok_or_else(|| format!("bad value {name:?} for --log-level"))?;
+                flatnet_obs::log::set_level(level);
+            }
+            _ => rest.push(a),
+        }
+    }
+    Ok((rest, metrics))
+}
+
 fn main() -> ExitCode {
+    flatnet_obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let repro = args.first().map(|c| c == "repro").unwrap_or(false);
+    let (args, metrics) = if repro {
+        (args, None)
+    } else {
+        match strip_global_flags(args) {
+            Ok(split) => split,
+            Err(e) => {
+                flatnet_obs::error!("flatnet: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -85,16 +136,31 @@ fn main() -> ExitCode {
         "collect" => commands::collect(rest),
         "relinfer" => commands::relinfer(rest),
         "dot" => commands::dot(rest),
+        "repro" => flatnet_bench::repro::run(rest).and_then(|failed| {
+            if failed == 0 {
+                Ok(())
+            } else {
+                Err(format!("{failed} experiment(s) failed"))
+            }
+        }),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?} (try `flatnet help`)")),
     };
+    if let Some(path) = &metrics {
+        let snap = flatnet_obs::snapshot();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            flatnet_obs::error!("flatnet: cannot write metrics {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        flatnet_obs::info!("metrics snapshot written to {path}");
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("flatnet: {e}");
+            flatnet_obs::error!("flatnet: {e}");
             ExitCode::FAILURE
         }
     }

@@ -11,9 +11,37 @@
 //! layout is identical for any thread count, including the sequential
 //! fast path.
 
+use flatnet_obs::{Counter, Gauge, Histogram};
 use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Pre-resolved sweep metrics; items are timed individually, so handles
+/// are looked up once and recorded lock-free from every worker thread.
+/// `sweep.threads` is a gauge (instantaneous, thread-count dependent) and
+/// is therefore excluded from cross-thread-count determinism comparisons;
+/// the counters are exact regardless of partitioning.
+struct SweepMetrics {
+    items: Counter,
+    panics: Counter,
+    threads: Gauge,
+    item_us: Arc<Histogram>,
+}
+
+fn metrics() -> &'static SweepMetrics {
+    static METRICS: OnceLock<SweepMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = flatnet_obs::global();
+        SweepMetrics {
+            items: reg.counter("sweep.items"),
+            panics: reg.counter("sweep.panics"),
+            threads: reg.gauge("sweep.threads"),
+            item_us: reg.histogram("sweep.item_us"),
+        }
+    })
+}
 
 /// The failure of a single sweep item.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,8 +75,14 @@ fn run_guarded<T, R, F>(f: &F, item: &T, index: usize) -> Result<R, SweepError>
 where
     F: Fn(&T) -> R,
 {
-    catch_unwind(AssertUnwindSafe(|| f(item)))
-        .map_err(|payload| SweepError { index, message: panic_message(payload.as_ref()) })
+    let obs = metrics();
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| f(item)));
+    obs.item_us.record(start.elapsed());
+    result.map_err(|payload| {
+        obs.panics.inc();
+        SweepError { index, message: panic_message(payload.as_ref()) }
+    })
 }
 
 /// Applies `f` to every item, in parallel, preserving order; a panic in
@@ -69,6 +103,9 @@ where
         threads
     };
     let threads = threads.min(items.len()).max(1);
+    let obs = metrics();
+    obs.items.add(items.len() as u64);
+    obs.threads.set(threads as i64);
     if threads <= 1 || items.len() < 2 {
         return items.iter().enumerate().map(|(i, item)| run_guarded(&f, item, i)).collect();
     }

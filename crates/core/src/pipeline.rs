@@ -105,6 +105,7 @@ impl std::error::Error for PipelineError {}
 /// Runs pre-flight topology validation for a synthetic Internet's public
 /// view. Returns `None` when the policy is [`HealthPolicy::Off`].
 pub fn preflight(net: &SyntheticInternet, opts: &PreflightOptions) -> Option<HealthReport> {
+    let _span = flatnet_obs::span_root("preflight");
     if opts.policy == HealthPolicy::Off {
         return None;
     }
@@ -143,24 +144,34 @@ pub fn true_neighbors(net: &SyntheticInternet, cloud_idx: usize) -> BTreeSet<AsI
 
 /// Runs the full §4.1/§5 pipeline over a synthetic Internet.
 pub fn measure(net: &SyntheticInternet, opts: &CampaignOptions, methodology: &Methodology) -> Measured {
-    let campaign = run_campaign(net, opts);
+    let _span = flatnet_obs::span_root("measure");
+    let campaign = {
+        let _s = flatnet_obs::span("campaign");
+        run_campaign(net, opts)
+    };
     let mut inferred = BTreeMap::new();
     let mut validation = BTreeMap::new();
     let mut peer_counts = Vec::new();
     let mut augment_sets = Vec::new();
-    for (ci, cloud) in net.clouds.iter().enumerate() {
-        let neighbors = infer_neighbors(
-            campaign.for_cloud(cloud.asn),
-            &net.addressing.resolver,
-            methodology,
-            cloud.asn,
-        );
-        let truth = true_neighbors(net, ci);
-        validation.insert(cloud.asn.0, validate_neighbors(&neighbors, &truth));
-        augment_sets.push((cloud.asn, neighbors.iter().copied().collect::<Vec<_>>()));
-        inferred.insert(cloud.asn.0, neighbors);
+    {
+        let _s = flatnet_obs::span("infer");
+        for (ci, cloud) in net.clouds.iter().enumerate() {
+            let neighbors = infer_neighbors(
+                campaign.for_cloud(cloud.asn),
+                &net.addressing.resolver,
+                methodology,
+                cloud.asn,
+            );
+            let truth = true_neighbors(net, ci);
+            validation.insert(cloud.asn.0, validate_neighbors(&neighbors, &truth));
+            augment_sets.push((cloud.asn, neighbors.iter().copied().collect::<Vec<_>>()));
+            inferred.insert(cloud.asn.0, neighbors);
+        }
     }
-    let (augmented, augment_reports) = augment_many(&net.public, &augment_sets);
+    let (augmented, augment_reports) = {
+        let _s = flatnet_obs::span("augment");
+        augment_many(&net.public, &augment_sets)
+    };
     for (ci, cloud) in net.clouds.iter().enumerate() {
         let bgp_only = net
             .public

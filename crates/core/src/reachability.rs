@@ -94,13 +94,26 @@ fn reach_excluding(g: &AsGraph, origin: NodeId, tiers: Option<&Tiers>, include_t
 
 /// Computes the full three-level profile for a list of origins
 /// (regenerates Figure 2 when given the clouds + Tier-1s + Tier-2s).
-/// Unknown ASNs are skipped. Runs origins in parallel.
+/// Unknown ASNs are skipped. Runs origins in parallel over the available
+/// cores; use [`reachability_profile_t`] to pick the thread count.
 pub fn reachability_profile(g: &AsGraph, tiers: &Tiers, origins: &[AsId]) -> Vec<ReachabilityResult> {
+    reachability_profile_t(g, tiers, origins, 0)
+}
+
+/// [`reachability_profile`] with an explicit worker-thread count
+/// (`0` = available parallelism). Results are identical for any count.
+pub fn reachability_profile_t(
+    g: &AsGraph,
+    tiers: &Tiers,
+    origins: &[AsId],
+    threads: usize,
+) -> Vec<ReachabilityResult> {
+    let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<(AsId, NodeId)> = origins
         .iter()
         .filter_map(|&a| g.index_of(a).map(|n| (a, n)))
         .collect();
-    parallel_map(&nodes, 0, |&(asn, n)| ReachabilityResult {
+    parallel_map(&nodes, threads, |&(asn, n)| ReachabilityResult {
         asn,
         provider_free: reach_excluding(g, n, None, false),
         tier1_free: reach_excluding(g, n, Some(tiers), false),
@@ -117,11 +130,22 @@ pub fn try_reachability_profile(
     tiers: &Tiers,
     origins: &[AsId],
 ) -> Result<Vec<ReachabilityResult>, SweepPanic> {
+    try_reachability_profile_t(g, tiers, origins, 0)
+}
+
+/// [`try_reachability_profile`] with an explicit worker-thread count.
+pub fn try_reachability_profile_t(
+    g: &AsGraph,
+    tiers: &Tiers,
+    origins: &[AsId],
+    threads: usize,
+) -> Result<Vec<ReachabilityResult>, SweepPanic> {
+    let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<(AsId, NodeId)> = origins
         .iter()
         .filter_map(|&a| g.index_of(a).map(|n| (a, n)))
         .collect();
-    let results = try_parallel_map(&nodes, 0, |&(asn, n)| ReachabilityResult {
+    let results = try_parallel_map(&nodes, threads, |&(asn, n)| ReachabilityResult {
         asn,
         provider_free: reach_excluding(g, n, None, false),
         tier1_free: reach_excluding(g, n, Some(tiers), false),
@@ -135,15 +159,33 @@ pub fn try_reachability_profile(
 /// computes this for Fig. 3 and the Table 1 top-20 ranking). Indexed by
 /// node. Parallel; O(V·E) total.
 pub fn hierarchy_free_all(g: &AsGraph, tiers: &Tiers) -> Vec<u32> {
+    hierarchy_free_all_t(g, tiers, 0)
+}
+
+/// [`hierarchy_free_all`] with an explicit worker-thread count
+/// (`0` = available parallelism). Results are identical for any count.
+pub fn hierarchy_free_all_t(g: &AsGraph, tiers: &Tiers, threads: usize) -> Vec<u32> {
+    let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<NodeId> = g.nodes().collect();
-    parallel_map(&nodes, 0, |&n| reach_excluding(g, n, Some(tiers), true) as u32)
+    parallel_map(&nodes, threads, |&n| reach_excluding(g, n, Some(tiers), true) as u32)
 }
 
 /// [`hierarchy_free_all`] with panic isolation (see
 /// [`try_reachability_profile`]).
 pub fn try_hierarchy_free_all(g: &AsGraph, tiers: &Tiers) -> Result<Vec<u32>, SweepPanic> {
+    try_hierarchy_free_all_t(g, tiers, 0)
+}
+
+/// [`try_hierarchy_free_all`] with an explicit worker-thread count.
+pub fn try_hierarchy_free_all_t(
+    g: &AsGraph,
+    tiers: &Tiers,
+    threads: usize,
+) -> Result<Vec<u32>, SweepPanic> {
+    let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<NodeId> = g.nodes().collect();
-    let results = try_parallel_map(&nodes, 0, |&n| reach_excluding(g, n, Some(tiers), true) as u32);
+    let results =
+        try_parallel_map(&nodes, threads, |&n| reach_excluding(g, n, Some(tiers), true) as u32);
     collect_sweep(results, |i| g.asn(nodes[i]))
 }
 

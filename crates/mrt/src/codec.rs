@@ -395,6 +395,7 @@ pub fn parse_mrt_with(
         }
         record_no += 1;
     }
+    diag.publish("mrt");
     Ok((rib, diag))
 }
 

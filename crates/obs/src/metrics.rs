@@ -1,0 +1,204 @@
+//! Atomic counters, gauges, and fixed-bucket latency histograms.
+//!
+//! All three are cheap enough for hot paths: a handle is an `Arc` around
+//! atomics, so recording never takes a lock. Handles are obtained from a
+//! [`crate::registry::Registry`] (one lock per *lookup*, so hoist the
+//! lookup out of loops) and values commute, which is what makes counter
+//! totals bit-identical regardless of how a sweep is partitioned over
+//! threads.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event tally.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins instantaneous value (thread counts, sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: powers of two from 1 µs up to ~67 s,
+/// plus a final overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// Upper bound (inclusive) of bucket `i` in microseconds; the last bucket
+/// is unbounded and reports `u64::MAX`.
+pub fn bucket_bound_us(i: usize) -> u64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A fixed-bucket histogram for microsecond latencies.
+///
+/// Buckets are powers of two, so recording is a `leading_zeros` plus one
+/// atomic increment — no allocation, no locks. Percentiles are estimated
+/// as the upper bound of the bucket containing the target rank, which is
+/// within 2× of the true value by construction.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Index of the bucket covering `us`.
+    #[inline]
+    fn bucket_of(us: u64) -> usize {
+        // Bucket i covers (2^(i-1), 2^i]; values 0 and 1 land in bucket 0.
+        let idx = 64 - us.max(1).leading_zeros() as usize - 1;
+        let idx = if us.is_power_of_two() || us <= 1 { idx } else { idx + 1 };
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation of `us` microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`].
+    #[inline]
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (0 < p <= 100) in
+    /// microseconds; `None` when empty.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        let counts: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        percentile_from_buckets(&counts, p)
+    }
+}
+
+/// Percentile estimation shared by live histograms and snapshots.
+pub(crate) fn percentile_from_buckets(counts: &[u64], p: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return Some(bucket_bound_us(i));
+        }
+    }
+    Some(bucket_bound_us(counts.len() - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(5), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let h = Histogram::new();
+        // 90 fast observations and 10 slow ones.
+        for _ in 0..90 {
+            h.record_us(3);
+        }
+        for _ in 0..10 {
+            h.record_us(5000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_us(), 90 * 3 + 10 * 5000);
+        assert_eq!(h.percentile_us(50.0), Some(4));
+        assert_eq!(h.percentile_us(90.0), Some(4));
+        // The p99 lands in the slow bucket: 5000 <= 8192.
+        assert_eq!(h.percentile_us(99.0), Some(8192));
+        assert_eq!(Histogram::new().percentile_us(50.0), None);
+    }
+
+    #[test]
+    fn record_duration_converts_to_micros() {
+        let h = Histogram::new();
+        h.record(std::time::Duration::from_millis(2));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_us(), 2000);
+    }
+}

@@ -1,0 +1,151 @@
+//! The thread-safe metric registry and the process-wide default instance.
+//!
+//! A [`Registry`] owns every counter, gauge, histogram, and span tally.
+//! Lookup by name takes a short lock and hands back an `Arc`-based handle
+//! that records lock-free afterwards; hot paths should look a handle up
+//! once, outside their loop. Library code records into [`global()`];
+//! tests that need isolation construct their own `Registry`.
+
+use crate::metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::span::{SpanGuard, SpanStat};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A thread-safe collection of named metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())).clone()
+    }
+
+    /// Opens a timed span that nests under the thread's innermost open
+    /// span (see [`crate::span`]). Records on guard drop.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard::enter(self, name, false)
+    }
+
+    /// Opens a timed span that always records under `name` itself,
+    /// ignoring any ambient span — for pipeline phases whose path must be
+    /// stable wherever they are invoked from.
+    pub fn span_root(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard::enter(self, name, true)
+    }
+
+    pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64) {
+        let mut spans = self.spans.lock().unwrap();
+        let stat = spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+    }
+
+    /// A point-in-time copy of every metric. Counter/gauge/histogram
+    /// reads are individually atomic; the snapshot as a whole is not a
+    /// cross-metric transaction.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges =
+            self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| {
+                let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                for (b, slot) in h.buckets.iter().zip(buckets.iter_mut()) {
+                    *slot = b.load(Ordering::Relaxed);
+                }
+                (k.clone(), HistogramSnapshot { buckets, sum_us: h.sum_us() })
+            })
+            .collect();
+        let spans = self.spans.lock().unwrap().clone();
+        Snapshot { counters, gauges, histograms, spans }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide default registry all library instrumentation records
+/// into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        reg.counter("b").inc();
+        reg.gauge("g").set(-4);
+        reg.histogram("h").record_us(10);
+        reg.histogram("h").record_us(20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 5);
+        assert_eq!(snap.counters["b"], 1);
+        assert_eq!(snap.gauges["g"], -4);
+        assert_eq!(snap.histograms["h"].count(), 2);
+        assert_eq!(snap.histograms["h"].sum_us, 30);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let c = reg.counter("hits");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("hits").get(), 8000);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global() as *const Registry;
+        let b = global() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,610 @@
+//! Point-in-time metric snapshots and the two exporters: a deterministic
+//! JSON document and a human-readable summary table.
+//!
+//! The JSON schema (`flatnet-obs/v1`) is the machine-readable contract
+//! for benchmark trajectories (`BENCH_*.json`) and the CI metrics
+//! artifact:
+//!
+//! ```json
+//! {
+//!   "schema": "flatnet-obs/v1",
+//!   "counters": {"parse.caida.records_ok": 4},
+//!   "gauges": {"sweep.threads": 8},
+//!   "spans": {"measure": {"count": 1, "total_ns": 12345}},
+//!   "histograms": {"sweep.item_us": {
+//!       "count": 10, "sum_us": 50, "p50_us": 4, "p90_us": 8, "p99_us": 8,
+//!       "buckets": [[4, 7], [8, 3]]}}
+//! }
+//! ```
+//!
+//! Keys are sorted, maps are emitted in a single canonical form, and all
+//! values are integers, so two snapshots with equal contents serialize to
+//! byte-identical documents — that is what lets CI diff counter sections
+//! across thread counts. The workspace's vendored `serde` is a marker
+//! stub (it derives but never serializes), so this module carries its own
+//! emitter and a matching parser; [`Snapshot::from_json`] accepts exactly
+//! the documents [`Snapshot::to_json`] produces.
+
+use crate::metrics::{bucket_bound_us, percentile_from_buckets, HISTOGRAM_BUCKETS};
+use crate::span::SpanStat;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bound_us`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of observations, microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile in microseconds.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        percentile_from_buckets(&self.buckets, p)
+    }
+}
+
+/// A point-in-time copy of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span tallies by path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+/// Schema identifier emitted in every JSON document.
+pub const SCHEMA: &str = "flatnet-obs/v1";
+
+impl Snapshot {
+    /// The change from `earlier` to `self`: counters, span tallies, and
+    /// histogram buckets subtract entry-wise (entries absent from
+    /// `earlier` count from zero; negative deltas clamp to zero); gauges
+    /// are instantaneous, so the later value is kept as-is.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0))))
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, v)| {
+                let e = earlier.spans.get(k).copied().unwrap_or_default();
+                (
+                    k.clone(),
+                    SpanStat {
+                        count: v.count.saturating_sub(e.count),
+                        total_ns: v.total_ns.saturating_sub(e.total_ns),
+                    },
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let mut out = h.clone();
+                if let Some(e) = earlier.histograms.get(k) {
+                    for (slot, prev) in out.buckets.iter_mut().zip(e.buckets.iter()) {
+                        *slot = slot.saturating_sub(*prev);
+                    }
+                    out.sum_us = out.sum_us.saturating_sub(e.sum_us);
+                }
+                (k.clone(), out)
+            })
+            .collect();
+        Snapshot { counters, gauges: self.gauges.clone(), histograms, spans }
+    }
+
+    /// Serializes to the canonical `flatnet-obs/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        out.push_str("  \"counters\": {");
+        emit_map(&mut out, self.counters.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+        out.push_str("},\n  \"gauges\": {");
+        emit_map(&mut out, self.gauges.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+        out.push_str("},\n  \"spans\": {");
+        emit_map(
+            &mut out,
+            self.spans.iter().map(|(k, s)| {
+                (k.as_str(), format!("{{\"count\": {}, \"total_ns\": {}}}", s.count, s.total_ns))
+            }),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        emit_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let mut buckets = String::from("[");
+                let mut first = true;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    if !first {
+                        buckets.push_str(", ");
+                    }
+                    first = false;
+                    let _ = write!(buckets, "[{}, {}]", bucket_bound_us(i), c);
+                }
+                buckets.push(']');
+                let pct = |p: f64| h.percentile_us(p).unwrap_or(0);
+                (
+                    k.as_str(),
+                    format!(
+                        "{{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"buckets\": {}}}",
+                        h.count(),
+                        h.sum_us,
+                        pct(50.0),
+                        pct(90.0),
+                        pct(99.0),
+                        buckets
+                    ),
+                )
+            }),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`]. Derived
+    /// fields (`count`, percentiles) are recomputed from the buckets, so
+    /// `from_json(to_json(s)) == s` and re-serializing is byte-identical.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let value = json::parse(text)?;
+        let top = value.as_object("top level")?;
+        let schema = top.get("schema").ok_or("missing \"schema\"")?;
+        let schema = schema.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let mut snap = Snapshot::default();
+        if let Some(v) = top.get("counters") {
+            for (k, v) in v.as_object("counters")? {
+                snap.counters.insert(k.clone(), v.as_u64("counter")?);
+            }
+        }
+        if let Some(v) = top.get("gauges") {
+            for (k, v) in v.as_object("gauges")? {
+                snap.gauges.insert(k.clone(), v.as_i64("gauge")?);
+            }
+        }
+        if let Some(v) = top.get("spans") {
+            for (k, v) in v.as_object("spans")? {
+                let fields = v.as_object("span")?;
+                let count = fields.get("count").ok_or("span missing count")?.as_u64("count")?;
+                let total_ns =
+                    fields.get("total_ns").ok_or("span missing total_ns")?.as_u64("total_ns")?;
+                snap.spans.insert(k.clone(), SpanStat { count, total_ns });
+            }
+        }
+        if let Some(v) = top.get("histograms") {
+            for (k, v) in v.as_object("histograms")? {
+                let fields = v.as_object("histogram")?;
+                let mut h = HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], sum_us: 0 };
+                h.sum_us = fields.get("sum_us").ok_or("histogram missing sum_us")?.as_u64("sum_us")?;
+                let buckets = fields.get("buckets").ok_or("histogram missing buckets")?;
+                for pair in buckets.as_array("buckets")? {
+                    let pair = pair.as_array("bucket pair")?;
+                    if pair.len() != 2 {
+                        return Err("bucket pair must be [bound_us, count]".into());
+                    }
+                    let bound = pair[0].as_u64("bucket bound")?;
+                    let count = pair[1].as_u64("bucket count")?;
+                    let idx = (0..HISTOGRAM_BUCKETS)
+                        .find(|&i| bucket_bound_us(i) == bound)
+                        .ok_or_else(|| format!("unknown bucket bound {bound}"))?;
+                    h.buckets[idx] = count;
+                }
+                snap.histograms.insert(k.clone(), h);
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders the human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (path, s) in &self.spans {
+                let ms = s.total_ns as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "  {path:<width$}  {:>8} calls  {ms:>12.2} ms total  {:>10.3} ms/call",
+                    s.count,
+                    if s.count == 0 { 0.0 } else { ms / s.count as f64 },
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {v:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (µs):\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let pct = |p: f64| h.percentile_us(p).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>8} obs  p50 {:>8}  p90 {:>8}  p99 {:>8}",
+                    h.count(),
+                    pct(50.0),
+                    pct(90.0),
+                    pct(99.0),
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Writes `"key": value` pairs with the canonical layout.
+fn emit_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String)>) {
+    let mut first = true;
+    for (key, rendered) in entries {
+        if first {
+            out.push('\n');
+        } else {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "    {}: {rendered}", json_string(key));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// JSON string escaping (metric names are ASCII, but be correct anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader for the subset `to_json` emits: objects, arrays,
+/// integers, and strings (escapes included). Floats, booleans, and null
+/// are rejected — the schema has none.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Object(BTreeMap<String, Value>),
+        Array(Vec<Value>),
+        Int(i128),
+        Str(String),
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, String> {
+            match self {
+                Value::Object(m) => Ok(m),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Array(v) => Ok(v),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Int(n) => {
+                    u64::try_from(*n).map_err(|_| format!("{what}: {n} out of u64 range"))
+                }
+                other => Err(format!("{what}: expected integer, got {other:?}")),
+            }
+        }
+
+        pub fn as_i64(&self, what: &str) -> Result<i64, String> {
+            match self {
+                Value::Int(n) => {
+                    i64::try_from(*n).map_err(|_| format!("{what}: {n} out of i64 range"))
+                }
+                other => Err(format!("{what}: expected integer, got {other:?}")),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b'-') | Some(b'0'..=b'9') => parse_int(bytes, pos),
+            other => Err(format!("unexpected {other:?} at byte {}", *pos)),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            map.insert(key, value);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?} at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?} at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
+                            );
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (metric names are ASCII,
+                    // but stay correct for arbitrary strings).
+                    let start = *pos;
+                    *pos += 1;
+                    while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                        *pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if matches!(bytes.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(format!("floats are not part of the schema (byte {})", *pos));
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+        text.parse::<i128>().map(Value::Int).map_err(|e| format!("bad integer {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("parse.caida.records_ok").add(41);
+        reg.counter("sweep.items").add(9);
+        reg.gauge("sweep.threads").set(8);
+        let h = reg.histogram("sweep.item_us");
+        for us in [1, 3, 3, 900, 70_000_000_000] {
+            h.record_us(us);
+        }
+        {
+            let _outer = reg.span("measure");
+            let _inner = reg.span("campaign");
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_and_is_byte_stable() {
+        let snap = sample();
+        let json = snap.to_json();
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_json(), json, "re-serialization must be byte-identical");
+    }
+
+    #[test]
+    fn json_contains_the_schema_and_sections() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"flatnet-obs/v1\""));
+        for section in ["counters", "gauges", "spans", "histograms"] {
+            assert!(json.contains(&format!("\"{section}\"")), "{json}");
+        }
+        assert!(json.contains("\"measure/campaign\""));
+        // The overflow bucket bound survives the trip.
+        assert!(json.contains(&u64::MAX.to_string()));
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        assert!(Snapshot::from_json("").is_err());
+        assert!(Snapshot::from_json("{}").is_err()); // missing schema
+        assert!(Snapshot::from_json("{\"schema\": \"other/v9\"}").is_err());
+        assert!(Snapshot::from_json("{\"schema\": \"flatnet-obs/v1\"} x").is_err());
+        let float = "{\"schema\": \"flatnet-obs/v1\", \"counters\": {\"a\": 1.5}}";
+        assert!(Snapshot::from_json(float).is_err());
+        let negative = "{\"schema\": \"flatnet-obs/v1\", \"counters\": {\"a\": -2}}";
+        assert!(Snapshot::from_json(negative).is_err());
+        let neg_gauge = "{\"schema\": \"flatnet-obs/v1\", \"gauges\": {\"a\": -2}}";
+        assert_eq!(Snapshot::from_json(neg_gauge).unwrap().gauges["a"], -2);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let empty = Snapshot::default();
+        let json = empty.to_json();
+        assert_eq!(Snapshot::from_json(&json).unwrap(), empty);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_spans_and_buckets() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.histogram("h").record_us(5);
+        let before = reg.snapshot();
+        reg.counter("c").add(4);
+        reg.counter("new").inc();
+        reg.histogram("h").record_us(5);
+        reg.histogram("h").record_us(100);
+        reg.gauge("g").set(2);
+        {
+            let _s = reg.span("phase");
+        }
+        let delta = reg.snapshot().delta_since(&before);
+        assert_eq!(delta.counters["c"], 4);
+        assert_eq!(delta.counters["new"], 1);
+        assert_eq!(delta.histograms["h"].count(), 2);
+        assert_eq!(delta.histograms["h"].sum_us, 105);
+        assert_eq!(delta.spans["phase"].count, 1);
+        assert_eq!(delta.gauges["g"], 2);
+    }
+
+    #[test]
+    fn summary_table_lists_every_section() {
+        let table = sample().render_table();
+        for needle in ["spans:", "counters:", "gauges:", "histograms", "sweep.item_us", "measure"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+        assert!(Snapshot::default().render_table().contains("no metrics"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Hierarchical timed spans with RAII guards.
+//!
+//! A span measures the wall-clock time between its creation and its drop
+//! and accumulates `(call count, total time)` per span *path* in the
+//! registry. Paths nest through a thread-local stack: opening
+//! `"campaign"` while `"measure"` is active on the same thread records
+//! under `"measure/campaign"`. Worker threads start with an empty stack,
+//! so spans opened inside a parallel sweep record as top-level paths —
+//! use stable [`Registry::span_root`] spans for pipeline phases that must
+//! keep the same name regardless of where they are called from.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed span instances.
+    pub count: u64,
+    /// Total wall-clock time across instances, nanoseconds. Nested spans
+    /// are measured inclusively: a parent's total contains its children.
+    pub total_ns: u64,
+}
+
+/// RAII guard returned by [`Registry::span`]; records on drop.
+#[must_use = "a span measures the time until the guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn enter(registry: &'a Registry, name: &str, root: bool) -> SpanGuard<'a> {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) if !root => format!("{parent}/{name}"),
+                _ => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard { registry, path, start: Instant::now() }
+    }
+
+    /// The full path this guard will record under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop in LIFO order; if a caller holds guards
+            // across an unusual control flow, remove the matching entry
+            // instead of corrupting the stack.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(pos);
+            }
+        });
+        self.registry.record_span(
+            &self.path,
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn spans_nest_and_accumulate() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            {
+                let _inner = reg.span("inner");
+            }
+            {
+                let _inner = reg.span("inner");
+            }
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["outer/inner"].count, 2);
+        assert!(snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn root_spans_ignore_ambient_nesting() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            let phase = reg.span_root("phase");
+            assert_eq!(phase.path(), "phase");
+            // Children of a root span still nest under it.
+            let child = reg.span("child");
+            assert_eq!(child.path(), "phase/child");
+        }
+        let snap = reg.snapshot();
+        assert!(snap.spans.contains_key("phase"));
+        assert!(snap.spans.contains_key("phase/child"));
+        assert!(snap.spans.contains_key("outer"));
+    }
+
+    #[test]
+    fn sibling_threads_do_not_inherit_the_stack() {
+        let reg = Registry::new();
+        let _outer = reg.span("outer");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let g = reg.span("worker");
+                assert_eq!(g.path(), "worker");
+            });
+        });
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_the_stack_sane() {
+        let reg = Registry::new();
+        let a = reg.span("a");
+        let b = reg.span("b");
+        drop(a);
+        let c = reg.span("c");
+        assert_eq!(c.path(), "a/b/c");
+        drop(c);
+        drop(b);
+        let d = reg.span("d");
+        assert_eq!(d.path(), "d");
+    }
+}

@@ -104,6 +104,7 @@ impl AnnouncedDb {
                 }
             }
         }
+        diag.publish("prefixdb");
         Ok((db, diag))
     }
 

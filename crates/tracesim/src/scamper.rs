@@ -178,6 +178,7 @@ pub fn parse_traces_with(
             }
         }
     }
+    diag.publish("scamper");
     Ok((out, diag))
 }
 

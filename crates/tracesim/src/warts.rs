@@ -230,6 +230,7 @@ pub fn parse_warts_with(
         }
         record_no += 1;
     }
+    diag.publish("warts");
     Ok((out, diag))
 }
 

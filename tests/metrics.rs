@@ -1,0 +1,62 @@
+//! Observability invariants on a real workload: counter metrics must be
+//! bit-identical regardless of the sweep's thread count, and a snapshot
+//! taken around a workload must survive a JSON round trip byte-stably.
+//!
+//! Everything lives in one `#[test]` because the obs registry is a
+//! process-wide global: a second concurrently-running test would record
+//! into the same registry and pollute the delta windows.
+
+use flatnet_core::reachability::hierarchy_free_all_t;
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_obs::Snapshot;
+use std::collections::BTreeMap;
+
+fn span_counts(s: &Snapshot) -> BTreeMap<String, u64> {
+    s.spans.iter().map(|(path, stat)| (path.clone(), stat.count)).collect()
+}
+
+#[test]
+fn counters_are_thread_count_invariant() {
+    let net = generate(&NetGenConfig::paper_2020(300, 7));
+    let tiers = net.tiers_for(&net.truth);
+
+    let before = flatnet_obs::snapshot();
+    let hfr_serial = hierarchy_free_all_t(&net.truth, &tiers, 1);
+    let serial = flatnet_obs::snapshot().delta_since(&before);
+
+    let before = flatnet_obs::snapshot();
+    let hfr_parallel = hierarchy_free_all_t(&net.truth, &tiers, 4);
+    let parallel = flatnet_obs::snapshot().delta_since(&before);
+
+    // The workload itself is deterministic...
+    assert_eq!(hfr_serial, hfr_parallel);
+
+    // ...and so is every counter: route selections, export checks,
+    // Dijkstra pops, and sweep item counts all commute across threads.
+    assert_eq!(serial.counters, parallel.counters);
+    assert!(
+        serial.counters.get("sweep.items").copied().unwrap_or(0) > 0,
+        "expected the sweep to record items: {:?}",
+        serial.counters
+    );
+    assert!(
+        serial.counters.get("propagate.runs").copied().unwrap_or(0) > 0,
+        "expected propagation runs to be counted: {:?}",
+        serial.counters
+    );
+
+    // Span *counts* are deterministic too (durations of course are not).
+    assert_eq!(span_counts(&serial), span_counts(&parallel));
+    assert!(serial.spans.contains_key("propagate"), "spans: {:?}", serial.spans);
+
+    // Gauges are explicitly allowed to differ: they record environment,
+    // not work (e.g. `sweep.threads` is the resolved worker count).
+    assert_eq!(parallel.gauges.get("sweep.threads"), Some(&4));
+
+    // A snapshot of real measured data must round-trip through the JSON
+    // exporter byte-stably.
+    let json = parallel.to_json();
+    let back = Snapshot::from_json(&json).expect("snapshot JSON must parse back");
+    assert_eq!(back, parallel);
+    assert_eq!(back.to_json(), json);
+}
