@@ -1,8 +1,12 @@
-//! Micro-benchmarks of the core simulator: propagation, DAG construction,
-//! and reliance, across topology sizes.
+//! Micro-benchmarks of the core simulator: propagation (legacy one-shot
+//! vs the batched engine), DAG construction, and reliance, across
+//! topology sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flatnet_bgpsim::{propagate, reliance, NextHopDag, PropagationOptions};
+use flatnet_bgpsim::{
+    propagate, propagate_legacy, reliance, NextHopDag, PropagationConfig, PropagationOptions,
+    Simulation, TopologySnapshot,
+};
 use flatnet_netgen::{generate, NetGenConfig};
 
 fn bench_propagation(c: &mut Criterion) {
@@ -11,15 +15,24 @@ fn bench_propagation(c: &mut Criterion) {
     for n in [500usize, 1500, 4000] {
         let net = generate(&NetGenConfig::paper_2020(n, 1));
         let google = net.node(net.clouds[0].asn);
-        let opts = PropagationOptions::default();
+        let cfg = PropagationConfig::default();
+        group.bench_with_input(BenchmarkId::new("propagate_legacy", n), &n, |b, _| {
+            b.iter(|| propagate_legacy(&net.truth, google, &PropagationOptions::default()))
+        });
         group.bench_with_input(BenchmarkId::new("propagate", n), &n, |b, _| {
-            b.iter(|| propagate(&net.truth, google, &opts))
+            b.iter(|| propagate(&net.truth, google, &cfg))
         });
-        let out = propagate(&net.truth, google, &opts);
+        let snap = TopologySnapshot::compile(&net.truth);
+        let sim = Simulation::over(&snap);
+        let mut ctx = sim.ctx();
+        group.bench_with_input(BenchmarkId::new("engine_reused", n), &n, |b, _| {
+            b.iter(|| ctx.run(google).reachable_count())
+        });
+        let out = propagate(&net.truth, google, &cfg);
         group.bench_with_input(BenchmarkId::new("dag_build", n), &n, |b, _| {
-            b.iter(|| NextHopDag::build(&net.truth, &opts, &out))
+            b.iter(|| NextHopDag::build(&net.truth, &cfg, &out))
         });
-        let dag = NextHopDag::build(&net.truth, &opts, &out);
+        let dag = NextHopDag::build(&net.truth, &cfg, &out);
         group.bench_with_input(BenchmarkId::new("reliance", n), &n, |b, _| {
             b.iter(|| reliance(&dag))
         });

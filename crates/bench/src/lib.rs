@@ -14,6 +14,7 @@ use flatnet_netgen::{generate, NetGenConfig, SyntheticInternet};
 use flatnet_tracesim::{CampaignOptions, Methodology};
 use std::cell::OnceCell;
 
+pub mod propbench;
 pub mod repro;
 
 /// Experiment scale knobs (see `repro --help`).

@@ -1,0 +1,263 @@
+//! `flatnet bench propagate` — wall-clock benchmark of the batched
+//! propagation engine against the legacy one-shot path.
+//!
+//! Both passes run the same hierarchy-free reachability workload: for
+//! every sampled origin, exclude its providers plus all Tier-1s and
+//! Tier-2s, propagate, and count reachable ASes. The legacy pass
+//! allocates a fresh exclusion mask and full distance state per origin
+//! (what `propagate()` did before the engine existed); the engine pass
+//! compiles one [`TopologySnapshot`] and reuses a [`SweepCtx`] so the
+//! steady state allocates nothing.
+//!
+//! Results go to stdout and to a JSON report (schema
+//! `flatnet-bench-propagate/v1`) consumed by the CI regression gate.
+//! The speedup is a within-run ratio (legacy total / engine total on
+//! the same machine), so it is comparable across hosts; the default is
+//! single-threaded for the same reason — `--threads N` additionally
+//! measures sweep parallelism.
+
+use flatnet_asgraph::{AsGraph, NodeId, Tiers};
+use flatnet_bgpsim::{propagate_legacy, PropagationOptions, Simulation, SweepCtx, TopologySnapshot};
+use flatnet_netgen::{generate, NetGenConfig};
+use std::time::Instant;
+
+/// One timing pass's summary statistics.
+struct PassStats {
+    total_ms: f64,
+    p50_us: u64,
+    p90_us: u64,
+    total_reach: u64,
+}
+
+fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let i = (sorted_us.len() * pct / 100).min(sorted_us.len() - 1);
+    sorted_us[i]
+}
+
+fn stats(mut per_origin_us: Vec<u64>, total_ms: f64, total_reach: u64) -> PassStats {
+    per_origin_us.sort_unstable();
+    PassStats {
+        total_ms,
+        p50_us: percentile(&per_origin_us, 50),
+        p90_us: percentile(&per_origin_us, 90),
+        total_reach,
+    }
+}
+
+/// The hierarchy-free exclusion set: the origin's providers, every
+/// Tier-1 and Tier-2, with the origin itself always allowed.
+fn fill_mask(g: &AsGraph, tiers: &Tiers, origin: NodeId, mask: &mut [bool]) {
+    for &p in g.providers(origin) {
+        mask[p.idx()] = true;
+    }
+    for &n in tiers.tier1() {
+        mask[n.idx()] = true;
+    }
+    for &n in tiers.tier2() {
+        mask[n.idx()] = true;
+    }
+    mask[origin.idx()] = false;
+}
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`),
+/// or 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let v = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse().map_err(|e| format!("bad value {v:?} for {flag}: {e}"))
+}
+
+/// Runs the propagation benchmark with CLI-style `args` (the `bench
+/// propagate` subcommand). Writes the JSON report and prints a summary.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut ases = 4000usize;
+    let mut seed = 2020u64;
+    let mut n_origins = 600usize;
+    let mut threads = 1usize;
+    let mut out = String::from("BENCH_propagate.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ases" => ases = flag_value("--ases", it.next())?,
+            "--seed" => seed = flag_value("--seed", it.next())?,
+            "--origins" => n_origins = flag_value("--origins", it.next())?,
+            "--threads" => threads = flag_value("--threads", it.next())?,
+            "--out" => out = it.next().ok_or("--out requires a file path")?.clone(),
+            "--help" | "-h" => {
+                println!("usage: flatnet bench propagate [--ases N] [--seed S] [--origins K]");
+                println!("                               [--threads N] [--out PATH]");
+                println!("--ases N:    topology size (default 4000)");
+                println!("--seed S:    generator seed (default 2020)");
+                println!("--origins K: origins to sweep, 0 = every AS (default 600)");
+                println!("--threads N: engine sweep workers (default 1, for a pure");
+                println!("             engine-vs-legacy comparison; 0 = all cores)");
+                println!("--out PATH:  JSON report path (default BENCH_propagate.json)");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+
+    let net = generate(&NetGenConfig::paper_2020(ases, seed));
+    let g = &net.truth;
+    let tiers = net.tiers_for(g);
+    let n = g.len();
+
+    // Evenly-spaced origin sample, deterministic for a given (ases, seed).
+    let origins: Vec<NodeId> = if n_origins == 0 || n_origins >= n {
+        g.nodes().collect()
+    } else {
+        let step = n / n_origins;
+        g.nodes().step_by(step.max(1)).take(n_origins).collect()
+    };
+    println!(
+        "# flatnet bench propagate — {n} ASes (seed {seed}), {} origins, {threads} thread(s)",
+        origins.len()
+    );
+
+    // ---- Legacy pass: fresh mask + full propagation state per origin. ----
+    let t0 = Instant::now();
+    let mut legacy_us = Vec::with_capacity(origins.len());
+    let mut legacy_reach = 0u64;
+    for &o in &origins {
+        let t = Instant::now();
+        let mut mask = vec![false; n];
+        fill_mask(g, &tiers, o, &mut mask);
+        let opts = PropagationOptions { excluded: Some(&mask), ..Default::default() };
+        legacy_reach += propagate_legacy(g, o, &opts).reachable_count() as u64;
+        legacy_us.push(t.elapsed().as_micros() as u64);
+    }
+    let legacy = stats(legacy_us, t0.elapsed().as_secs_f64() * 1e3, legacy_reach);
+
+    // ---- Engine pass: one snapshot, reused workspaces, mask refills. ----
+    let tc = Instant::now();
+    let snap = TopologySnapshot::compile(g);
+    let compile_ms = tc.elapsed().as_secs_f64() * 1e3;
+    let sim = Simulation::over(&snap).threads(threads);
+    let t0 = Instant::now();
+    let timed: Vec<(u64, u64)> = sim.run_sweep_map(&origins, |ctx: &mut SweepCtx<'_>, o| {
+        let t = Instant::now();
+        let mask = ctx.config_mut().excluded_mask_mut(n);
+        mask.fill(false);
+        fill_mask(g, &tiers, o, mask);
+        let reach = ctx.run(o).reachable_count() as u64;
+        (t.elapsed().as_micros() as u64, reach)
+    });
+    let engine_total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let engine_reach: u64 = timed.iter().map(|&(_, r)| r).sum();
+    let engine = stats(timed.iter().map(|&(us, _)| us).collect(), engine_total_ms, engine_reach);
+
+    if legacy.total_reach != engine.total_reach {
+        return Err(format!(
+            "engine disagrees with legacy: total reach {} vs {}",
+            engine.total_reach, legacy.total_reach
+        ));
+    }
+
+    let speedup = legacy.total_ms / engine.total_ms.max(1e-9);
+    let rss = peak_rss_bytes();
+    println!("legacy : {:9.1} ms total, p50 {:6} us, p90 {:6} us", legacy.total_ms, legacy.p50_us, legacy.p90_us);
+    println!(
+        "engine : {:9.1} ms total, p50 {:6} us, p90 {:6} us (+ {:.1} ms snapshot compile)",
+        engine.total_ms, engine.p50_us, engine.p90_us, compile_ms
+    );
+    println!("speedup: {speedup:.2}x   peak RSS: {:.1} MiB", rss as f64 / (1 << 20) as f64);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"flatnet-bench-propagate/v1\",\n",
+            "  \"ases\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"origins\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"legacy\": {{ \"total_ms\": {:.3}, \"p50_us\": {}, \"p90_us\": {} }},\n",
+            "  \"engine\": {{ \"total_ms\": {:.3}, \"p50_us\": {}, \"p90_us\": {}, \"compile_ms\": {:.3} }},\n",
+            "  \"total_reach\": {},\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"peak_rss_bytes\": {}\n",
+            "}}\n"
+        ),
+        n,
+        seed,
+        origins.len(),
+        threads,
+        legacy.total_ms,
+        legacy.p50_us,
+        legacy.p90_us,
+        engine.total_ms,
+        engine.p50_us,
+        engine.p90_us,
+        compile_ms,
+        engine.total_reach,
+        speedup,
+        rss,
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("report written to {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_rss() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 3);
+        assert_eq!(percentile(&[1, 2, 3, 4], 90), 4);
+        // On Linux this reads VmHWM; elsewhere it degrades to 0.
+        let _ = peak_rss_bytes();
+    }
+
+    #[test]
+    fn tiny_bench_writes_a_schema_tagged_report() {
+        let dir = std::env::temp_dir().join("flatnet_propbench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench.json");
+        let args: Vec<String> = [
+            "--ases", "200", "--origins", "20", "--seed", "7", "--out",
+            out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        assert!(body.contains("\"schema\": \"flatnet-bench-propagate/v1\""));
+        assert!(body.contains("\"speedup\""));
+        assert!(body.contains("\"total_reach\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let args = vec!["--bogus".to_string()];
+        assert!(run(&args).is_err());
+        let args = vec!["--ases".to_string()];
+        assert!(run(&args).is_err());
+    }
+}

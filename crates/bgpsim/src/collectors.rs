@@ -15,7 +15,8 @@
 //! invisible to feeds built this way.
 
 use crate::dag::NextHopDag;
-use crate::propagate::{propagate, PropagationOptions};
+use crate::engine::{Simulation, TopologySnapshot};
+use crate::propagate::PropagationConfig;
 use flatnet_asgraph::{AsGraph, AsId, NodeId};
 
 /// One RIB entry observed at a monitor: the AS path from the monitor to
@@ -36,11 +37,14 @@ pub struct RibEntry {
 /// smallest next-hop at each step). Unreachable monitor/origin pairs yield
 /// no entry. O(|origins| · E).
 pub fn collect_ribs(g: &AsGraph, monitors: &[NodeId], origins: &[NodeId]) -> Vec<RibEntry> {
-    let opts = PropagationOptions::default();
+    let cfg = PropagationConfig::default();
+    let snap = TopologySnapshot::compile(g);
+    let sim = Simulation::over(&snap);
+    let mut ctx = sim.ctx();
     let mut out = Vec::new();
     for &o in origins {
-        let outcome = propagate(g, o, &opts);
-        let dag = NextHopDag::build(g, &opts, &outcome);
+        let outcome = ctx.run(o).to_outcome();
+        let dag = NextHopDag::build(g, &cfg, &outcome);
         for &m in monitors {
             if m == o || dag.path_count(m) == 0.0 {
                 continue;

@@ -6,7 +6,7 @@
 //! this DAG. The DAG is acyclic because every hop decreases the selected
 //! path length by exactly one.
 
-use crate::propagate::{PropagationOptions, RoutingOutcome};
+use crate::propagate::{PropagationConfig, RoutingOutcome};
 use flatnet_asgraph::{AsGraph, NodeId};
 
 /// CSR-packed next-hop DAG with per-node tied-best path counts.
@@ -26,9 +26,9 @@ pub struct NextHopDag {
 }
 
 impl NextHopDag {
-    /// Materializes the DAG for `outcome` (computed on `g` under `opts` —
+    /// Materializes the DAG for `outcome` (computed on `g` under `cfg` —
     /// pass the same values or next hops will be inconsistent).
-    pub fn build(g: &AsGraph, opts: &PropagationOptions<'_>, outcome: &RoutingOutcome) -> Self {
+    pub fn build(g: &AsGraph, cfg: &PropagationConfig, outcome: &RoutingOutcome) -> Self {
         let n = g.len();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut hops = Vec::new();
@@ -36,7 +36,7 @@ impl NextHopDag {
         offsets.push(0u32);
         for i in 0..n as u32 {
             let u = NodeId(i);
-            let nh = outcome.next_hops(g, opts, u);
+            let nh = outcome.next_hops(g, cfg, u);
             hops.extend_from_slice(&nh);
             offsets.push(hops.len() as u32);
             if let Some((_, l)) = outcome.selection(u) {
@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn path_counts_match_fig5() {
         let g = fig5();
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(&g, node(&g, 1), &opts);
         let dag = NextHopDag::build(&g, &opts, &out);
         assert_eq!(dag.path_count(node(&g, 1)), 1.0);
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn topo_order_is_origin_outward() {
         let g = fig5();
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(&g, node(&g, 1), &opts);
         let dag = NextHopDag::build(&g, &opts, &out);
         let order = dag.topo_order();
@@ -194,7 +194,7 @@ mod tests {
         b.add_link(AsId(1), AsId(2), Relationship::P2p);
         b.add_isolated(AsId(9));
         let g = b.build();
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(&g, node(&g, 1), &opts);
         let dag = NextHopDag::build(&g, &opts, &out);
         assert_eq!(dag.path_count(node(&g, 9)), 0.0);
@@ -220,7 +220,7 @@ mod tests {
             }
         }
         let g = b.build();
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(&g, node(&g, 1), &opts);
         let dag = NextHopDag::build(&g, &opts, &out);
         let top = node(&g, 100 * k);

@@ -1,0 +1,749 @@
+//! Batched propagation engine: compile the topology once, sweep many
+//! origins with zero steady-state allocation.
+//!
+//! The per-call [`crate::propagate`] path allocates four arrays and a
+//! queue per origin; a whole-Internet sweep (hierarchy-free reachability,
+//! leak CDFs) runs it tens of thousands of times, so those allocations
+//! and the pointer-chasing adjacency walks dominate the profile. This
+//! module splits the work into three pieces:
+//!
+//! * [`TopologySnapshot`] — an immutable compressed-sparse-row copy of an
+//!   [`AsGraph`], compiled once per topology and shared (it is `Sync`) by
+//!   every worker of a sweep.
+//! * [`Workspace`] — the mutable per-run state (distance arrays, BFS
+//!   queue, bucket queue, reach bitset). Allocated once per worker and
+//!   reused for every origin; after the first few runs a sweep performs
+//!   no heap allocation at all.
+//! * [`Simulation`] — a builder tying the two together:
+//!   `Simulation::over(&snap).keep_ties(true).run(origin)` for one origin,
+//!   [`Simulation::run_sweep`] / [`Simulation::run_sweep_map`] for batches
+//!   (fanned out over [`crate::parallel`], one workspace per worker).
+//!
+//! ## Snapshot layout
+//!
+//! Per node `u`, all three relationship classes live in one contiguous
+//! slice of `adj`, customers first:
+//!
+//! ```text
+//! adj:  [ customers(u) | peers(u) | providers(u) | customers(u+1) | ... ]
+//!        ^off[u]        ^cust_end[u]^peer_end[u]  ^off[u+1]
+//! ```
+//!
+//! The customers-first split doubles as the precomputed per-node export
+//! mask: an AS exports customer-learned routes to its whole range, but
+//! peer/provider-learned routes only to the customer prefix
+//! `adj[off[u]..cust_end[u]]` — exactly the slices the three phases walk.
+//!
+//! The provider phase replaces the legacy `BinaryHeap` with a bucket
+//! queue (`Vec<Vec<u32>>` indexed by distance): edges all have weight 1,
+//! so distances are dense small integers and each push/pop is O(1). Pop
+//! and push counts are identical to the heap's — every pushed entry is
+//! popped exactly once and relaxation uses the same strict `<` test — so
+//! the `propagate.dijkstra_pops` / `propagate.export_checks` counters
+//! stay bit-identical to the legacy path (asserted by
+//! `tests/engine_equiv.rs` and `tests/metrics.rs`).
+//!
+//! The run itself is output-sensitive: a touched-node list doubles as
+//! the reach set and the reset undo log, so a run costs O(reached +
+//! edges-of-reached) rather than O(V + E), and resets clear only what
+//! the previous run wrote. Counter parity survives because the skipped
+//! work is exactly the work whose counters are computable arithmetically
+//! (phase 2's per-receiver export checks come from precompiled peer
+//! degrees) or order-normalized (phase 3 seeds from the touched list
+//! sorted into the legacy's ascending node order, keeping the bucket
+//! push/pop sequence identical).
+
+use crate::parallel::{self, SweepError};
+use crate::propagate::{
+    metrics, ImportPolicy, PolicyView, PropagationConfig, RouteClass, RoutingOutcome, UNREACHED,
+};
+use flatnet_asgraph::{AsGraph, NodeId};
+use std::collections::VecDeque;
+
+/// An immutable, compiled copy of an [`AsGraph`]'s adjacency, laid out
+/// for propagation: one contiguous `u32` slice per node, split by
+/// relationship class (customers, then peers, then providers).
+///
+/// Compile once per topology with [`TopologySnapshot::compile`]; the
+/// snapshot is cheap to share across threads and never mutated.
+#[derive(Debug, Clone)]
+pub struct TopologySnapshot {
+    n: u32,
+    /// `off[u]..off[u+1]` is node `u`'s full adjacency range in `adj`.
+    off: Vec<u32>,
+    /// End (exclusive) of node `u`'s customer prefix within its range.
+    cust_end: Vec<u32>,
+    /// End (exclusive) of node `u`'s peer segment within its range.
+    peer_end: Vec<u32>,
+    /// All adjacency, class-contiguous per node, sorted within each class.
+    adj: Vec<u32>,
+    /// Total peer adjacency entries, for the phase-2 counter arithmetic.
+    total_peer: u64,
+}
+
+impl TopologySnapshot {
+    /// Compiles `g` into the CSR layout. O(V + E).
+    pub fn compile(g: &AsGraph) -> Self {
+        let n = g.len();
+        let mut off = Vec::with_capacity(n + 1);
+        let mut cust_end = Vec::with_capacity(n);
+        let mut peer_end = Vec::with_capacity(n);
+        let mut adj = Vec::new();
+        off.push(0u32);
+        for u in g.nodes() {
+            for &c in g.customers(u) {
+                adj.push(c.0);
+            }
+            cust_end.push(adj.len() as u32);
+            for &p in g.peers(u) {
+                adj.push(p.0);
+            }
+            peer_end.push(adj.len() as u32);
+            for &w in g.providers(u) {
+                adj.push(w.0);
+            }
+            off.push(adj.len() as u32);
+        }
+        let total_peer = cust_end
+            .iter()
+            .zip(&peer_end)
+            .map(|(&c, &p)| (p - c) as u64)
+            .sum();
+        TopologySnapshot { n: n as u32, off, cust_end, peer_end, adj, total_peer }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the snapshot covers an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of directed adjacency entries (2× the undirected link count).
+    pub fn edge_entries(&self) -> usize {
+        self.adj.len()
+    }
+
+    #[inline]
+    fn customers(&self, u: u32) -> &[u32] {
+        &self.adj[self.off[u as usize] as usize..self.cust_end[u as usize] as usize]
+    }
+
+    #[inline]
+    fn peers(&self, u: u32) -> &[u32] {
+        &self.adj[self.cust_end[u as usize] as usize..self.peer_end[u as usize] as usize]
+    }
+
+    #[inline]
+    fn providers(&self, u: u32) -> &[u32] {
+        &self.adj[self.peer_end[u as usize] as usize..self.off[u as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn peer_deg(&self, u: u32) -> u64 {
+        (self.peer_end[u as usize] - self.cust_end[u as usize]) as u64
+    }
+}
+
+/// Reusable per-run propagation state: three distance arrays, the BFS
+/// frontier, the provider-phase bucket queue, and the word-packed reach
+/// bitset. Create once (per worker thread), run many origins through it.
+///
+/// After [`run_into`] the workspace *is* the result; the accessors mirror
+/// [`RoutingOutcome`] without copying, and [`Workspace::to_outcome`]
+/// clones into an owned outcome when one must outlive the workspace.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    dist_c: Vec<u32>,
+    dist_p: Vec<u32>,
+    dist_d: Vec<u32>,
+    reach: Vec<u64>,
+    /// Nodes with any distance entry set this run — the undo list that
+    /// makes [`Workspace::reset`] O(reached) instead of O(n), and the
+    /// iteration domain for the phases that only care about routed nodes.
+    touched: Vec<u32>,
+    queue: VecDeque<u32>,
+    buckets: Vec<Vec<u32>>,
+    max_bucket: usize,
+    origin: u32,
+    reached: u32,
+    n: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `snap`, so the first run allocates
+    /// everything up front.
+    pub fn for_snapshot(snap: &TopologySnapshot) -> Self {
+        let mut ws = Self::new();
+        ws.reset(snap.len(), NodeId(0));
+        ws
+    }
+
+    /// Clears all per-run state and sizes the buffers for an `n`-node
+    /// graph. Reuses existing capacity, and when the size is unchanged
+    /// only undoes the previous run's writes (via the touched list), so
+    /// for a fixed topology a reset costs O(previously reached), not
+    /// O(n), and never allocates after the first call.
+    fn reset(&mut self, n: usize, origin: NodeId) {
+        if self.dist_c.len() == n {
+            // Every set reach bit belongs to a touched node, so clearing
+            // whole words per touched node clears the bitset exactly.
+            for t in 0..self.touched.len() {
+                let i = self.touched[t] as usize;
+                self.dist_c[i] = UNREACHED;
+                self.dist_p[i] = UNREACHED;
+                self.dist_d[i] = UNREACHED;
+                self.reach[i >> 6] = 0;
+            }
+        } else {
+            self.dist_c.clear();
+            self.dist_c.resize(n, UNREACHED);
+            self.dist_p.clear();
+            self.dist_p.resize(n, UNREACHED);
+            self.dist_d.clear();
+            self.dist_d.resize(n, UNREACHED);
+            self.reach.clear();
+            self.reach.resize(n.div_ceil(64), 0);
+        }
+        self.touched.clear();
+        self.queue.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.max_bucket = 0;
+        self.origin = origin.0;
+        self.reached = 0;
+        self.n = n;
+    }
+
+    /// First-touch bookkeeping: sets `i`'s reach bit, records it on the
+    /// undo list, and counts it — exactly once per node per run.
+    #[inline]
+    fn mark(&mut self, i: u32) {
+        let w = (i >> 6) as usize;
+        let bit = 1u64 << (i & 63);
+        if self.reach[w] & bit == 0 {
+            self.reach[w] |= bit;
+            self.touched.push(i);
+            self.reached += 1;
+        }
+    }
+
+    /// The origin of the most recent run.
+    pub fn origin(&self) -> NodeId {
+        NodeId(self.origin)
+    }
+
+    /// Number of nodes covered by the most recent run.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the workspace has not been sized yet.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The selected best route of `n` after the most recent run (see
+    /// [`RoutingOutcome::selection`]).
+    #[inline]
+    pub fn selection(&self, n: NodeId) -> Option<(RouteClass, u32)> {
+        let i = n.idx();
+        if self.dist_c[i] != UNREACHED {
+            Some((RouteClass::Customer, self.dist_c[i]))
+        } else if self.dist_p[i] != UNREACHED {
+            Some((RouteClass::Peer, self.dist_p[i]))
+        } else if self.dist_d[i] != UNREACHED {
+            Some((RouteClass::Provider, self.dist_d[i]))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `n` received the announcement in the most recent run.
+    #[inline]
+    pub fn reachable(&self, n: NodeId) -> bool {
+        let i = n.idx();
+        (self.reach[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Number of ASes reached by the most recent run, origin excluded.
+    /// O(1): the bitset popcount is maintained during the run.
+    pub fn reachable_count(&self) -> usize {
+        (self.reached as usize).saturating_sub(1)
+    }
+
+    /// The word-packed reach bitset of the most recent run (bit = node
+    /// index, origin bit set). Borrowed — the zero-allocation replacement
+    /// for [`RoutingOutcome::reach_set`] in hot loops.
+    pub fn reach_words(&self) -> &[u64] {
+        &self.reach
+    }
+
+    /// Clones the run's result into an owned [`RoutingOutcome`].
+    pub fn to_outcome(&self) -> RoutingOutcome {
+        RoutingOutcome::from_parts(
+            NodeId(self.origin),
+            self.dist_c.clone(),
+            self.dist_p.clone(),
+            self.dist_d.clone(),
+            self.reach.clone(),
+            self.reached,
+        )
+    }
+}
+
+/// Runs one origin's propagation over `snap` into `ws`.
+///
+/// This is the engine's hot loop; semantics and observability counters
+/// are bit-identical to [`crate::propagate::propagate_legacy`] (see the
+/// module docs for the bucket-queue parity argument).
+pub(crate) fn run_into(
+    snap: &TopologySnapshot,
+    origin: NodeId,
+    pol: &PolicyView<'_>,
+    ws: &mut Workspace,
+) {
+    let n = snap.len();
+    let obs = metrics();
+    obs.runs.inc();
+    ws.reset(n, origin);
+    if n == 0 || pol.is_excluded(origin) {
+        return;
+    }
+    let mut export_checks = 0u64;
+    let mut dijkstra_pops = 0u64;
+
+    // Phase 1: customer routes spread up provider edges (plain BFS, all
+    // edges weight 1). The origin's own route behaves like a customer route.
+    ws.dist_c[origin.idx()] = 0;
+    ws.mark(origin.0);
+    ws.queue.push_back(origin.0);
+    while let Some(ui) = ws.queue.pop_front() {
+        let du = ws.dist_c[ui as usize];
+        for &pi in snap.providers(ui) {
+            export_checks += 1;
+            if ws.dist_c[pi as usize] == UNREACHED && pol.import_ok(origin, NodeId(pi), NodeId(ui))
+            {
+                ws.dist_c[pi as usize] = du + 1;
+                ws.mark(pi);
+                ws.queue.push_back(pi);
+            }
+        }
+    }
+    let customer_reached = ws.touched.len();
+
+    // Phase 2: peers export customer/origin routes; a single relaxation,
+    // driven from the customer-reached frontier (the touched prefix)
+    // instead of scanning all n receivers — p2p adjacency is symmetric,
+    // so pushing sender→peers visits exactly the (receiver, sender)
+    // pairs the receiver-side scan would have found routes on. The
+    // legacy loop counts an export check for every peer edge of every
+    // non-excluded non-origin receiver, reached or not, so that count is
+    // reproduced arithmetically from the precompiled peer degrees.
+    let mut peer_checks = snap.total_peer - snap.peer_deg(origin.0);
+    if let Some(mask) = pol.excluded {
+        for (i, &ex) in mask.iter().enumerate() {
+            if ex {
+                peer_checks -= snap.peer_deg(i as u32);
+            }
+        }
+    }
+    export_checks += peer_checks;
+    for t in 0..customer_reached {
+        let vi = ws.touched[t];
+        let dv = ws.dist_c[vi as usize] + 1;
+        for &ui in snap.peers(vi) {
+            if ui != origin.0
+                && pol.import_ok(origin, NodeId(ui), NodeId(vi))
+                && dv < ws.dist_p[ui as usize]
+            {
+                ws.dist_p[ui as usize] = dv;
+                ws.mark(ui);
+            }
+        }
+    }
+
+    // Phase 3: providers export their selected best to customers. All
+    // edges are weight 1 and distances dense, so a bucket queue indexed
+    // by distance replaces the heap; each bucket only receives pushes
+    // from strictly smaller distances, so a single ascending scan drains
+    // everything. Every node with a customer or peer route is on the
+    // touched list; seeding must scan them in ascending node order (the
+    // legacy iteration order) so the bucket push/pop sequence — and with
+    // it `propagate.dijkstra_pops` — stays bit-identical, hence the sort.
+    ws.touched.sort_unstable();
+    let seeds = ws.touched.len();
+    for t in 0..seeds {
+        let i = ws.touched[t];
+        let w = NodeId(i);
+        let (dc, dp) = (ws.dist_c[i as usize], ws.dist_p[i as usize]);
+        let s = if dc != UNREACHED { dc } else { dp };
+        for &uj in snap.customers(i) {
+            export_checks += 1;
+            let u = NodeId(uj);
+            // A node with a customer/peer route already prefers it over
+            // any provider route; still record dist_d for completeness
+            // of tie information at equal class only — the selection
+            // function ignores dist_d when a better class exists.
+            if pol.import_ok(origin, u, w) && u != origin && s + 1 < ws.dist_d[uj as usize] {
+                ws.dist_d[uj as usize] = s + 1;
+                ws.mark(uj);
+                let b = (s + 1) as usize;
+                if b >= ws.buckets.len() {
+                    ws.buckets.resize_with(b + 1, Vec::new);
+                }
+                ws.buckets[b].push(uj);
+                ws.max_bucket = ws.max_bucket.max(b);
+            }
+        }
+    }
+    // `buckets.len()` can exceed `max_bucket` when a previous run on this
+    // workspace reached farther; the extra buckets are empty and cost one
+    // `pop() == None` each.
+    let mut d = 0usize;
+    while d < ws.buckets.len() {
+        while let Some(ui) = ws.buckets[d].pop() {
+            dijkstra_pops += 1;
+            let iu = ui as usize;
+            if d as u32 != ws.dist_d[iu] {
+                continue; // stale entry
+            }
+            // `ui` only *exports* its provider route if that is its selection.
+            if ws.dist_c[iu] != UNREACHED || ws.dist_p[iu] != UNREACHED {
+                continue;
+            }
+            let nd = d as u32 + 1;
+            for &xi in snap.customers(ui) {
+                export_checks += 1;
+                let x = NodeId(xi);
+                if x == origin {
+                    continue;
+                }
+                if pol.import_ok(origin, x, NodeId(ui)) && nd < ws.dist_d[xi as usize] {
+                    ws.dist_d[xi as usize] = nd;
+                    ws.mark(xi);
+                    let b = d + 1;
+                    if b >= ws.buckets.len() {
+                        ws.buckets.resize_with(b + 1, Vec::new);
+                    }
+                    ws.buckets[b].push(xi);
+                    ws.max_bucket = ws.max_bucket.max(b);
+                }
+            }
+        }
+        d += 1;
+    }
+
+    // A node that selects a customer or peer route never uses its provider
+    // route; clear dist_d there so `selection` and `next_hops` agree and
+    // downstream consumers (DAG, reliance) see only selected routes. The
+    // reach bitset and its popcount were maintained incrementally by
+    // `mark` — the touched list IS the reach set, so only it is scanned.
+    let (mut sel_c, mut sel_p, mut sel_d) = (0u64, 0u64, 0u64);
+    for t in 0..ws.touched.len() {
+        let i = ws.touched[t] as usize;
+        if ws.dist_c[i] != UNREACHED {
+            sel_c += 1;
+            ws.dist_d[i] = UNREACHED;
+        } else if ws.dist_p[i] != UNREACHED {
+            sel_p += 1;
+            ws.dist_d[i] = UNREACHED;
+        } else {
+            sel_d += 1;
+        }
+    }
+    obs.routes_customer.add(sel_c);
+    obs.routes_peer.add(sel_p);
+    obs.routes_provider.add(sel_d);
+    obs.export_checks.add(export_checks);
+    obs.dijkstra_pops.add(dijkstra_pops);
+}
+
+/// Builder-style front end over a compiled [`TopologySnapshot`].
+///
+/// ```
+/// use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship};
+/// use flatnet_bgpsim::engine::{Simulation, TopologySnapshot};
+///
+/// let mut b = AsGraphBuilder::new();
+/// b.add_link(AsId(1), AsId(2), Relationship::P2c);
+/// let g = b.build();
+/// let snap = TopologySnapshot::compile(&g);
+/// let origin = g.index_of(AsId(2)).unwrap();
+/// let out = Simulation::over(&snap).keep_ties(true).run(origin);
+/// assert_eq!(out.reachable_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<'s> {
+    snap: &'s TopologySnapshot,
+    cfg: PropagationConfig,
+    threads: usize,
+}
+
+impl<'s> Simulation<'s> {
+    /// Starts a simulation over a compiled snapshot with default config
+    /// (no restrictions, all ties kept, auto thread count for sweeps).
+    pub fn over(snap: &'s TopologySnapshot) -> Self {
+        Simulation { snap, cfg: PropagationConfig::default(), threads: 0 }
+    }
+
+    /// Replaces the whole propagation config.
+    pub fn config(mut self, cfg: PropagationConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets per-node import policies (peer locking).
+    pub fn policy(mut self, policies: Vec<ImportPolicy>) -> Self {
+        self.cfg = self.cfg.with_import(policies);
+        self
+    }
+
+    /// Sets the excluded-node mask (`true` = removed from the topology).
+    pub fn excluded(mut self, mask: Vec<bool>) -> Self {
+        self.cfg = self.cfg.with_excluded(mask);
+        self
+    }
+
+    /// Restricts the origin to announcing only to neighbors flagged `true`.
+    pub fn origin_export(mut self, mask: Vec<bool>) -> Self {
+        self.cfg = self.cfg.with_origin_export(mask);
+        self
+    }
+
+    /// Whether `next_hops` keeps every tied-best hop (default `true`).
+    pub fn keep_ties(mut self, keep: bool) -> Self {
+        self.cfg = self.cfg.with_keep_ties(keep);
+        self
+    }
+
+    /// Worker threads for [`Self::run_sweep`] and friends; `0` (default)
+    /// uses the available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The simulation's propagation config.
+    pub fn cfg(&self) -> &PropagationConfig {
+        &self.cfg
+    }
+
+    /// A fresh worker context (own config clone + workspace) for manual
+    /// batching; [`Self::run_sweep_map`] creates one per worker itself.
+    pub fn ctx(&self) -> SweepCtx<'s> {
+        SweepCtx {
+            snap: self.snap,
+            cfg: self.cfg.clone(),
+            ws: Workspace::for_snapshot(self.snap),
+        }
+    }
+
+    /// Propagates a single origin, returning an owned outcome.
+    pub fn run(&self, origin: NodeId) -> RoutingOutcome {
+        let mut ws = Workspace::for_snapshot(self.snap);
+        run_into(self.snap, origin, &self.cfg.view(), &mut ws);
+        ws.to_outcome()
+    }
+
+    /// Propagates every origin (in parallel, one workspace per worker),
+    /// returning owned outcomes in input order.
+    pub fn run_sweep(&self, origins: &[NodeId]) -> Vec<RoutingOutcome> {
+        self.run_sweep_map(origins, |ctx, o| {
+            ctx.run(o);
+            ctx.workspace().to_outcome()
+        })
+    }
+
+    /// Sweeps `origins`, reducing each run inside the worker via `f` —
+    /// the zero-copy form: `f` reads the worker's [`Workspace`] and
+    /// returns only what the caller keeps (a count, a fraction, ...).
+    ///
+    /// A panic in `f` aborts the sweep naming the offending item; use
+    /// [`Self::try_run_sweep_map`] for per-item errors instead.
+    pub fn run_sweep_map<R, F>(&self, origins: &[NodeId], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut SweepCtx<'s>, NodeId) -> R + Sync,
+    {
+        parallel::parallel_map_ctx(origins, self.threads, || self.ctx(), |ctx, &o| f(ctx, o))
+    }
+
+    /// Like [`Self::run_sweep_map`], but a panic in `f` becomes a
+    /// per-item [`SweepError`] while every other origin still completes.
+    pub fn try_run_sweep_map<R, F>(
+        &self,
+        origins: &[NodeId],
+        f: F,
+    ) -> Vec<Result<R, SweepError>>
+    where
+        R: Send,
+        F: Fn(&mut SweepCtx<'s>, NodeId) -> R + Sync,
+    {
+        parallel::try_parallel_map_ctx(origins, self.threads, || self.ctx(), |ctx, &o| f(ctx, o))
+    }
+}
+
+/// One worker's state for a sweep: the shared snapshot, a private config
+/// (whose masks may be refilled per origin via
+/// [`PropagationConfig::excluded_mask_mut`]), and a private workspace.
+#[derive(Debug)]
+pub struct SweepCtx<'s> {
+    snap: &'s TopologySnapshot,
+    cfg: PropagationConfig,
+    ws: Workspace,
+}
+
+impl<'s> SweepCtx<'s> {
+    /// The shared compiled topology.
+    pub fn snapshot(&self) -> &'s TopologySnapshot {
+        self.snap
+    }
+
+    /// This worker's propagation config.
+    pub fn config(&self) -> &PropagationConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to this worker's config, e.g. to refill the
+    /// exclusion mask for the next origin without reallocating.
+    pub fn config_mut(&mut self) -> &mut PropagationConfig {
+        &mut self.cfg
+    }
+
+    /// The workspace holding the most recent run's result.
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    /// Propagates `origin` under the current config, reusing this
+    /// worker's buffers; returns the workspace holding the result.
+    pub fn run(&mut self, origin: NodeId) -> &Workspace {
+        run_into(self.snap, origin, &self.cfg.view(), &mut self.ws);
+        &self.ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{propagate_legacy, PropagationOptions};
+    use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship};
+
+    fn diamond() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(1), Relationship::P2c);
+        b.add_link(AsId(4), AsId(2), Relationship::P2c);
+        b.add_link(AsId(4), AsId(3), Relationship::P2c);
+        b.add_link(AsId(4), AsId(5), Relationship::P2p);
+        b.add_link(AsId(5), AsId(6), Relationship::P2c);
+        b.build()
+    }
+
+    #[test]
+    fn snapshot_ranges_match_graph_adjacency() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        assert_eq!(snap.len(), g.len());
+        for u in g.nodes() {
+            let custs: Vec<u32> = g.customers(u).iter().map(|n| n.0).collect();
+            let peers: Vec<u32> = g.peers(u).iter().map(|n| n.0).collect();
+            let provs: Vec<u32> = g.providers(u).iter().map(|n| n.0).collect();
+            assert_eq!(snap.customers(u.0), custs.as_slice(), "customers of {u}");
+            assert_eq!(snap.peers(u.0), peers.as_slice(), "peers of {u}");
+            assert_eq!(snap.providers(u.0), provs.as_slice(), "providers of {u}");
+        }
+    }
+
+    #[test]
+    fn workspace_matches_legacy_on_every_origin() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let mut ws = Workspace::for_snapshot(&snap);
+        for origin in g.nodes() {
+            run_into(&snap, origin, &PolicyView::default(), &mut ws);
+            let legacy = propagate_legacy(&g, origin, &PropagationOptions::default());
+            assert_eq!(ws.reachable_count(), legacy.reachable_count(), "origin {origin}");
+            for n in g.nodes() {
+                assert_eq!(ws.selection(n), legacy.selection(n), "origin {origin}, node {n}");
+                assert_eq!(ws.reachable(n), legacy.reachable(n));
+            }
+            assert_eq!(ws.reach_words(), legacy.reach_words());
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_buffers_and_matches_single_runs() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let sim = Simulation::over(&snap).threads(2);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let counts = sim.run_sweep_map(&origins, |ctx, o| ctx.run(o).reachable_count());
+        for (o, &c) in origins.iter().zip(&counts) {
+            assert_eq!(c, sim.run(*o).reachable_count(), "origin {o}");
+        }
+    }
+
+    #[test]
+    fn run_sweep_returns_owned_outcomes_in_order() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let outs = Simulation::over(&snap).threads(1).run_sweep(&origins);
+        assert_eq!(outs.len(), origins.len());
+        for (o, out) in origins.iter().zip(&outs) {
+            assert_eq!(out.origin(), *o);
+        }
+    }
+
+    #[test]
+    fn ctx_mask_refill_equals_fresh_configs() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let sim = Simulation::over(&snap);
+        let mut ctx = sim.ctx();
+        let origin = g.index_of(AsId(1)).unwrap();
+        let banned = g.index_of(AsId(2)).unwrap();
+        // First run with node 2 excluded, second with a clean mask: the
+        // refilled mask must not leak the previous origin's exclusions.
+        let mask = ctx.config_mut().excluded_mask_mut(g.len());
+        mask.fill(false);
+        mask[banned.idx()] = true;
+        let with_excl = ctx.run(origin).reachable_count();
+        ctx.config_mut().excluded_mask_mut(g.len()).fill(false);
+        let clean = ctx.run(origin).reachable_count();
+        assert_eq!(clean, sim.run(origin).reachable_count());
+        assert!(with_excl < clean);
+    }
+
+    #[test]
+    fn try_sweep_isolates_panics_per_origin() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let out = Simulation::over(&snap).threads(2).try_run_sweep_map(&origins, |ctx, o| {
+            if o.0 == 3 {
+                panic!("bad origin {o}");
+            }
+            ctx.run(o).reachable_count()
+        });
+        assert_eq!(out.len(), origins.len());
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                assert!(r.as_ref().unwrap_err().message.contains("bad origin"));
+            } else {
+                assert!(r.is_ok());
+            }
+        }
+    }
+}

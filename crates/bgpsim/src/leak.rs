@@ -13,8 +13,15 @@
 //! policy is [`ImportPolicy::OnlyDirectFromOrigin`] for the victim's
 //! announcement and [`ImportPolicy::Never`] for the leaker's, so leaked
 //! routes never propagate *through* a locking AS.
+//!
+//! Leak CDFs run thousands of scenarios over one topology; [`LeakSim`]
+//! holds two engine workspaces plus the per-scenario policy buffers and
+//! refills them in place, so a sweep of scenarios does zero steady-state
+//! allocation. [`simulate_leak`] / [`simulate_subprefix_hijack`] remain
+//! as one-shot conveniences that compile a snapshot per call.
 
-use crate::propagate::{propagate, ImportPolicy, PropagationOptions, RoutingOutcome};
+use crate::engine::{run_into, TopologySnapshot, Workspace};
+use crate::propagate::{ImportPolicy, PolicyView};
 use flatnet_asgraph::{AsGraph, NodeId};
 
 /// How one AS routes the contested prefix.
@@ -136,82 +143,104 @@ impl LeakOutcome {
     }
 }
 
-/// Runs one leak scenario.
+/// A reusable leak simulator over a compiled topology snapshot.
 ///
-/// Panics if `victim == leaker` (a meaningless configuration callers are
-/// expected to avoid when sampling misconfigured ASes).
-pub fn simulate_leak(g: &AsGraph, scenario: &LeakScenario) -> LeakOutcome {
-    assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
-    let n = g.len();
-
-    // Victim propagation: under corrected semantics, locking neighbors
-    // accept only the direct route. Under the pre-erratum semantics the
-    // legitimate propagation was unrestricted.
-    let mut victim_import = vec![ImportPolicy::Normal; n];
-    if scenario.semantics == LockingSemantics::Corrected {
-        for &l in &scenario.locking {
-            if l != scenario.victim {
-                victim_import[l.idx()] = ImportPolicy::OnlyDirectFromOrigin;
-            }
-        }
-    }
-    let export_mask: Option<Vec<bool>> = scenario.victim_export.as_ref().map(|list| {
-        let mut m = vec![false; n];
-        for &x in list {
-            m[x.idx()] = true;
-        }
-        m
-    });
-    let victim_opts = PropagationOptions {
-        excluded: None,
-        origin_export: export_mask.as_deref(),
-        import: Some(&victim_import),
-    };
-    let legit = propagate(g, scenario.victim, &victim_opts);
-
-    // Leaker propagation: under corrected semantics locking ASes never
-    // accept the leaked copy, so it cannot pass through them either; under
-    // pre-erratum semantics they only filter the copy announced to them
-    // directly by the leaker.
-    let mut leak_import = vec![ImportPolicy::Normal; n];
-    for &l in &scenario.locking {
-        leak_import[l.idx()] = match scenario.semantics {
-            LockingSemantics::Corrected => ImportPolicy::Never,
-            LockingSemantics::PreErratum => ImportPolicy::RejectDirectFromOrigin,
-        };
-    }
-    // The victim itself never accepts the leaked route for its own prefix.
-    leak_import[scenario.victim.idx()] = ImportPolicy::Never;
-    let leak_opts = PropagationOptions { excluded: None, origin_export: None, import: Some(&leak_import) };
-    let leaked = propagate(g, scenario.leaker, &leak_opts);
-
-    LeakOutcome {
-        victim: scenario.victim,
-        leaker: scenario.leaker,
-        states: compare(&legit, &leaked, scenario, n),
-    }
+/// Holds the victim's and leaker's propagation workspaces plus the three
+/// per-scenario policy buffers; running another scenario refills them in
+/// place. Leak CDF sweeps create one `LeakSim` per worker thread (via
+/// `parallel_map_ctx`) and run every sampled leaker through it.
+#[derive(Debug)]
+pub struct LeakSim<'s> {
+    snap: &'s TopologySnapshot,
+    victim_ws: Workspace,
+    leak_ws: Workspace,
+    victim_import: Vec<ImportPolicy>,
+    leak_import: Vec<ImportPolicy>,
+    export_mask: Vec<bool>,
 }
 
-fn compare(
-    legit: &RoutingOutcome,
-    leaked: &RoutingOutcome,
-    scenario: &LeakScenario,
-    n: usize,
-) -> Vec<DetourState> {
-    let mut states = vec![DetourState::NoRoute; n];
-    for i in 0..n as u32 {
-        let t = NodeId(i);
+impl<'s> LeakSim<'s> {
+    /// A simulator with buffers sized for `snap`.
+    pub fn new(snap: &'s TopologySnapshot) -> Self {
+        let n = snap.len();
+        LeakSim {
+            snap,
+            victim_ws: Workspace::for_snapshot(snap),
+            leak_ws: Workspace::for_snapshot(snap),
+            victim_import: vec![ImportPolicy::Normal; n],
+            leak_import: vec![ImportPolicy::Normal; n],
+            export_mask: vec![false; n],
+        }
+    }
+
+    /// Propagates the victim's announcement under the scenario's locking
+    /// and export configuration.
+    fn propagate_victim(&mut self, scenario: &LeakScenario) {
+        // Victim propagation: under corrected semantics, locking neighbors
+        // accept only the direct route. Under the pre-erratum semantics the
+        // legitimate propagation was unrestricted.
+        self.victim_import.fill(ImportPolicy::Normal);
+        if scenario.semantics == LockingSemantics::Corrected {
+            for &l in &scenario.locking {
+                if l != scenario.victim {
+                    self.victim_import[l.idx()] = ImportPolicy::OnlyDirectFromOrigin;
+                }
+            }
+        }
+        let origin_export = if let Some(list) = &scenario.victim_export {
+            self.export_mask.fill(false);
+            for &x in list {
+                self.export_mask[x.idx()] = true;
+            }
+            Some(self.export_mask.as_slice())
+        } else {
+            None
+        };
+        let pol = PolicyView {
+            excluded: None,
+            origin_export,
+            import: Some(&self.victim_import),
+        };
+        run_into(self.snap, scenario.victim, &pol, &mut self.victim_ws);
+    }
+
+    /// Propagates the leaker's announcement under the scenario's locking
+    /// configuration.
+    fn propagate_leaker(&mut self, scenario: &LeakScenario) {
+        // Under corrected semantics locking ASes never accept the leaked
+        // copy, so it cannot pass through them either; under pre-erratum
+        // semantics they only filter the copy announced to them directly
+        // by the leaker.
+        self.leak_import.fill(ImportPolicy::Normal);
+        for &l in &scenario.locking {
+            self.leak_import[l.idx()] = match scenario.semantics {
+                LockingSemantics::Corrected => ImportPolicy::Never,
+                LockingSemantics::PreErratum => ImportPolicy::RejectDirectFromOrigin,
+            };
+        }
+        // The victim itself never accepts the leaked route for its own prefix.
+        self.leak_import[scenario.victim.idx()] = ImportPolicy::Never;
+        let pol =
+            PolicyView { excluded: None, origin_export: None, import: Some(&self.leak_import) };
+        run_into(self.snap, scenario.leaker, &pol, &mut self.leak_ws);
+    }
+
+    fn propagate_pair(&mut self, scenario: &LeakScenario) {
+        assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
+        self.propagate_victim(scenario);
+        self.propagate_leaker(scenario);
+    }
+
+    /// State of node `t` after [`Self::propagate_pair`].
+    #[inline]
+    fn state_of(&self, scenario: &LeakScenario, t: NodeId) -> DetourState {
         if t == scenario.victim {
-            states[t.idx()] = DetourState::Legit;
-            continue;
+            return DetourState::Legit;
         }
         if t == scenario.leaker {
-            states[t.idx()] = DetourState::Detoured;
-            continue;
+            return DetourState::Detoured;
         }
-        let sl = legit.selection(t);
-        let sm = leaked.selection(t);
-        states[t.idx()] = match (sl, sm) {
+        match (self.victim_ws.selection(t), self.leak_ws.selection(t)) {
             (None, None) => DetourState::NoRoute,
             (Some(_), None) => DetourState::Legit,
             (None, Some(_)) => DetourState::Detoured,
@@ -224,9 +253,132 @@ fn compare(
                     DetourState::Legit
                 }
             }
-        };
+        }
     }
-    states
+
+    /// Runs one scenario, returning the full per-node outcome.
+    ///
+    /// Panics if `victim == leaker` (a meaningless configuration callers
+    /// are expected to avoid when sampling misconfigured ASes).
+    pub fn run(&mut self, scenario: &LeakScenario) -> LeakOutcome {
+        self.propagate_pair(scenario);
+        let n = self.snap.len();
+        let states =
+            (0..n as u32).map(|i| self.state_of(scenario, NodeId(i))).collect();
+        LeakOutcome { victim: scenario.victim, leaker: scenario.leaker, states }
+    }
+
+    /// Runs one scenario and returns only the (optionally weighted) detour
+    /// fraction, without materializing the per-node state vector — the
+    /// zero-allocation form the CDF sweeps use.
+    ///
+    /// `weights: None` is [`LeakOutcome::fraction_detoured`];
+    /// `Some(w)` is [`LeakOutcome::weighted_fraction_detoured`].
+    pub fn fraction(&mut self, scenario: &LeakScenario, weights: Option<&[f64]>) -> f64 {
+        self.propagate_pair(scenario);
+        self.fraction_of_states(scenario, weights)
+    }
+
+    /// Runs a sub-prefix hijack scenario (see [`simulate_subprefix_hijack`]).
+    pub fn run_subprefix(&mut self, scenario: &LeakScenario) -> LeakOutcome {
+        assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
+        self.propagate_leaker(scenario);
+        let n = self.snap.len();
+        let states = (0..n as u32)
+            .map(|i| self.subprefix_state_of(scenario, NodeId(i)))
+            .collect();
+        LeakOutcome { victim: scenario.victim, leaker: scenario.leaker, states }
+    }
+
+    /// Sub-prefix hijack detour fraction without the per-node state vector.
+    pub fn subprefix_fraction(
+        &mut self,
+        scenario: &LeakScenario,
+        weights: Option<&[f64]>,
+    ) -> f64 {
+        assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
+        self.propagate_leaker(scenario);
+        let n = self.snap.len();
+        match weights {
+            None => {
+                if n == 0 {
+                    return 0.0;
+                }
+                let detoured = (0..n as u32)
+                    .filter(|&i| {
+                        self.subprefix_state_of(scenario, NodeId(i)) == DetourState::Detoured
+                    })
+                    .count();
+                detoured as f64 / n as f64
+            }
+            Some(w) => {
+                assert_eq!(w.len(), n, "weights must cover every node");
+                let total: f64 = w.iter().sum();
+                if total == 0.0 {
+                    return 0.0;
+                }
+                let detoured: f64 = (0..n as u32)
+                    .filter(|&i| {
+                        self.subprefix_state_of(scenario, NodeId(i)) == DetourState::Detoured
+                    })
+                    .map(|i| w[i as usize])
+                    .sum();
+                detoured / total
+            }
+        }
+    }
+
+    #[inline]
+    fn subprefix_state_of(&self, scenario: &LeakScenario, t: NodeId) -> DetourState {
+        if t == scenario.victim {
+            DetourState::Legit
+        } else if t == scenario.leaker || self.leak_ws.reachable(t) {
+            // LPM: any AS with the sub-prefix routes to the hijacker.
+            DetourState::Detoured
+        } else {
+            // The covering legitimate prefix still serves everyone else;
+            // treat "no sub-prefix route" as staying legit (the victim's
+            // announcement configuration is irrelevant under LPM).
+            DetourState::Legit
+        }
+    }
+
+    fn fraction_of_states(&self, scenario: &LeakScenario, weights: Option<&[f64]>) -> f64 {
+        let n = self.snap.len();
+        match weights {
+            None => {
+                if n == 0 {
+                    return 0.0;
+                }
+                let detoured = (0..n as u32)
+                    .filter(|&i| self.state_of(scenario, NodeId(i)) == DetourState::Detoured)
+                    .count();
+                detoured as f64 / n as f64
+            }
+            Some(w) => {
+                assert_eq!(w.len(), n, "weights must cover every node");
+                let total: f64 = w.iter().sum();
+                if total == 0.0 {
+                    return 0.0;
+                }
+                let detoured: f64 = (0..n as u32)
+                    .filter(|&i| self.state_of(scenario, NodeId(i)) == DetourState::Detoured)
+                    .map(|i| w[i as usize])
+                    .sum();
+                detoured / total
+            }
+        }
+    }
+}
+
+/// Runs one leak scenario over `g` (compiling a fresh snapshot; sweeps
+/// should reuse a [`LeakSim`] instead).
+///
+/// Panics if `victim == leaker` (a meaningless configuration callers are
+/// expected to avoid when sampling misconfigured ASes).
+pub fn simulate_leak(g: &AsGraph, scenario: &LeakScenario) -> LeakOutcome {
+    let snap = TopologySnapshot::compile(g);
+    LeakSim::new(&snap).run(scenario)
 }
 
 /// Simulates a **more-specific (sub-prefix) hijack**: the leaker announces
@@ -240,36 +392,8 @@ fn compare(
 /// model offers: under [`LockingSemantics::Corrected`], deployers drop the
 /// sub-prefix entirely, so it cannot spread through them.
 pub fn simulate_subprefix_hijack(g: &AsGraph, scenario: &LeakScenario) -> LeakOutcome {
-    assert_ne!(scenario.victim, scenario.leaker, "victim cannot leak its own prefix");
-    let n = g.len();
-    let mut leak_import = vec![ImportPolicy::Normal; n];
-    for &l in &scenario.locking {
-        leak_import[l.idx()] = match scenario.semantics {
-            LockingSemantics::Corrected => ImportPolicy::Never,
-            LockingSemantics::PreErratum => ImportPolicy::RejectDirectFromOrigin,
-        };
-    }
-    leak_import[scenario.victim.idx()] = ImportPolicy::Never;
-    let leak_opts =
-        PropagationOptions { excluded: None, origin_export: None, import: Some(&leak_import) };
-    let leaked = propagate(g, scenario.leaker, &leak_opts);
-
-    let mut states = vec![DetourState::NoRoute; n];
-    for i in 0..n as u32 {
-        let t = NodeId(i);
-        if t == scenario.victim {
-            states[t.idx()] = DetourState::Legit;
-        } else if t == scenario.leaker || leaked.reachable(t) {
-            // LPM: any AS with the sub-prefix routes to the hijacker.
-            states[t.idx()] = DetourState::Detoured;
-        } else {
-            // The covering legitimate prefix still serves everyone else;
-            // treat "no sub-prefix route" as staying legit (the victim's
-            // announcement configuration is irrelevant under LPM).
-            states[t.idx()] = DetourState::Legit;
-        }
-    }
-    LeakOutcome { victim: scenario.victim, leaker: scenario.leaker, states }
+    let snap = TopologySnapshot::compile(g);
+    LeakSim::new(&snap).run_subprefix(scenario)
 }
 
 #[cfg(test)]
@@ -351,6 +475,26 @@ mod tests {
         assert_eq!(out.state(node(&g, 30)), DetourState::Detoured);
         assert_eq!(out.detoured_count(), 3);
         assert!((out.fraction_detoured() - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaksim_fraction_matches_full_outcome() {
+        let g = topology();
+        let snap = TopologySnapshot::compile(&g);
+        let mut sim = LeakSim::new(&snap);
+        let scenario = LeakScenario::simple(node(&g, 10), node(&g, 30));
+        let out = sim.run(&scenario);
+        assert_eq!(sim.fraction(&scenario, None), out.fraction_detoured());
+        let mut w = vec![1.0; g.len()];
+        w[node(&g, 1).idx()] = 5.0;
+        assert_eq!(sim.fraction(&scenario, Some(&w)), out.weighted_fraction_detoured(&w));
+        // Reusing the simulator for a sub-prefix run agrees too.
+        let sub = sim.run_subprefix(&scenario);
+        assert_eq!(sim.subprefix_fraction(&scenario, None), sub.fraction_detoured());
+        assert_eq!(
+            sim.subprefix_fraction(&scenario, Some(&w)),
+            sub.weighted_fraction_detoured(&w)
+        );
     }
 
     #[test]
@@ -472,6 +616,27 @@ mod tests {
         // T still prefers the leaked customer route.
         assert_eq!(out.state(node(&g, 1)), DetourState::Detoured);
         assert_eq!(out.state(node(&g, 20)), DetourState::Detoured);
+    }
+
+    #[test]
+    fn scenario_buffers_are_refilled_not_leaked_across_runs() {
+        // Run a locking scenario, then a plain one on the same LeakSim:
+        // the second run must behave exactly like a fresh simulator.
+        let g = topology();
+        let snap = TopologySnapshot::compile(&g);
+        let mut sim = LeakSim::new(&snap);
+        let locked = LeakScenario {
+            victim: node(&g, 10),
+            leaker: node(&g, 30),
+            victim_export: Some(vec![node(&g, 1)]),
+            locking: vec![node(&g, 1)],
+            semantics: LockingSemantics::Corrected,
+        };
+        let _ = sim.run(&locked);
+        let plain = LeakScenario::simple(node(&g, 10), node(&g, 30));
+        let reused = sim.run(&plain);
+        let fresh = simulate_leak(&g, &plain);
+        assert_eq!(reused.states(), fresh.states());
     }
 
     #[test]

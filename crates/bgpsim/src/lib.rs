@@ -18,11 +18,18 @@
 //!
 //! The module map follows the paper's analyses:
 //!
-//! * [`mod@propagate`] — the three-phase propagation itself, with support for
-//!   *node exclusion* (the `I \ P_o \ T1 \ T2` subgraphs behind
-//!   hierarchy-free reachability), *origin export restriction* (§8's
-//!   "announce to Tier-1/Tier-2/providers only"), and *import policies*
-//!   (§8's peer locking).
+//! * [`mod@propagate`] — the three-phase propagation semantics, the owned
+//!   [`PropagationConfig`], and the single-origin [`propagate`] shim, with
+//!   support for *node exclusion* (the `I \ P_o \ T1 \ T2` subgraphs
+//!   behind hierarchy-free reachability), *origin export restriction*
+//!   (§8's "announce to Tier-1/Tier-2/providers only"), and *import
+//!   policies* (§8's peer locking).
+//! * [`engine`] — the batched propagation engine: a compiled
+//!   [`TopologySnapshot`], reusable per-worker [`Workspace`]s, and the
+//!   builder-style [`Simulation`] sweep API every whole-Internet
+//!   experiment runs on.
+//! * [`parallel`] — panic-isolated parallel sweeps with per-worker
+//!   contexts (re-exported by `flatnet_core::parallel`).
 //! * [`dag`] — the tied-best next-hop DAG and exact/floating path counting.
 //! * [`mod@reliance`] — `rely(o, a)` (§7.1) in O(E) via a topological DP.
 //! * [`leak`] — route-leak competition between a legitimate origin and a
@@ -34,15 +41,23 @@
 
 pub mod collectors;
 pub mod dag;
+pub mod engine;
 pub mod leak;
+pub mod parallel;
 pub mod paths;
 pub mod propagate;
 pub mod reliance;
 
 pub use collectors::{collect_ribs, visible_links, RibEntry};
 pub use dag::NextHopDag;
-pub use leak::{simulate_leak, simulate_subprefix_hijack, DetourState, LeakOutcome, LeakScenario, LockingSemantics};
+pub use engine::{Simulation, SweepCtx, TopologySnapshot, Workspace};
+pub use leak::{
+    simulate_leak, simulate_subprefix_hijack, DetourState, LeakOutcome, LeakScenario, LeakSim,
+    LockingSemantics,
+};
+pub use parallel::{parallel_map, parallel_map_ctx, try_parallel_map, try_parallel_map_ctx, SweepError};
 pub use propagate::{
-    propagate, ImportPolicy, PropagationOptions, RouteClass, RoutingOutcome, UNREACHED,
+    propagate, propagate_legacy, ImportPolicy, PropagationConfig, PropagationOptions, RouteClass,
+    RoutingOutcome, UNREACHED,
 };
 pub use reliance::reliance;

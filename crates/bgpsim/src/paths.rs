@@ -74,7 +74,7 @@ pub fn contains_path(dag: &NextHopDag, path: &[NodeId]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::propagate::{propagate, PropagationOptions};
+    use crate::propagate::{propagate, PropagationConfig};
     use flatnet_asgraph::{AsGraph, AsGraphBuilder, AsId, Relationship};
 
     fn node(g: &AsGraph, asn: u32) -> NodeId {
@@ -90,7 +90,7 @@ mod tests {
         b.add_link(AsId(4), AsId(3), Relationship::P2c);
         b.add_isolated(AsId(9));
         let g = b.build();
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(&g, node(&g, 1), &opts);
         let dag = NextHopDag::build(&g, &opts, &out);
         (g, dag)

@@ -12,15 +12,22 @@
 //! 3. **provider phase** — `dist_d[u]`: shortest route learned from a
 //!    *provider*. Providers export their *selected best* (customer, else
 //!    peer, else provider class) to customers, so these distances chain and
-//!    are computed with a Dijkstra over p2c-down edges.
+//!    are computed with a shortest-path pass over p2c-down edges.
 //!
 //! Selection applies local preference first (customer > peer > provider)
 //! and path length second; every neighbor achieving the selected class and
 //! length is a tied-best next hop.
 //!
 //! The same machinery supports the paper's constrained scenarios through
-//! [`PropagationOptions`]: node exclusion (reachability subgraphs), origin
+//! [`PropagationConfig`]: node exclusion (reachability subgraphs), origin
 //! export restriction, and per-node import policies (peer locking).
+//!
+//! [`propagate`] is a convenience shim over [`crate::engine`]: it compiles a
+//! [`crate::engine::TopologySnapshot`] and runs one origin through a fresh
+//! [`crate::engine::Workspace`]. Sweeps should build the snapshot once and
+//! use [`crate::engine::Simulation`] instead. The original per-call
+//! implementation survives as [`propagate_legacy`], the reference the
+//! engine is differentially tested against.
 
 use flatnet_asgraph::{AsGraph, NodeId};
 use flatnet_obs::Counter;
@@ -28,19 +35,19 @@ use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
-/// Pre-resolved handles into the global metric registry; `propagate` is
+/// Pre-resolved handles into the global metric registry; propagation is
 /// the innermost loop of every sweep, so tallies are accumulated in
 /// locals and flushed with one atomic add per counter per call.
-struct PropagateMetrics {
-    runs: Counter,
-    routes_customer: Counter,
-    routes_peer: Counter,
-    routes_provider: Counter,
-    export_checks: Counter,
-    dijkstra_pops: Counter,
+pub(crate) struct PropagateMetrics {
+    pub(crate) runs: Counter,
+    pub(crate) routes_customer: Counter,
+    pub(crate) routes_peer: Counter,
+    pub(crate) routes_provider: Counter,
+    pub(crate) export_checks: Counter,
+    pub(crate) dijkstra_pops: Counter,
 }
 
-fn metrics() -> &'static PropagateMetrics {
+pub(crate) fn metrics() -> &'static PropagateMetrics {
     static METRICS: OnceLock<PropagateMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let reg = flatnet_obs::global();
@@ -105,8 +112,13 @@ pub enum ImportPolicy {
     Never,
 }
 
-/// Knobs for one propagation run. The default propagates over the full
-/// graph with no restrictions.
+/// Borrowed, lifetime-carrying propagation knobs.
+///
+/// This is the crate's original options type; new code should use the
+/// owned [`PropagationConfig`] (convertible via `From`), which composes
+/// with the batched [`crate::engine`] API without leaking lifetimes into
+/// callers. Retained so downstream code with pre-built masks can still run
+/// [`propagate_legacy`] without copies.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PropagationOptions<'a> {
     /// Nodes removed from the topology (`I \ X` subgraphs). Indexed by node;
@@ -122,8 +134,29 @@ pub struct PropagationOptions<'a> {
 }
 
 impl<'a> PropagationOptions<'a> {
+    /// The borrowed policy view shared by both propagation implementations.
+    pub(crate) fn view(&self) -> PolicyView<'a> {
+        PolicyView {
+            excluded: self.excluded,
+            origin_export: self.origin_export,
+            import: self.import,
+        }
+    }
+}
+
+/// A borrowed view of the policy inputs of one propagation run; the single
+/// place the exclusion / origin-export / import rules are interpreted, so
+/// the engine, the legacy implementation, and `next_hops` cannot drift.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PolicyView<'a> {
+    pub(crate) excluded: Option<&'a [bool]>,
+    pub(crate) origin_export: Option<&'a [bool]>,
+    pub(crate) import: Option<&'a [ImportPolicy]>,
+}
+
+impl PolicyView<'_> {
     #[inline]
-    fn is_excluded(&self, n: NodeId) -> bool {
+    pub(crate) fn is_excluded(&self, n: NodeId) -> bool {
         self.excluded.map(|m| m[n.idx()]).unwrap_or(false)
     }
 
@@ -134,7 +167,7 @@ impl<'a> PropagationOptions<'a> {
 
     /// Whether AS `u` may import the origin's prefix from neighbor `v`.
     #[inline]
-    fn import_ok(&self, origin: NodeId, u: NodeId, v: NodeId) -> bool {
+    pub(crate) fn import_ok(&self, origin: NodeId, u: NodeId, v: NodeId) -> bool {
         if self.is_excluded(u) || self.is_excluded(v) {
             return false;
         }
@@ -161,19 +194,133 @@ impl<'a> PropagationOptions<'a> {
     }
 }
 
+/// Owned per-run propagation knobs: node exclusion, origin export
+/// restriction, per-node import policies, and tie handling.
+///
+/// Unlike [`PropagationOptions`] this type owns its masks, so it can be
+/// stored in builders and worker contexts without lifetime plumbing, and
+/// its buffers can be refilled in place between runs of a sweep
+/// (see [`PropagationConfig::excluded_mask_mut`]).
+#[derive(Debug, Clone)]
+pub struct PropagationConfig {
+    excluded: Option<Vec<bool>>,
+    origin_export: Option<Vec<bool>>,
+    import: Option<Vec<ImportPolicy>>,
+    keep_ties: bool,
+}
+
+impl Default for PropagationConfig {
+    /// Full graph, no restrictions, all tied-best routes kept.
+    fn default() -> Self {
+        PropagationConfig { excluded: None, origin_export: None, import: None, keep_ties: true }
+    }
+}
+
+impl PropagationConfig {
+    /// Config with no restrictions (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the excluded-node mask (`true` = removed from the topology).
+    pub fn with_excluded(mut self, mask: Vec<bool>) -> Self {
+        self.excluded = Some(mask);
+        self
+    }
+
+    /// Sets the origin-export mask: the origin announces only to neighbors
+    /// flagged `true`.
+    pub fn with_origin_export(mut self, mask: Vec<bool>) -> Self {
+        self.origin_export = Some(mask);
+        self
+    }
+
+    /// Sets per-node import policies (peer locking).
+    pub fn with_import(mut self, policies: Vec<ImportPolicy>) -> Self {
+        self.import = Some(policies);
+        self
+    }
+
+    /// Whether [`RoutingOutcome::next_hops`] reports every tied-best next
+    /// hop (`true`, the paper's model and the default) or deterministically
+    /// breaks ties by lowest node index (`false`).
+    pub fn with_keep_ties(mut self, keep: bool) -> Self {
+        self.keep_ties = keep;
+        self
+    }
+
+    /// Whether tied-best routes are all kept (see [`Self::with_keep_ties`]).
+    pub fn keep_ties(&self) -> bool {
+        self.keep_ties
+    }
+
+    /// Mutable access to the exclusion mask, sized for an `n`-node graph.
+    ///
+    /// Allocates a cleared mask on first use and reuses it afterwards, so
+    /// a sweep that re-fills the mask per origin does no steady-state
+    /// allocation. The caller is responsible for clearing stale entries
+    /// (`mask.fill(false)`) before writing the next origin's exclusions.
+    pub fn excluded_mask_mut(&mut self, n: usize) -> &mut [bool] {
+        let mask = self.excluded.get_or_insert_with(|| vec![false; n]);
+        if mask.len() != n {
+            mask.clear();
+            mask.resize(n, false);
+        }
+        mask
+    }
+
+    /// The borrowed policy view shared by both propagation implementations.
+    pub(crate) fn view(&self) -> PolicyView<'_> {
+        PolicyView {
+            excluded: self.excluded.as_deref(),
+            origin_export: self.origin_export.as_deref(),
+            import: self.import.as_deref(),
+        }
+    }
+}
+
+impl From<PropagationOptions<'_>> for PropagationConfig {
+    fn from(opts: PropagationOptions<'_>) -> Self {
+        PropagationConfig {
+            excluded: opts.excluded.map(|m| m.to_vec()),
+            origin_export: opts.origin_export.map(|m| m.to_vec()),
+            import: opts.import.map(|m| m.to_vec()),
+            keep_ties: true,
+        }
+    }
+}
+
 /// The result of propagating one origin's announcement.
 ///
-/// Holds, for every node, the shortest distance per route class; selection
-/// and tied-best next hops are derived views.
+/// Holds, for every node, the shortest distance per route class plus a
+/// word-packed reachability bitset; selection and tied-best next hops are
+/// derived views.
 #[derive(Debug, Clone)]
 pub struct RoutingOutcome {
     origin: NodeId,
     dist_c: Vec<u32>,
     dist_p: Vec<u32>,
     dist_d: Vec<u32>,
+    /// Bit `i` set iff node `i` received the announcement (origin included).
+    reach: Vec<u64>,
+    /// Popcount of `reach`, cached at propagation time.
+    reached: u32,
 }
 
 impl RoutingOutcome {
+    /// Assembles an outcome from engine-computed parts. The caller
+    /// guarantees `reach`/`reached` are consistent with the distances.
+    pub(crate) fn from_parts(
+        origin: NodeId,
+        dist_c: Vec<u32>,
+        dist_p: Vec<u32>,
+        dist_d: Vec<u32>,
+        reach: Vec<u64>,
+        reached: u32,
+    ) -> Self {
+        RoutingOutcome { origin, dist_c, dist_p, dist_d, reach, reached }
+    }
+
     /// The announcing AS.
     pub fn origin(&self) -> NodeId {
         self.origin
@@ -209,38 +356,59 @@ impl RoutingOutcome {
     /// Whether `n` received the announcement.
     #[inline]
     pub fn reachable(&self, n: NodeId) -> bool {
-        self.dist_c[n.idx()] != UNREACHED
-            || self.dist_p[n.idx()] != UNREACHED
-            || self.dist_d[n.idx()] != UNREACHED
+        let i = n.idx();
+        (self.reach[i >> 6] >> (i & 63)) & 1 == 1
     }
 
     /// Number of ASes that received the announcement, **excluding** the
     /// origin itself (an AS does not "reach" itself; the paper's maximum
     /// possible reachability is `|V| - 1` from the origin's perspective,
     /// attained by the Tier-1 ISPs over the full graph).
+    ///
+    /// O(1): backed by the popcount cached when the bitset was filled.
     pub fn reachable_count(&self) -> usize {
-        let mut count = 0usize;
-        for i in 0..self.dist_c.len() {
-            if self.dist_c[i] != UNREACHED || self.dist_p[i] != UNREACHED || self.dist_d[i] != UNREACHED
-            {
-                count += 1;
-            }
-        }
-        count.saturating_sub(1) // origin always has dist_c == 0
+        (self.reached as usize).saturating_sub(1) // origin always has dist_c == 0
+    }
+
+    /// The word-packed reachability bitset (bit = node index, origin bit
+    /// set). `reach_words().len() == len().div_ceil(64)`.
+    pub fn reach_words(&self) -> &[u64] {
+        &self.reach
     }
 
     /// All reachable nodes (the paper's `reach(o, G)` set), origin excluded.
+    ///
+    /// Allocates the result; hot loops should iterate [`Self::reach_words`]
+    /// or use [`Self::reachable_count`] instead.
     pub fn reach_set(&self) -> Vec<NodeId> {
-        (0..self.dist_c.len() as u32)
-            .map(NodeId)
-            .filter(|&n| n != self.origin && self.reachable(n))
-            .collect()
+        let mut out = Vec::with_capacity(self.reachable_count());
+        for (wi, &word) in self.reach.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                let n = NodeId((wi as u32) * 64 + bit);
+                if n != self.origin {
+                    out.push(n);
+                }
+                w &= w - 1;
+            }
+        }
+        out
     }
 
     /// The tied-best next hops of `n` toward the origin, under the same
-    /// graph and options the outcome was computed with. Empty for the
-    /// origin and for unreachable nodes. Sorted by node index.
-    pub fn next_hops(&self, g: &AsGraph, opts: &PropagationOptions<'_>, n: NodeId) -> Vec<NodeId> {
+    /// graph and config the outcome was computed with. Empty for the
+    /// origin and for unreachable nodes. Sorted by node index. With
+    /// `keep_ties(false)` only the lowest-index tied hop is returned.
+    pub fn next_hops(&self, g: &AsGraph, cfg: &PropagationConfig, n: NodeId) -> Vec<NodeId> {
+        let mut out = self.next_hops_view(g, &cfg.view(), n);
+        if !cfg.keep_ties {
+            out.truncate(1);
+        }
+        out
+    }
+
+    fn next_hops_view(&self, g: &AsGraph, pol: &PolicyView<'_>, n: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
         if n == self.origin {
             return out;
@@ -251,7 +419,7 @@ impl RoutingOutcome {
         match class {
             RouteClass::Customer => {
                 for &c in g.customers(n) {
-                    if opts.import_ok(self.origin, n, c)
+                    if pol.import_ok(self.origin, n, c)
                         && self.dist_c[c.idx()] != UNREACHED
                         && self.dist_c[c.idx()] + 1 == len
                     {
@@ -261,7 +429,7 @@ impl RoutingOutcome {
             }
             RouteClass::Peer => {
                 for &v in g.peers(n) {
-                    if opts.import_ok(self.origin, n, v)
+                    if pol.import_ok(self.origin, n, v)
                         && self.dist_c[v.idx()] != UNREACHED
                         && self.dist_c[v.idx()] + 1 == len
                     {
@@ -271,7 +439,7 @@ impl RoutingOutcome {
             }
             RouteClass::Provider => {
                 for &w in g.providers(n) {
-                    if opts.import_ok(self.origin, n, w) {
+                    if pol.import_ok(self.origin, n, w) {
                         if let Some((_, wlen)) = self.selection(w) {
                             if wlen + 1 == len {
                                 out.push(w);
@@ -285,13 +453,35 @@ impl RoutingOutcome {
     }
 }
 
-/// Propagates `origin`'s announcement over `g` under `opts`.
+/// Propagates `origin`'s announcement over `g` under `cfg`.
 ///
-/// Runs in O(V + E log V) (the log from the provider-phase Dijkstra; the
-/// first two phases are linear) and is deterministic: adjacency lists are
-/// sorted and ties never depend on iteration order.
-pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> RoutingOutcome {
+/// Convenience shim over the batched engine: compiles a
+/// [`crate::engine::TopologySnapshot`] and runs the origin through a fresh
+/// [`crate::engine::Workspace`]. Semantics, determinism, and observability
+/// counters are identical to [`propagate_legacy`]; for sweeps over many
+/// origins, compile the snapshot once and use
+/// [`crate::engine::Simulation`] instead.
+pub fn propagate(g: &AsGraph, origin: NodeId, cfg: &PropagationConfig) -> RoutingOutcome {
+    let snap = crate::engine::TopologySnapshot::compile(g);
+    let mut ws = crate::engine::Workspace::for_snapshot(&snap);
+    crate::engine::run_into(&snap, origin, &cfg.view(), &mut ws);
+    ws.to_outcome()
+}
+
+/// The original, self-contained three-phase implementation.
+///
+/// Runs in O(V + E log V) (the log from the provider-phase binary heap)
+/// and is deterministic: adjacency lists are sorted and ties never depend
+/// on iteration order. Kept verbatim as the reference the engine is
+/// differentially tested against (`tests/engine_equiv.rs`); production
+/// paths go through [`propagate`] / [`crate::engine::Simulation`].
+pub fn propagate_legacy(
+    g: &AsGraph,
+    origin: NodeId,
+    opts: &PropagationOptions<'_>,
+) -> RoutingOutcome {
     let n = g.len();
+    let pol = opts.view();
     let obs = metrics();
     obs.runs.inc();
     let mut export_checks = 0u64;
@@ -301,8 +491,10 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
         dist_c: vec![UNREACHED; n],
         dist_p: vec![UNREACHED; n],
         dist_d: vec![UNREACHED; n],
+        reach: vec![0u64; n.div_ceil(64)],
+        reached: 0,
     };
-    if n == 0 || opts.is_excluded(origin) {
+    if n == 0 || pol.is_excluded(origin) {
         return out;
     }
 
@@ -315,7 +507,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
         let du = out.dist_c[u.idx()];
         for &p in g.providers(u) {
             export_checks += 1;
-            if out.dist_c[p.idx()] == UNREACHED && opts.import_ok(origin, p, u) {
+            if out.dist_c[p.idx()] == UNREACHED && pol.import_ok(origin, p, u) {
                 out.dist_c[p.idx()] = du + 1;
                 queue.push_back(p);
             }
@@ -325,13 +517,13 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
     // Phase 2: peers export customer/origin routes; a single relaxation.
     for i in 0..n as u32 {
         let u = NodeId(i);
-        if opts.is_excluded(u) || u == origin {
+        if pol.is_excluded(u) || u == origin {
             continue;
         }
         let mut best = UNREACHED;
         for &v in g.peers(u) {
             export_checks += 1;
-            if out.dist_c[v.idx()] != UNREACHED && opts.import_ok(origin, u, v) {
+            if out.dist_c[v.idx()] != UNREACHED && pol.import_ok(origin, u, v) {
                 best = best.min(out.dist_c[v.idx()] + 1);
             }
         }
@@ -359,7 +551,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
                 // any provider route; still record dist_d for completeness
                 // of tie information at equal class only — the selection
                 // function ignores dist_d when a better class exists.
-                if opts.import_ok(origin, u, w) && u != origin && s + 1 < out.dist_d[u.idx()] {
+                if pol.import_ok(origin, u, w) && u != origin && s + 1 < out.dist_d[u.idx()] {
                     out.dist_d[u.idx()] = s + 1;
                     heap.push(std::cmp::Reverse((s + 1, u.0)));
                 }
@@ -381,7 +573,7 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
             if x == origin {
                 continue;
             }
-            if opts.import_ok(origin, x, u) && d + 1 < out.dist_d[x.idx()] {
+            if pol.import_ok(origin, x, u) && d + 1 < out.dist_d[x.idx()] {
                 out.dist_d[x.idx()] = d + 1;
                 heap.push(std::cmp::Reverse((d + 1, x.0)));
             }
@@ -399,9 +591,13 @@ pub fn propagate(g: &AsGraph, origin: NodeId, opts: &PropagationOptions<'_>) -> 
         } else if out.dist_p[i] != UNREACHED {
             sel_p += 1;
             out.dist_d[i] = UNREACHED;
-        } else if out.dist_d[i] != UNREACHED {
+        } else if out.dist_d[i] == UNREACHED {
+            continue;
+        } else {
             sel_d += 1;
         }
+        out.reach[i >> 6] |= 1u64 << (i & 63);
+        out.reached += 1;
     }
     obs.routes_customer.add(sel_c);
     obs.routes_peer.add(sel_p);
@@ -447,7 +643,7 @@ mod tests {
     fn full_graph_reaches_everyone() {
         let g = fig1();
         let cloud = node(&g, 10);
-        let out = propagate(&g, cloud, &PropagationOptions::default());
+        let out = propagate(&g, cloud, &PropagationConfig::default());
         assert_eq!(out.reachable_count(), g.len() - 1);
         // AS 60 is reached through the provider: 10 -> 1 -> 60, length 2.
         let n60 = node(&g, 60);
@@ -461,8 +657,8 @@ mod tests {
         let cloud = node(&g, 10);
         let mut excl = vec![false; g.len()];
         excl[node(&g, 1).idx()] = true; // remove the transit provider
-        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
-        let out = propagate(&g, cloud, &opts);
+        let cfg = PropagationConfig::default().with_excluded(excl);
+        let out = propagate(&g, cloud, &cfg);
         // Reaches peers 2, 3, 40, 50 and their customers 20, 30 — not 60.
         assert_eq!(out.reachable_count(), 6);
         assert!(!out.reachable(node(&g, 60)));
@@ -478,8 +674,8 @@ mod tests {
         for asn in [1, 2] {
             excl[node(&g, asn).idx()] = true; // providers + Tier-1s
         }
-        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
-        let out = propagate(&g, cloud, &opts);
+        let cfg = PropagationConfig::default().with_excluded(excl);
+        let out = propagate(&g, cloud, &cfg);
         // Left: peer 3 (+30), peers 40, 50. AS 20 lost with AS 2.
         assert_eq!(out.reachable_count(), 4);
         assert!(!out.reachable(node(&g, 20)));
@@ -493,8 +689,8 @@ mod tests {
         for asn in [1, 2, 3] {
             excl[node(&g, asn).idx()] = true; // providers + T1 + T2
         }
-        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
-        let out = propagate(&g, cloud, &opts);
+        let cfg = PropagationConfig::default().with_excluded(excl);
+        let out = propagate(&g, cloud, &cfg);
         let mut reached: Vec<u32> = out.reach_set().iter().map(|&n| g.asn(n).0).collect();
         reached.sort_unstable();
         assert_eq!(reached, vec![40, 50]);
@@ -507,7 +703,7 @@ mod tests {
         b.add_link(AsId(1), AsId(2), Relationship::P2p);
         b.add_link(AsId(2), AsId(3), Relationship::P2p);
         let g = b.build();
-        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        let out = propagate(&g, node(&g, 1), &PropagationConfig::default());
         assert!(out.reachable(node(&g, 2)));
         assert!(!out.reachable(node(&g, 3)));
     }
@@ -523,7 +719,7 @@ mod tests {
         b.add_link(AsId(3), AsId(4), Relationship::P2c);
         b.add_link(AsId(4), AsId(5), Relationship::P2p);
         let g = b.build();
-        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        let out = propagate(&g, node(&g, 1), &PropagationConfig::default());
         assert_eq!(out.selection(node(&g, 2)), Some((RouteClass::Customer, 1)));
         assert_eq!(out.selection(node(&g, 3)), Some((RouteClass::Peer, 2)));
         assert_eq!(out.selection(node(&g, 4)), Some((RouteClass::Provider, 3)));
@@ -539,10 +735,10 @@ mod tests {
         b.add_link(AsId(20), AsId(30), Relationship::P2c);
         b.add_link(AsId(10), AsId(30), Relationship::P2p);
         let g = b.build();
-        let out = propagate(&g, node(&g, 30), &PropagationOptions::default());
+        let out = propagate(&g, node(&g, 30), &PropagationConfig::default());
         // Customer route of length 2 beats the peer route of length 1.
         assert_eq!(out.selection(node(&g, 10)), Some((RouteClass::Customer, 2)));
-        let hops = out.next_hops(&g, &PropagationOptions::default(), node(&g, 10));
+        let hops = out.next_hops(&g, &PropagationConfig::default(), node(&g, 10));
         assert_eq!(hops, vec![node(&g, 20)]);
     }
 
@@ -555,10 +751,26 @@ mod tests {
         b.add_link(AsId(4), AsId(2), Relationship::P2c);
         b.add_link(AsId(4), AsId(3), Relationship::P2c);
         let g = b.build();
-        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
-        let hops = out.next_hops(&g, &PropagationOptions::default(), node(&g, 4));
+        let out = propagate(&g, node(&g, 1), &PropagationConfig::default());
+        let hops = out.next_hops(&g, &PropagationConfig::default(), node(&g, 4));
         assert_eq!(hops.len(), 2);
         assert_eq!(out.selection(node(&g, 4)), Some((RouteClass::Customer, 2)));
+    }
+
+    #[test]
+    fn keep_ties_false_breaks_ties_by_lowest_index() {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(1), Relationship::P2c);
+        b.add_link(AsId(4), AsId(2), Relationship::P2c);
+        b.add_link(AsId(4), AsId(3), Relationship::P2c);
+        let g = b.build();
+        let cfg = PropagationConfig::default().with_keep_ties(false);
+        let out = propagate(&g, node(&g, 1), &cfg);
+        let all = out.next_hops(&g, &PropagationConfig::default(), node(&g, 4));
+        let first = out.next_hops(&g, &cfg, node(&g, 4));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0], all[0]);
     }
 
     #[test]
@@ -568,8 +780,8 @@ mod tests {
         // Announce only to the provider AS 1.
         let mut mask = vec![false; g.len()];
         mask[node(&g, 1).idx()] = true;
-        let opts = PropagationOptions { origin_export: Some(&mask), ..Default::default() };
-        let out = propagate(&g, cloud, &opts);
+        let cfg = PropagationConfig::default().with_origin_export(mask);
+        let out = propagate(&g, cloud, &cfg);
         // Peers 40/50 don't hear it directly and have no other path.
         assert!(!out.reachable(node(&g, 40)));
         assert!(!out.reachable(node(&g, 50)));
@@ -591,8 +803,8 @@ mod tests {
         let g = b.build();
         let mut import = vec![ImportPolicy::Normal; g.len()];
         import[node(&g, 2).idx()] = ImportPolicy::Never;
-        let opts = PropagationOptions { import: Some(&import), ..Default::default() };
-        let out = propagate(&g, node(&g, 1), &opts);
+        let cfg = PropagationConfig::default().with_import(import);
+        let out = propagate(&g, node(&g, 1), &cfg);
         assert!(!out.reachable(node(&g, 2)));
         assert!(!out.reachable(node(&g, 3)));
     }
@@ -607,10 +819,10 @@ mod tests {
         let g = b.build();
         let mut import = vec![ImportPolicy::Normal; g.len()];
         import[node(&g, 2).idx()] = ImportPolicy::OnlyDirectFromOrigin;
-        let opts = PropagationOptions { import: Some(&import), ..Default::default() };
-        let out = propagate(&g, node(&g, 1), &opts);
+        let cfg = PropagationConfig::default().with_import(import);
+        let out = propagate(&g, node(&g, 1), &cfg);
         assert_eq!(out.selection(node(&g, 2)), Some((RouteClass::Peer, 1)));
-        let hops = out.next_hops(&g, &opts, node(&g, 2));
+        let hops = out.next_hops(&g, &cfg, node(&g, 2));
         assert_eq!(hops, vec![node(&g, 1)]);
     }
 
@@ -620,8 +832,8 @@ mod tests {
         let cloud = node(&g, 10);
         let mut excl = vec![false; g.len()];
         excl[cloud.idx()] = true;
-        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
-        let out = propagate(&g, cloud, &opts);
+        let cfg = PropagationConfig::default().with_excluded(excl);
+        let out = propagate(&g, cloud, &cfg);
         assert_eq!(out.reachable_count(), 0);
         assert!(!out.reachable(cloud));
     }
@@ -635,7 +847,7 @@ mod tests {
         let mut b = AsGraphBuilder::new();
         b.add_isolated(AsId(1));
         let g = b.build();
-        let out = propagate(&g, NodeId(0), &PropagationOptions::default());
+        let out = propagate(&g, NodeId(0), &PropagationConfig::default());
         assert_eq!(out.reachable_count(), 0);
         assert!(out.reachable(NodeId(0))); // the origin holds its own route
     }
@@ -646,10 +858,10 @@ mod tests {
         let cloud = node(&g, 10);
         let mut excl = vec![false; g.len()];
         excl[node(&g, 1).idx()] = true;
-        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
-        let out = propagate(&g, cloud, &opts);
-        assert!(out.next_hops(&g, &opts, cloud).is_empty());
-        assert!(out.next_hops(&g, &opts, node(&g, 60)).is_empty());
+        let cfg = PropagationConfig::default().with_excluded(excl);
+        let out = propagate(&g, cloud, &cfg);
+        assert!(out.next_hops(&g, &cfg, cloud).is_empty());
+        assert!(out.next_hops(&g, &cfg, node(&g, 60)).is_empty());
     }
 
     #[test]
@@ -661,10 +873,37 @@ mod tests {
         b.add_link(AsId(2), AsId(4), Relationship::P2c);
         b.add_link(AsId(3), AsId(4), Relationship::P2c);
         let g = b.build();
-        let out = propagate(&g, node(&g, 1), &PropagationOptions::default());
+        let out = propagate(&g, node(&g, 1), &PropagationConfig::default());
         assert_eq!(out.selection(node(&g, 4)), Some((RouteClass::Provider, 2)));
-        let hops = out.next_hops(&g, &PropagationOptions::default(), node(&g, 4));
+        let hops = out.next_hops(&g, &PropagationConfig::default(), node(&g, 4));
         assert_eq!(hops.len(), 2);
+    }
+
+    #[test]
+    fn config_from_options_round_trips_masks() {
+        let g = fig1();
+        let cloud = node(&g, 10);
+        let mut excl = vec![false; g.len()];
+        excl[node(&g, 1).idx()] = true;
+        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
+        let cfg = PropagationConfig::from(opts);
+        let via_cfg = propagate(&g, cloud, &cfg);
+        let via_opts = propagate_legacy(&g, cloud, &opts);
+        assert_eq!(via_cfg.reachable_count(), via_opts.reachable_count());
+        for n in g.nodes() {
+            assert_eq!(via_cfg.selection(n), via_opts.selection(n));
+        }
+        assert!(cfg.keep_ties());
+    }
+
+    #[test]
+    fn excluded_mask_mut_is_reusable_across_sizes() {
+        let mut cfg = PropagationConfig::default();
+        let m = cfg.excluded_mask_mut(4);
+        m[2] = true;
+        assert_eq!(cfg.excluded_mask_mut(4), &[false, false, true, false]);
+        // Resizing clears the mask (stale indices would be wrong anyway).
+        assert_eq!(cfg.excluded_mask_mut(2), &[false, false]);
     }
 
     /// Exhaustive cross-check on random small graphs: the 3-phase result
@@ -747,14 +986,20 @@ mod tests {
         }
 
         proptest! {
+            /// The *engine* path (via the `propagate` shim) must equal the
+            /// Jacobi fixpoint of the raw export rules — and the legacy
+            /// implementation must agree node-for-node too.
             #[test]
             fn three_phase_equals_fixpoint(g in arb_graph(), seed in 0u32..10) {
                 let origin = NodeId(seed % g.len() as u32);
-                let out = propagate(&g, origin, &PropagationOptions::default());
+                let out = propagate(&g, origin, &PropagationConfig::default());
+                let legacy = propagate_legacy(&g, origin, &PropagationOptions::default());
                 let reference = reference(&g, origin);
                 for n in g.nodes() {
                     prop_assert_eq!(out.selection(n), reference[n.idx()], "node {} (origin {})", n, origin);
+                    prop_assert_eq!(out.selection(n), legacy.selection(n), "engine vs legacy at {}", n);
                 }
+                prop_assert_eq!(out.reachable_count(), legacy.reachable_count());
             }
 
             /// Adding a settlement-free peer link can only grow the set of
@@ -771,7 +1016,7 @@ mod tests {
                 b in 0u32..10,
             ) {
                 let origin = NodeId(seed % g.len() as u32);
-                let before = propagate(&g, origin, &PropagationOptions::default());
+                let before = propagate(&g, origin, &PropagationConfig::default());
                 // Add one new peer link between two random ASes.
                 let mut builder = g.to_builder();
                 let (x, y) = (AsId(a), AsId(b));
@@ -785,7 +1030,7 @@ mod tests {
                     return Ok(());
                 }
                 let origin2 = g2.index_of(g.asn(origin)).unwrap();
-                let after = propagate(&g2, origin2, &PropagationOptions::default());
+                let after = propagate(&g2, origin2, &PropagationConfig::default());
                 for n in g.nodes() {
                     let n2 = g2.index_of(g.asn(n)).unwrap();
                     prop_assert!(
@@ -799,10 +1044,10 @@ mod tests {
             #[test]
             fn next_hops_are_consistent(g in arb_graph(), seed in 0u32..10) {
                 let origin = NodeId(seed % g.len() as u32);
-                let opts = PropagationOptions::default();
-                let out = propagate(&g, origin, &opts);
+                let cfg = PropagationConfig::default();
+                let out = propagate(&g, origin, &cfg);
                 for n in g.nodes() {
-                    let hops = out.next_hops(&g, &opts, n);
+                    let hops = out.next_hops(&g, &cfg, n);
                     if n == origin {
                         prop_assert!(hops.is_empty());
                         continue;

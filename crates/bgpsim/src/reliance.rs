@@ -53,7 +53,7 @@ pub fn reliance(dag: &NextHopDag) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::propagate::{propagate, PropagationOptions};
+    use crate::propagate::{propagate, PropagationConfig};
     use flatnet_asgraph::{AsGraph, AsGraphBuilder, AsId, NodeId, Relationship};
 
     fn node(g: &AsGraph, asn: u32) -> NodeId {
@@ -61,7 +61,7 @@ mod tests {
     }
 
     fn rely_of(g: &AsGraph, origin: u32) -> (AsGraph, Vec<f64>) {
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(g, node(g, origin), &opts);
         let dag = NextHopDag::build(g, &opts, &out);
         let w = reliance(&dag);
@@ -149,7 +149,7 @@ mod tests {
         b.add_link(AsId(1), AsId(5), Relationship::P2p);
         b.add_link(AsId(5), AsId(6), Relationship::P2c);
         let g = b.build();
-        let opts = PropagationOptions::default();
+        let opts = PropagationConfig::default();
         let out = propagate(&g, node(&g, 1), &opts);
         let dag = NextHopDag::build(&g, &opts, &out);
         let w = reliance(&dag);
@@ -192,7 +192,7 @@ mod tests {
             #[test]
             fn matches_brute_force_path_enumeration(g in arb_graph(), seed in 0u32..8) {
                 let origin = NodeId(seed % g.len() as u32);
-                let opts = PropagationOptions::default();
+                let opts = PropagationConfig::default();
                 let out = propagate(&g, origin, &opts);
                 let dag = NextHopDag::build(&g, &opts, &out);
                 let w = reliance(&dag);

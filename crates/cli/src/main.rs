@@ -58,6 +58,13 @@ USAGE:
       Regenerate the paper's tables and figures on the synthetic
       substrate (see `flatnet repro --help` for the experiment list).
 
+  flatnet bench propagate [--ases N] [--seed S] [--origins K]
+                 [--threads N] [--out PATH]
+      Benchmark the batched propagation engine against the legacy
+      one-shot path on a hierarchy-free reachability sweep; writes a
+      flatnet-bench-propagate/v1 JSON report (default
+      BENCH_propagate.json).
+
   flatnet help
       This message.
 
@@ -136,6 +143,13 @@ fn main() -> ExitCode {
         "collect" => commands::collect(rest),
         "relinfer" => commands::relinfer(rest),
         "dot" => commands::dot(rest),
+        "bench" => match rest.split_first() {
+            Some((sub, bench_rest)) if sub == "propagate" => {
+                flatnet_bench::propbench::run(bench_rest)
+            }
+            Some((sub, _)) => Err(format!("unknown bench {sub:?} (try `bench propagate`)")),
+            None => Err("bench requires a subcommand (try `bench propagate`)".to_string()),
+        },
         "repro" => flatnet_bench::repro::run(rest).and_then(|failed| {
             if failed == 0 {
                 Ok(())

@@ -11,11 +11,22 @@
 //! destination origins, exactly like the original metric averages over
 //! monitored prefixes.
 
-use crate::parallel::parallel_map;
 use flatnet_asgraph::{AsGraph, NodeId};
-use flatnet_bgpsim::{propagate, reliance, NextHopDag, PropagationOptions};
+use flatnet_bgpsim::{
+    propagate, reliance, NextHopDag, PropagationConfig, RoutingOutcome, Simulation,
+    TopologySnapshot,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Turns one origin's routing outcome into its hegemony vector.
+fn hegemony_of(g: &AsGraph, cfg: &PropagationConfig, out: &RoutingOutcome, origin: NodeId) -> Vec<f64> {
+    let dag = NextHopDag::build(g, cfg, out);
+    let receivers = dag.reachable_len().max(1) as f64;
+    let mut h: Vec<f64> = reliance(&dag).into_iter().map(|w| w / receivers).collect();
+    h[origin.idx()] = 0.0;
+    h
+}
 
 /// Per-destination hegemony: `hegemony[a] = rely(o, a) / receivers`.
 ///
@@ -24,13 +35,9 @@ use rand::{Rng, SeedableRng};
 /// networks' dependence on it, as in Fontugne et al.). Unreachable ASes
 /// score 0.
 pub fn hegemony_for_origin(g: &AsGraph, origin: NodeId) -> Vec<f64> {
-    let opts = PropagationOptions::default();
-    let out = propagate(g, origin, &opts);
-    let dag = NextHopDag::build(g, &opts, &out);
-    let receivers = dag.reachable_len().max(1) as f64;
-    let mut h: Vec<f64> = reliance(&dag).into_iter().map(|w| w / receivers).collect();
-    h[origin.idx()] = 0.0;
-    h
+    let cfg = PropagationConfig::default();
+    let out = propagate(g, origin, &cfg);
+    hegemony_of(g, &cfg, &out, origin)
 }
 
 /// Global hegemony: the mean per-destination hegemony over `sample_size`
@@ -49,7 +56,11 @@ pub fn global_hegemony(g: &AsGraph, sample_size: usize, seed: u64) -> Vec<f64> {
     if origins.is_empty() {
         return vec![0.0; g.len()];
     }
-    let per_origin = parallel_map(&origins, 0, |&o| hegemony_for_origin(g, o));
+    let snap = TopologySnapshot::compile(g);
+    let per_origin = Simulation::over(&snap).run_sweep_map(&origins, |ctx, o| {
+        let out = ctx.run(o).to_outcome();
+        hegemony_of(g, ctx.config(), &out, o)
+    });
     let mut acc = vec![0.0f64; g.len()];
     for h in &per_origin {
         for (a, v) in acc.iter_mut().zip(h) {

@@ -4,9 +4,9 @@
 //! fraction of ASes (or users, Fig. 9) detoured when the victim announces
 //! under a given configuration.
 
-use crate::parallel::parallel_map;
+use crate::parallel::parallel_map_ctx;
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{simulate_leak, simulate_subprefix_hijack, LeakScenario, LockingSemantics};
+use flatnet_bgpsim::{LeakScenario, LeakSim, LockingSemantics, TopologySnapshot};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -184,14 +184,16 @@ pub fn leak_cdf_with_semantics(
 ) -> Option<LeakCdf> {
     let v = g.index_of(victim)?;
     let leakers = sample_leakers(g, Some(v), n_leakers, seed);
-    let mut fractions = parallel_map(&leakers, 0, |&m| {
-        let sc = scenario_for(g, tiers, v, m, announce, locking, semantics);
-        let out = simulate_leak(g, &sc);
-        match user_weights {
-            Some(w) => out.weighted_fraction_detoured(w),
-            None => out.fraction_detoured(),
-        }
-    });
+    let snap = TopologySnapshot::compile(g);
+    let mut fractions = parallel_map_ctx(
+        &leakers,
+        0,
+        || LeakSim::new(&snap),
+        |sim, &m| {
+            let sc = scenario_for(g, tiers, v, m, announce, locking, semantics);
+            sim.fraction(&sc, user_weights)
+        },
+    );
     fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Some(LeakCdf { fractions })
 }
@@ -211,14 +213,17 @@ pub fn subprefix_hijack_cdf(
 ) -> Option<LeakCdf> {
     let v = g.index_of(victim)?;
     let leakers = sample_leakers(g, Some(v), n_leakers, seed);
-    let mut fractions = parallel_map(&leakers, 0, |&m| {
-        let sc = scenario_for(g, tiers, v, m, Announce::ToAll, locking, LockingSemantics::Corrected);
-        let out = simulate_subprefix_hijack(g, &sc);
-        match user_weights {
-            Some(w) => out.weighted_fraction_detoured(w),
-            None => out.fraction_detoured(),
-        }
-    });
+    let snap = TopologySnapshot::compile(g);
+    let mut fractions = parallel_map_ctx(
+        &leakers,
+        0,
+        || LeakSim::new(&snap),
+        |sim, &m| {
+            let sc =
+                scenario_for(g, tiers, v, m, Announce::ToAll, locking, LockingSemantics::Corrected);
+            sim.subprefix_fraction(&sc, user_weights)
+        },
+    );
     fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Some(LeakCdf { fractions })
 }
@@ -234,22 +239,23 @@ pub fn average_resilience_cdf(
     user_weights: Option<&[f64]>,
 ) -> LeakCdf {
     let leakers = sample_leakers(g, None, n_leakers, seed);
-    let mut fractions = parallel_map(&leakers, 0, |&m| {
-        let victims = sample_leakers(g, Some(m), n_victims, seed ^ m.0 as u64 ^ 0xF00D);
-        if victims.is_empty() {
-            return 0.0;
-        }
-        let mut acc = 0.0;
-        for &v in &victims {
-            let sc = LeakScenario::simple(v, m);
-            let out = simulate_leak(g, &sc);
-            acc += match user_weights {
-                Some(w) => out.weighted_fraction_detoured(w),
-                None => out.fraction_detoured(),
-            };
-        }
-        acc / victims.len() as f64
-    });
+    let snap = TopologySnapshot::compile(g);
+    let mut fractions = parallel_map_ctx(
+        &leakers,
+        0,
+        || LeakSim::new(&snap),
+        |sim, &m| {
+            let victims = sample_leakers(g, Some(m), n_victims, seed ^ m.0 as u64 ^ 0xF00D);
+            if victims.is_empty() {
+                return 0.0;
+            }
+            let mut acc = 0.0;
+            for &v in &victims {
+                acc += sim.fraction(&LeakScenario::simple(v, m), user_weights);
+            }
+            acc / victims.len() as f64
+        },
+    );
     fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
     LeakCdf { fractions }
 }

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod cone_compare;
+pub mod error;
 pub mod feeds;
 pub mod hegemony;
 pub mod leaks;
@@ -72,10 +73,15 @@ pub mod reliance_exp;
 pub mod report;
 pub mod unreachable;
 
+pub use error::FlatnetError;
+
 /// Convenient re-exports for downstream code and examples.
 pub mod prelude {
+    pub use crate::error::FlatnetError;
     pub use crate::reachability::{hierarchy_free_all, reachability_profile, ReachabilityResult};
     pub use crate::reliance_exp::{reliance_under_hierarchy_free, RelianceEntry};
     pub use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-    pub use flatnet_bgpsim::{propagate, PropagationOptions, RouteClass};
+    pub use flatnet_bgpsim::{
+        propagate, PropagationConfig, RouteClass, Simulation, TopologySnapshot,
+    };
 }

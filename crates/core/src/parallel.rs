@@ -1,249 +1,8 @@
 //! Parallel per-origin sweeps with panic isolation.
 //!
-//! Every whole-Internet experiment (hierarchy-free reachability for all
-//! ASes, leak CDFs, ...) is a map over independent origins; this helper
-//! fans the map out over scoped threads with a static partition, so the
-//! result is deterministic regardless of thread count.
-//!
-//! [`try_parallel_map`] additionally isolates panics: a closure that
-//! panics on one item produces a per-item [`SweepError`] carrying the
-//! panic message, while every other item still completes. The error
-//! layout is identical for any thread count, including the sequential
-//! fast path.
+//! The implementation lives in [`flatnet_bgpsim::parallel`] next to the
+//! batched propagation engine (whose per-worker workspaces ride on the
+//! `_ctx` variants); this module re-exports it so existing
+//! `flatnet_core::parallel` paths keep working.
 
-use flatnet_obs::{Counter, Gauge, Histogram};
-use std::any::Any;
-use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
-
-/// Pre-resolved sweep metrics; items are timed individually, so handles
-/// are looked up once and recorded lock-free from every worker thread.
-/// `sweep.threads` is a gauge (instantaneous, thread-count dependent) and
-/// is therefore excluded from cross-thread-count determinism comparisons;
-/// the counters are exact regardless of partitioning.
-struct SweepMetrics {
-    items: Counter,
-    panics: Counter,
-    threads: Gauge,
-    item_us: Arc<Histogram>,
-}
-
-fn metrics() -> &'static SweepMetrics {
-    static METRICS: OnceLock<SweepMetrics> = OnceLock::new();
-    METRICS.get_or_init(|| {
-        let reg = flatnet_obs::global();
-        SweepMetrics {
-            items: reg.counter("sweep.items"),
-            panics: reg.counter("sweep.panics"),
-            threads: reg.gauge("sweep.threads"),
-            item_us: reg.histogram("sweep.item_us"),
-        }
-    })
-}
-
-/// The failure of a single sweep item.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepError {
-    /// Index of the item in the input slice.
-    pub index: usize,
-    /// The panic message (or a placeholder for non-string payloads).
-    pub message: String,
-}
-
-impl fmt::Display for SweepError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "sweep item {} panicked: {}", self.index, self.message)
-    }
-}
-
-impl std::error::Error for SweepError {}
-
-/// Extracts a human-readable message from a panic payload.
-pub fn panic_message(payload: &(dyn Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-fn run_guarded<T, R, F>(f: &F, item: &T, index: usize) -> Result<R, SweepError>
-where
-    F: Fn(&T) -> R,
-{
-    let obs = metrics();
-    let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| f(item)));
-    obs.item_us.record(start.elapsed());
-    result.map_err(|payload| {
-        obs.panics.inc();
-        SweepError { index, message: panic_message(payload.as_ref()) }
-    })
-}
-
-/// Applies `f` to every item, in parallel, preserving order; a panic in
-/// `f` becomes a per-item `Err` instead of tearing down the sweep.
-///
-/// `f` must be cheap to call from multiple threads concurrently (it gets
-/// `&T` and may not mutate shared state). Uses `threads` workers, or the
-/// available parallelism when `threads == 0`.
-pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, SweepError>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let threads = threads.min(items.len()).max(1);
-    let obs = metrics();
-    obs.items.add(items.len() as u64);
-    obs.threads.set(threads as i64);
-    if threads <= 1 || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, item)| run_guarded(&f, item, i)).collect();
-    }
-
-    let mut results: Vec<Option<Result<R, SweepError>>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let chunk = items.len().div_ceil(threads);
-
-    std::thread::scope(|s| {
-        let mut rest: &mut [Option<Result<R, SweepError>>] = &mut results;
-        let mut offset = 0usize;
-        let fref = &f;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let slice = &items[offset..offset + take];
-            let base = offset;
-            s.spawn(move || {
-                for (i, (out, item)) in head.iter_mut().zip(slice).enumerate() {
-                    *out = Some(run_guarded(fref, item, base + i));
-                }
-            });
-            rest = tail;
-            offset += take;
-        }
-    });
-
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
-}
-
-/// Applies `f` to every item, in parallel, preserving order.
-///
-/// A panic in `f` aborts the whole sweep (after all items have run) with
-/// a message naming the first offending item; use [`try_parallel_map`]
-/// to keep per-item results instead.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    try_parallel_map(items, threads, f)
-        .into_iter()
-        .map(|r| match r {
-            Ok(v) => v,
-            Err(e) => panic!("{e}"),
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..1000).collect();
-        let out = parallel_map(&items, 4, |&x| x * x);
-        for (i, &v) in out.iter().enumerate() {
-            assert_eq!(v, (i * i) as u64);
-        }
-    }
-
-    #[test]
-    fn thread_count_does_not_change_results() {
-        let items: Vec<u64> = (0..257).collect();
-        let a = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9E3779B9));
-        let b = parallel_map(&items, 7, |&x| x.wrapping_mul(0x9E3779B9));
-        let c = parallel_map(&items, 0, |&x| x.wrapping_mul(0x9E3779B9));
-        assert_eq!(a, b);
-        assert_eq!(a, c);
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        let empty: Vec<u32> = vec![];
-        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
-        assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let items = vec![1u32, 2, 3];
-        assert_eq!(parallel_map(&items, 64, |&x| x * 2), vec![2, 4, 6]);
-    }
-
-    #[test]
-    fn panic_becomes_per_item_error() {
-        let items: Vec<u32> = (0..100).collect();
-        let out = try_parallel_map(&items, 4, |&x| {
-            if x == 13 {
-                panic!("unlucky origin {x}");
-            }
-            x * 2
-        });
-        assert_eq!(out.len(), items.len());
-        for (i, r) in out.iter().enumerate() {
-            if i == 13 {
-                let e = r.as_ref().unwrap_err();
-                assert_eq!(e.index, 13);
-                assert!(e.message.contains("unlucky origin 13"), "{e}");
-            } else {
-                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
-            }
-        }
-    }
-
-    #[test]
-    fn panic_isolation_identical_across_thread_counts() {
-        let items: Vec<u32> = (0..61).collect();
-        let run = |threads| {
-            try_parallel_map(&items, threads, |&x| {
-                if x % 17 == 5 {
-                    panic!("bad item {x}");
-                }
-                x + 1
-            })
-        };
-        let a = run(1);
-        for threads in [2, 3, 8, 64, 0] {
-            assert_eq!(run(threads), a, "threads={threads}");
-        }
-        assert_eq!(a.iter().filter(|r| r.is_err()).count(), 4);
-    }
-
-    #[test]
-    fn strict_map_names_offending_item() {
-        let items = vec![1u32, 2, 3];
-        let caught = std::panic::catch_unwind(|| {
-            parallel_map(&items, 1, |&x| {
-                if x == 2 {
-                    panic!("boom");
-                }
-                x
-            })
-        });
-        let msg = panic_message(caught.unwrap_err().as_ref());
-        assert!(msg.contains("sweep item 1"), "{msg}");
-        assert!(msg.contains("boom"), "{msg}");
-    }
-}
+pub use flatnet_bgpsim::parallel::*;

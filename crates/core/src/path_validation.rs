@@ -7,7 +7,7 @@
 
 use flatnet_asgraph::{AsGraph, AsId, NodeId};
 use flatnet_bgpsim::paths::contains_path;
-use flatnet_bgpsim::{propagate, NextHopDag, PropagationOptions};
+use flatnet_bgpsim::{NextHopDag, PropagationConfig, Simulation, TopologySnapshot};
 use flatnet_prefixdb::{ResolutionOrder, Resolver};
 use flatnet_tracesim::{traceroute_as_path, Campaign};
 use std::collections::BTreeMap;
@@ -46,7 +46,10 @@ pub fn validate_paths(
 ) -> BTreeMap<u32, PathAgreement> {
     let mut per_cloud: BTreeMap<u32, PathAgreement> =
         clouds.iter().map(|c| (c.0, PathAgreement { scored: 0, matching: 0 })).collect();
-    let opts = PropagationOptions::default();
+    let cfg = PropagationConfig::default();
+    let snap = TopologySnapshot::compile(g);
+    let sim = Simulation::over(&snap);
+    let mut ctx = sim.ctx();
     let mut dag_cache: BTreeMap<u32, Option<NextHopDag>> = BTreeMap::new();
 
     for t in &campaign.traces {
@@ -64,8 +67,8 @@ pub fn validate_paths(
         };
         let dag = dag_cache.entry(t.dst_asn.0).or_insert_with(|| {
             g.index_of(t.dst_asn).map(|d| {
-                let out = propagate(g, d, &opts);
-                NextHopDag::build(g, &opts, &out)
+                let out = ctx.run(d).to_outcome();
+                NextHopDag::build(g, &cfg, &out)
             })
         });
         let Some(dag) = dag else { continue };

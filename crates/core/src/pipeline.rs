@@ -5,9 +5,9 @@
 //! plus a traceroute campaign into the *augmented* topology every §6-§8
 //! experiment runs on — exactly the paper's data flow.
 
+use crate::error::FlatnetError;
 use flatnet_asgraph::{
-    augment_many, validate_topology, AsGraph, AsId, AugmentReport, HealthReport, Severity,
-    ValidateOptions,
+    augment_many, validate_topology, AsGraph, AsId, AugmentReport, HealthReport, ValidateOptions,
 };
 use flatnet_netgen::SyntheticInternet;
 use flatnet_tracesim::{
@@ -15,7 +15,6 @@ use flatnet_tracesim::{
     ValidationReport,
 };
 use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
 
 /// Per-cloud peer counts, CAIDA-only vs CAIDA+traceroutes (§4.1's
 /// "333 vs. 1,389 peers for Amazon, ..." comparison).
@@ -77,31 +76,6 @@ pub struct PreflightOptions {
     pub validate: ValidateOptions,
 }
 
-/// Why the pipeline refused to run.
-#[derive(Debug, Clone)]
-pub enum PipelineError {
-    /// Pre-flight validation found critical problems.
-    UnhealthyTopology(HealthReport),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::UnhealthyTopology(report) => {
-                let crit = report.at(Severity::Critical).count();
-                write!(
-                    f,
-                    "topology failed pre-flight validation ({crit} critical finding{}):\n{}",
-                    if crit == 1 { "" } else { "s" },
-                    report.render()
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
 /// Runs pre-flight topology validation for a synthetic Internet's public
 /// view. Returns `None` when the policy is [`HealthPolicy::Off`].
 pub fn preflight(net: &SyntheticInternet, opts: &PreflightOptions) -> Option<HealthReport> {
@@ -124,11 +98,11 @@ pub fn measure_checked(
     opts: &CampaignOptions,
     methodology: &Methodology,
     pre: &PreflightOptions,
-) -> Result<(Measured, Option<HealthReport>), PipelineError> {
+) -> Result<(Measured, Option<HealthReport>), FlatnetError> {
     let report = preflight(net, pre);
     if let Some(r) = &report {
         if pre.policy == HealthPolicy::Enforce && !r.is_usable() && !pre.degrade {
-            return Err(PipelineError::UnhealthyTopology(r.clone()));
+            return Err(FlatnetError::UnhealthyTopology(r.clone()));
         }
     }
     Ok((measure(net, opts, methodology), report))
@@ -321,7 +295,9 @@ mod tests {
             &PreflightOptions::default(),
         )
         .unwrap_err();
-        let PipelineError::UnhealthyTopology(report) = &err;
+        let FlatnetError::UnhealthyTopology(report) = &err else {
+            panic!("expected UnhealthyTopology, got {err:?}");
+        };
         assert!(!report.is_usable());
         assert!(report.checks.iter().any(|c| c.name == "tier1-clique"), "{}", report.render());
         assert!(err.to_string().contains("pre-flight"), "{err}");

@@ -1,9 +1,9 @@
 //! Provider-free, Tier-1-free, and hierarchy-free reachability
 //! (§6.1-6.4; Figure 2, Table 1).
 
-use crate::parallel::{parallel_map, try_parallel_map};
+use crate::parallel::SweepError;
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{propagate, PropagationOptions};
+use flatnet_bgpsim::{Simulation, SweepCtx, TopologySnapshot};
 use std::fmt;
 
 /// A worker panic in a fault-isolated reachability sweep, tied back to the
@@ -57,17 +57,18 @@ impl ReachabilityResult {
     }
 }
 
-/// Builds the exclusion mask for one origin at one constraint level.
+/// Refills the exclusion mask for one origin at one constraint level.
 ///
 /// The origin itself is never excluded (a Tier-1 computing its Tier-1-free
 /// reachability bypasses the *other* clique members).
-fn exclusion_mask(
+fn fill_exclusion_mask(
     g: &AsGraph,
     origin: NodeId,
     tiers: Option<&Tiers>,
     include_t2: bool,
-) -> Vec<bool> {
-    let mut mask = vec![false; g.len()];
+    mask: &mut [bool],
+) {
+    mask.fill(false);
     for &p in g.providers(origin) {
         mask[p.idx()] = true;
     }
@@ -82,14 +83,20 @@ fn exclusion_mask(
         }
     }
     mask[origin.idx()] = false;
-    mask
 }
 
-/// Computes `reach(o, I \ X)` for one origin and exclusion level.
-fn reach_excluding(g: &AsGraph, origin: NodeId, tiers: Option<&Tiers>, include_t2: bool) -> usize {
-    let mask = exclusion_mask(g, origin, tiers, include_t2);
-    let opts = PropagationOptions { excluded: Some(&mask), ..Default::default() };
-    propagate(g, origin, &opts).reachable_count()
+/// Computes `reach(o, I \ X)` for one origin and exclusion level, reusing
+/// the worker's mask and workspace buffers.
+fn reach_excluding(
+    ctx: &mut SweepCtx<'_>,
+    g: &AsGraph,
+    origin: NodeId,
+    tiers: Option<&Tiers>,
+    include_t2: bool,
+) -> usize {
+    let mask = ctx.config_mut().excluded_mask_mut(g.len());
+    fill_exclusion_mask(g, origin, tiers, include_t2, mask);
+    ctx.run(origin).reachable_count()
 }
 
 /// Computes the full three-level profile for a list of origins
@@ -113,11 +120,13 @@ pub fn reachability_profile_t(
         .iter()
         .filter_map(|&a| g.index_of(a).map(|n| (a, n)))
         .collect();
-    parallel_map(&nodes, threads, |&(asn, n)| ReachabilityResult {
-        asn,
-        provider_free: reach_excluding(g, n, None, false),
-        tier1_free: reach_excluding(g, n, Some(tiers), false),
-        hierarchy_free: reach_excluding(g, n, Some(tiers), true),
+    let sweep: Vec<NodeId> = nodes.iter().map(|&(_, n)| n).collect();
+    let snap = TopologySnapshot::compile(g);
+    Simulation::over(&snap).threads(threads).run_sweep_map(&sweep, |ctx, n| ReachabilityResult {
+        asn: g.asn(n),
+        provider_free: reach_excluding(ctx, g, n, None, false),
+        tier1_free: reach_excluding(ctx, g, n, Some(tiers), false),
+        hierarchy_free: reach_excluding(ctx, g, n, Some(tiers), true),
         max_possible: g.len() - 1,
     })
 }
@@ -145,13 +154,18 @@ pub fn try_reachability_profile_t(
         .iter()
         .filter_map(|&a| g.index_of(a).map(|n| (a, n)))
         .collect();
-    let results = try_parallel_map(&nodes, threads, |&(asn, n)| ReachabilityResult {
-        asn,
-        provider_free: reach_excluding(g, n, None, false),
-        tier1_free: reach_excluding(g, n, Some(tiers), false),
-        hierarchy_free: reach_excluding(g, n, Some(tiers), true),
-        max_possible: g.len() - 1,
-    });
+    let sweep: Vec<NodeId> = nodes.iter().map(|&(_, n)| n).collect();
+    let snap = TopologySnapshot::compile(g);
+    let results =
+        Simulation::over(&snap).threads(threads).try_run_sweep_map(&sweep, |ctx, n| {
+            ReachabilityResult {
+                asn: g.asn(n),
+                provider_free: reach_excluding(ctx, g, n, None, false),
+                tier1_free: reach_excluding(ctx, g, n, Some(tiers), false),
+                hierarchy_free: reach_excluding(ctx, g, n, Some(tiers), true),
+                max_possible: g.len() - 1,
+            }
+        });
     collect_sweep(results, |i| nodes[i].0)
 }
 
@@ -167,7 +181,10 @@ pub fn hierarchy_free_all(g: &AsGraph, tiers: &Tiers) -> Vec<u32> {
 pub fn hierarchy_free_all_t(g: &AsGraph, tiers: &Tiers, threads: usize) -> Vec<u32> {
     let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<NodeId> = g.nodes().collect();
-    parallel_map(&nodes, threads, |&n| reach_excluding(g, n, Some(tiers), true) as u32)
+    let snap = TopologySnapshot::compile(g);
+    Simulation::over(&snap)
+        .threads(threads)
+        .run_sweep_map(&nodes, |ctx, n| reach_excluding(ctx, g, n, Some(tiers), true) as u32)
 }
 
 /// [`hierarchy_free_all`] with panic isolation (see
@@ -184,15 +201,17 @@ pub fn try_hierarchy_free_all_t(
 ) -> Result<Vec<u32>, SweepPanic> {
     let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<NodeId> = g.nodes().collect();
-    let results =
-        try_parallel_map(&nodes, threads, |&n| reach_excluding(g, n, Some(tiers), true) as u32);
+    let snap = TopologySnapshot::compile(g);
+    let results = Simulation::over(&snap)
+        .threads(threads)
+        .try_run_sweep_map(&nodes, |ctx, n| reach_excluding(ctx, g, n, Some(tiers), true) as u32);
     collect_sweep(results, |i| g.asn(nodes[i]))
 }
 
 /// Collects per-item sweep results, converting the first failure into a
 /// [`SweepPanic`] naming the origin the item index maps to.
 fn collect_sweep<R>(
-    results: Vec<Result<R, crate::parallel::SweepError>>,
+    results: Vec<Result<R, SweepError>>,
     origin_of: impl Fn(usize) -> AsId,
 ) -> Result<Vec<R>, SweepPanic> {
     let mut out = Vec::with_capacity(results.len());

@@ -1,7 +1,7 @@
 //! Reachability reliance experiments (§7, Table 2, Figure 6, Appendix B).
 
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{propagate, reliance, NextHopDag, PropagationOptions};
+use flatnet_bgpsim::{propagate, reliance, NextHopDag, PropagationConfig};
 
 /// One AS's reliance value from an origin's perspective.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -84,9 +84,9 @@ fn reliance_excluding(
 ) -> Option<RelianceProfile> {
     let o = g.index_of(origin)?;
     let mask = hierarchy_mask(g, o, tiers, include_t2);
-    let opts = PropagationOptions { excluded: Some(&mask), ..Default::default() };
-    let out = propagate(g, o, &opts);
-    let dag = NextHopDag::build(g, &opts, &out);
+    let cfg = PropagationConfig::new().with_excluded(mask);
+    let out = propagate(g, o, &cfg);
+    let dag = NextHopDag::build(g, &cfg, &out);
     let w = reliance(&dag);
     let receivers = dag.reachable_len();
     let mut entries: Vec<RelianceEntry> = g
@@ -117,8 +117,8 @@ pub fn tier1_free_reach_also_excluding(
             }
         }
     }
-    let opts = PropagationOptions { excluded: Some(&mask), ..Default::default() };
-    Some(propagate(g, o, &opts).reachable_count())
+    let cfg = PropagationConfig::new().with_excluded(mask);
+    Some(propagate(g, o, &cfg).reachable_count())
 }
 
 #[cfg(test)]

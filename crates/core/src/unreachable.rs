@@ -7,7 +7,7 @@
 
 use flatnet_asgraph::astype::AsType;
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{propagate, PropagationOptions};
+use flatnet_bgpsim::{propagate, PropagationConfig};
 
 /// Fig. 4: one provider's unreachable-AS breakdown.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -53,8 +53,8 @@ pub fn unreachable_breakdown(
         mask[n.idx()] = true;
     }
     mask[o.idx()] = false;
-    let opts = PropagationOptions { excluded: Some(&mask), ..Default::default() };
-    let out = propagate(g, o, &opts);
+    let cfg = PropagationConfig::new().with_excluded(mask.clone());
+    let out = propagate(g, o, &cfg);
 
     let mut by_type = [0usize; 4];
     let mut total = 0usize;

@@ -15,7 +15,7 @@
 
 use crate::model::{Hop, Traceroute, VantagePoint};
 use flatnet_asgraph::{AsId, NodeId};
-use flatnet_bgpsim::{propagate, NextHopDag, PropagationOptions};
+use flatnet_bgpsim::{NextHopDag, PropagationConfig, Simulation, TopologySnapshot};
 use flatnet_geo::cities::CITIES;
 use flatnet_geo::haversine_km;
 use flatnet_geo::GeoPoint;
@@ -144,7 +144,10 @@ pub fn run_campaign(net: &SyntheticInternet, opts: &CampaignOptions) -> Campaign
         })
         .collect();
 
-    let popts = PropagationOptions::default();
+    let popts = PropagationConfig::default();
+    let snap = TopologySnapshot::compile(&net.truth);
+    let sim = Simulation::over(&snap);
+    let mut pctx = sim.ctx();
     let mut traces = Vec::new();
     for d in net.truth.nodes() {
         let dst_asn = net.truth.asn(d);
@@ -156,7 +159,7 @@ pub fn run_campaign(net: &SyntheticInternet, opts: &CampaignOptions) -> Campaign
             continue;
         };
         let dst_ip = dst_prefix.addr(80);
-        let outcome = propagate(&net.truth, d, &popts);
+        let outcome = pctx.run(d).to_outcome();
         let dag = NextHopDag::build(&net.truth, &popts, &outcome);
         for ctx in &clouds {
             if ctx.node == d || dag.path_count(ctx.node) == 0.0 {
