@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flatnet_bgpsim::{
-    propagate, propagate_legacy, reliance, NextHopDag, PropagationConfig, PropagationOptions,
-    Simulation, TopologySnapshot,
+    propagate, propagate_legacy, reliance, NextHopDag, PropagationConfig, Simulation,
+    TopologySnapshot,
 };
 use flatnet_netgen::{generate, NetGenConfig};
 
@@ -17,7 +17,7 @@ fn bench_propagation(c: &mut Criterion) {
         let google = net.node(net.clouds[0].asn);
         let cfg = PropagationConfig::default();
         group.bench_with_input(BenchmarkId::new("propagate_legacy", n), &n, |b, _| {
-            b.iter(|| propagate_legacy(&net.truth, google, &PropagationOptions::default()))
+            b.iter(|| propagate_legacy(&net.truth, google, &cfg))
         });
         group.bench_with_input(BenchmarkId::new("propagate", n), &n, |b, _| {
             b.iter(|| propagate(&net.truth, google, &cfg))

@@ -17,7 +17,7 @@
 //! measures sweep parallelism.
 
 use flatnet_asgraph::{AsGraph, NodeId, Tiers};
-use flatnet_bgpsim::{propagate_legacy, PropagationOptions, Simulation, SweepCtx, TopologySnapshot};
+use flatnet_bgpsim::{propagate_legacy, PropagationConfig, Simulation, SweepCtx, TopologySnapshot};
 use flatnet_netgen::{generate, NetGenConfig};
 use std::time::Instant;
 
@@ -144,8 +144,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let t = Instant::now();
         let mut mask = vec![false; n];
         fill_mask(g, &tiers, o, &mut mask);
-        let opts = PropagationOptions { excluded: Some(&mask), ..Default::default() };
-        legacy_reach += propagate_legacy(g, o, &opts).reachable_count() as u64;
+        let cfg = PropagationConfig::default().with_excluded(mask);
+        legacy_reach += propagate_legacy(g, o, &cfg).reachable_count() as u64;
         legacy_us.push(t.elapsed().as_micros() as u64);
     }
     let legacy = stats(legacy_us, t0.elapsed().as_secs_f64() * 1e3, legacy_reach);

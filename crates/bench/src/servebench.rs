@@ -1,0 +1,285 @@
+//! `flatnet bench serve` — a closed-loop load generator for the
+//! `flatnet-serve` daemon.
+//!
+//! Starts an in-process server on a loopback port, warms the origin
+//! pool (so the cache holds every origin once), then hammers it from
+//! `--conc` client threads, each issuing requests back-to-back
+//! (closed-loop: a new request leaves only when the previous response
+//! arrived, so the offered load adapts to the server instead of
+//! overrunning it). Latencies are split by cache hit/miss using the
+//! `"cached":` marker in the response body.
+//!
+//! The report (schema `flatnet-bench-serve/v1`) feeds the CI acceptance
+//! gate: cache-hit p50 under 1 ms and zero 5xx at the configured
+//! concurrency.
+
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One request's outcome as seen by a client thread.
+struct Sample {
+    us: u64,
+    status: u16,
+    cached: bool,
+}
+
+fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    s.set_write_timeout(Some(Duration::from_secs(30))).ok();
+    s.set_nodelay(true).ok();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    s.write_all(req.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    s.shutdown(Shutdown::Write).ok();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).map_err(|e| format!("read: {e}"))?;
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("bad response: {raw:?}"))?;
+    Ok((status, raw))
+}
+
+fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let i = (sorted_us.len() * pct / 100).min(sorted_us.len() - 1);
+    sorted_us[i]
+}
+
+fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let v = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse().map_err(|e| format!("bad value {v:?} for {flag}: {e}"))
+}
+
+/// Runs the serve load benchmark with CLI-style `args` (the `bench
+/// serve` subcommand). Writes the JSON report and prints a summary.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut ases = 4000usize;
+    let mut seed = 2020u64;
+    let mut conc = 8usize;
+    let mut requests = 4000usize;
+    let mut pool = 64usize;
+    let mut workers = 0usize;
+    let mut out = String::from("BENCH_serve.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ases" => ases = flag_value("--ases", it.next())?,
+            "--seed" => seed = flag_value("--seed", it.next())?,
+            "--conc" => conc = flag_value("--conc", it.next())?,
+            "--requests" => requests = flag_value("--requests", it.next())?,
+            "--pool" => pool = flag_value("--pool", it.next())?,
+            "--workers" => workers = flag_value("--workers", it.next())?,
+            "--out" => out = it.next().ok_or("--out requires a file path")?.clone(),
+            "--help" | "-h" => {
+                println!("usage: flatnet bench serve [--ases N] [--seed S] [--conc C]");
+                println!("                           [--requests R] [--pool P] [--workers W]");
+                println!("                           [--out PATH]");
+                println!("--ases N:     topology size (default 4000)");
+                println!("--seed S:     generator seed (default 2020)");
+                println!("--conc C:     concurrent closed-loop clients (default 8)");
+                println!("--requests R: total requests across all clients (default 4000)");
+                println!("--pool P:     distinct origins cycled through (default 64)");
+                println!("--workers W:  server worker threads, 0 = all cores (default 0)");
+                println!("--out PATH:   JSON report path (default BENCH_serve.json)");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    if conc == 0 || requests == 0 || pool == 0 {
+        return Err("--conc, --requests, and --pool must be positive".into());
+    }
+
+    // Generate once and hand the graph to the server pre-built, so the
+    // bench process does not pay for generation twice.
+    println!("# flatnet bench serve — {ases} ASes (seed {seed}), {conc} clients, {requests} requests");
+    let net = generate(&NetGenConfig::paper_2020(ases, seed));
+    let tiers = net.tiers_for(&net.truth);
+    let origins: Vec<u32> = {
+        let n = net.truth.len();
+        let step = (n / pool.min(n)).max(1);
+        net.truth.asns().step_by(step).take(pool).map(|a| a.0).collect()
+    };
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        source: TopologySource::Preloaded { graph: net.truth.clone(), tiers },
+        ..ServeConfig::default()
+    })?;
+    let addr = server.addr();
+
+    // Warm pass: every origin once, so steady state measures the cache.
+    let t_warm = Instant::now();
+    for &o in &origins {
+        let (status, _) = fetch(addr, &format!("/v1/reachability?origin={o}"))?;
+        if status != 200 {
+            server.shutdown();
+            return Err(format!("warmup query for AS{o} failed with {status}"));
+        }
+    }
+    let warm_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+
+    // Load pass: `conc` closed-loop clients pull request indices from a
+    // shared counter and cycle the origin pool.
+    let next = Arc::new(AtomicUsize::new(0));
+    let origins = Arc::new(origins);
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..conc)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let origins = Arc::clone(&origins);
+            std::thread::spawn(move || -> Vec<Sample> {
+                let mut samples = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests {
+                        return samples;
+                    }
+                    let o = origins[i % origins.len()];
+                    let t = Instant::now();
+                    match fetch(addr, &format!("/v1/reachability?origin={o}")) {
+                        Ok((status, body)) => samples.push(Sample {
+                            us: t.elapsed().as_micros() as u64,
+                            status,
+                            cached: body.contains("\"cached\":true"),
+                        }),
+                        Err(_) => samples.push(Sample {
+                            us: t.elapsed().as_micros() as u64,
+                            status: 0,
+                            cached: false,
+                        }),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(requests);
+    for c in clients {
+        samples.extend(c.join().map_err(|_| "client thread panicked")?);
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    // ---- Aggregate. ----
+    let mut all_us: Vec<u64> = samples.iter().map(|s| s.us).collect();
+    let mut hit_us: Vec<u64> = samples.iter().filter(|s| s.cached).map(|s| s.us).collect();
+    let mut miss_us: Vec<u64> =
+        samples.iter().filter(|s| !s.cached && s.status == 200).map(|s| s.us).collect();
+    all_us.sort_unstable();
+    hit_us.sort_unstable();
+    miss_us.sort_unstable();
+    let ok_200 = samples.iter().filter(|s| s.status == 200).count();
+    let err_4xx = samples.iter().filter(|s| (400..500).contains(&s.status)).count();
+    let err_5xx = samples.iter().filter(|s| s.status >= 500).count();
+    let transport = samples.iter().filter(|s| s.status == 0).count();
+    let qps = samples.len() as f64 / (elapsed_ms / 1e3).max(1e-9);
+
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"flatnet-bench-serve/v1\",\n",
+            "  \"ases\": {ases},\n",
+            "  \"seed\": {seed},\n",
+            "  \"concurrency\": {conc},\n",
+            "  \"requests\": {requests},\n",
+            "  \"pool\": {pool},\n",
+            "  \"warmup_ms\": {warm_ms:.3},\n",
+            "  \"elapsed_ms\": {elapsed_ms:.3},\n",
+            "  \"qps\": {qps:.1},\n",
+            "  \"latency\": {{ \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99} }},\n",
+            "  \"cache_hit\": {{ \"count\": {hitn}, \"p50_us\": {hit50}, \"p99_us\": {hit99} }},\n",
+            "  \"cache_miss\": {{ \"count\": {missn}, \"p50_us\": {miss50}, \"p99_us\": {miss99} }},\n",
+            "  \"status\": {{ \"ok_200\": {ok}, \"err_4xx\": {e4}, \"err_5xx\": {e5}, \"transport\": {tr} }}\n",
+            "}}\n",
+        ),
+        ases = ases,
+        seed = seed,
+        conc = conc,
+        requests = samples.len(),
+        pool = pool,
+        warm_ms = warm_ms,
+        elapsed_ms = elapsed_ms,
+        qps = qps,
+        p50 = percentile(&all_us, 50),
+        p90 = percentile(&all_us, 90),
+        p99 = percentile(&all_us, 99),
+        hitn = hit_us.len(),
+        hit50 = percentile(&hit_us, 50),
+        hit99 = percentile(&hit_us, 99),
+        missn = miss_us.len(),
+        miss50 = percentile(&miss_us, 50),
+        miss99 = percentile(&miss_us, 99),
+        ok = ok_200,
+        e4 = err_4xx,
+        e5 = err_5xx,
+        tr = transport,
+    );
+    std::fs::write(&out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    println!(
+        "served {} requests in {:.0} ms ({:.0} qps): p50 {} us, p99 {} us",
+        samples.len(),
+        elapsed_ms,
+        qps,
+        percentile(&all_us, 50),
+        percentile(&all_us, 99)
+    );
+    println!(
+        "cache: {} hits (p50 {} us) / {} misses (p50 {} us); status: {} ok, {} 4xx, {} 5xx, {} transport",
+        hit_us.len(),
+        percentile(&hit_us, 50),
+        miss_us.len(),
+        percentile(&miss_us, 50),
+        ok_200,
+        err_4xx,
+        err_5xx,
+        transport
+    );
+    println!("report: {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bench_run_writes_schema_tagged_report() {
+        let dir = std::env::temp_dir().join("flatnet_servebench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_serve.json");
+        let args: Vec<String> = [
+            "--ases", "300", "--seed", "3", "--conc", "2", "--requests", "60",
+            "--pool", "8", "--workers", "2",
+            "--out", out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).expect("bench run");
+        let report = std::fs::read_to_string(&out).unwrap();
+        assert!(report.contains("\"schema\": \"flatnet-bench-serve/v1\""));
+        assert!(report.contains("\"cache_hit\""));
+        assert!(report.contains("\"err_5xx\": 0"), "5xx under closed-loop load:\n{report}");
+        // The pool is warmed, so the load pass should be all hits.
+        assert!(report.contains("\"ok_200\": 60"), "{report}");
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_zero_values() {
+        assert!(run(&["--bogus".to_string()]).is_err());
+        assert!(run(&["--conc".to_string(), "0".to_string()]).is_err());
+    }
+}

@@ -288,6 +288,19 @@ impl Workspace {
         &self.reach
     }
 
+    /// Runs one origin over `snap` under `cfg`, leaving the result in the
+    /// workspace accessors — the long-lived-reuse entry point for callers
+    /// that hold a workspace across many runs (and possibly across
+    /// *different* snapshots: the buffers resize automatically when the
+    /// snapshot's node count changes, as during a hot-reload).
+    ///
+    /// Unlike [`Simulation`], which borrows its snapshot, this takes the
+    /// snapshot per call, so a daemon can keep one workspace per worker
+    /// while snapshots come and go behind an `Arc` swap.
+    pub fn run(&mut self, snap: &TopologySnapshot, origin: NodeId, cfg: &PropagationConfig) {
+        run_into(snap, origin, &cfg.view(), self)
+    }
+
     /// Clones the run's result into an owned [`RoutingOutcome`].
     pub fn to_outcome(&self) -> RoutingOutcome {
         RoutingOutcome::from_parts(
@@ -636,7 +649,7 @@ impl<'s> SweepCtx<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::propagate::{propagate_legacy, PropagationOptions};
+    use crate::propagate::propagate_legacy;
     use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship};
 
     fn diamond() -> AsGraph {
@@ -672,7 +685,7 @@ mod tests {
         let mut ws = Workspace::for_snapshot(&snap);
         for origin in g.nodes() {
             run_into(&snap, origin, &PolicyView::default(), &mut ws);
-            let legacy = propagate_legacy(&g, origin, &PropagationOptions::default());
+            let legacy = propagate_legacy(&g, origin, &PropagationConfig::default());
             assert_eq!(ws.reachable_count(), legacy.reachable_count(), "origin {origin}");
             for n in g.nodes() {
                 assert_eq!(ws.selection(n), legacy.selection(n), "origin {origin}, node {n}");

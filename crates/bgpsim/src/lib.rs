@@ -57,7 +57,7 @@ pub use leak::{
 };
 pub use parallel::{parallel_map, parallel_map_ctx, try_parallel_map, try_parallel_map_ctx, SweepError};
 pub use propagate::{
-    propagate, propagate_legacy, ImportPolicy, PropagationConfig, PropagationOptions, RouteClass,
-    RoutingOutcome, UNREACHED,
+    propagate, propagate_legacy, ImportPolicy, PropagationConfig, RouteClass, RoutingOutcome,
+    UNREACHED,
 };
 pub use reliance::reliance;

@@ -112,38 +112,6 @@ pub enum ImportPolicy {
     Never,
 }
 
-/// Borrowed, lifetime-carrying propagation knobs.
-///
-/// This is the crate's original options type; new code should use the
-/// owned [`PropagationConfig`] (convertible via `From`), which composes
-/// with the batched [`crate::engine`] API without leaking lifetimes into
-/// callers. Retained so downstream code with pre-built masks can still run
-/// [`propagate_legacy`] without copies.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PropagationOptions<'a> {
-    /// Nodes removed from the topology (`I \ X` subgraphs). Indexed by node;
-    /// `true` = excluded. Excluding the origin itself yields an empty
-    /// outcome. `None` = nothing excluded.
-    pub excluded: Option<&'a [bool]>,
-    /// If set, the origin announces only to neighbors flagged `true`
-    /// (§8.2's "announce to T1, T2, and providers" configurations).
-    /// `None` = announce to all neighbors.
-    pub origin_export: Option<&'a [bool]>,
-    /// Per-node import policies (peer locking). `None` = all `Normal`.
-    pub import: Option<&'a [ImportPolicy]>,
-}
-
-impl<'a> PropagationOptions<'a> {
-    /// The borrowed policy view shared by both propagation implementations.
-    pub(crate) fn view(&self) -> PolicyView<'a> {
-        PolicyView {
-            excluded: self.excluded,
-            origin_export: self.origin_export,
-            import: self.import,
-        }
-    }
-}
-
 /// A borrowed view of the policy inputs of one propagation run; the single
 /// place the exclusion / origin-export / import rules are interpreted, so
 /// the engine, the legacy implementation, and `next_hops` cannot drift.
@@ -197,9 +165,9 @@ impl PolicyView<'_> {
 /// Owned per-run propagation knobs: node exclusion, origin export
 /// restriction, per-node import policies, and tie handling.
 ///
-/// Unlike [`PropagationOptions`] this type owns its masks, so it can be
-/// stored in builders and worker contexts without lifetime plumbing, and
-/// its buffers can be refilled in place between runs of a sweep
+/// The config owns its masks, so it can be stored in builders and worker
+/// contexts without lifetime plumbing, and its buffers can be refilled in
+/// place between runs of a sweep
 /// (see [`PropagationConfig::excluded_mask_mut`]).
 #[derive(Debug, Clone)]
 pub struct PropagationConfig {
@@ -275,17 +243,6 @@ impl PropagationConfig {
             excluded: self.excluded.as_deref(),
             origin_export: self.origin_export.as_deref(),
             import: self.import.as_deref(),
-        }
-    }
-}
-
-impl From<PropagationOptions<'_>> for PropagationConfig {
-    fn from(opts: PropagationOptions<'_>) -> Self {
-        PropagationConfig {
-            excluded: opts.excluded.map(|m| m.to_vec()),
-            origin_export: opts.origin_export.map(|m| m.to_vec()),
-            import: opts.import.map(|m| m.to_vec()),
-            keep_ties: true,
         }
     }
 }
@@ -475,13 +432,9 @@ pub fn propagate(g: &AsGraph, origin: NodeId, cfg: &PropagationConfig) -> Routin
 /// on iteration order. Kept verbatim as the reference the engine is
 /// differentially tested against (`tests/engine_equiv.rs`); production
 /// paths go through [`propagate`] / [`crate::engine::Simulation`].
-pub fn propagate_legacy(
-    g: &AsGraph,
-    origin: NodeId,
-    opts: &PropagationOptions<'_>,
-) -> RoutingOutcome {
+pub fn propagate_legacy(g: &AsGraph, origin: NodeId, cfg: &PropagationConfig) -> RoutingOutcome {
     let n = g.len();
-    let pol = opts.view();
+    let pol = cfg.view();
     let obs = metrics();
     obs.runs.inc();
     let mut export_checks = 0u64;
@@ -880,18 +833,17 @@ mod tests {
     }
 
     #[test]
-    fn config_from_options_round_trips_masks() {
+    fn legacy_and_engine_share_one_config_type() {
         let g = fig1();
         let cloud = node(&g, 10);
         let mut excl = vec![false; g.len()];
         excl[node(&g, 1).idx()] = true;
-        let opts = PropagationOptions { excluded: Some(&excl), ..Default::default() };
-        let cfg = PropagationConfig::from(opts);
-        let via_cfg = propagate(&g, cloud, &cfg);
-        let via_opts = propagate_legacy(&g, cloud, &opts);
-        assert_eq!(via_cfg.reachable_count(), via_opts.reachable_count());
+        let cfg = PropagationConfig::default().with_excluded(excl);
+        let via_engine = propagate(&g, cloud, &cfg);
+        let via_legacy = propagate_legacy(&g, cloud, &cfg);
+        assert_eq!(via_engine.reachable_count(), via_legacy.reachable_count());
         for n in g.nodes() {
-            assert_eq!(via_cfg.selection(n), via_opts.selection(n));
+            assert_eq!(via_engine.selection(n), via_legacy.selection(n));
         }
         assert!(cfg.keep_ties());
     }
@@ -993,7 +945,7 @@ mod tests {
             fn three_phase_equals_fixpoint(g in arb_graph(), seed in 0u32..10) {
                 let origin = NodeId(seed % g.len() as u32);
                 let out = propagate(&g, origin, &PropagationConfig::default());
-                let legacy = propagate_legacy(&g, origin, &PropagationOptions::default());
+                let legacy = propagate_legacy(&g, origin, &PropagationConfig::default());
                 let reference = reference(&g, origin);
                 for n in g.nodes() {
                     prop_assert_eq!(out.selection(n), reference[n.idx()], "node {} (origin {})", n, origin);

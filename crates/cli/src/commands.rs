@@ -643,6 +643,47 @@ pub fn dot(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `flatnet serve`: run the query daemon until `/admin/shutdown`.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["lenient"],
+        &[
+            "addr",
+            "as-rel",
+            "ases",
+            "seed",
+            "workers",
+            "queue",
+            "cache",
+            "deadline-ms",
+            "tier1",
+            "tier2",
+        ],
+    )?;
+    let source = match opts.get("as-rel") {
+        Some(path) => flatnet_serve::TopologySource::CaidaFile {
+            path: path.to_string(),
+            tier1: opts.as_list("tier1")?.unwrap_or_default(),
+            tier2: opts.as_list("tier2")?.unwrap_or_default(),
+            lenient: opts.switch("lenient"),
+        },
+        None => flatnet_serve::TopologySource::Generated {
+            ases: opts.num_or("ases", 4000usize)?,
+            seed: opts.num_or("seed", 2020u64)?,
+        },
+    };
+    let cfg = flatnet_serve::ServeConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:8080").to_string(),
+        workers: opts.num_or("workers", 0usize)?,
+        queue_cap: opts.num_or("queue", 256usize)?,
+        cache_cap: opts.num_or("cache", 4096usize)?,
+        deadline_ms: opts.num_or("deadline-ms", 5000u64)?,
+        source,
+    };
+    flatnet_serve::serve(cfg)
+}
+
 #[cfg(test)]
 mod dot_tests {
     use super::*;

@@ -58,12 +58,26 @@ USAGE:
       Regenerate the paper's tables and figures on the synthetic
       substrate (see `flatnet repro --help` for the experiment list).
 
+  flatnet serve  [--as-rel FILE | --ases N --seed S] [--addr HOST:PORT]
+                 [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
+                 [--tier1 .. --tier2 ..]
+      Run the query daemon: reachability/reliance/what-if answers over
+      HTTP from a compiled snapshot. Endpoints: /v1/reachability,
+      /v1/reliance, /v1/whatif/leak, /healthz, /metrics, /admin/reload,
+      /admin/shutdown. Without --as-rel, serves a synthetic topology.
+
   flatnet bench propagate [--ases N] [--seed S] [--origins K]
                  [--threads N] [--out PATH]
       Benchmark the batched propagation engine against the legacy
       one-shot path on a hierarchy-free reachability sweep; writes a
       flatnet-bench-propagate/v1 JSON report (default
       BENCH_propagate.json).
+
+  flatnet bench serve [--ases N] [--seed S] [--conc C] [--requests R]
+                 [--pool P] [--workers W] [--out PATH]
+      Closed-loop load benchmark against an in-process `flatnet serve`
+      daemon; writes a flatnet-bench-serve/v1 JSON report (default
+      BENCH_serve.json).
 
   flatnet help
       This message.
@@ -143,12 +157,21 @@ fn main() -> ExitCode {
         "collect" => commands::collect(rest),
         "relinfer" => commands::relinfer(rest),
         "dot" => commands::dot(rest),
+        "serve" => commands::serve(rest),
         "bench" => match rest.split_first() {
             Some((sub, bench_rest)) if sub == "propagate" => {
                 flatnet_bench::propbench::run(bench_rest)
             }
-            Some((sub, _)) => Err(format!("unknown bench {sub:?} (try `bench propagate`)")),
-            None => Err("bench requires a subcommand (try `bench propagate`)".to_string()),
+            Some((sub, bench_rest)) if sub == "serve" => {
+                flatnet_bench::servebench::run(bench_rest)
+            }
+            Some((sub, _)) => {
+                Err(format!("unknown bench {sub:?} (try `bench propagate` or `bench serve`)"))
+            }
+            None => {
+                Err("bench requires a subcommand (try `bench propagate` or `bench serve`)"
+                    .to_string())
+            }
         },
         "repro" => flatnet_bench::repro::run(rest).and_then(|failed| {
             if failed == 0 {

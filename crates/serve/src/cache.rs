@@ -1,0 +1,208 @@
+//! Sharded LRU result cache for query answers.
+//!
+//! Keys are `(snapshot version, origin, policy fingerprint)`, so a
+//! hot-reload never serves stale data: the new snapshot's version makes
+//! every old key unreachable (and `/admin/reload` additionally clears the
+//! shards so the memory is reclaimed immediately rather than by
+//! eviction).
+//!
+//! Sharding bounds contention: workers hashing to different shards never
+//! touch the same mutex. Within a shard, recency is a monotonic stamp
+//! bumped on every hit; eviction scans the (small, capacity-bounded)
+//! shard for the minimum stamp. That is O(shard size) instead of a
+//! linked-list O(1), but shards hold at most a few hundred entries and
+//! the scan only runs when a *miss* inserts into a full shard — misses
+//! already paid for a full propagation, so the scan is noise.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards.
+pub const SHARDS: usize = 8;
+
+/// What uniquely identifies a cacheable answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot version the answer was computed against.
+    pub version: u64,
+    /// Origin ASN.
+    pub origin: u32,
+    /// Fingerprint of everything else that shapes the answer (endpoint
+    /// and policy knobs); see [`policy_fingerprint`].
+    pub fingerprint: u64,
+}
+
+/// FNV-1a over the endpoint discriminant and policy bits — cheap, stable
+/// across runs, and collision-free in practice for the tiny domain of
+/// (endpoint, flag-set) combinations this daemon exposes.
+pub fn policy_fingerprint(endpoint: u8, policy_bits: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in std::iter::once(endpoint).chain(policy_bits.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shard<V> {
+    map: HashMap<CacheKey, (Arc<V>, u64)>,
+}
+
+/// The cache. `V` is the answer payload; entries are handed out as
+/// `Arc<V>` so a hit costs one refcount bump and eviction can never pull
+/// an answer out from under a renderer.
+pub struct ResultCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard: usize,
+    tick: AtomicU64,
+    hits: flatnet_obs::Counter,
+    misses: flatnet_obs::Counter,
+    evictions: flatnet_obs::Counter,
+}
+
+impl<V> ResultCache<V> {
+    /// A cache holding at most `capacity` entries (split across shards;
+    /// tiny capacities are rounded up to one entry per shard).
+    pub fn new(capacity: usize) -> Self {
+        let reg = flatnet_obs::global();
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard { map: HashMap::new() })).collect(),
+            per_shard: capacity.div_ceil(SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: reg.counter("serve.cache_hit"),
+            misses: reg.counter("serve.cache_miss"),
+            evictions: reg.counter("serve.cache_evictions"),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % SHARDS as u64) as usize]
+    }
+
+    /// Looks up `key`, bumping its recency. Counts a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<V>> {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().unwrap();
+        match shard.map.get_mut(key) {
+            Some((v, last)) => {
+                *last = stamp;
+                self.hits.inc();
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the shard's least-recently
+    /// used entry if it is full.
+    pub fn put(&self, key: CacheKey, value: Arc<V>) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock().unwrap();
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            if let Some(oldest) =
+                shard.map.iter().min_by_key(|(_, (_, last))| *last).map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+                self.evictions.inc();
+            }
+        }
+        shard.map.insert(key, (value, stamp));
+    }
+
+    /// Drops every entry (used by `/admin/reload`).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().map.clear();
+        }
+    }
+
+    /// Current number of cached entries, summed across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(origin: u32) -> CacheKey {
+        CacheKey { version: 1, origin, fingerprint: policy_fingerprint(1, 0) }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let cache: ResultCache<String> = ResultCache::new(16);
+        assert!(cache.get(&key(1)).is_none());
+        cache.put(key(1), Arc::new("a".into()));
+        assert_eq!(cache.get(&key(1)).as_deref(), Some(&"a".to_string()));
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn distinct_versions_and_fingerprints_do_not_collide() {
+        let cache: ResultCache<u32> = ResultCache::new(16);
+        let a = CacheKey { version: 1, origin: 7, fingerprint: policy_fingerprint(1, 0) };
+        let b = CacheKey { version: 2, origin: 7, fingerprint: policy_fingerprint(1, 0) };
+        let c = CacheKey { version: 1, origin: 7, fingerprint: policy_fingerprint(1, 3) };
+        cache.put(a, Arc::new(10));
+        cache.put(b, Arc::new(20));
+        cache.put(c, Arc::new(30));
+        assert_eq!(cache.get(&a).as_deref(), Some(&10));
+        assert_eq!(cache.get(&b).as_deref(), Some(&20));
+        assert_eq!(cache.get(&c).as_deref(), Some(&30));
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        // Capacity 8 = one entry per shard; inserting two keys that land
+        // in the same shard must evict the stale one.
+        let cache: ResultCache<u32> = ResultCache::new(SHARDS);
+        // Find two keys in the same shard.
+        let mut same_shard = Vec::new();
+        'outer: for a in 0..64u32 {
+            for b in (a + 1)..64u32 {
+                let (ka, kb) = (key(a), key(b));
+                let shard_of = |k: &CacheKey| {
+                    let mut h = DefaultHasher::new();
+                    k.hash(&mut h);
+                    h.finish() % SHARDS as u64
+                };
+                if shard_of(&ka) == shard_of(&kb) {
+                    same_shard = vec![ka, kb];
+                    break 'outer;
+                }
+            }
+        }
+        let [ka, kb]: [CacheKey; 2] = same_shard.try_into().unwrap();
+        cache.put(ka, Arc::new(1));
+        cache.put(kb, Arc::new(2));
+        assert!(cache.get(&ka).is_none(), "older entry should have been evicted");
+        assert_eq!(cache.get(&kb).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache: ResultCache<u32> = ResultCache::new(64);
+        for i in 0..32 {
+            cache.put(key(i), Arc::new(i));
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(0)).is_none());
+    }
+}

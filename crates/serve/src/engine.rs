@@ -1,0 +1,563 @@
+//! The query engine: a fixed worker pool with per-worker propagation
+//! state, a bounded queue with backpressure, per-request deadlines, and
+//! the endpoint handlers themselves.
+//!
+//! Each worker owns a [`Workspace`] and a [`PropagationConfig`] for its
+//! whole lifetime, so the zero-steady-state-allocation property of the
+//! batched engine carries straight into the daemon: a cache-missing
+//! reachability query costs one propagation run over buffers that were
+//! allocated when the worker was born. Snapshots arrive per-request via
+//! `Arc` (see [`crate::snapshot::SnapshotManager`]), which is what lets
+//! a worker keep its workspace across hot-reloads — the workspace
+//! resizes itself if the topology's node count changed.
+
+use crate::cache::{policy_fingerprint, CacheKey, ResultCache};
+use crate::http::{read_request, Method, Request, Response};
+use crate::json::{escape, fmt_f64, Json};
+use crate::snapshot::{ServeSnapshot, SnapshotManager};
+use flatnet_asgraph::AsId;
+use flatnet_bgpsim::{reliance, NextHopDag, PropagationConfig, Workspace};
+use flatnet_core::leaks::{leak_cdf, Announce, Locking};
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Endpoint discriminants for cache fingerprints.
+const EP_REACHABILITY: u8 = 1;
+const EP_RELIANCE: u8 = 2;
+
+/// `exclude=` flag bits (also the policy bits of the fingerprint).
+const EXCL_PROVIDERS: u64 = 1;
+const EXCL_TIER1: u64 = 2;
+const EXCL_TIER2: u64 = 4;
+
+/// One accepted connection waiting for a worker.
+pub(crate) struct Job {
+    pub(crate) stream: TcpStream,
+    pub(crate) accepted: Instant,
+}
+
+/// A cached answer: the expensive-to-compute core of a response, without
+/// per-request presentation choices (`full=1` re-renders from the words).
+pub(crate) enum Answer {
+    /// Word-packed reach bitset + count, exactly as the engine produced it.
+    Reach {
+        /// Bitset over node indices, origin bit set.
+        words: Vec<u64>,
+        /// Reached ASes, origin excluded.
+        reached: usize,
+    },
+    /// Reliance summary for one origin.
+    Reliance {
+        /// `W(origin)`: ASes holding routes, origin included.
+        receivers: f64,
+        /// Top ASes by `rely(o, a)`, as `(asn, score)`, descending.
+        top: Vec<(u32, f64)>,
+    },
+}
+
+/// Everything the accept loop and the workers share.
+pub(crate) struct Shared {
+    pub(crate) mgr: SnapshotManager,
+    pub(crate) cache: ResultCache<Answer>,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    queue_cap: usize,
+    deadline: Duration,
+    pub(crate) workers: usize,
+    /// Bound address, set once the listener exists; `/admin/shutdown`
+    /// self-connects here to unblock the accept loop.
+    pub(crate) local_addr: OnceLock<SocketAddr>,
+    requests: flatnet_obs::Counter,
+    rejected: flatnet_obs::Counter,
+    expired: flatnet_obs::Counter,
+    panics: flatnet_obs::Counter,
+    status_2xx: flatnet_obs::Counter,
+    status_4xx: flatnet_obs::Counter,
+    status_5xx: flatnet_obs::Counter,
+    queue_depth: flatnet_obs::Gauge,
+    request_us: Arc<flatnet_obs::Histogram>,
+}
+
+impl Shared {
+    pub(crate) fn new(
+        mgr: SnapshotManager,
+        cache_capacity: usize,
+        queue_cap: usize,
+        deadline: Duration,
+        workers: usize,
+    ) -> Self {
+        let reg = flatnet_obs::global();
+        Shared {
+            mgr,
+            cache: ResultCache::new(cache_capacity),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_cap,
+            deadline,
+            workers,
+            local_addr: OnceLock::new(),
+            requests: reg.counter("serve.requests"),
+            rejected: reg.counter("serve.queue_rejected"),
+            expired: reg.counter("serve.deadline_expired"),
+            panics: reg.counter("serve.worker_panics"),
+            status_2xx: reg.counter("serve.http_2xx"),
+            status_4xx: reg.counter("serve.http_4xx"),
+            status_5xx: reg.counter("serve.http_5xx"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+            request_us: flatnet_obs::histogram("serve.request_us"),
+        }
+    }
+
+    /// Hands an accepted connection to the pool, or answers
+    /// `503 + Retry-After` right here when the queue is full —
+    /// backpressure must not itself consume a worker.
+    pub(crate) fn submit(&self, stream: TcpStream, accepted: Instant) {
+        let mut q = self.queue.lock().unwrap();
+        if q.len() >= self.queue_cap {
+            drop(q);
+            self.rejected.inc();
+            self.status_5xx.inc();
+            let mut resp = Response::error(503, "request queue full");
+            resp.retry_after = Some(1);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = resp.write_to(&mut &stream);
+            return;
+        }
+        q.push_back(Job { stream, accepted });
+        self.queue_depth.set(q.len() as i64);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Flags shutdown and wakes every parked worker. Queued jobs are
+    /// still drained before workers exit.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// Per-worker long-lived state.
+struct WorkerCtx {
+    ws: Workspace,
+    cfg: PropagationConfig,
+}
+
+impl WorkerCtx {
+    fn new() -> Self {
+        WorkerCtx { ws: Workspace::new(), cfg: PropagationConfig::default() }
+    }
+}
+
+/// The worker thread body: pop, enforce the deadline, parse, route,
+/// respond. Returns when shutdown is flagged *and* the queue is empty,
+/// so accepted requests are never dropped by a clean shutdown.
+pub(crate) fn worker_loop(shared: Arc<Shared>) {
+    let mut ctx = WorkerCtx::new();
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    shared.queue_depth.set(q.len() as i64);
+                    break Some(j);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+        handle_job(&shared, &mut ctx, job);
+    }
+}
+
+fn handle_job(shared: &Arc<Shared>, ctx: &mut WorkerCtx, job: Job) {
+    let Job { stream, accepted } = job;
+    shared.requests.inc();
+    let elapsed = accepted.elapsed();
+    if elapsed >= shared.deadline {
+        shared.expired.inc();
+        let mut resp = Response::error(503, "deadline expired while queued");
+        resp.retry_after = Some(1);
+        finish(shared, &stream, &resp, accepted);
+        return;
+    }
+    // Whatever deadline budget the queue left is the read budget.
+    let _ = stream.set_read_timeout(Some(shared.deadline - elapsed));
+    let _ = stream.set_write_timeout(Some(shared.deadline));
+
+    let mut reader = BufReader::new(&stream);
+    let resp = match read_request(&mut reader) {
+        Ok(None) => return, // peer connected and left; nothing to answer
+        Ok(Some(req)) => {
+            match catch_unwind(AssertUnwindSafe(|| route(shared, ctx, &req))) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    // Isolate the panic to this request: count it, answer
+                    // 500, and discard possibly-inconsistent worker state.
+                    shared.panics.inc();
+                    *ctx = WorkerCtx::new();
+                    Response::error(500, "internal error")
+                }
+            }
+        }
+        Err(e) if e.wants_response() => Response::error(e.status, &e.reason),
+        Err(_) => return,
+    };
+    finish(shared, &stream, &resp, accepted);
+}
+
+/// Writes the response (best-effort — the peer may have gone) and records
+/// the request's status class and end-to-end latency.
+fn finish(shared: &Shared, stream: &TcpStream, resp: &Response, accepted: Instant) {
+    match resp.status {
+        200..=299 => shared.status_2xx.inc(),
+        400..=499 => shared.status_4xx.inc(),
+        _ => shared.status_5xx.inc(),
+    }
+    let _ = resp.write_to(&mut &*stream);
+    shared.request_us.record_us(accepted.elapsed().as_micros() as u64);
+}
+
+// ---------------------------------------------------------------------
+// Routing and endpoint handlers (the HTTP front's dispatch table).
+// ---------------------------------------------------------------------
+
+fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Response {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/v1/reachability") => reachability(shared, ctx, req),
+        (Method::Get, "/v1/reliance") => reliance_endpoint(shared, ctx, req),
+        (Method::Post, "/v1/whatif/leak") => whatif_leak(shared, req),
+        (Method::Get, "/healthz") => healthz(shared),
+        (Method::Get, "/metrics") => Response::json(200, flatnet_obs::snapshot().to_json()),
+        (Method::Post, "/admin/reload") => admin_reload(shared),
+        (Method::Post, "/admin/shutdown") => admin_shutdown(shared),
+        (
+            _,
+            "/v1/reachability" | "/v1/reliance" | "/v1/whatif/leak" | "/healthz" | "/metrics"
+            | "/admin/reload" | "/admin/shutdown",
+        ) => Response::error(405, "method not allowed for this path"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Parses `origin=ASN` (optionally `AS`-prefixed) and resolves it in the
+/// snapshot.
+fn parse_origin(
+    snap: &ServeSnapshot,
+    req: &Request,
+) -> Result<(u32, flatnet_asgraph::NodeId), Response> {
+    let raw = req
+        .query_param("origin")
+        .ok_or_else(|| Response::error(400, "missing required query parameter 'origin'"))?;
+    let digits = raw.strip_prefix("AS").or_else(|| raw.strip_prefix("as")).unwrap_or(raw);
+    let asn: u32 = digits
+        .parse()
+        .map_err(|_| Response::error(400, &format!("bad origin {raw:?} (want an AS number)")))?;
+    let node = snap
+        .graph
+        .index_of(AsId(asn))
+        .ok_or_else(|| Response::error(404, &format!("AS{asn} is not in the topology")))?;
+    Ok((asn, node))
+}
+
+/// Parses `exclude=providers,tier1,tier2` into flag bits.
+fn parse_exclude(req: &Request) -> Result<u64, Response> {
+    let mut bits = 0u64;
+    if let Some(list) = req.query_param("exclude") {
+        for token in list.split(',').filter(|t| !t.is_empty()) {
+            bits |= match token {
+                "providers" => EXCL_PROVIDERS,
+                "tier1" => EXCL_TIER1,
+                "tier2" => EXCL_TIER2,
+                other => {
+                    return Err(Response::error(
+                        400,
+                        &format!("unknown exclude token {other:?} (want providers|tier1|tier2)"),
+                    ))
+                }
+            };
+        }
+    }
+    Ok(bits)
+}
+
+fn exclude_names(bits: u64) -> String {
+    let mut names = Vec::new();
+    if bits & EXCL_PROVIDERS != 0 {
+        names.push("\"providers\"");
+    }
+    if bits & EXCL_TIER1 != 0 {
+        names.push("\"tier1\"");
+    }
+    if bits & EXCL_TIER2 != 0 {
+        names.push("\"tier2\"");
+    }
+    names.join(",")
+}
+
+/// `GET /v1/reachability?origin=ASN[&exclude=...][&full=1]`
+fn reachability(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Response {
+    let snap = shared.mgr.current();
+    let (asn, node) = match parse_origin(&snap, req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let bits = match parse_exclude(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let full = matches!(req.query_param("full"), Some("1") | Some("true"));
+    let key = CacheKey {
+        version: snap.version,
+        origin: asn,
+        fingerprint: policy_fingerprint(EP_REACHABILITY, bits),
+    };
+
+    let (answer, cached) = match shared.cache.get(&key) {
+        Some(hit) => (hit, true),
+        None => {
+            // Build the exclusion mask the same way the reachability
+            // sweeps do: providers of the origin, then the tier sets,
+            // with the origin itself never excluded.
+            let n = snap.graph.len();
+            let mask = ctx.cfg.excluded_mask_mut(n);
+            mask.fill(false);
+            if bits & EXCL_PROVIDERS != 0 {
+                for &p in snap.graph.providers(node) {
+                    mask[p.idx()] = true;
+                }
+            }
+            if bits & EXCL_TIER1 != 0 {
+                for &t in snap.tiers.tier1() {
+                    mask[t.idx()] = true;
+                }
+            }
+            if bits & EXCL_TIER2 != 0 {
+                for &t in snap.tiers.tier2() {
+                    mask[t.idx()] = true;
+                }
+            }
+            mask[node.idx()] = false;
+            ctx.ws.run(&snap.topo, node, &ctx.cfg);
+            let answer = Arc::new(Answer::Reach {
+                words: ctx.ws.reach_words().to_vec(),
+                reached: ctx.ws.reachable_count(),
+            });
+            shared.cache.put(key, Arc::clone(&answer));
+            (answer, false)
+        }
+    };
+    let Answer::Reach { words, reached } = &*answer else {
+        return Response::error(500, "cache type confusion");
+    };
+
+    let max_possible = snap.graph.len().saturating_sub(1);
+    let pct = if max_possible > 0 { 100.0 * *reached as f64 / max_possible as f64 } else { 0.0 };
+    let mut body = format!(
+        "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"reachability\",\"origin\":{asn},\
+         \"snapshot_version\":{},\"exclude\":[{}],\"reachable\":{reached},\
+         \"max_possible\":{max_possible},\"pct\":{},\"cached\":{cached}",
+        snap.version,
+        exclude_names(bits),
+        fmt_f64((pct * 1e4).round() / 1e4),
+    );
+    if full {
+        // The full reachable set, as sorted ASNs, for bit-exact
+        // differential checks against a direct Simulation run.
+        let mut asns: Vec<u32> = Vec::with_capacity(*reached);
+        for (wi, &word) in words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                let idx = (wi as u32) * 64 + bit;
+                if idx != node.0 {
+                    asns.push(snap.graph.asn(flatnet_asgraph::NodeId(idx)).0);
+                }
+                w &= w - 1;
+            }
+        }
+        asns.sort_unstable();
+        body.push_str(",\"reach\":[");
+        for (i, a) in asns.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&a.to_string());
+        }
+        body.push(']');
+    }
+    body.push_str("}\n");
+    Response::json(200, body)
+}
+
+/// `GET /v1/reliance?origin=ASN[&top=K]`
+fn reliance_endpoint(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Response {
+    let snap = shared.mgr.current();
+    let (asn, node) = match parse_origin(&snap, req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let top_k: usize = match req.query_param("top").map(str::parse).transpose() {
+        Ok(k) => k.unwrap_or(20).min(1000),
+        Err(_) => return Response::error(400, "bad 'top' (want a count)"),
+    };
+    let key = CacheKey {
+        version: snap.version,
+        origin: asn,
+        fingerprint: policy_fingerprint(EP_RELIANCE, 0),
+    };
+
+    let (answer, cached) = match shared.cache.get(&key) {
+        Some(hit) => (hit, true),
+        None => {
+            let n = snap.graph.len();
+            // Reliance runs over the unrestricted topology.
+            ctx.cfg.excluded_mask_mut(n).fill(false);
+            ctx.ws.run(&snap.topo, node, &ctx.cfg);
+            let outcome = ctx.ws.to_outcome();
+            let dag = NextHopDag::build(&snap.graph, &ctx.cfg, &outcome);
+            let scores = reliance(&dag);
+            let receivers = scores[node.idx()];
+            let mut top: Vec<(u32, f64)> = scores
+                .iter()
+                .enumerate()
+                .filter(|&(i, &s)| s > 0.0 && i != node.idx())
+                .map(|(i, &s)| (snap.graph.asn(flatnet_asgraph::NodeId(i as u32)).0, s))
+                .collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            top.truncate(1000); // cache the most anyone can ask for
+            let answer = Arc::new(Answer::Reliance { receivers, top });
+            shared.cache.put(key, Arc::clone(&answer));
+            (answer, false)
+        }
+    };
+    let Answer::Reliance { receivers, top } = &*answer else {
+        return Response::error(500, "cache type confusion");
+    };
+
+    let mut body = format!(
+        "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"reliance\",\"origin\":{asn},\
+         \"snapshot_version\":{},\"receivers\":{},\"cached\":{cached},\"top\":[",
+        snap.version,
+        fmt_f64(*receivers),
+    );
+    for (i, (a, s)) in top.iter().take(top_k).enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{{\"asn\":{a},\"rely\":{}}}", fmt_f64(*s)));
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+/// `POST /v1/whatif/leak` with a JSON body:
+/// `{"victim": ASN, "leakers": K, "lock": "none|t1|t12|global",
+///   "seed": S, "announce": "all|t12p"}` (victim required).
+fn whatif_leak(shared: &Arc<Shared>, req: &Request) -> Response {
+    let snap = shared.mgr.current();
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = match crate::json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+    };
+    let Some(victim) = doc.get("victim").and_then(Json::as_u64) else {
+        return Response::error(422, "missing required field 'victim' (an AS number)");
+    };
+    let leakers = doc.get("leakers").and_then(Json::as_u64).unwrap_or(50).min(5000) as usize;
+    let seed = doc.get("seed").and_then(Json::as_u64).unwrap_or(1);
+    let lock_name = doc.get("lock").and_then(Json::as_str).unwrap_or("none");
+    let locking = match lock_name {
+        "none" => Locking::None,
+        "t1" => Locking::Tier1,
+        "t12" => Locking::Tier12,
+        "global" => Locking::Global,
+        other => {
+            return Response::error(422, &format!("bad lock {other:?} (want none|t1|t12|global)"))
+        }
+    };
+    let announce_name = doc.get("announce").and_then(Json::as_str).unwrap_or("all");
+    let announce = match announce_name {
+        "all" => Announce::ToAll,
+        "t12p" => Announce::ToTier12AndProviders,
+        other => return Response::error(422, &format!("bad announce {other:?} (want all|t12p)")),
+    };
+
+    let Some(cdf) =
+        leak_cdf(&snap.graph, &snap.tiers, AsId(victim as u32), announce, locking, leakers, seed, None)
+    else {
+        return Response::error(404, &format!("AS{victim} is not in the topology"));
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"whatif_leak\",\"victim\":{victim},\
+             \"snapshot_version\":{},\"leakers\":{},\"lock\":\"{}\",\"announce\":\"{}\",\
+             \"seed\":{seed},\"detour_fraction\":{{\"median\":{},\"p90\":{},\"max\":{}}}}}\n",
+            snap.version,
+            cdf.fractions.len(),
+            escape(lock_name),
+            escape(announce_name),
+            fmt_f64(cdf.median()),
+            fmt_f64(cdf.percentile(90.0)),
+            fmt_f64(cdf.max()),
+        ),
+    )
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let snap = shared.mgr.current();
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"snapshot_version\":{},\"ases\":{},\"workers\":{},\
+             \"cache_entries\":{}}}\n",
+            snap.version,
+            snap.graph.len(),
+            shared.workers,
+            shared.cache.len(),
+        ),
+    )
+}
+
+fn admin_reload(shared: &Arc<Shared>) -> Response {
+    match shared.mgr.reload() {
+        Ok(snap) => {
+            // Old-version keys are unreachable already (the version is in
+            // the key); clearing reclaims their memory immediately.
+            shared.cache.clear();
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"reloaded\",\"snapshot_version\":{},\"ases\":{}}}\n",
+                    snap.version,
+                    snap.graph.len()
+                ),
+            )
+        }
+        Err(e) => Response::error(500, &format!("reload failed; old snapshot still serving: {e}")),
+    }
+}
+
+fn admin_shutdown(shared: &Arc<Shared>) -> Response {
+    shared.begin_shutdown();
+    // Unblock the accept loop with a throwaway connection; it checks the
+    // flag before dispatching.
+    if let Some(addr) = shared.local_addr.get() {
+        let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+    }
+    Response::json(200, "{\"status\":\"shutting-down\"}\n".to_string())
+}

@@ -1,0 +1,408 @@
+//! A strict, bounded HTTP/1.1 request parser and response writer.
+//!
+//! The daemon faces the network, so this parser treats every input as
+//! hostile, in the same spirit as the lenient-mode file ingestion
+//! parsers: every dimension of a request is length-capped *before* any
+//! allocation grows to match it, and any violation maps to a definite
+//! 4xx status rather than a panic or an unbounded read.
+//!
+//! Deliberate non-goals: keep-alive (every response is
+//! `Connection: close` — the clients are curl, monitoring probes, and
+//! the bench harness, all of which reconnect), chunked encoding, and
+//! HTTP/2. Pipelined garbage after a request is simply never read.
+
+use std::io::{BufRead, Write};
+
+/// Cap on the request line (`GET /path?query HTTP/1.1`).
+pub const MAX_REQUEST_LINE: usize = 2048;
+/// Cap on one header line.
+pub const MAX_HEADER_LINE: usize = 1024;
+/// Cap on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+/// Cap on a declared request body.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// Request methods the daemon understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+/// One parsed, validated request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// Percent-decoded path (no query string).
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == lower).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request that could not be parsed, carrying the status to answer
+/// with. `status == 0` means the peer closed before sending anything —
+/// don't answer at all.
+#[derive(Debug)]
+pub struct ParseError {
+    /// HTTP status to respond with (0 = silent close).
+    pub status: u16,
+    /// Human-readable reason, echoed in the error body.
+    pub reason: String,
+}
+
+impl ParseError {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        ParseError { status, reason: reason.into() }
+    }
+
+    /// Whether any response should be written at all.
+    pub fn wants_response(&self) -> bool {
+        self.status != 0
+    }
+}
+
+/// Reads one line (terminated by `\n`), enforcing `max` bytes *including*
+/// the terminator. Returns `None` on immediate EOF (peer closed).
+fn read_line_limited<R: BufRead>(
+    r: &mut R,
+    max: usize,
+    too_long_status: u16,
+) -> Result<Option<Vec<u8>>, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r
+            .fill_buf()
+            .map_err(|e| ParseError::new(408, format!("read failed: {e}")))?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ParseError::new(400, "truncated request"));
+        }
+        let remaining = max.saturating_sub(line.len());
+        match buf.iter().take(remaining).position(|&b| b == b'\n') {
+            Some(i) => {
+                line.extend_from_slice(&buf[..i]);
+                r.consume(i + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                if buf.len() >= remaining {
+                    return Err(ParseError::new(too_long_status, "line too long"));
+                }
+                line.extend_from_slice(buf);
+                let used = buf.len();
+                r.consume(used);
+            }
+        }
+    }
+}
+
+/// Percent-decodes `s`, with `+` as space (query-string convention).
+fn percent_decode(s: &str) -> Result<String, ()> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)).ok_or(())?;
+                let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)).ok_or(())?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ())
+}
+
+/// Parses one request from `r`. `Ok(None)` means the peer closed without
+/// sending anything (not an error, nothing to answer).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, ParseError> {
+    // Request line. A too-long line gets 414 (it is almost always a
+    // runaway URI).
+    let Some(line) = read_line_limited(r, MAX_REQUEST_LINE, 414)? else {
+        return Ok(None);
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| ParseError::new(400, "request line is not UTF-8"))?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method_raw = parts.next().ok_or_else(|| ParseError::new(400, "empty request line"))?;
+    let target = parts.next().ok_or_else(|| ParseError::new(400, "missing request target"))?;
+    let version = parts.next().ok_or_else(|| ParseError::new(400, "missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::new(400, "malformed request line"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::new(400, "request target must be absolute"));
+    }
+    // Only a *well-formed* request line with a real-but-unsupported
+    // method earns a 405; anything shapeless stays a plain 400.
+    let method = match method_raw {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other if !other.is_empty() && other.chars().all(|c| c.is_ascii_uppercase()) => {
+            return Err(ParseError::new(405, format!("method {other} not supported")));
+        }
+        _ => return Err(ParseError::new(400, "malformed request line")),
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)
+        .map_err(|()| ParseError::new(400, "bad percent-encoding in path"))?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .map_err(|()| ParseError::new(400, "bad percent-encoding in query"))?;
+            let v = percent_decode(v)
+                .map_err(|()| ParseError::new(400, "bad percent-encoding in query"))?;
+            query.push((k, v));
+        }
+    }
+
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(r, MAX_HEADER_LINE, 431)?
+            .ok_or_else(|| ParseError::new(400, "truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::new(431, "too many headers"));
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| ParseError::new(400, "header is not UTF-8"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::new(400, "malformed header (missing ':')"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::new(400, "malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body (only when declared; chunked encoding is not supported).
+    let mut body = Vec::new();
+    let content_length = headers.iter().find(|(k, _)| k == "content-length");
+    if let Some((_, v)) = content_length {
+        let len: usize =
+            v.parse().map_err(|_| ParseError::new(400, "bad Content-Length"))?;
+        if len > MAX_BODY {
+            return Err(ParseError::new(413, "body too large"));
+        }
+        body.resize(len, 0);
+        std::io::Read::read_exact(r, &mut body)
+            .map_err(|_| ParseError::new(400, "truncated body"))?;
+    } else if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ParseError::new(400, "chunked encoding not supported"));
+    }
+
+    Ok(Some(Request { method, path, query, headers, body }))
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this daemon).
+    pub body: String,
+    /// Adds a `Retry-After: N` header (backpressure rejections).
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, body, retry_after: None }
+    }
+
+    /// An error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(status, format!("{{\"error\":\"{}\"}}\n", crate::json::escape(message)))
+    }
+
+    /// Serializes status line, headers, and body to `w` as one write, so
+    /// a response costs a single syscall on an unbuffered socket.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut out = String::with_capacity(128 + self.body.len());
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            let _ = write!(out, "Retry-After: {secs}\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse(b"GET /v1/reachability?origin=15169&exclude=tier1%2Ctier2 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/v1/reachability");
+        assert_eq!(req.query_param("origin"), Some("15169"));
+        assert_eq!(req.query_param("exclude"), Some("tier1,tier2"));
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /v1/whatif/leak HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn empty_connection_is_silent() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_corpus_yields_definite_4xx() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"GET /x", 400),                                  // truncated request line
+            (b"GARBAGE\r\n\r\n", 400),                         // no target/version
+            (b"get /x HTTP/1.1\r\n\r\n", 400),                 // lowercase method
+            (b"DELETE /x HTTP/1.1\r\n\r\n", 405),              // unsupported method
+            (b"GET x HTTP/1.1\r\n\r\n", 400),                  // relative target
+            (b"GET /x HTTP/2.0\r\n\r\n", 400),                 // wrong version
+            (b"GET /%zz HTTP/1.1\r\n\r\n", 400),               // bad percent-escape
+            (b"GET /x?a=%9 HTTP/1.1\r\n\r\n", 400),            // truncated escape
+            (b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n", 400),  // malformed header
+            (b"GET /x HTTP/1.1\r\n: empty\r\n\r\n", 400),      // empty header name
+            (b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n", 413),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab", 400), // truncated body
+            (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+        ];
+        for (raw, want) in cases {
+            let err = parse(raw).expect_err(&format!("accepted {:?}", raw));
+            assert_eq!(err.status, *want, "input {:?} -> {}", raw, err.reason);
+        }
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 414);
+    }
+
+    #[test]
+    fn oversized_header_is_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_LINE + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 2) {
+            raw.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn pipelined_garbage_after_request_is_ignored() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n\x00\xffGARBAGE MORE GARBAGE")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn response_serialization_includes_retry_after() {
+        let mut resp = Response::error(503, "queue full");
+        resp.retry_after = Some(1);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}\n"));
+    }
+}

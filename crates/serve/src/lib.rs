@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # flatnet-serve — a std-only query daemon over compiled snapshots
+//!
+//! The batched propagation engine made per-origin queries cheap enough
+//! to answer interactively; this crate turns that into a long-running
+//! HTTP daemon (`flatnet serve`) that compiles a topology **once** and
+//! answers **many** reachability / reliance / what-if queries from it.
+//! Everything is hand-rolled over `std::net` — the workspace has no
+//! crates.io access, and an HTTP/1.1 subset is small enough to own.
+//!
+//! Three layers (see `DESIGN.md` § Serving for the full picture):
+//!
+//! * [`snapshot`] — ingestion (CAIDA file, netgen config, or a
+//!   pre-built graph), the PR-1 health gate, compilation to a
+//!   [`flatnet_bgpsim::TopologySnapshot`], and versioned hot-reload
+//!   behind an `Arc` swap so in-flight queries finish on the snapshot
+//!   they started with.
+//! * [`mod@engine`] — a fixed worker pool with per-worker
+//!   [`flatnet_bgpsim::Workspace`]s (zero steady-state allocation), a
+//!   bounded queue with 503-backpressure, per-request deadlines, and a
+//!   sharded LRU [`cache`] keyed by
+//!   `(snapshot version, origin, policy fingerprint)`.
+//! * [`server`] + [`http`] — the accept loop and a strict, bounded
+//!   request parser hardened against malformed input.
+//!
+//! Endpoints: `GET /v1/reachability`, `GET /v1/reliance`,
+//! `POST /v1/whatif/leak`, `GET /healthz`, `GET /metrics`
+//! (flatnet-obs/v1), `POST /admin/reload`, `POST /admin/shutdown`.
+
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{policy_fingerprint, CacheKey, ResultCache};
+pub use server::{serve, ServeConfig, Server};
+pub use snapshot::{ServeSnapshot, SnapshotManager, TopologySource};

@@ -1,0 +1,167 @@
+//! The TCP front: listener, accept loop, and the server lifecycle
+//! handle. All protocol work happens in the workers (`crate::engine`);
+//! the accept loop only hands sockets to the bounded queue — or writes
+//! the backpressure rejection itself, so a full queue can never stall
+//! `accept()`.
+
+use crate::engine::{worker_loop, Shared};
+use crate::snapshot::{SnapshotManager, TopologySource};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration; see field docs for defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; 0 = one per core (capped at 16).
+    pub workers: usize,
+    /// Bounded request queue length; beyond it, 503 + `Retry-After`.
+    pub queue_cap: usize,
+    /// Result cache capacity in entries.
+    pub cache_cap: usize,
+    /// Per-request deadline, covering queue wait + parse + compute.
+    pub deadline_ms: u64,
+    /// Where the topology comes from.
+    pub source: TopologySource,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 0,
+            queue_cap: 256,
+            cache_cap: 4096,
+            deadline_ms: 5000,
+            source: TopologySource::Generated { ases: 4000, seed: 2020 },
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server;
+/// call [`Server::shutdown`] (tests, bench) or let `/admin/shutdown`
+/// end [`Server::wait`] (CLI).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Ingests the topology (failing fast if the health gate refuses
+    /// it), binds the listener, and spawns the accept loop + worker
+    /// pool.
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let mgr = SnapshotManager::new(cfg.source.clone())?;
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        let n_workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16)
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared::new(
+            mgr,
+            cfg.cache_cap,
+            cfg.queue_cap,
+            Duration::from_millis(cfg.deadline_ms.max(1)),
+            n_workers,
+        ));
+        let _ = shared.local_addr.set(addr);
+
+        let workers: Vec<JoinHandle<()>> = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .map_err(|e| format!("spawn worker: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| format!("spawn accept loop: {e}"))?;
+
+        flatnet_obs::info!("flatnet-serve listening on http://{addr} ({n_workers} workers)");
+        Ok(Server { addr, shared, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (via `POST /admin/shutdown`),
+    /// joining every thread. Queued requests are drained first.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Stops the daemon from the embedding process: flags shutdown,
+    /// unblocks the accept loop, drains the queue, joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Workers park on the queue condvar; shutdown has been flagged by
+        // the accept loop's exit path (or by `shutdown`), and
+        // `begin_shutdown` notifies all.
+        self.shared.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Accepts until the shutdown flag flips; every accepted socket is
+/// stamped and queued (or bounced with 503) without any protocol work.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client); drop it.
+                    drop(stream);
+                    return;
+                }
+                // Responses go out in one write; Nagle only adds latency.
+                stream.set_nodelay(true).ok();
+                shared.submit(stream, Instant::now());
+            }
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, ECONNABORTED) must not
+                // kill the daemon.
+                flatnet_obs::warn!("accept error: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Runs a daemon in the foreground until `/admin/shutdown` (the CLI
+/// entry point).
+pub fn serve(cfg: ServeConfig) -> Result<(), String> {
+    let server = Server::start(cfg)?;
+    println!("flatnet-serve listening on http://{}", server.addr());
+    server.wait();
+    println!("flatnet-serve: shut down cleanly");
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! The snapshot manager: topology ingestion, the health gate, and
+//! versioned hot-reload.
+//!
+//! A [`ServeSnapshot`] bundles everything a query needs — the graph, the
+//! tier sets, and the compiled [`TopologySnapshot`] — under one version
+//! number. The manager holds the current snapshot behind
+//! `RwLock<Arc<..>>`: a query grabs the `Arc` once (one refcount bump)
+//! and keeps computing against it even if `/admin/reload` swaps in a
+//! successor mid-flight; the old snapshot is freed when the last
+//! in-flight query drops its handle. Reload *builds and health-gates the
+//! candidate before swapping*, so a topology that fails the PR-1 health
+//! checks leaves the serving snapshot untouched.
+
+use flatnet_asgraph::graph::RelConflict;
+use flatnet_asgraph::ingest::ParseOptions;
+use flatnet_asgraph::tiers::infer_tiers;
+use flatnet_asgraph::{caida, validate_topology, AsGraph, AsId, Tiers, ValidateOptions};
+use flatnet_bgpsim::TopologySnapshot;
+use flatnet_netgen::{generate, NetGenConfig};
+use std::sync::{Arc, RwLock};
+
+/// Where the daemon's topology comes from; reload re-ingests from here.
+#[derive(Debug, Clone)]
+pub enum TopologySource {
+    /// A CAIDA as-rel file (serial-1 or serial-2, sniffed).
+    CaidaFile {
+        /// Path to the file; re-read on every reload.
+        path: String,
+        /// Explicit Tier-1 ASNs (empty = infer AS-Rank style).
+        tier1: Vec<AsId>,
+        /// Explicit Tier-2 ASNs (used only with an explicit `tier1`).
+        tier2: Vec<AsId>,
+        /// Skip malformed records instead of refusing the file.
+        lenient: bool,
+    },
+    /// A deterministic synthetic topology (`NetGenConfig::paper_2020`).
+    Generated {
+        /// Number of ASes.
+        ases: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// A pre-built graph handed in by the embedding process (tests, the
+    /// bench harness). Reload re-validates and recompiles from the same
+    /// graph, bumping the version — which is exactly what the cache
+    /// invalidation tests need.
+    Preloaded {
+        /// The graph to serve.
+        graph: AsGraph,
+        /// Its tier sets.
+        tiers: Tiers,
+    },
+}
+
+/// One immutable, health-gated, compiled topology version.
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    /// Monotonic version, starting at 1; part of every cache key.
+    pub version: u64,
+    /// The AS graph queries resolve ASNs against.
+    pub graph: AsGraph,
+    /// Tier-1/Tier-2 sets for exclusion masks and leak locking.
+    pub tiers: Tiers,
+    /// The compiled CSR snapshot the engine runs on.
+    pub topo: TopologySnapshot,
+}
+
+/// Holds the current [`ServeSnapshot`] and knows how to build the next.
+pub struct SnapshotManager {
+    source: TopologySource,
+    current: RwLock<Arc<ServeSnapshot>>,
+    reloads: flatnet_obs::Counter,
+}
+
+impl SnapshotManager {
+    /// Ingests, health-gates, and compiles the first snapshot.
+    pub fn new(source: TopologySource) -> Result<Self, String> {
+        let first = load(&source, 1)?;
+        Ok(SnapshotManager {
+            source,
+            current: RwLock::new(Arc::new(first)),
+            reloads: flatnet_obs::counter("serve.reloads"),
+        })
+    }
+
+    /// The current snapshot; cheap (one `Arc` clone under a read lock).
+    pub fn current(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// Re-ingests from the source and atomically swaps the new snapshot
+    /// in. On any failure (unreadable file, failed health gate) the
+    /// current snapshot keeps serving and the error is returned.
+    pub fn reload(&self) -> Result<Arc<ServeSnapshot>, String> {
+        let next_version = self.current().version + 1;
+        let fresh = Arc::new(load(&self.source, next_version)?);
+        *self.current.write().unwrap() = Arc::clone(&fresh);
+        self.reloads.inc();
+        Ok(fresh)
+    }
+}
+
+/// Ingest + health gate + compile, shared by startup and reload.
+fn load(source: &TopologySource, version: u64) -> Result<ServeSnapshot, String> {
+    let _span = flatnet_obs::span("serve.snapshot_load");
+    let (graph, tiers, conflicts) = match source {
+        TopologySource::CaidaFile { path, tier1, tier2, lenient } => {
+            let (graph, conflicts) = load_caida(path, *lenient)?;
+            let tiers = if tier1.is_empty() {
+                infer_tiers(&graph, 32, 28)
+            } else {
+                Tiers::from_lists(&graph, tier1, tier2)
+            };
+            (graph, tiers, conflicts)
+        }
+        TopologySource::Generated { ases, seed } => {
+            let net = generate(&NetGenConfig::paper_2020(*ases, *seed));
+            let tiers = net.tiers_for(&net.truth);
+            (net.truth, tiers, Vec::new())
+        }
+        TopologySource::Preloaded { graph, tiers } => (graph.clone(), tiers.clone(), Vec::new()),
+    };
+
+    // The PR-1 health gate: a daemon serving answers from a topology with
+    // a broken Tier-1 clique or an empty graph would be confidently wrong
+    // for every query, so critical findings refuse the snapshot.
+    let t1: Vec<AsId> = tiers.tier1().iter().map(|&n| graph.asn(n)).collect();
+    let t2: Vec<AsId> = tiers.tier2().iter().map(|&n| graph.asn(n)).collect();
+    let report = validate_topology(&graph, &t1, &t2, &conflicts, &ValidateOptions::default());
+    if !report.is_usable() {
+        return Err(format!("topology failed health gate:\n{}", report.render()));
+    }
+    if !report.is_clean() {
+        flatnet_obs::warn!("snapshot v{version} health findings:\n{}", report.render());
+    }
+
+    let topo = TopologySnapshot::compile(&graph);
+    flatnet_obs::info!(
+        "snapshot v{version}: {} ASes, {} links, {} Tier-1s, {} Tier-2s",
+        graph.len(),
+        graph.edge_count(),
+        tiers.tier1().len(),
+        tiers.tier2().len()
+    );
+    Ok(ServeSnapshot { version, graph, tiers, topo })
+}
+
+/// Reads an as-rel file, sniffing serial-1 vs serial-2 from the field
+/// count of the first data line (same logic as the CLI loader).
+fn load_caida(path: &str, lenient: bool) -> Result<(AsGraph, Vec<RelConflict>), String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mode = if lenient { ParseOptions::lenient() } else { ParseOptions::strict() };
+    let fields = data
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.split('|').count())
+        .unwrap_or(3);
+    let result = if fields == 4 {
+        caida::parse_serial2_with(data.as_bytes(), &mode)
+    } else {
+        caida::parse_serial1_with(data.as_bytes(), &mode)
+    };
+    let (b, diag) = result.map_err(|e| format!("{path}: not a CAIDA as-rel file: {e}"))?;
+    if !diag.is_clean() {
+        flatnet_obs::warn!("{path}: {}", diag.summary());
+    }
+    let conflicts = b.conflicts().to_vec();
+    Ok((b.build(), conflicts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_source() -> TopologySource {
+        TopologySource::Generated { ases: 400, seed: 7 }
+    }
+
+    #[test]
+    fn first_snapshot_is_version_one() {
+        let mgr = SnapshotManager::new(tiny_source()).unwrap();
+        let snap = mgr.current();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.graph.len(), snap.topo.len());
+        assert!(!snap.tiers.tier1().is_empty());
+    }
+
+    #[test]
+    fn reload_bumps_version_and_old_arc_survives() {
+        let mgr = SnapshotManager::new(tiny_source()).unwrap();
+        let old = mgr.current();
+        let new = mgr.reload().unwrap();
+        assert_eq!(old.version, 1);
+        assert_eq!(new.version, 2);
+        assert_eq!(mgr.current().version, 2);
+        // The old snapshot is still fully usable by an in-flight query.
+        assert_eq!(old.graph.len(), new.graph.len());
+    }
+
+    #[test]
+    fn unreadable_file_is_an_error_not_a_panic() {
+        let result = SnapshotManager::new(TopologySource::CaidaFile {
+            path: "/nonexistent/as-rel.txt".into(),
+            tier1: vec![],
+            tier2: vec![],
+            lenient: false,
+        });
+        let err = result.err().expect("expected an ingestion error");
+        assert!(err.contains("/nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_the_old_snapshot() {
+        // A Preloaded empty graph fails the health gate ("empty-graph" is
+        // critical)…
+        let empty = AsGraph::empty();
+        let tiers = Tiers::from_lists(&empty, &[], &[]);
+        assert!(SnapshotManager::new(TopologySource::Preloaded { graph: empty, tiers }).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Cache correctness, differentially: every `/v1/reachability` answer —
+//! cached or not — must be bit-identical (reachable set + count) to a
+//! fresh `Simulation` run over the same snapshot with the same exclusion
+//! mask; `/admin/reload` must bump the version and invalidate every
+//! cached entry; and a reload under concurrent query load must never
+//! produce an error or a wrong answer.
+
+use flatnet_bgpsim::{PropagationConfig, Simulation, TopologySnapshot};
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_serve::json::{parse, Json};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn fetch(addr: SocketAddr, method: &str, path: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    (status, parse(body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}")))
+}
+
+/// The reference: a fresh engine run with the same mask the daemon
+/// builds (providers of origin / Tier-1s / Tier-2s, origin kept).
+fn direct_reach(
+    net: &flatnet_netgen::SyntheticInternet,
+    snap: &TopologySnapshot,
+    tiers: &flatnet_asgraph::Tiers,
+    origin_asn: u32,
+    exclude: &str,
+) -> (usize, Vec<u32>) {
+    let g = &net.truth;
+    let origin = g.index_of(flatnet_asgraph::AsId(origin_asn)).unwrap();
+    let mut mask = vec![false; g.len()];
+    for token in exclude.split(',').filter(|t| !t.is_empty()) {
+        match token {
+            "providers" => {
+                for &p in g.providers(origin) {
+                    mask[p.idx()] = true;
+                }
+            }
+            "tier1" => {
+                for &t in tiers.tier1() {
+                    mask[t.idx()] = true;
+                }
+            }
+            "tier2" => {
+                for &t in tiers.tier2() {
+                    mask[t.idx()] = true;
+                }
+            }
+            other => panic!("bad exclude token {other}"),
+        }
+    }
+    mask[origin.idx()] = false;
+    let cfg = PropagationConfig::default().with_excluded(mask);
+    let out = Simulation::over(snap).config(cfg).run(origin);
+    let mut asns: Vec<u32> = out.reach_set().iter().map(|&n| g.asn(n).0).collect();
+    asns.sort_unstable();
+    (out.reachable_count(), asns)
+}
+
+fn reach_of(doc: &Json) -> (usize, Vec<u32>, bool, u64) {
+    let count = doc.get("reachable").and_then(Json::as_u64).expect("reachable") as usize;
+    let asns: Vec<u32> = doc
+        .get("reach")
+        .and_then(Json::as_array)
+        .expect("reach array (full=1)")
+        .iter()
+        .map(|v| v.as_u64().expect("asn") as u32)
+        .collect();
+    let cached = doc.get("cached").and_then(Json::as_bool).expect("cached");
+    let version = doc.get("snapshot_version").and_then(Json::as_u64).expect("version");
+    (count, asns, cached, version)
+}
+
+#[test]
+fn cached_answers_are_bit_identical_and_reload_invalidates() {
+    let net = generate(&NetGenConfig::paper_2020(600, 42));
+    let tiers = net.tiers_for(&net.truth);
+    let snap = TopologySnapshot::compile(&net.truth);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 3,
+        source: TopologySource::Preloaded { graph: net.truth.clone(), tiers: tiers.clone() },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // A cloud, a Tier-1, and an arbitrary mid-table AS.
+    let origins = [
+        net.clouds[0].asn.0,
+        net.truth.asn(tiers.tier1()[0]).0,
+        net.truth.asn(flatnet_asgraph::NodeId((net.truth.len() / 2) as u32)).0,
+    ];
+    let variants =
+        ["", "providers", "tier1", "providers,tier1", "providers,tier1,tier2", "tier2"];
+
+    // ---- Differential pass: miss then hit, both bit-identical. ----
+    for &origin in &origins {
+        for variant in variants {
+            let (want_count, want_asns) = direct_reach(&net, &snap, &tiers, origin, variant);
+            let path = format!("/v1/reachability?origin={origin}&exclude={variant}&full=1");
+            let (status, first) = fetch(addr, "GET", &path);
+            assert_eq!(status, 200, "{path}: {first:?}");
+            let (count1, asns1, cached1, v1) = reach_of(&first);
+            assert!(!cached1, "first query of {path} must be a miss");
+            assert_eq!(v1, 1);
+            assert_eq!(count1, want_count, "{path}: count vs direct Simulation");
+            assert_eq!(asns1, want_asns, "{path}: reach set vs direct Simulation");
+
+            let (status, second) = fetch(addr, "GET", &path);
+            assert_eq!(status, 200);
+            let (count2, asns2, cached2, _) = reach_of(&second);
+            assert!(cached2, "second query of {path} must hit the cache");
+            assert_eq!(count2, want_count, "{path}: cached count drifted");
+            assert_eq!(asns2, want_asns, "{path}: cached reach set drifted");
+        }
+    }
+
+    // The cache hits must be visible in /metrics.
+    let (status, metrics) = fetch(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    let hits = metrics
+        .get("counters")
+        .and_then(|c| c.get("serve.cache_hit"))
+        .and_then(Json::as_u64)
+        .expect("serve.cache_hit counter");
+    assert!(hits >= (origins.len() * variants.len()) as u64, "only {hits} cache hits");
+
+    // ---- Reload invalidates: version bumps, first query misses. ----
+    let probe = format!("/v1/reachability?origin={}&exclude=providers&full=1", origins[0]);
+    let (status, reloaded) = fetch(addr, "POST", "/admin/reload");
+    assert_eq!(status, 200, "{reloaded:?}");
+    assert_eq!(reloaded.get("snapshot_version").and_then(Json::as_u64), Some(2));
+
+    let (want_count, want_asns) = direct_reach(&net, &snap, &tiers, origins[0], "providers");
+    let (status, after) = fetch(addr, "GET", &probe);
+    assert_eq!(status, 200);
+    let (count, asns, cached, version) = reach_of(&after);
+    assert!(!cached, "reload must invalidate cached entries");
+    assert_eq!(version, 2);
+    // Same source -> same topology -> same answer, recomputed.
+    assert_eq!(count, want_count);
+    assert_eq!(asns, want_asns);
+
+    // ---- Mid-load reload: queries keep answering correctly. ----
+    let worker = {
+        let origin = origins[1];
+        std::thread::spawn(move || {
+            let mut statuses = Vec::new();
+            for _ in 0..40 {
+                let (status, doc) =
+                    fetch(addr, "GET", &format!("/v1/reachability?origin={origin}"));
+                let count = doc.get("reachable").and_then(Json::as_u64).unwrap_or(0);
+                statuses.push((status, count));
+            }
+            statuses
+        })
+    };
+    for _ in 0..5 {
+        let (status, _) = fetch(addr, "POST", "/admin/reload");
+        assert_eq!(status, 200);
+    }
+    let (want_count, _) = direct_reach(&net, &snap, &tiers, origins[1], "");
+    for (status, count) in worker.join().expect("query thread") {
+        assert_eq!(status, 200, "query failed during reload");
+        assert_eq!(count as usize, want_count, "answer drifted during reload");
+    }
+
+    // Reliance answers cache correctly too (distinct fingerprint: the
+    // reachability entries above must not collide with these).
+    let rel = format!("/v1/reliance?origin={}", origins[0]);
+    let (status, first) = fetch(addr, "GET", &rel);
+    assert_eq!(status, 200);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let receivers = first.get("receivers").and_then(Json::as_f64).unwrap();
+    assert!(receivers > 1.0);
+    let (status, second) = fetch(addr, "GET", &rel);
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(second.get("receivers").and_then(Json::as_f64), Some(receivers));
+
+    server.shutdown();
+}

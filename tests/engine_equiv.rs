@@ -11,8 +11,8 @@
 
 use flatnet_asgraph::NodeId;
 use flatnet_bgpsim::{
-    propagate, propagate_legacy, ImportPolicy, PropagationConfig, PropagationOptions, Simulation,
-    SweepCtx, TopologySnapshot,
+    propagate, propagate_legacy, ImportPolicy, PropagationConfig, Simulation, SweepCtx,
+    TopologySnapshot,
 };
 use flatnet_netgen::{generate, NetGenConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -96,23 +96,18 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
                 let import: Option<Vec<ImportPolicy>> = (variant == 3 || variant == 4)
                     .then(|| (0..n).map(|_| random_policy(&mut rng)).collect());
 
-                let opts = PropagationOptions {
-                    excluded: excluded.as_deref(),
-                    origin_export: origin_export.as_deref(),
-                    import: import.as_deref(),
-                };
                 let mut cfg = PropagationConfig::new();
-                if let Some(m) = excluded.clone() {
+                if let Some(m) = excluded {
                     cfg = cfg.with_excluded(m);
                 }
-                if let Some(m) = origin_export.clone() {
+                if let Some(m) = origin_export {
                     cfg = cfg.with_origin_export(m);
                 }
-                if let Some(m) = import.clone() {
+                if let Some(m) = import {
                     cfg = cfg.with_import(m);
                 }
 
-                let legacy = propagate_legacy(g, origin, &opts);
+                let legacy = propagate_legacy(g, origin, &cfg);
                 let engine = propagate(g, origin, &cfg);
 
                 assert_eq!(
