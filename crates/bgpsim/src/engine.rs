@@ -53,12 +53,14 @@
 //! sorted into the legacy's ascending node order, keeping the bucket
 //! push/pop sequence identical).
 
+use crate::lanes::{LaneExcluder, LaneWorkspace, SweepReach, LANES};
 use crate::parallel::{self, SweepError};
 use crate::propagate::{
     metrics, ImportPolicy, PolicyView, PropagationConfig, RouteClass, RoutingOutcome, UNREACHED,
 };
 use flatnet_asgraph::{AsGraph, NodeId};
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// An immutable, compiled copy of an [`AsGraph`]'s adjacency, laid out
 /// for propagation: one contiguous `u32` slice per node, split by
@@ -128,17 +130,17 @@ impl TopologySnapshot {
     }
 
     #[inline]
-    fn customers(&self, u: u32) -> &[u32] {
+    pub(crate) fn customers(&self, u: u32) -> &[u32] {
         &self.adj[self.off[u as usize] as usize..self.cust_end[u as usize] as usize]
     }
 
     #[inline]
-    fn peers(&self, u: u32) -> &[u32] {
+    pub(crate) fn peers(&self, u: u32) -> &[u32] {
         &self.adj[self.cust_end[u as usize] as usize..self.peer_end[u as usize] as usize]
     }
 
     #[inline]
-    fn providers(&self, u: u32) -> &[u32] {
+    pub(crate) fn providers(&self, u: u32) -> &[u32] {
         &self.adj[self.peer_end[u as usize] as usize..self.off[u as usize + 1] as usize]
     }
 
@@ -495,18 +497,72 @@ pub(crate) fn run_into(
 /// let out = Simulation::over(&snap).keep_ties(true).run(origin);
 /// assert_eq!(out.reachable_count(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Simulation<'s> {
     snap: &'s TopologySnapshot,
     cfg: PropagationConfig,
     threads: usize,
+    /// Checked-out-and-returned pool of kernel workspaces: repeated
+    /// reach sweeps on one `Simulation` (per-block cache warming,
+    /// multi-pass profiles, benchmark reps) reuse buffers instead of
+    /// paying allocation plus first-touch page faults every sweep.
+    lane_pool: Mutex<Vec<LaneWorkspace>>,
+}
+
+impl Clone for Simulation<'_> {
+    fn clone(&self) -> Self {
+        // Pooled workspaces are transient scratch; a clone starts empty.
+        Simulation {
+            snap: self.snap,
+            cfg: self.cfg.clone(),
+            threads: self.threads,
+            lane_pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A [`LaneWorkspace`] checked out of a [`Simulation`]'s pool; returned
+/// on drop (including when a sweep worker unwinds).
+struct PooledLanes<'p> {
+    ws: Option<LaneWorkspace>,
+    pool: &'p Mutex<Vec<LaneWorkspace>>,
+}
+
+impl PooledLanes<'_> {
+    fn get(&mut self) -> &mut LaneWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledLanes<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(ws);
+        }
+    }
 }
 
 impl<'s> Simulation<'s> {
+    /// Checks a kernel workspace out of the pool (or sizes a fresh one
+    /// for the snapshot); the guard returns it on drop.
+    fn lane_ws(&self) -> PooledLanes<'_> {
+        let ws = self
+            .lane_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_else(|| LaneWorkspace::for_snapshot(self.snap));
+        PooledLanes { ws: Some(ws), pool: &self.lane_pool }
+    }
     /// Starts a simulation over a compiled snapshot with default config
     /// (no restrictions, all ties kept, auto thread count for sweeps).
     pub fn over(snap: &'s TopologySnapshot) -> Self {
-        Simulation { snap, cfg: PropagationConfig::default(), threads: 0 }
+        Simulation {
+            snap,
+            cfg: PropagationConfig::default(),
+            threads: 0,
+            lane_pool: Mutex::new(Vec::new()),
+        }
     }
 
     /// Replaces the whole propagation config.
@@ -603,6 +659,152 @@ impl<'s> Simulation<'s> {
         F: Fn(&mut SweepCtx<'s>, NodeId) -> R + Sync,
     {
         parallel::try_parallel_map_ctx(origins, self.threads, || self.ctx(), |ctx, &o| f(ctx, o))
+    }
+
+    /// Sweeps `origins` through the bit-parallel kernel
+    /// ([`crate::lanes`]): origins are chunked into 64-lane blocks, each
+    /// block advances all its origins in one word-wise frontier
+    /// expansion, and blocks fan out over [`crate::parallel`] (one
+    /// [`LaneWorkspace`] per worker). Returns the materialized
+    /// reach bitsets, bit-identical to per-origin [`Workspace`] runs
+    /// under the same config.
+    ///
+    /// Reach sets only — no distances, selections, or tie paths; use
+    /// [`Self::run`] / [`Self::run_sweep_map`] when those are needed.
+    pub fn run_sweep_reach(&self, origins: &[NodeId]) -> SweepReach {
+        self.run_sweep_reach_with(origins, |_, _| {})
+    }
+
+    /// Like [`Self::run_sweep_reach`], with a per-origin exclusion fill:
+    /// `fill` runs once per origin and installs that origin's exclusions
+    /// through a [`LaneExcluder`] (on top of the shared config mask) —
+    /// the word-parallel analogue of refilling
+    /// [`PropagationConfig::excluded_mask_mut`] per origin.
+    pub fn run_sweep_reach_with<F>(&self, origins: &[NodeId], fill: F) -> SweepReach
+    where
+        F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
+    {
+        let wp = self.snap.len().div_ceil(64);
+        let blocks: Vec<&[NodeId]> = origins.chunks(LANES).collect();
+        let parts: Vec<(Vec<u64>, Vec<u32>)> = parallel::parallel_map_ctx(
+            &blocks,
+            self.threads,
+            || self.lane_ws(),
+            |pw, block| {
+                let ws = pw.get();
+                ws.run_block_inner(self.snap, block, &self.cfg, |o, ex| fill(o, ex), true);
+                let mut words = Vec::with_capacity(block.len() * wp);
+                let mut counts = Vec::with_capacity(block.len());
+                for k in 0..block.len() {
+                    words.extend_from_slice(ws.lane_reach_words(k));
+                    counts.push(ws.lane_reachable_count(k) as u32);
+                }
+                (words, counts)
+            },
+        );
+        let mut words = Vec::with_capacity(origins.len() * wp);
+        let mut counts = Vec::with_capacity(origins.len());
+        for (w, c) in parts {
+            words.extend_from_slice(&w);
+            counts.extend_from_slice(&c);
+        }
+        SweepReach::from_parts(self.snap.len(), origins.to_vec(), words, counts)
+    }
+
+    /// The counts-only form of [`Self::run_sweep_reach`]: per-origin
+    /// reachable counts (origin excluded) without materializing the
+    /// reach bitsets — what all-origin profile sweeps want, where the
+    /// full transposed bitset would be O(origins × nodes) memory.
+    pub fn run_sweep_reach_counts(&self, origins: &[NodeId]) -> Vec<u32> {
+        self.run_sweep_reach_counts_with(origins, |_, _| {})
+    }
+
+    /// [`Self::run_sweep_reach_counts`] with a per-origin exclusion fill
+    /// (see [`Self::run_sweep_reach_with`]).
+    pub fn run_sweep_reach_counts_with<F>(&self, origins: &[NodeId], fill: F) -> Vec<u32>
+    where
+        F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
+    {
+        let blocks: Vec<&[NodeId]> = origins.chunks(LANES).collect();
+        let parts: Vec<Vec<u32>> = parallel::parallel_map_ctx(
+            &blocks,
+            self.threads,
+            || self.lane_ws(),
+            |pw, block| {
+                let ws = pw.get();
+                ws.run_block_inner(self.snap, block, &self.cfg, |o, ex| fill(o, ex), false);
+                (0..block.len()).map(|k| ws.lane_reachable_count(k) as u32).collect()
+            },
+        );
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Like [`Self::run_sweep_reach_counts_with`], but a panic in `fill`
+    /// becomes a per-origin [`SweepError`] (indexed into `origins`)
+    /// while every other lane of the block still completes — the kernel
+    /// analogue of [`Self::try_run_sweep_map`].
+    pub fn try_run_sweep_reach_counts_with<F>(
+        &self,
+        origins: &[NodeId],
+        fill: F,
+    ) -> Vec<Result<u32, SweepError>>
+    where
+        F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
+    {
+        let blocks: Vec<&[NodeId]> = origins.chunks(LANES).collect();
+        let parts = parallel::try_parallel_map_ctx(
+            &blocks,
+            self.threads,
+            || self.lane_ws(),
+            |pw, block| {
+                let ws = pw.get();
+                let mut lane_errs: Vec<(usize, String)> = Vec::new();
+                let mut lane = 0usize;
+                ws.run_block_inner(
+                    self.snap,
+                    block,
+                    &self.cfg,
+                    |o, ex| {
+                        let k = lane;
+                        lane += 1;
+                        let caught = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| fill(o, &mut *ex)),
+                        );
+                        if let Err(payload) = caught {
+                            lane_errs.push((k, parallel::panic_message(payload.as_ref())));
+                            // Kill the lane: an excluded origin yields the
+                            // empty outcome, so partial exclusions from the
+                            // half-run fill cannot leak into the result.
+                            ex.exclude(o);
+                        }
+                    },
+                    false,
+                );
+                let counts: Vec<u32> =
+                    (0..block.len()).map(|k| ws.lane_reachable_count(k) as u32).collect();
+                (counts, lane_errs)
+            },
+        );
+        let mut out = Vec::with_capacity(origins.len());
+        for (bi, part) in parts.into_iter().enumerate() {
+            let base = bi * LANES;
+            match part {
+                Ok((counts, errs)) => {
+                    let start = out.len();
+                    out.extend(counts.into_iter().map(Ok));
+                    for (lane, message) in errs {
+                        out[start + lane] = Err(SweepError { index: base + lane, message });
+                    }
+                }
+                Err(e) => {
+                    let blk_len = origins.len().min(base + LANES) - base;
+                    out.extend((0..blk_len).map(|k| {
+                        Err(SweepError { index: base + k, message: e.message.clone() })
+                    }));
+                }
+            }
+        }
+        out
     }
 }
 

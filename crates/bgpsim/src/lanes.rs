@@ -1,0 +1,901 @@
+//! Bit-parallel multi-origin propagation kernel: 64 origins per `u64`.
+//!
+//! Sweeps dominate every headline experiment — the same valley-free
+//! propagation repeated over hundreds or thousands of origins on one
+//! immutable [`TopologySnapshot`]. The scalar engine
+//! ([`crate::engine::Workspace`]) already amortizes allocation, but it
+//! still walks the adjacency once *per origin*. This module packs 64
+//! origins into one `u64` **lane word** per node and runs the three
+//! Gao-Rexford phases word-wise, so a single frontier expansion advances
+//! all 64 origins at once.
+//!
+//! ## Bit-sliced representation
+//!
+//! Per node `i`, two lane words track route *existence*, not distance:
+//!
+//! * `c[i]` — bit `k` set ⟺ node `i` has a customer-learned route (or is
+//!   the origin) for lane `k`'s origin — the only class the peer phase
+//!   may export;
+//! * `r[i]` — a route of *any* class (customer, peer, or provider): the
+//!   reach set the kernel outputs.
+//!
+//! The scalar engine's separate peer/provider distance arrays have no
+//! lane counterpart: existence-wise, a peer- or provider-learned route
+//! only ever feeds the provider phase, and that phase spreads `r`
+//! itself, so any class split finer than "customer vs any" carries no
+//! information the kernel needs.
+//!
+//! Two more words encode the per-lane policy environment:
+//!
+//! * `is_origin[i]` — bit `k` set ⟺ node `i` *is* lane `k`'s origin.
+//!   Every origin-relative policy rule (`OnlyDirectFromOrigin`,
+//!   `RejectDirectFromOrigin`, origin-export masks, "receiver ≠ origin")
+//!   becomes one AND with this word or its complement.
+//! * `blocked[i]` — bit `k` set ⟺ node `i` is excluded for lane `k`
+//!   (the shared exclusion mask broadcast to all lanes, plus any
+//!   per-lane exclusions installed through [`LaneExcluder`]).
+//!
+//! ## Reach-set-only contract
+//!
+//! The kernel computes **which** nodes receive a route, not *how*: no
+//! distances, no selected class, no tie paths. This is sound because
+//! route *existence* is a monotone closure that never needs distances —
+//! under valley-free export every routed node announces its best route
+//! to all its customers regardless of what that best route is, so the
+//! provider phase spreads plain existence (`r`) down customer edges.
+//! Consumers that need per-origin selections, next-hop DAGs, or tie
+//! information must use the scalar [`crate::engine::Workspace`]; the
+//! differential test in `tests/engine_equiv.rs` pins the kernel's reach
+//! words bit-identical to per-origin workspace runs.
+//!
+//! ## Phase equivalence (vs the scalar engine)
+//!
+//! 1. **Customer phase** — BFS up provider edges on `c`. The scalar
+//!    guard `dist_c[p] == UNREACHED` becomes `& !c[p]`; the origin's own
+//!    seeded bit blocks re-entry exactly like its `dist_c = 0`.
+//! 2. **Peer phase** — one relaxation over the customer-reached set:
+//!    `r[peer] |= c[v]` masked by policy and `!is_origin[peer]` (the
+//!    scalar `u != origin` test), received where no route exists yet
+//!    (`!r` — a node that already holds a customer route gains nothing
+//!    reach-wise from a peer route).
+//! 3. **Provider phase** — closure down customer edges seeded from every
+//!    routed node: `out = r & !blocked`, received into `r` where no
+//!    route exists yet. The scalar engine's distance ordering (bucket
+//!    queue) only affects *which* provider route wins, never *whether* a
+//!    node is reached, so the unordered fixpoint reaches the identical
+//!    set.
+//!
+//! All phases only ever OR bits in, so the fixpoint is unique and the
+//! result is deterministic regardless of frontier order or thread count.
+//!
+//! The sweep front ends live on [`Simulation`](crate::engine::Simulation)
+//! (`run_sweep_reach` & friends): origins are chunked into 64-lane
+//! blocks and the blocks fan out over [`crate::parallel`], one
+//! [`LaneWorkspace`] per worker, preserving the engine's zero
+//! steady-state allocation property (asserted by the counting-allocator
+//! smoke in `tests/engine_equiv.rs`).
+
+use crate::engine::TopologySnapshot;
+use crate::propagate::{metrics, ImportPolicy, PropagationConfig};
+use flatnet_asgraph::NodeId;
+
+/// Origins processed per kernel block: one bit lane per origin.
+pub const LANES: usize = 64;
+
+/// One node's lane words, kept together so a frontier edge inspects a
+/// single cache line per receiver (`blocked`, `is_origin`, both route
+/// classes) instead of four scattered arrays.
+#[derive(Clone, Copy, Default, Debug)]
+struct NodeWords {
+    /// Customer-route lane word (origin seed included) — the only class
+    /// the peer phase exports.
+    c: u64,
+    /// Any-class route word — the reach set the kernel outputs.
+    r: u64,
+    /// Per-lane exclusion word.
+    blocked: u64,
+    /// Origin-membership word.
+    iso: u64,
+}
+
+/// Per-lane exclusion writer handed to the fill callbacks of
+/// [`Simulation::run_sweep_reach_with`](crate::engine::Simulation::run_sweep_reach_with):
+/// marks nodes as excluded *for the current origin's lane only*, the
+/// word-parallel replacement for refilling a `Vec<bool>` mask per origin.
+#[derive(Debug)]
+pub struct LaneExcluder<'w> {
+    words: &'w mut [NodeWords],
+    blocked_touched: &'w mut Vec<u32>,
+    bit: u64,
+}
+
+impl LaneExcluder<'_> {
+    /// Excludes `node` for this lane's origin (like setting its bit in a
+    /// scalar exclusion mask). Excluding the origin itself makes the
+    /// lane empty, matching the scalar engine's excluded-origin outcome;
+    /// use [`LaneExcluder::allow`] to carve the origin back out of a
+    /// blanket exclusion.
+    #[inline]
+    pub fn exclude(&mut self, node: NodeId) {
+        let i = node.idx();
+        if self.words[i].blocked == 0 {
+            self.blocked_touched.push(node.0);
+        }
+        self.words[i].blocked |= self.bit;
+    }
+
+    /// Clears `node`'s exclusion for this lane (the mirror of the scalar
+    /// sweeps' `mask[origin] = false` after a blanket tier fill).
+    #[inline]
+    pub fn allow(&mut self, node: NodeId) {
+        self.words[node.idx()].blocked &= !self.bit;
+    }
+}
+
+/// Reusable state for the bit-parallel kernel: the per-node lane words,
+/// frontier queues, and the transposed output.
+/// Create once per worker (or via
+/// [`LaneWorkspace::for_snapshot`]) and run many blocks through it —
+/// after the first block a run performs no heap allocation.
+#[derive(Debug)]
+pub struct LaneWorkspace {
+    /// Per-node lane words (route classes + policy environment).
+    words: Vec<NodeWords>,
+    /// Nodes with any route bit — the undo list for O(reached) resets.
+    touched: Vec<u32>,
+    /// Nodes with any blocked bit (undo list).
+    blocked_touched: Vec<u32>,
+    /// Nodes with any is_origin bit (undo list).
+    origin_touched: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    queued: Vec<bool>,
+    /// Transposed reach sets, lane-major: lane `k`'s words at
+    /// `out[k * words_per .. (k + 1) * words_per]`.
+    out: Vec<u64>,
+    /// Raw per-lane reach popcounts (origin bit included).
+    counts: [u32; LANES],
+    /// Origins of the most recent block, in lane order.
+    block_len: usize,
+    n: usize,
+}
+
+impl Default for LaneWorkspace {
+    fn default() -> Self {
+        LaneWorkspace {
+            words: Vec::new(),
+            touched: Vec::new(),
+            blocked_touched: Vec::new(),
+            origin_touched: Vec::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            queued: Vec::new(),
+            out: Vec::new(),
+            counts: [0; LANES],
+            block_len: 0,
+            n: 0,
+        }
+    }
+}
+
+impl LaneWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `snap`, so the first block allocates
+    /// everything up front.
+    pub fn for_snapshot(snap: &TopologySnapshot) -> Self {
+        let mut ws = Self::new();
+        ws.begin(snap.len(), true);
+        ws.block_len = 0;
+        ws
+    }
+
+    /// Words per transposed lane row (`n.div_ceil(64)`).
+    #[inline]
+    fn words_per(&self) -> usize {
+        self.n.div_ceil(64)
+    }
+
+    /// Sizes the buffers for `n` nodes and clears the previous block's
+    /// writes. Same-size resets undo via the touched lists, so for a
+    /// fixed topology a reset is O(previously reached), not O(n).
+    fn begin(&mut self, n: usize, materialize: bool) {
+        if self.words.len() == n {
+            for t in 0..self.touched.len() {
+                let i = self.touched[t] as usize;
+                self.words[i].c = 0;
+                self.words[i].r = 0;
+            }
+            for t in 0..self.blocked_touched.len() {
+                self.words[self.blocked_touched[t] as usize].blocked = 0;
+            }
+            for t in 0..self.origin_touched.len() {
+                self.words[self.origin_touched[t] as usize].iso = 0;
+            }
+            // A panic mid-block (a fill callback indexing out of bounds)
+            // can leave entries queued; drain the flags so a reused
+            // worker workspace starts clean.
+            for q in self.frontier.drain(..).chain(self.next.drain(..)) {
+                self.queued[q as usize] = false;
+            }
+        } else {
+            self.words.clear();
+            self.words.resize(n, NodeWords::default());
+            self.queued.clear();
+            self.queued.resize(n, false);
+            self.frontier.clear();
+            self.next.clear();
+        }
+        self.touched.clear();
+        self.blocked_touched.clear();
+        self.origin_touched.clear();
+        self.n = n;
+        if materialize {
+            let need = LANES * self.words_per();
+            if self.out.len() != need {
+                self.out.clear();
+                self.out.resize(need, 0);
+            }
+        }
+        self.counts = [0; LANES];
+    }
+
+    /// First-touch bookkeeping for the undo list; call before OR-ing the
+    /// first route bit into node `i`.
+    #[inline]
+    fn touch(&mut self, i: u32) {
+        if self.words[i as usize].r == 0 {
+            self.touched.push(i);
+        }
+    }
+
+    /// Number of origins in the most recent block.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Runs one block of up to [`LANES`] origins over `snap` under
+    /// `cfg`; results are read through [`LaneWorkspace::lane_reach_words`]
+    /// and [`LaneWorkspace::lane_reachable_count`].
+    pub fn run_block(&mut self, snap: &TopologySnapshot, origins: &[NodeId], cfg: &PropagationConfig) {
+        self.run_block_inner(snap, origins, cfg, |_, _| {}, true);
+    }
+
+    /// Like [`LaneWorkspace::run_block`], with a per-origin exclusion
+    /// fill: `fill` runs once per lane and installs that origin's
+    /// exclusions through the [`LaneExcluder`] (on top of any shared
+    /// `cfg` exclusion mask, which applies to every lane).
+    pub fn run_block_masked(
+        &mut self,
+        snap: &TopologySnapshot,
+        origins: &[NodeId],
+        cfg: &PropagationConfig,
+        fill: impl FnMut(NodeId, &mut LaneExcluder<'_>),
+    ) {
+        self.run_block_inner(snap, origins, cfg, fill, true);
+    }
+
+    /// The block kernel. `materialize = false` skips the transposed
+    /// output (counts only), the form the count-only sweeps use.
+    pub(crate) fn run_block_inner(
+        &mut self,
+        snap: &TopologySnapshot,
+        origins: &[NodeId],
+        cfg: &PropagationConfig,
+        mut fill: impl FnMut(NodeId, &mut LaneExcluder<'_>),
+        materialize: bool,
+    ) {
+        assert!(origins.len() <= LANES, "a kernel block holds at most {LANES} origins");
+        let n = snap.len();
+        let obs = metrics();
+        obs.runs.add(origins.len() as u64);
+        obs.kernel_blocks.inc();
+        self.begin(n, materialize);
+        self.block_len = origins.len();
+        if n == 0 || origins.is_empty() {
+            return;
+        }
+        let pol = cfg.view();
+
+        // Broadcast the shared exclusion mask to all lanes.
+        if let Some(mask) = pol.excluded {
+            for (i, &ex) in mask.iter().enumerate() {
+                if ex {
+                    if self.words[i].blocked == 0 {
+                        self.blocked_touched.push(i as u32);
+                    }
+                    self.words[i].blocked = !0u64;
+                }
+            }
+        }
+        // Per-lane exclusions + origin membership.
+        for (k, &o) in origins.iter().enumerate() {
+            let bit = 1u64 << k;
+            let oi = o.idx();
+            if self.words[oi].iso == 0 {
+                self.origin_touched.push(o.0);
+            }
+            self.words[oi].iso |= bit;
+            let mut ex = LaneExcluder {
+                words: &mut self.words,
+                blocked_touched: &mut self.blocked_touched,
+                bit,
+            };
+            fill(o, &mut ex);
+        }
+        // Seed: each non-excluded origin gets its customer-class bit
+        // (the scalar engine's `dist_c[origin] = 0`); an excluded origin
+        // leaves its lane empty, matching the scalar empty outcome.
+        for (k, &o) in origins.iter().enumerate() {
+            let bit = 1u64 << k;
+            let oi = o.idx();
+            if self.words[oi].blocked & bit != 0 {
+                continue;
+            }
+            self.touch(o.0);
+            self.words[oi].c |= bit;
+            self.words[oi].r |= bit;
+            if !self.queued[oi] {
+                self.queued[oi] = true;
+                self.frontier.push(o.0);
+            }
+        }
+
+        // Sweep workloads (mask-only policies) take the specialized path
+        // where the per-edge policy checks compile out entirely.
+        let rounds = if pol.import.is_none() && pol.origin_export.is_none() {
+            self.run_phases::<false>(snap, None, None)
+        } else {
+            self.run_phases::<true>(snap, pol.import, pol.origin_export)
+        };
+        obs.kernel_rounds.add(rounds);
+
+        // Counts-only blocks with sparse reach sets skip the transpose:
+        // iterating the set bits of the touched nodes costs one step per
+        // (origin, node) reach pair, which beats the fixed
+        // ~8-ops-per-node transpose until the block is about 1/8 full.
+        let words_per = self.words_per();
+        let sparse = !materialize && {
+            let mut bits = 0u64;
+            for t in 0..self.touched.len() {
+                bits += self.words[self.touched[t] as usize].r.count_ones() as u64;
+            }
+            (bits as usize) < 8 * n
+        };
+        if sparse {
+            for t in 0..self.touched.len() {
+                let mut w = self.words[self.touched[t] as usize].r;
+                while w != 0 {
+                    self.counts[w.trailing_zeros() as usize] += 1;
+                    w &= w - 1;
+                }
+            }
+        } else {
+            // Transpose node-major lane words into origin-major reach
+            // rows, accumulating per-lane popcounts. Nodes past `n` in
+            // the last group are zero-padded, so tail words mask
+            // themselves.
+            let mut buf = [0u64; 64];
+            for gb in 0..words_per {
+                let base = gb * 64;
+                let lim = (n - base).min(64);
+                let mut any = 0u64;
+                for (r, b) in buf.iter_mut().enumerate().take(lim) {
+                    let i = base + r;
+                    *b = self.words[i].r;
+                    any |= *b;
+                }
+                for b in buf.iter_mut().take(64).skip(lim) {
+                    *b = 0;
+                }
+                if any == 0 {
+                    if materialize {
+                        for k in 0..self.block_len {
+                            self.out[k * words_per + gb] = 0;
+                        }
+                    }
+                    continue;
+                }
+                transpose64(&mut buf);
+                for (k, &w) in buf.iter().enumerate().take(self.block_len) {
+                    if materialize {
+                        self.out[k * words_per + gb] = w;
+                    }
+                    self.counts[k] += w.count_ones();
+                }
+            }
+        }
+    }
+
+    /// The three Gao-Rexford phases, word-wise. Monomorphized twice:
+    /// `POL = false` is the fast path for mask-only sweeps (`imp` and
+    /// `oe` must be `None`) where every per-edge policy branch compiles
+    /// out; `POL = true` keeps the full per-receiver policy algebra.
+    /// Returns the number of BFS rounds for the kernel-rounds counter.
+    fn run_phases<const POL: bool>(
+        &mut self,
+        snap: &TopologySnapshot,
+        imp: Option<&[ImportPolicy]>,
+        oe: Option<&[bool]>,
+    ) -> u64 {
+        let mut rounds = 0u64;
+
+        // Phase 1: customer routes spread up provider edges (word BFS).
+        while !self.frontier.is_empty() {
+            rounds += 1;
+            self.next.clear();
+            for f in 0..self.frontier.len() {
+                let u = self.frontier[f];
+                let ui = u as usize;
+                self.queued[ui] = false;
+                let wu = self.words[ui];
+                let send = wu.c & !wu.blocked;
+                if send == 0 {
+                    continue;
+                }
+                let iso_u = wu.iso;
+                for &pi in snap.providers(u) {
+                    let pu = pi as usize;
+                    let wp = self.words[pu];
+                    let mut add = send & !wp.blocked & !wp.c;
+                    if add == 0 {
+                        continue;
+                    }
+                    if POL {
+                        if let Some(imp) = imp {
+                            match imp[pu] {
+                                ImportPolicy::Normal => {}
+                                ImportPolicy::Never => continue,
+                                ImportPolicy::OnlyDirectFromOrigin => add &= iso_u,
+                                ImportPolicy::RejectDirectFromOrigin => add &= !iso_u,
+                            }
+                        }
+                        if let Some(m) = oe {
+                            if !m[pu] {
+                                add &= !iso_u;
+                            }
+                        }
+                        if add == 0 {
+                            continue;
+                        }
+                    }
+                    if wp.r == 0 {
+                        self.touched.push(pi);
+                    }
+                    self.words[pu].c |= add;
+                    self.words[pu].r |= add;
+                    if !self.queued[pu] {
+                        self.queued[pu] = true;
+                        self.next.push(pi);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        let customer_reached = self.touched.len();
+
+        // Phase 2: peers export customer routes — a single relaxation
+        // over the customer-reached set (p2p adjacency is symmetric, so
+        // sender→peers visits every pair the receiver scan would).
+        for t in 0..customer_reached {
+            let v = self.touched[t];
+            let vi = v as usize;
+            let wv = self.words[vi];
+            let send = wv.c & !wv.blocked;
+            if send == 0 {
+                continue;
+            }
+            let iso_v = wv.iso;
+            for &ui in snap.peers(v) {
+                let uu = ui as usize;
+                let wu = self.words[uu];
+                let mut add = send & !wu.blocked & !wu.iso & !wu.r;
+                if add == 0 {
+                    continue;
+                }
+                if POL {
+                    if let Some(imp) = imp {
+                        match imp[uu] {
+                            ImportPolicy::Normal => {}
+                            ImportPolicy::Never => continue,
+                            ImportPolicy::OnlyDirectFromOrigin => add &= iso_v,
+                            ImportPolicy::RejectDirectFromOrigin => add &= !iso_v,
+                        }
+                    }
+                    if let Some(m) = oe {
+                        if !m[uu] {
+                            add &= !iso_v;
+                        }
+                    }
+                    if add == 0 {
+                        continue;
+                    }
+                }
+                if wu.r == 0 {
+                    self.touched.push(ui);
+                }
+                self.words[uu].r |= add;
+            }
+        }
+
+        // Phase 3: every routed node exports its (selected) route to its
+        // customers; existence-wise that is the closure of `r`
+        // down customer edges, seeded from everything routed so far.
+        self.frontier.clear();
+        for t in 0..self.touched.len() {
+            let u = self.touched[t];
+            self.queued[u as usize] = true;
+            self.frontier.push(u);
+        }
+        while !self.frontier.is_empty() {
+            rounds += 1;
+            self.next.clear();
+            for f in 0..self.frontier.len() {
+                let u = self.frontier[f];
+                let ui = u as usize;
+                self.queued[ui] = false;
+                let wu = self.words[ui];
+                let send = wu.r & !wu.blocked;
+                if send == 0 {
+                    continue;
+                }
+                let iso_u = wu.iso;
+                for &xi in snap.customers(u) {
+                    let xu = xi as usize;
+                    let wx = self.words[xu];
+                    let mut add = send & !wx.blocked & !wx.iso & !wx.r;
+                    if add == 0 {
+                        continue;
+                    }
+                    if POL {
+                        if let Some(imp) = imp {
+                            match imp[xu] {
+                                ImportPolicy::Normal => {}
+                                ImportPolicy::Never => continue,
+                                ImportPolicy::OnlyDirectFromOrigin => add &= iso_u,
+                                ImportPolicy::RejectDirectFromOrigin => add &= !iso_u,
+                            }
+                        }
+                        if let Some(m) = oe {
+                            if !m[xu] {
+                                add &= !iso_u;
+                            }
+                        }
+                        if add == 0 {
+                            continue;
+                        }
+                    }
+                    if wx.r == 0 {
+                        self.touched.push(xi);
+                    }
+                    self.words[xu].r |= add;
+                    if !self.queued[xu] {
+                        self.queued[xu] = true;
+                        self.next.push(xi);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        rounds
+    }
+
+    /// Lane `k`'s reach bitset from the most recent **materializing**
+    /// block run, in the same word-packed layout as
+    /// [`Workspace::reach_words`](crate::engine::Workspace::reach_words)
+    /// (bit = node index, origin bit set, tail bits zero).
+    pub fn lane_reach_words(&self, lane: usize) -> &[u64] {
+        assert!(lane < self.block_len, "lane {lane} out of block (len {})", self.block_len);
+        let wp = self.words_per();
+        &self.out[lane * wp..(lane + 1) * wp]
+    }
+
+    /// Number of ASes reached in lane `k`, origin excluded — the kernel
+    /// analogue of
+    /// [`Workspace::reachable_count`](crate::engine::Workspace::reachable_count).
+    pub fn lane_reachable_count(&self, lane: usize) -> usize {
+        assert!(lane < self.block_len, "lane {lane} out of block (len {})", self.block_len);
+        (self.counts[lane] as usize).saturating_sub(1)
+    }
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3 scaled to
+/// 64 bits): afterwards, bit `i` of `a[j]` is what bit `j` of `a[i]` was.
+pub(crate) fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// The materialized result of a multi-origin reach sweep
+/// ([`Simulation::run_sweep_reach`](crate::engine::Simulation::run_sweep_reach)):
+/// one word-packed reach bitset per origin, in input order, bit-identical
+/// to what a per-origin [`Workspace`](crate::engine::Workspace) run
+/// would produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReach {
+    n: usize,
+    words_per: usize,
+    origins: Vec<NodeId>,
+    /// Origin-major reach words: origin `i` at `[i*words_per .. (i+1)*words_per]`.
+    words: Vec<u64>,
+    /// Per-origin reachable counts, origin excluded.
+    counts: Vec<u32>,
+}
+
+impl SweepReach {
+    pub(crate) fn from_parts(
+        n: usize,
+        origins: Vec<NodeId>,
+        words: Vec<u64>,
+        counts: Vec<u32>,
+    ) -> Self {
+        let words_per = n.div_ceil(64);
+        debug_assert_eq!(words.len(), origins.len() * words_per);
+        debug_assert_eq!(counts.len(), origins.len());
+        SweepReach { n, words_per, origins, words, counts }
+    }
+
+    /// Number of origins swept.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Whether the sweep covered no origins.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// Number of nodes in the swept topology.
+    pub fn nodes_len(&self) -> usize {
+        self.n
+    }
+
+    /// The `i`-th swept origin.
+    pub fn origin(&self, i: usize) -> NodeId {
+        self.origins[i]
+    }
+
+    /// Origin `i`'s word-packed reach bitset (bit = node index, origin
+    /// bit set, tail bits zero) — same layout as
+    /// [`Workspace::reach_words`](crate::engine::Workspace::reach_words).
+    pub fn reach_words(&self, i: usize) -> &[u64] {
+        assert!(i < self.origins.len(), "origin index {i} out of sweep (len {})", self.origins.len());
+        &self.words[i * self.words_per..(i + 1) * self.words_per]
+    }
+
+    /// Whether `node` received origin `i`'s announcement.
+    pub fn reachable(&self, i: usize, node: NodeId) -> bool {
+        let w = self.reach_words(i);
+        (w[node.idx() >> 6] >> (node.idx() & 63)) & 1 == 1
+    }
+
+    /// Number of ASes reached by origin `i`, origin excluded.
+    pub fn reachable_count(&self, i: usize) -> usize {
+        self.counts[i] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Simulation, Workspace};
+    use flatnet_asgraph::{AsGraph, AsGraphBuilder, AsId, Relationship};
+
+    fn transpose_naive(a: &[u64; 64]) -> [u64; 64] {
+        let mut b = [0u64; 64];
+        for (i, &w) in a.iter().enumerate() {
+            for j in 0..64 {
+                if (w >> j) & 1 == 1 {
+                    b[j] |= 1 << i;
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        // A deterministic pseudo-random matrix (xorshift).
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut a = [0u64; 64];
+        for w in a.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *w = s;
+        }
+        let mut t = a;
+        transpose64(&mut t);
+        assert_eq!(t, transpose_naive(&a));
+        // An involution: transposing twice restores the original.
+        transpose64(&mut t);
+        assert_eq!(t, a);
+    }
+
+    fn diamond() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(2), AsId(1), Relationship::P2c);
+        b.add_link(AsId(3), AsId(1), Relationship::P2c);
+        b.add_link(AsId(4), AsId(2), Relationship::P2c);
+        b.add_link(AsId(4), AsId(3), Relationship::P2c);
+        b.add_link(AsId(4), AsId(5), Relationship::P2p);
+        b.add_link(AsId(5), AsId(6), Relationship::P2c);
+        b.build()
+    }
+
+    #[test]
+    fn kernel_matches_workspace_on_diamond() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let reach = Simulation::over(&snap).threads(1).run_sweep_reach(&origins);
+        let mut ws = Workspace::for_snapshot(&snap);
+        let cfg = PropagationConfig::default();
+        for (i, &o) in origins.iter().enumerate() {
+            ws.run(&snap, o, &cfg);
+            assert_eq!(reach.reach_words(i), ws.reach_words(), "origin {o}");
+            assert_eq!(reach.reachable_count(i), ws.reachable_count(), "origin {o}");
+        }
+    }
+
+    #[test]
+    fn duplicate_origins_in_one_block_are_independent() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let o = g.index_of(AsId(4)).unwrap();
+        let origins = vec![o, o, o];
+        let reach = Simulation::over(&snap).threads(1).run_sweep_reach(&origins);
+        assert_eq!(reach.reach_words(0), reach.reach_words(1));
+        assert_eq!(reach.reach_words(0), reach.reach_words(2));
+        let single = Simulation::over(&snap).run(o);
+        assert_eq!(reach.reach_words(0), single.reach_words());
+    }
+
+    #[test]
+    fn per_lane_exclusions_match_scalar_masks() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        // Each lane excludes a different node: origin's index + 1 mod n.
+        let excl_for = |o: NodeId| NodeId((o.0 + 1) % g.len() as u32);
+        let sim = Simulation::over(&snap).threads(1);
+        let reach = sim.run_sweep_reach_with(&origins, |o, ex| {
+            ex.exclude(excl_for(o));
+            ex.allow(o);
+        });
+        for (i, &o) in origins.iter().enumerate() {
+            let banned = excl_for(o);
+            let mut mask = vec![false; g.len()];
+            mask[banned.idx()] = true;
+            mask[o.idx()] = false;
+            let out =
+                Simulation::over(&snap).config(PropagationConfig::new().with_excluded(mask)).run(o);
+            assert_eq!(reach.reach_words(i), out.reach_words(), "origin {o}");
+            assert_eq!(reach.reachable_count(i), out.reachable_count(), "origin {o}");
+        }
+    }
+
+    #[test]
+    fn excluded_origin_lane_is_empty() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let o = g.index_of(AsId(4)).unwrap();
+        let mut mask = vec![false; g.len()];
+        mask[o.idx()] = true;
+        let reach = Simulation::over(&snap)
+            .config(PropagationConfig::new().with_excluded(mask))
+            .threads(1)
+            .run_sweep_reach(&[o]);
+        assert_eq!(reach.reachable_count(0), 0);
+        assert!(reach.reach_words(0).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn empty_origin_list_and_empty_graph() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let reach = Simulation::over(&snap).run_sweep_reach(&[]);
+        assert!(reach.is_empty());
+        let empty = TopologySnapshot::compile(&AsGraphBuilder::new().build());
+        let r2 = Simulation::over(&empty).run_sweep_reach(&[]);
+        assert_eq!(r2.len(), 0);
+    }
+
+    /// A deterministic mixed-relationship graph with exactly `n` nodes:
+    /// a provider chain with periodic peerings and skip links, so routes
+    /// spread through all three phases.
+    fn mixed(n: u32) -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        for i in 1..n {
+            let rel = if i % 5 == 0 { Relationship::P2p } else { Relationship::P2c };
+            b.add_link(AsId(i), AsId(i + 1), rel);
+        }
+        let mut i = 1;
+        while i + 9 <= n {
+            b.add_link(AsId(i), AsId(i + 9), Relationship::P2c);
+            i += 7;
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tail_block_sizes_match_workspace() {
+        // n % 64 != 0 exercises the partial tail word of every lane
+        // bitset; sweeping all nodes also leaves the last block partial.
+        for n in [65u32, 127] {
+            let g = mixed(n);
+            assert_eq!(g.len(), n as usize);
+            let snap = TopologySnapshot::compile(&g);
+            let origins: Vec<NodeId> = g.nodes().collect();
+            let reach = Simulation::over(&snap).threads(1).run_sweep_reach(&origins);
+            let mut ws = Workspace::for_snapshot(&snap);
+            let cfg = PropagationConfig::default();
+            let valid = n as usize & 63;
+            for (i, &o) in origins.iter().enumerate() {
+                ws.run(&snap, o, &cfg);
+                assert_eq!(reach.reach_words(i), ws.reach_words(), "n={n} origin {o:?}");
+                assert_eq!(reach.reachable_count(i), ws.reachable_count(), "n={n} origin {o:?}");
+                let tail = *reach.reach_words(i).last().unwrap();
+                assert_eq!(tail & !((1u64 << valid) - 1), 0, "n={n} origin {o:?}: tail bits");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_snapshot_sizes() {
+        // Growing, shrinking, and re-growing the same LaneWorkspace takes
+        // begin()'s resize path each time the size changes and the
+        // undo-list path when it does not; results must stay identical to
+        // fresh per-origin runs throughout.
+        let g65 = mixed(65);
+        let g127 = mixed(127);
+        let s65 = TopologySnapshot::compile(&g65);
+        let s127 = TopologySnapshot::compile(&g127);
+        let mut lanes = LaneWorkspace::new();
+        let cfg = PropagationConfig::default();
+        for (snap, g) in [(&s127, &g127), (&s65, &g65), (&s127, &g127)] {
+            let origins: Vec<NodeId> = g.nodes().collect();
+            let mut ws = Workspace::for_snapshot(snap);
+            for block in origins.chunks(LANES) {
+                lanes.run_block(snap, block, &cfg);
+                for (k, &o) in block.iter().enumerate() {
+                    ws.run(snap, o, &cfg);
+                    assert_eq!(
+                        lanes.lane_reach_words(k),
+                        ws.reach_words(),
+                        "n={} origin {o:?}",
+                        g.len()
+                    );
+                    assert_eq!(lanes.lane_reachable_count(k), ws.reachable_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_only_sweep_matches_materialized() {
+        let g = diamond();
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let sim = Simulation::over(&snap).threads(2);
+        let reach = sim.run_sweep_reach(&origins);
+        let counts = sim.run_sweep_reach_counts(&origins);
+        for i in 0..origins.len() {
+            assert_eq!(counts[i] as usize, reach.reachable_count(i));
+        }
+    }
+}

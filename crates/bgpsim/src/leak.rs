@@ -20,8 +20,8 @@
 //! allocation. [`simulate_leak`] / [`simulate_subprefix_hijack`] remain
 //! as one-shot conveniences that compile a snapshot per call.
 
-use crate::engine::{run_into, TopologySnapshot, Workspace};
-use crate::propagate::{ImportPolicy, PolicyView};
+use crate::engine::{run_into, Simulation, TopologySnapshot, Workspace};
+use crate::propagate::{ImportPolicy, PolicyView, PropagationConfig};
 use flatnet_asgraph::{AsGraph, NodeId};
 
 /// How one AS routes the contested prefix.
@@ -371,6 +371,82 @@ impl<'s> LeakSim<'s> {
     }
 }
 
+/// Batch sub-prefix hijack: the (optionally weighted) detour fraction
+/// for every leaker in `leakers`, under one victim / locking / semantics
+/// configuration — the kernel-backed form of
+/// [`LeakSim::subprefix_fraction`], bit-identical to running it per
+/// leaker.
+///
+/// Sub-prefix detours are pure reach sets (longest-prefix match decides,
+/// so there is no route competition), and the leaker propagation's
+/// import policy depends only on the victim and the locking set — shared
+/// by every leaker. That makes the whole CDF one multi-origin sweep:
+/// leakers are packed 64 per block through
+/// [`Simulation::run_sweep_reach`], each word-wise frontier expansion
+/// advancing 64 hijacks at once. Note the per-lane policy semantics:
+/// under [`LockingSemantics::PreErratum`] a locking AS rejects routes
+/// *directly from the origin*, and "the origin" differs per lane — the
+/// kernel's origin-membership words resolve that per bit.
+pub fn subprefix_detour_fractions(
+    snap: &TopologySnapshot,
+    victim: NodeId,
+    leakers: &[NodeId],
+    locking: &[NodeId],
+    semantics: LockingSemantics,
+    weights: Option<&[f64]>,
+    threads: usize,
+) -> Vec<f64> {
+    for &l in leakers {
+        assert_ne!(victim, l, "victim cannot leak its own prefix");
+    }
+    let n = snap.len();
+    if n == 0 {
+        return vec![0.0; leakers.len()];
+    }
+    let mut import = vec![ImportPolicy::Normal; n];
+    for &l in locking {
+        import[l.idx()] = match semantics {
+            LockingSemantics::Corrected => ImportPolicy::Never,
+            LockingSemantics::PreErratum => ImportPolicy::RejectDirectFromOrigin,
+        };
+    }
+    // The victim itself never accepts the leaked route for its own prefix.
+    import[victim.idx()] = ImportPolicy::Never;
+    let sim = Simulation::over(snap)
+        .config(PropagationConfig::new().with_import(import))
+        .threads(threads);
+    let reach = sim.run_sweep_reach(leakers);
+    match weights {
+        None => (0..leakers.len())
+            // Every AS holding the sub-prefix is detoured; the leaker's
+            // own origin bit is set (its traffic terminates locally), and
+            // the victim's import policy keeps its bit clear.
+            .map(|i| (reach.reachable_count(i) + 1) as f64 / n as f64)
+            .collect(),
+        Some(w) => {
+            assert_eq!(w.len(), n, "weights must cover every node");
+            let total: f64 = w.iter().sum();
+            (0..leakers.len())
+                .map(|i| {
+                    if total == 0.0 {
+                        return 0.0;
+                    }
+                    let mut detoured = 0.0;
+                    for (wi, &word) in reach.reach_words(i).iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as usize;
+                            detoured += w[wi * 64 + b];
+                            bits &= bits - 1;
+                        }
+                    }
+                    detoured / total
+                })
+                .collect()
+        }
+    }
+}
+
 /// Runs one leak scenario over `g` (compiling a fresh snapshot; sweeps
 /// should reuse a [`LeakSim`] instead).
 ///
@@ -675,6 +751,60 @@ mod tests {
     fn victim_equals_leaker_panics() {
         let g = topology();
         simulate_leak(&g, &LeakScenario::simple(node(&g, 10), node(&g, 10)));
+    }
+
+    #[test]
+    fn batch_subprefix_matches_per_leaker_sim() {
+        let g = topology();
+        let snap = TopologySnapshot::compile(&g);
+        let victim = node(&g, 10);
+        let leakers: Vec<NodeId> = g.nodes().filter(|&t| t != victim).collect();
+        let mut w = vec![1.0; g.len()];
+        w[node(&g, 1).idx()] = 5.0;
+        w[node(&g, 20).idx()] = 0.25;
+        for semantics in [LockingSemantics::Corrected, LockingSemantics::PreErratum] {
+            for locking in [vec![], vec![node(&g, 1)], vec![node(&g, 1), node(&g, 40)]] {
+                for weights in [None, Some(w.as_slice())] {
+                    let batch = subprefix_detour_fractions(
+                        &snap, victim, &leakers, &locking, semantics, weights, 1,
+                    );
+                    let mut sim = LeakSim::new(&snap);
+                    for (i, &leaker) in leakers.iter().enumerate() {
+                        let scenario = LeakScenario {
+                            victim,
+                            leaker,
+                            victim_export: None,
+                            locking: locking.clone(),
+                            semantics,
+                        };
+                        let want = sim.subprefix_fraction(&scenario, weights);
+                        assert!(
+                            (batch[i] - want).abs() < 1e-12,
+                            "leaker {leaker}, {semantics:?}, locking {locking:?}, \
+                             weighted={}: batch {} != scalar {want}",
+                            weights.is_some(),
+                            batch[i],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_subprefix_empty_inputs() {
+        let g = topology();
+        let snap = TopologySnapshot::compile(&g);
+        let out = subprefix_detour_fractions(
+            &snap,
+            node(&g, 10),
+            &[],
+            &[],
+            LockingSemantics::Corrected,
+            None,
+            1,
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   [`TopologySnapshot`], reusable per-worker [`Workspace`]s, and the
 //!   builder-style [`Simulation`] sweep API every whole-Internet
 //!   experiment runs on.
+//! * [`lanes`] — the bit-parallel multi-origin kernel: 64 origins per
+//!   `u64` lane word, one frontier expansion advancing all of them, reach
+//!   sets bit-identical to per-origin [`Workspace`] runs (the
+//!   `Simulation::run_sweep_reach` family).
 //! * [`parallel`] — panic-isolated parallel sweeps with per-worker
 //!   contexts (re-exported by `flatnet_core::parallel`).
 //! * [`dag`] — the tied-best next-hop DAG and exact/floating path counting.
@@ -42,6 +46,7 @@
 pub mod collectors;
 pub mod dag;
 pub mod engine;
+pub mod lanes;
 pub mod leak;
 pub mod parallel;
 pub mod paths;
@@ -51,9 +56,10 @@ pub mod reliance;
 pub use collectors::{collect_ribs, visible_links, RibEntry};
 pub use dag::NextHopDag;
 pub use engine::{Simulation, SweepCtx, TopologySnapshot, Workspace};
+pub use lanes::{LaneExcluder, LaneWorkspace, SweepReach, LANES};
 pub use leak::{
-    simulate_leak, simulate_subprefix_hijack, DetourState, LeakOutcome, LeakScenario, LeakSim,
-    LockingSemantics,
+    simulate_leak, simulate_subprefix_hijack, subprefix_detour_fractions, DetourState,
+    LeakOutcome, LeakScenario, LeakSim, LockingSemantics,
 };
 pub use parallel::{parallel_map, parallel_map_ctx, try_parallel_map, try_parallel_map_ctx, SweepError};
 pub use propagate::{

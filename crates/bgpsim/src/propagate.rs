@@ -45,6 +45,11 @@ pub(crate) struct PropagateMetrics {
     pub(crate) routes_provider: Counter,
     pub(crate) export_checks: Counter,
     pub(crate) dijkstra_pops: Counter,
+    /// Blocks run through the bit-parallel kernel (`crate::lanes`).
+    pub(crate) kernel_blocks: Counter,
+    /// Frontier rounds across the kernel's BFS phases; deterministic for
+    /// a given (topology, origins, policy) regardless of thread count.
+    pub(crate) kernel_rounds: Counter,
 }
 
 pub(crate) fn metrics() -> &'static PropagateMetrics {
@@ -58,6 +63,8 @@ pub(crate) fn metrics() -> &'static PropagateMetrics {
             routes_provider: reg.counter("propagate.routes_provider"),
             export_checks: reg.counter("propagate.export_checks"),
             dijkstra_pops: reg.counter("propagate.dijkstra_pops"),
+            kernel_blocks: reg.counter("propagate.kernel_blocks"),
+            kernel_rounds: reg.counter("propagate.kernel_rounds"),
         }
     })
 }

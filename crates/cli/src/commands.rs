@@ -657,6 +657,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             "queue",
             "cache",
             "deadline-ms",
+            "warm",
             "tier1",
             "tier2",
         ],
@@ -679,6 +680,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         queue_cap: opts.num_or("queue", 256usize)?,
         cache_cap: opts.num_or("cache", 4096usize)?,
         deadline_ms: opts.num_or("deadline-ms", 5000u64)?,
+        warm: opts.num_or("warm", 0usize)?,
         source,
     };
     flatnet_serve::serve(cfg)

@@ -6,7 +6,9 @@
 
 use crate::parallel::parallel_map_ctx;
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{LeakScenario, LeakSim, LockingSemantics, TopologySnapshot};
+use flatnet_bgpsim::{
+    subprefix_detour_fractions, LeakScenario, LeakSim, LockingSemantics, TopologySnapshot,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,6 +107,18 @@ fn sample_leakers(g: &AsGraph, victim: Option<NodeId>, k: usize, seed: u64) -> V
     chosen
 }
 
+/// The subset of the victim's neighbors deploying peer locking under a
+/// given [`Locking`] configuration (leaker-independent).
+fn locking_set_for(g: &AsGraph, tiers: &Tiers, victim: NodeId, locking: Locking) -> Vec<NodeId> {
+    let neighbors = g.neighbors(victim).map(|(n, _)| n);
+    match locking {
+        Locking::None => Vec::new(),
+        Locking::Tier1 => neighbors.filter(|&n| tiers.is_tier1(n)).collect(),
+        Locking::Tier12 => neighbors.filter(|&n| tiers.is_tier1(n) || tiers.is_tier2(n)).collect(),
+        Locking::Global => neighbors.collect(),
+    }
+}
+
 /// Builds one [`LeakScenario`] for a victim under the given configuration.
 fn scenario_for(
     g: &AsGraph,
@@ -115,28 +129,19 @@ fn scenario_for(
     locking: Locking,
     semantics: LockingSemantics,
 ) -> LeakScenario {
-    let neighbors: Vec<NodeId> = g.neighbors(victim).map(|(n, _)| n).collect();
-    let providers: Vec<NodeId> = g.providers(victim).to_vec();
     let victim_export = match announce {
         Announce::ToAll => None,
-        Announce::ToTier12AndProviders => Some(
-            neighbors
-                .iter()
-                .copied()
-                .filter(|&n| tiers.is_tier1(n) || tiers.is_tier2(n) || providers.contains(&n))
-                .collect(),
-        ),
+        Announce::ToTier12AndProviders => {
+            let providers: Vec<NodeId> = g.providers(victim).to_vec();
+            Some(
+                g.neighbors(victim)
+                    .map(|(n, _)| n)
+                    .filter(|&n| tiers.is_tier1(n) || tiers.is_tier2(n) || providers.contains(&n))
+                    .collect(),
+            )
+        }
     };
-    let locking_set: Vec<NodeId> = match locking {
-        Locking::None => Vec::new(),
-        Locking::Tier1 => neighbors.iter().copied().filter(|&n| tiers.is_tier1(n)).collect(),
-        Locking::Tier12 => neighbors
-            .iter()
-            .copied()
-            .filter(|&n| tiers.is_tier1(n) || tiers.is_tier2(n))
-            .collect(),
-        Locking::Global => neighbors,
-    };
+    let locking_set = locking_set_for(g, tiers, victim, locking);
     LeakScenario { victim, leaker, victim_export, locking: locking_set, semantics }
 }
 
@@ -214,15 +219,18 @@ pub fn subprefix_hijack_cdf(
     let v = g.index_of(victim)?;
     let leakers = sample_leakers(g, Some(v), n_leakers, seed);
     let snap = TopologySnapshot::compile(g);
-    let mut fractions = parallel_map_ctx(
+    // The hijacker's more-specific prefix wins regardless of the victim's
+    // announcements, and the locking set is leaker-independent — so all
+    // leakers batch through the bit-parallel kernel, 64 per block.
+    let locking_set = locking_set_for(g, tiers, v, locking);
+    let mut fractions = subprefix_detour_fractions(
+        &snap,
+        v,
         &leakers,
+        &locking_set,
+        LockingSemantics::Corrected,
+        user_weights,
         0,
-        || LeakSim::new(&snap),
-        |sim, &m| {
-            let sc =
-                scenario_for(g, tiers, v, m, Announce::ToAll, locking, LockingSemantics::Corrected);
-            sim.subprefix_fraction(&sc, user_weights)
-        },
     );
     fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Some(LeakCdf { fractions })
@@ -355,6 +363,44 @@ mod tests {
         let zeros = cdf.fractions.iter().filter(|&&f| f == 0.0).count();
         assert_eq!(zeros, 7, "{:?}", cdf.fractions);
         assert_eq!(cdf.max(), 1.0);
+    }
+
+    /// The batched kernel subprefix CDF matches a per-leaker scalar
+    /// [`LeakSim`] reference, for both AS-count and user-weighted modes.
+    #[test]
+    fn subprefix_cdf_matches_per_leaker_sim() {
+        let (g, tiers) = sample();
+        let mut w = vec![0.0; g.len()];
+        for n in g.nodes() {
+            w[n.idx()] = 1.0 + n.idx() as f64;
+        }
+        for locking in [Locking::None, Locking::Tier1, Locking::Global] {
+            for weights in [None, Some(&w[..])] {
+                let cdf =
+                    subprefix_hijack_cdf(&g, &tiers, AsId(10), locking, 8, 5, weights).unwrap();
+                let v = g.index_of(AsId(10)).unwrap();
+                let leakers = sample_leakers(&g, Some(v), 8, 5);
+                let snap = TopologySnapshot::compile(&g);
+                let mut sim = LeakSim::new(&snap);
+                let mut expect: Vec<f64> = leakers
+                    .iter()
+                    .map(|&m| {
+                        let sc = scenario_for(
+                            &g,
+                            &tiers,
+                            v,
+                            m,
+                            Announce::ToAll,
+                            locking,
+                            LockingSemantics::Corrected,
+                        );
+                        sim.subprefix_fraction(&sc, weights)
+                    })
+                    .collect();
+                expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert_eq!(cdf.fractions, expect, "{locking:?} weighted={}", weights.is_some());
+            }
+        }
     }
 
     #[test]

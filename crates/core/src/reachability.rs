@@ -3,7 +3,7 @@
 
 use crate::parallel::SweepError;
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{Simulation, SweepCtx, TopologySnapshot};
+use flatnet_bgpsim::{LaneExcluder, Simulation, TopologySnapshot};
 use std::fmt;
 
 /// A worker panic in a fault-isolated reachability sweep, tied back to the
@@ -57,46 +57,61 @@ impl ReachabilityResult {
     }
 }
 
-/// Refills the exclusion mask for one origin at one constraint level.
-///
-/// The origin itself is never excluded (a Tier-1 computing its Tier-1-free
-/// reachability bypasses the *other* clique members).
-fn fill_exclusion_mask(
+/// Shared exclusion mask for one constraint level. The tier sets are
+/// origin-independent, so they ride in the simulation's config — the
+/// kernel broadcasts them once per 64-lane block instead of re-installing
+/// them lane by lane.
+fn tier_mask(tiers: &Tiers, include_t2: bool, n: usize) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &t in tiers.tier1() {
+        mask[t.idx()] = true;
+    }
+    if include_t2 {
+        for &t in tiers.tier2() {
+            mask[t.idx()] = true;
+        }
+    }
+    mask
+}
+
+/// Installs the per-origin remainder of the exclusions into a kernel
+/// lane: the origin's transit providers, with the origin itself allowed
+/// even where the shared tier mask covers it (a Tier-1 computing its
+/// Tier-1-free reachability bypasses the *other* clique members).
+fn fill_lane_providers(g: &AsGraph, origin: NodeId, ex: &mut LaneExcluder<'_>) {
+    for &p in g.providers(origin) {
+        ex.exclude(p);
+    }
+    ex.allow(origin);
+}
+
+/// The all-in-lane form [`fill_lane_providers`] + tiers, used by the
+/// `try_*` variants only: their contract attributes any fill panic (e.g.
+/// a `Tiers` built against a different graph indexing out of bounds) to
+/// the offending origin, which requires the tier indexing to happen
+/// inside the panic-isolated per-lane fill rather than up front in
+/// [`tier_mask`].
+fn fill_lane_exclusions(
     g: &AsGraph,
     origin: NodeId,
     tiers: Option<&Tiers>,
     include_t2: bool,
-    mask: &mut [bool],
+    ex: &mut LaneExcluder<'_>,
 ) {
-    mask.fill(false);
     for &p in g.providers(origin) {
-        mask[p.idx()] = true;
+        ex.exclude(p);
     }
     if let Some(t) = tiers {
         for &n in t.tier1() {
-            mask[n.idx()] = true;
+            ex.exclude(n);
         }
         if include_t2 {
             for &n in t.tier2() {
-                mask[n.idx()] = true;
+                ex.exclude(n);
             }
         }
     }
-    mask[origin.idx()] = false;
-}
-
-/// Computes `reach(o, I \ X)` for one origin and exclusion level, reusing
-/// the worker's mask and workspace buffers.
-fn reach_excluding(
-    ctx: &mut SweepCtx<'_>,
-    g: &AsGraph,
-    origin: NodeId,
-    tiers: Option<&Tiers>,
-    include_t2: bool,
-) -> usize {
-    let mask = ctx.config_mut().excluded_mask_mut(g.len());
-    fill_exclusion_mask(g, origin, tiers, include_t2, mask);
-    ctx.run(origin).reachable_count()
+    ex.allow(origin);
 }
 
 /// Computes the full three-level profile for a list of origins
@@ -122,13 +137,31 @@ pub fn reachability_profile_t(
         .collect();
     let sweep: Vec<NodeId> = nodes.iter().map(|&(_, n)| n).collect();
     let snap = TopologySnapshot::compile(g);
-    Simulation::over(&snap).threads(threads).run_sweep_map(&sweep, |ctx, n| ReachabilityResult {
-        asn: g.asn(n),
-        provider_free: reach_excluding(ctx, g, n, None, false),
-        tier1_free: reach_excluding(ctx, g, n, Some(tiers), false),
-        hierarchy_free: reach_excluding(ctx, g, n, Some(tiers), true),
-        max_possible: g.len() - 1,
-    })
+    // One bit-parallel counts sweep per constraint level; the kernel packs
+    // 64 origins per block, so this is three passes instead of 3·|origins|.
+    // Each level's tier exclusions are shared config, not per-lane fills.
+    let pf = Simulation::over(&snap)
+        .threads(threads)
+        .run_sweep_reach_counts_with(&sweep, |n, ex| fill_lane_providers(g, n, ex));
+    let t1 = Simulation::over(&snap)
+        .threads(threads)
+        .excluded(tier_mask(tiers, false, g.len()))
+        .run_sweep_reach_counts_with(&sweep, |n, ex| fill_lane_providers(g, n, ex));
+    let hf = Simulation::over(&snap)
+        .threads(threads)
+        .excluded(tier_mask(tiers, true, g.len()))
+        .run_sweep_reach_counts_with(&sweep, |n, ex| fill_lane_providers(g, n, ex));
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &(asn, _))| ReachabilityResult {
+            asn,
+            provider_free: pf[i] as usize,
+            tier1_free: t1[i] as usize,
+            hierarchy_free: hf[i] as usize,
+            max_possible: g.len() - 1,
+        })
+        .collect()
 }
 
 /// [`reachability_profile`] with panic isolation: a worker panic aborts
@@ -156,17 +189,36 @@ pub fn try_reachability_profile_t(
         .collect();
     let sweep: Vec<NodeId> = nodes.iter().map(|&(_, n)| n).collect();
     let snap = TopologySnapshot::compile(g);
-    let results =
-        Simulation::over(&snap).threads(threads).try_run_sweep_map(&sweep, |ctx, n| {
-            ReachabilityResult {
-                asn: g.asn(n),
-                provider_free: reach_excluding(ctx, g, n, None, false),
-                tier1_free: reach_excluding(ctx, g, n, Some(tiers), false),
-                hierarchy_free: reach_excluding(ctx, g, n, Some(tiers), true),
-                max_possible: g.len() - 1,
+    let sim = Simulation::over(&snap).threads(threads);
+    let pf = sim.try_run_sweep_reach_counts_with(&sweep, |n, ex| {
+        fill_lane_exclusions(g, n, None, false, ex);
+    });
+    let t1 = sim.try_run_sweep_reach_counts_with(&sweep, |n, ex| {
+        fill_lane_exclusions(g, n, Some(tiers), false, ex);
+    });
+    let hf = sim.try_run_sweep_reach_counts_with(&sweep, |n, ex| {
+        fill_lane_exclusions(g, n, Some(tiers), true, ex);
+    });
+    let mut out = Vec::with_capacity(nodes.len());
+    // Scan origins in sweep order so the reported panic is the first
+    // failing origin (checking its three levels in level order), matching
+    // the per-origin scalar sweep's attribution.
+    for (i, &(asn, _)) in nodes.iter().enumerate() {
+        let level = |r: &Result<u32, SweepError>| -> Result<usize, SweepPanic> {
+            match r {
+                Ok(v) => Ok(*v as usize),
+                Err(e) => Err(SweepPanic { asn, message: e.message.clone() }),
             }
+        };
+        out.push(ReachabilityResult {
+            asn,
+            provider_free: level(&pf[i])?,
+            tier1_free: level(&t1[i])?,
+            hierarchy_free: level(&hf[i])?,
+            max_possible: g.len() - 1,
         });
-    collect_sweep(results, |i| nodes[i].0)
+    }
+    Ok(out)
 }
 
 /// Hierarchy-free reachability of **every** AS in the graph (the paper
@@ -184,7 +236,8 @@ pub fn hierarchy_free_all_t(g: &AsGraph, tiers: &Tiers, threads: usize) -> Vec<u
     let snap = TopologySnapshot::compile(g);
     Simulation::over(&snap)
         .threads(threads)
-        .run_sweep_map(&nodes, |ctx, n| reach_excluding(ctx, g, n, Some(tiers), true) as u32)
+        .excluded(tier_mask(tiers, true, g.len()))
+        .run_sweep_reach_counts_with(&nodes, |n, ex| fill_lane_providers(g, n, ex))
 }
 
 /// [`hierarchy_free_all`] with panic isolation (see
@@ -202,9 +255,12 @@ pub fn try_hierarchy_free_all_t(
     let _span = flatnet_obs::span_root("propagate");
     let nodes: Vec<NodeId> = g.nodes().collect();
     let snap = TopologySnapshot::compile(g);
-    let results = Simulation::over(&snap)
-        .threads(threads)
-        .try_run_sweep_map(&nodes, |ctx, n| reach_excluding(ctx, g, n, Some(tiers), true) as u32);
+    let results = Simulation::over(&snap).threads(threads).try_run_sweep_reach_counts_with(
+        &nodes,
+        |n, ex| {
+            fill_lane_exclusions(g, n, Some(tiers), true, ex);
+        },
+    );
     collect_sweep(results, |i| g.asn(nodes[i]))
 }
 
@@ -259,6 +315,57 @@ pub fn rank_by_hierarchy_free(g: &AsGraph, hfr: &[u32]) -> Vec<RankedAs> {
 mod tests {
     use super::*;
     use flatnet_asgraph::{AsGraphBuilder, Relationship};
+    use flatnet_bgpsim::SweepCtx;
+
+    /// The pre-kernel scalar path: refill a boolean exclusion mask and run
+    /// one origin through the per-origin engine. Kept as the reference the
+    /// bit-parallel sweep must agree with.
+    fn scalar_reach(
+        ctx: &mut SweepCtx<'_>,
+        g: &AsGraph,
+        origin: NodeId,
+        tiers: Option<&Tiers>,
+        include_t2: bool,
+    ) -> usize {
+        let mask = ctx.config_mut().excluded_mask_mut(g.len());
+        mask.fill(false);
+        for &p in g.providers(origin) {
+            mask[p.idx()] = true;
+        }
+        if let Some(t) = tiers {
+            for &n in t.tier1() {
+                mask[n.idx()] = true;
+            }
+            if include_t2 {
+                for &n in t.tier2() {
+                    mask[n.idx()] = true;
+                }
+            }
+        }
+        mask[origin.idx()] = false;
+        ctx.run(origin).reachable_count()
+    }
+
+    fn scalar_profile(g: &AsGraph, tiers: &Tiers, origins: &[AsId]) -> Vec<ReachabilityResult> {
+        let nodes: Vec<(AsId, NodeId)> =
+            origins.iter().filter_map(|&a| g.index_of(a).map(|n| (a, n))).collect();
+        let sweep: Vec<NodeId> = nodes.iter().map(|&(_, n)| n).collect();
+        let snap = TopologySnapshot::compile(g);
+        Simulation::over(&snap).run_sweep_map(&sweep, |ctx, n| ReachabilityResult {
+            asn: g.asn(n),
+            provider_free: scalar_reach(ctx, g, n, None, false),
+            tier1_free: scalar_reach(ctx, g, n, Some(tiers), false),
+            hierarchy_free: scalar_reach(ctx, g, n, Some(tiers), true),
+            max_possible: g.len() - 1,
+        })
+    }
+
+    #[test]
+    fn kernel_profile_matches_scalar_engine() {
+        let (g, tiers) = fig1();
+        let origins: Vec<AsId> = g.asns().collect();
+        assert_eq!(reachability_profile(&g, &tiers, &origins), scalar_profile(&g, &tiers, &origins));
+    }
 
     /// The Fig. 1-style example from the bgpsim tests: cloud 10, provider
     /// 1 (Tier-1), Tier-1 2 (customer 20), Tier-2 3 (customer 30), user
@@ -390,6 +497,18 @@ mod tests {
                     prop_assert!(r.provider_free >= r.tier1_free, "{:?}", r);
                     prop_assert!(r.tier1_free >= r.hierarchy_free, "{:?}", r);
                 }
+            }
+
+            /// The bit-parallel kernel sweep agrees with the per-origin
+            /// scalar engine under arbitrary topologies and tier choices.
+            #[test]
+            fn kernel_matches_scalar_on_arbitrary_graphs((g, t1, t2) in arb_case()) {
+                let tiers = Tiers::from_lists(&g, &t1, &t2);
+                let origins: Vec<AsId> = g.asns().collect();
+                prop_assert_eq!(
+                    reachability_profile(&g, &tiers, &origins),
+                    scalar_profile(&g, &tiers, &origins)
+                );
             }
 
             /// hierarchy_free_all agrees with per-origin profiles under

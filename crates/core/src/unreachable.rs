@@ -7,7 +7,7 @@
 
 use flatnet_asgraph::astype::AsType;
 use flatnet_asgraph::{AsGraph, AsId, NodeId, Tiers};
-use flatnet_bgpsim::{propagate, PropagationConfig};
+use flatnet_bgpsim::{Simulation, TopologySnapshot};
 
 /// Fig. 4: one provider's unreachable-AS breakdown.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -41,33 +41,74 @@ pub fn unreachable_breakdown(
     origin: AsId,
     type_of: impl Fn(NodeId) -> AsType,
 ) -> Option<UnreachableBreakdown> {
-    let o = g.index_of(origin)?;
-    let mut mask = vec![false; g.len()];
-    for &p in g.providers(o) {
-        mask[p.idx()] = true;
-    }
+    unreachable_breakdowns(g, tiers, &[origin], type_of, 1).pop().unwrap()
+}
+
+/// Computes Fig. 4 for many origins in one bit-parallel sweep (64 origins
+/// per kernel block). Unknown ASNs yield `None` at their slot.
+pub fn unreachable_breakdowns(
+    g: &AsGraph,
+    tiers: &Tiers,
+    origins: &[AsId],
+    type_of: impl Fn(NodeId) -> AsType,
+    threads: usize,
+) -> Vec<Option<UnreachableBreakdown>> {
+    let known: Vec<(usize, AsId, NodeId)> = origins
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, &a)| g.index_of(a).map(|n| (slot, a, n)))
+        .collect();
+    let sweep: Vec<NodeId> = known.iter().map(|&(_, _, n)| n).collect();
+    let snap = TopologySnapshot::compile(g);
+    // The Tier-1/Tier-2 exclusions are origin-independent, so they ride in
+    // the simulation's shared config (broadcast once per 64-lane block);
+    // the per-lane fill installs only the origin's own providers.
+    let mut hier = vec![false; g.len()];
     for &n in tiers.tier1() {
-        mask[n.idx()] = true;
+        hier[n.idx()] = true;
     }
     for &n in tiers.tier2() {
-        mask[n.idx()] = true;
+        hier[n.idx()] = true;
     }
-    mask[o.idx()] = false;
-    let cfg = PropagationConfig::new().with_excluded(mask.clone());
-    let out = propagate(g, o, &cfg);
+    let reach = Simulation::over(&snap)
+        .threads(threads)
+        .excluded(hier.clone())
+        .run_sweep_reach_with(&sweep, |o, ex| {
+            for &p in g.providers(o) {
+                ex.exclude(p);
+            }
+            ex.allow(o);
+        });
 
-    let mut by_type = [0usize; 4];
-    let mut total = 0usize;
-    for n in g.nodes() {
-        if n == o || mask[n.idx()] || out.reachable(n) {
-            continue; // the excluded hierarchy itself isn't "unreachable"
+    // `hier` doubles as the aggregation filter below: the excluded
+    // hierarchy itself is not counted as "unreachable".
+    let mut prov = vec![false; g.len()];
+
+    let mut out: Vec<Option<UnreachableBreakdown>> = vec![None; origins.len()];
+    for (i, &(slot, asn, o)) in known.iter().enumerate() {
+        for &p in g.providers(o) {
+            prov[p.idx()] = true;
         }
-        let ty = type_of(n);
-        let i = AsType::ALL.iter().position(|&t| t == ty).unwrap();
-        by_type[i] += 1;
-        total += 1;
+        let mut by_type = [0usize; 4];
+        let mut total = 0usize;
+        for n in g.nodes() {
+            // The excluded hierarchy itself isn't "unreachable"; the
+            // origin's own reach bit is always set, so `reachable` also
+            // skips the origin.
+            if reach.reachable(i, n) || hier[n.idx()] || prov[n.idx()] {
+                continue;
+            }
+            let ty = type_of(n);
+            let ti = AsType::ALL.iter().position(|&t| t == ty).unwrap();
+            by_type[ti] += 1;
+            total += 1;
+        }
+        for &p in g.providers(o) {
+            prov[p.idx()] = false;
+        }
+        out[slot] = Some(UnreachableBreakdown { asn, total, by_type });
     }
-    Some(UnreachableBreakdown { asn: origin, total, by_type })
+    out
 }
 
 #[cfg(test)]
@@ -99,6 +140,61 @@ mod tests {
         assert_eq!(bd.by_type, [0, 0, 1, 1]);
         assert!((bd.pct(AsType::Access) - 50.0).abs() < 1e-12);
         assert!((bd.pct(AsType::Content) - 0.0).abs() < 1e-12);
+    }
+
+    /// The kernel-backed batch agrees with a scalar `propagate` + mask
+    /// reference for every origin (including `None` slots for unknowns).
+    #[test]
+    fn batch_matches_scalar_propagate() {
+        use flatnet_bgpsim::{propagate, PropagationConfig};
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(10), Relationship::P2c);
+        b.add_link(AsId(1), AsId(2), Relationship::P2p);
+        b.add_link(AsId(2), AsId(3), Relationship::P2c);
+        b.add_link(AsId(3), AsId(30), Relationship::P2c);
+        b.add_link(AsId(10), AsId(40), Relationship::P2p);
+        b.add_link(AsId(2), AsId(50), Relationship::P2c);
+        let g = b.build();
+        let tiers = Tiers::from_lists(&g, &[AsId(1), AsId(2)], &[AsId(3)]);
+        let type_of = |n: NodeId| AsType::ALL[n.idx() % 4];
+
+        let mut origins: Vec<AsId> = g.asns().collect();
+        origins.push(AsId(777)); // unknown
+        let batch = unreachable_breakdowns(&g, &tiers, &origins, type_of, 2);
+        assert_eq!(batch.len(), origins.len());
+        assert_eq!(batch.last().unwrap(), &None);
+
+        for (slot, &a) in origins.iter().enumerate() {
+            let Some(o) = g.index_of(a) else { continue };
+            let mut mask = vec![false; g.len()];
+            for &p in g.providers(o) {
+                mask[p.idx()] = true;
+            }
+            for &n in tiers.tier1() {
+                mask[n.idx()] = true;
+            }
+            for &n in tiers.tier2() {
+                mask[n.idx()] = true;
+            }
+            mask[o.idx()] = false;
+            let cfg = PropagationConfig::new().with_excluded(mask.clone());
+            let out = propagate(&g, o, &cfg);
+            let mut by_type = [0usize; 4];
+            let mut total = 0usize;
+            for n in g.nodes() {
+                if n == o || mask[n.idx()] || out.reachable(n) {
+                    continue;
+                }
+                let i = AsType::ALL.iter().position(|&t| t == type_of(n)).unwrap();
+                by_type[i] += 1;
+                total += 1;
+            }
+            assert_eq!(
+                batch[slot],
+                Some(UnreachableBreakdown { asn: a, total, by_type }),
+                "origin {a}"
+            );
+        }
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub(crate) struct Shared {
     status_5xx: flatnet_obs::Counter,
     queue_depth: flatnet_obs::Gauge,
     request_us: Arc<flatnet_obs::Histogram>,
+    /// How many top-degree origins to pre-warm after load/reload; 0 = off.
+    warm: usize,
+    warmed: flatnet_obs::Counter,
 }
 
 impl Shared {
@@ -91,6 +94,7 @@ impl Shared {
         queue_cap: usize,
         deadline: Duration,
         workers: usize,
+        warm: usize,
     ) -> Self {
         let reg = flatnet_obs::global();
         Shared {
@@ -112,6 +116,8 @@ impl Shared {
             status_5xx: reg.counter("serve.http_5xx"),
             queue_depth: reg.gauge("serve.queue_depth"),
             request_us: flatnet_obs::histogram("serve.request_us"),
+            warm,
+            warmed: reg.counter("serve.cache_warmed"),
         }
     }
 
@@ -141,6 +147,57 @@ impl Shared {
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.ready.notify_all();
+    }
+}
+
+/// Spawns the background cache warm-up for one snapshot version (a no-op
+/// when warming is configured off).
+///
+/// The "serve-warm" thread sweeps the configured number of highest-degree
+/// origins through the bit-parallel kernel — 64 origins per block — and
+/// pre-fills the reachability cache with the default-policy (no
+/// exclusions) answer for each, so the first client query for a popular
+/// origin after startup or a hot-reload is a cache hit. The thread bails
+/// between blocks if the daemon shuts down or the snapshot version moves
+/// on, and it only ever *adds* entries for its own version, so it can
+/// never resurrect stale answers.
+pub(crate) fn spawn_warmup(shared: &Arc<Shared>, snap: Arc<ServeSnapshot>) {
+    let top_n = shared.warm;
+    if top_n == 0 {
+        return;
+    }
+    let shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new().name("serve-warm".into()).spawn(move || {
+        let g = &snap.graph;
+        let mut origins: Vec<flatnet_asgraph::NodeId> = g.nodes().collect();
+        origins.sort_by_key(|&n| (std::cmp::Reverse(g.degree(n)), n.0));
+        origins.truncate(top_n);
+        let fingerprint = policy_fingerprint(EP_REACHABILITY, 0);
+        let sim = flatnet_bgpsim::Simulation::over(&snap.topo).threads(1);
+        for block in origins.chunks(flatnet_bgpsim::LANES) {
+            if shared.shutdown.load(Ordering::SeqCst)
+                || shared.mgr.current().version != snap.version
+            {
+                return;
+            }
+            let reach = sim.run_sweep_reach(block);
+            for i in 0..reach.len() {
+                let key = CacheKey {
+                    version: snap.version,
+                    origin: g.asn(reach.origin(i)).0,
+                    fingerprint,
+                };
+                let answer = Arc::new(Answer::Reach {
+                    words: reach.reach_words(i).to_vec(),
+                    reached: reach.reachable_count(i),
+                });
+                shared.cache.put(key, answer);
+                shared.warmed.inc();
+            }
+        }
+    });
+    if let Err(e) = spawned {
+        flatnet_obs::warn!("cannot spawn cache warm-up thread: {e}");
     }
 }
 
@@ -539,6 +596,7 @@ fn admin_reload(shared: &Arc<Shared>) -> Response {
             // Old-version keys are unreachable already (the version is in
             // the key); clearing reclaims their memory immediately.
             shared.cache.clear();
+            spawn_warmup(shared, Arc::clone(&snap));
             Response::json(
                 200,
                 format!(

@@ -4,7 +4,7 @@
 //! the backpressure rejection itself, so a full queue can never stall
 //! `accept()`.
 
-use crate::engine::{worker_loop, Shared};
+use crate::engine::{spawn_warmup, worker_loop, Shared};
 use crate::snapshot::{SnapshotManager, TopologySource};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -25,6 +25,10 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Per-request deadline, covering queue wait + parse + compute.
     pub deadline_ms: u64,
+    /// Background cache warm-up: after startup and every successful
+    /// reload, sweep the `warm` highest-degree origins through the
+    /// bit-parallel kernel and pre-fill the reachability cache. 0 = off.
+    pub warm: usize,
     /// Where the topology comes from.
     pub source: TopologySource,
 }
@@ -37,6 +41,7 @@ impl Default for ServeConfig {
             queue_cap: 256,
             cache_cap: 4096,
             deadline_ms: 5000,
+            warm: 0,
             source: TopologySource::Generated { ases: 4000, seed: 2020 },
         }
     }
@@ -72,8 +77,10 @@ impl Server {
             cfg.queue_cap,
             Duration::from_millis(cfg.deadline_ms.max(1)),
             n_workers,
+            cfg.warm,
         ));
         let _ = shared.local_addr.set(addr);
+        spawn_warmup(&shared, shared.mgr.current());
 
         let workers: Vec<JoinHandle<()>> = (0..n_workers)
             .map(|i| {

@@ -84,6 +84,87 @@ fn reach_of(doc: &Json) -> (usize, Vec<u32>, bool, u64) {
     (count, asns, cached, version)
 }
 
+/// Polls `/metrics` until `serve.cache_warmed` reaches `want` (the warm
+/// thread runs in the background; give it ample time under load).
+fn wait_for_warmed(addr: SocketAddr, want: u64) -> u64 {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, metrics) = fetch(addr, "GET", "/metrics");
+        assert_eq!(status, 200);
+        let warmed = metrics
+            .get("counters")
+            .and_then(|c| c.get("serve.cache_warmed"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if warmed >= want {
+            return warmed;
+        }
+        assert!(std::time::Instant::now() < deadline, "warm-up stalled at {warmed}/{want}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn warmup_prefills_cache_with_bit_identical_answers() {
+    let net = generate(&NetGenConfig::paper_2020(400, 7));
+    let tiers = net.tiers_for(&net.truth);
+    let snap = TopologySnapshot::compile(&net.truth);
+    // warm > 64 so the warm thread crosses a kernel block boundary.
+    let warm = 80usize;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        warm,
+        source: TopologySource::Preloaded { graph: net.truth.clone(), tiers: tiers.clone() },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    wait_for_warmed(addr, warm as u64);
+
+    // The warm set is the top-`warm` origins by degree (node id breaking
+    // ties) — the same ordering the server computes.
+    let g = &net.truth;
+    let mut order: Vec<flatnet_asgraph::NodeId> = g.nodes().collect();
+    order.sort_by_key(|&n| (std::cmp::Reverse(g.degree(n)), n.0));
+
+    // First query for warmed origins must hit the cache, and the answer
+    // must be bit-identical to a direct per-origin Simulation run.
+    for &n in [order[0], order[63], order[warm - 1]].iter() {
+        let origin = g.asn(n).0;
+        let (want_count, want_asns) = direct_reach(&net, &snap, &tiers, origin, "");
+        let path = format!("/v1/reachability?origin={origin}&full=1");
+        let (status, doc) = fetch(addr, "GET", &path);
+        assert_eq!(status, 200, "{path}: {doc:?}");
+        let (count, asns, cached, _) = reach_of(&doc);
+        assert!(cached, "warmed origin {origin} should hit the cache on first query");
+        assert_eq!(count, want_count, "{path}: warmed count vs direct Simulation");
+        assert_eq!(asns, want_asns, "{path}: warmed reach set vs direct Simulation");
+    }
+
+    // An origin outside the warm set still misses on first query.
+    let cold = g.asn(order[warm]).0;
+    let (status, doc) = fetch(addr, "GET", &format!("/v1/reachability?origin={cold}&full=1"));
+    assert_eq!(status, 200);
+    assert!(!doc.get("cached").and_then(Json::as_bool).unwrap(), "AS{cold} was not warmed");
+
+    // Reload re-warms for the new version.
+    let before = wait_for_warmed(addr, warm as u64);
+    let (status, reloaded) = fetch(addr, "POST", "/admin/reload");
+    assert_eq!(status, 200, "{reloaded:?}");
+    wait_for_warmed(addr, before + warm as u64);
+    let hot = g.asn(order[0]).0;
+    let (status, doc) = fetch(addr, "GET", &format!("/v1/reachability?origin={hot}&full=1"));
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("snapshot_version").and_then(Json::as_u64), Some(2));
+    assert!(
+        doc.get("cached").and_then(Json::as_bool).unwrap(),
+        "reload should re-warm AS{hot} under the new version"
+    );
+
+    server.shutdown();
+}
+
 #[test]
 fn cached_answers_are_bit_identical_and_reload_invalidates() {
     let net = generate(&NetGenConfig::paper_2020(600, 42));

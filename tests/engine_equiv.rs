@@ -1,9 +1,11 @@
 //! Differential test: the batched propagation engine must be observably
 //! identical to the legacy three-phase implementation — selections, reach
 //! bitsets, counts, and tied-best next hops — across many seeded
-//! topologies, origins, and every policy knob. Plus a steady-state
-//! allocation smoke: once a sweep context is warm, further runs (with
-//! per-origin mask refills) must not allocate at all.
+//! topologies, origins, and every policy knob; and the bit-parallel
+//! multi-origin kernel must produce reach sets bit-identical to
+//! per-origin [`Workspace`] runs over the same corpus. Plus steady-state
+//! allocation smokes: once a sweep context (or lane workspace) is warm,
+//! further runs (with per-origin mask refills) must not allocate at all.
 //!
 //! Everything lives in ONE `#[test]` because the process hosts a global
 //! counting allocator, and interleaving other tests would make the
@@ -11,8 +13,8 @@
 
 use flatnet_asgraph::NodeId;
 use flatnet_bgpsim::{
-    propagate, propagate_legacy, ImportPolicy, PropagationConfig, Simulation, SweepCtx,
-    TopologySnapshot,
+    propagate, propagate_legacy, ImportPolicy, LaneWorkspace, PropagationConfig, Simulation,
+    SweepCtx, TopologySnapshot, Workspace,
 };
 use flatnet_netgen::{generate, NetGenConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -140,6 +142,91 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
     }
     assert!(compared >= 50 * 5, "only ran {compared} comparisons");
 
+    // ---- Part 1b: the bit-parallel kernel is bit-identical to
+    // per-origin Workspace runs over the same topology corpus. Sweeping
+    // every node covers multiple 64-lane blocks plus a partial tail
+    // block, and the n % 64 != 0 sizes exercise the tail-word masking.
+    let mut kernel_compared = 0usize;
+    for seed in 0..52u64 {
+        let mut gen_cfg = NetGenConfig::tiny(seed);
+        gen_cfg.n_ases = 120 + (seed as usize % 4) * 10;
+        let net = generate(&gen_cfg);
+        let g = &net.truth;
+        let n = g.len();
+        let snap = TopologySnapshot::compile(g);
+        let mut rng = seed.wrapping_mul(0x517C_C1B7_2722_0A95) | 1;
+        let origins: Vec<NodeId> = g.nodes().collect();
+
+        for variant in 0..5u32 {
+            // Same policy grid as Part 1, but the config is shared by the
+            // whole sweep (kernel blocks run one config across 64 lanes).
+            let excluded: Option<Vec<bool>> = (variant == 1 || variant == 4)
+                .then(|| (0..n).map(|_| next(&mut rng).is_multiple_of(10)).collect());
+            let origin_export: Option<Vec<bool>> = (variant == 2 || variant == 4)
+                .then(|| (0..n).map(|_| next(&mut rng).is_multiple_of(2)).collect());
+            let import: Option<Vec<ImportPolicy>> = (variant == 3 || variant == 4)
+                .then(|| (0..n).map(|_| random_policy(&mut rng)).collect());
+
+            let mut cfg = PropagationConfig::new();
+            if let Some(m) = &excluded {
+                cfg = cfg.with_excluded(m.clone());
+            }
+            if let Some(m) = &origin_export {
+                cfg = cfg.with_origin_export(m.clone());
+            }
+            if let Some(m) = &import {
+                cfg = cfg.with_import(m.clone());
+            }
+
+            // A lane's own origin must not stay excluded by the shared
+            // mask, mirroring the `mask[origin] = false` refill the
+            // scalar sweeps do; per-lane providers ride on top for the
+            // all-knobs variant to cover the LaneExcluder path too.
+            let with_providers = variant == 4;
+            let sim = Simulation::over(&snap).config(cfg.clone()).threads(1);
+            let fill = |o: NodeId, ex: &mut flatnet_bgpsim::LaneExcluder<'_>| {
+                if with_providers {
+                    for &p in g.providers(o) {
+                        ex.exclude(p);
+                    }
+                }
+                ex.allow(o);
+            };
+            let reach = sim.run_sweep_reach_with(&origins, fill);
+            let counts = sim.run_sweep_reach_counts_with(&origins, fill);
+
+            let mut ws = Workspace::for_snapshot(&snap);
+            for (i, &o) in origins.iter().enumerate() {
+                let mut scalar_cfg = cfg.clone();
+                let mask = scalar_cfg.excluded_mask_mut(n);
+                if with_providers {
+                    for &p in g.providers(o) {
+                        mask[p.idx()] = true;
+                    }
+                }
+                mask[o.idx()] = false;
+                ws.run(&snap, o, &scalar_cfg);
+                assert_eq!(
+                    reach.reach_words(i),
+                    ws.reach_words(),
+                    "seed {seed} variant {variant} origin {o:?}: kernel reach words"
+                );
+                assert_eq!(
+                    reach.reachable_count(i),
+                    ws.reachable_count(),
+                    "seed {seed} variant {variant} origin {o:?}: kernel reach count"
+                );
+                assert_eq!(
+                    counts[i] as usize,
+                    ws.reachable_count(),
+                    "seed {seed} variant {variant} origin {o:?}: counts-only sweep"
+                );
+            }
+            kernel_compared += 1;
+        }
+    }
+    assert!(kernel_compared >= 50 * 5, "only ran {kernel_compared} kernel comparisons");
+
     // ---- Part 2: zero steady-state allocation. ----
     let mut gen_cfg = NetGenConfig::tiny(999);
     gen_cfg.n_ases = 150;
@@ -175,6 +262,33 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
         after - before,
         0,
         "engine allocated {} time(s) during a warm sweep pass",
+        after - before
+    );
+
+    // ---- Part 2b: the lane workspace is allocation-free once warm,
+    // including the per-lane exclusion refills — the property that makes
+    // the pooled workspaces in `Simulation` worth keeping.
+    let origins: Vec<NodeId> = g.nodes().take(64).collect();
+    let mut lanes = LaneWorkspace::for_snapshot(&snap);
+    let cfg = PropagationConfig::new();
+    let lane_pass = |lanes: &mut LaneWorkspace| -> usize {
+        lanes.run_block_masked(&snap, &origins, &cfg, |o, ex| {
+            for &p in g.providers(o) {
+                ex.exclude(p);
+            }
+            ex.allow(o);
+        });
+        (0..origins.len()).map(|k| lanes.lane_reachable_count(k)).sum()
+    };
+    let warm = lane_pass(&mut lanes);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let again = lane_pass(&mut lanes);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(warm, again, "warm lane pass changed results");
+    assert_eq!(
+        after - before,
+        0,
+        "lane kernel allocated {} time(s) during a warm block",
         after - before
     );
 }
