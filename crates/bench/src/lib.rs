@@ -16,6 +16,7 @@ use std::cell::OnceCell;
 
 pub mod propbench;
 pub mod repro;
+pub mod restartbench;
 pub mod servebench;
 
 /// Experiment scale knobs (see `repro --help`).

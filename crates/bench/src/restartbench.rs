@@ -1,0 +1,160 @@
+//! `flatnet bench restart` — cold start vs warm start from the
+//! snapshot store.
+//!
+//! The store's whole point is that a daemon restart should cost a file
+//! read plus checksum verification instead of topology generation (or
+//! ingestion) plus CSR compilation. This pass measures both paths on
+//! the same synthetic topology — cold = generate + compile, warm =
+//! `flatnet_store::load` of the image written by the cold pass — and
+//! verifies the warm snapshot is bit-identical before reporting any
+//! numbers, so the speedup claim is only ever made about a correct
+//! restart.
+//!
+//! The report (schema `flatnet-bench-restart/v1`) feeds the CI smoke
+//! step: the warm path must be faster than the cold path and the two
+//! CSRs must match.
+
+use flatnet_bgpsim::TopologySnapshot;
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_store::StoredSnapshot;
+use std::time::Instant;
+
+fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let v = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse().map_err(|e| format!("bad value {v:?} for {flag}: {e}"))
+}
+
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Runs the restart benchmark with CLI-style `args` (the `bench
+/// restart` subcommand). Writes the JSON report and prints a summary.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut ases = 4000usize;
+    let mut seed = 2020u64;
+    let mut reps = 3usize;
+    let mut out = String::from("BENCH_restart.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ases" => ases = flag_value("--ases", it.next())?,
+            "--seed" => seed = flag_value("--seed", it.next())?,
+            "--reps" => reps = flag_value("--reps", it.next())?,
+            "--out" => out = it.next().ok_or("--out requires a file path")?.clone(),
+            "--help" | "-h" => {
+                println!("usage: flatnet bench restart [--ases N] [--seed S] [--reps R]");
+                println!("                             [--out PATH]");
+                println!("--ases N:  topology size (default 4000)");
+                println!("--seed S:  generator seed (default 2020)");
+                println!("--reps R:  repetitions per path, median reported (default 3)");
+                println!("--out PATH: JSON report path (default BENCH_restart.json)");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    if reps == 0 {
+        return Err("--reps must be positive".into());
+    }
+
+    println!("# flatnet bench restart — {ases} ASes (seed {seed}), {reps} reps");
+    let dir = std::env::temp_dir().join(format!("flatnet-bench-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let store = dir.join("bench.store").display().to_string();
+
+    // ---- Cold path: generate + infer tiers + compile, `reps` times. ----
+    let mut cold_ms = Vec::with_capacity(reps);
+    let mut reference = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let net = generate(&NetGenConfig::paper_2020(ases, seed));
+        let tiers = net.tiers_for(&net.truth);
+        let topo = TopologySnapshot::compile(&net.truth);
+        cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        reference = Some(StoredSnapshot { version: 1, graph: net.truth, tiers, topo });
+    }
+    let reference = reference.expect("reps >= 1");
+
+    // ---- Persist once (timed separately: restart cost, not save cost). ----
+    let t = Instant::now();
+    flatnet_store::save_atomic(&store, &reference).map_err(|e| e.to_string())?;
+    let save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let store_bytes = std::fs::metadata(&store).map_err(|e| format!("{store}: {e}"))?.len();
+
+    // ---- Warm path: load + checksum + validated reconstruction. ----
+    let mut warm_ms = Vec::with_capacity(reps);
+    let mut warm = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let loaded = flatnet_store::load(&store).map_err(|e| e.to_string())?;
+        warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        warm = Some(loaded);
+    }
+    let warm = warm.expect("reps >= 1");
+
+    // A faster restart that serves a different topology is a bug, not a
+    // speedup: refuse to report.
+    if !flatnet_store::topo_identical(&warm.topo, &reference.topo) {
+        return Err("warm-start snapshot is not bit-identical to the cold compile".into());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = median_ms(cold_ms);
+    let hot = median_ms(warm_ms);
+    let speedup = cold / hot.max(1e-9);
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"flatnet-bench-restart/v1\",\n",
+            "  \"ases\": {ases},\n",
+            "  \"seed\": {seed},\n",
+            "  \"reps\": {reps},\n",
+            "  \"cold_ms\": {cold:.3},\n",
+            "  \"warm_ms\": {hot:.3},\n",
+            "  \"save_ms\": {save_ms:.3},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"store_bytes\": {store_bytes},\n",
+            "  \"identical\": true\n",
+            "}}\n",
+        ),
+        ases = ases,
+        seed = seed,
+        reps = reps,
+        cold = cold,
+        hot = hot,
+        save_ms = save_ms,
+        speedup = speedup,
+        store_bytes = store_bytes,
+    );
+    std::fs::write(&out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "cold {cold:.1} ms, warm {hot:.1} ms ({speedup:.1}x), save {save_ms:.1} ms, \
+         store {store_bytes} bytes -> {out}"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn restart_bench_small_run_writes_report() {
+        let out = std::env::temp_dir()
+            .join(format!("flatnet-restartbench-{}.json", std::process::id()));
+        let args: Vec<String> =
+            ["--ases", "300", "--seed", "4", "--reps", "1", "--out", out.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        super::run(&args).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"schema\": \"flatnet-bench-restart/v1\""));
+        assert!(text.contains("\"identical\": true"));
+        let _ = std::fs::remove_file(&out);
+    }
+}

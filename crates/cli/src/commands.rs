@@ -658,6 +658,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             "cache",
             "deadline-ms",
             "warm",
+            "io-timeout-ms",
+            "store",
             "tier1",
             "tier2",
         ],
@@ -681,9 +683,111 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         cache_cap: opts.num_or("cache", 4096usize)?,
         deadline_ms: opts.num_or("deadline-ms", 5000u64)?,
         warm: opts.num_or("warm", 0usize)?,
+        io_timeout_ms: opts.num_or("io-timeout-ms", 10_000u64)?,
+        store: opts.get("store").map(str::to_string),
         source,
     };
-    flatnet_serve::serve(cfg)
+    flatnet_serve::serve(cfg).map_err(String::from)
+}
+
+/// `flatnet snapshot save|verify|fuzz`: the crash-safe snapshot store.
+pub fn snapshot(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("snapshot requires a subcommand (save|verify|fuzz)".into());
+    };
+    match sub.as_str() {
+        "save" => snapshot_save(rest),
+        "verify" => snapshot_verify(rest),
+        "fuzz" => snapshot_fuzz(rest),
+        other => Err(format!("unknown snapshot subcommand {other:?} (want save|verify|fuzz)")),
+    }
+}
+
+/// `flatnet snapshot save --out FILE [--as-rel FILE | --ases N --seed S]`
+/// — compile a topology and persist it atomically, so a later
+/// `flatnet serve --store FILE` warm-starts without compiling.
+fn snapshot_save(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["lenient"],
+        &["out", "as-rel", "ases", "seed", "tier1", "tier2", "max-errors"],
+    )?;
+    let out = opts.required("out")?;
+    let (graph, tiers) = match opts.get("as-rel") {
+        Some(path) => {
+            let mode = parse_mode(&opts)?;
+            let g = load_graph(path, &mode)?;
+            let tiers = tiers_for(&g, &opts)?;
+            (g, tiers)
+        }
+        None => {
+            let net = generate(&NetGenConfig::paper_2020(
+                opts.num_or("ases", 4000usize)?,
+                opts.num_or("seed", 2020u64)?,
+            ));
+            let tiers = net.tiers_for(&net.truth);
+            (net.truth, tiers)
+        }
+    };
+    let topo = flatnet_bgpsim::TopologySnapshot::compile(&graph);
+    let stored = flatnet_store::StoredSnapshot { version: 1, graph, tiers, topo };
+    flatnet_store::save_atomic(out, &stored).map_err(|e| e.to_string())?;
+    let report = flatnet_store::verify(out, false).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: v{} {} ASes, {} links, {} bytes",
+        report.version,
+        thousands(report.nodes as u64),
+        thousands(report.links as u64),
+        thousands(report.file_bytes),
+    );
+    Ok(())
+}
+
+/// `flatnet snapshot verify --store FILE [--deep]` — decode and
+/// checksum-check a store; `--deep` also recompiles the stored graph and
+/// demands a bit-identical CSR.
+fn snapshot_verify(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["deep"], &["store"])?;
+    let path = opts.required("store")?;
+    let report = flatnet_store::verify(path, opts.switch("deep")).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: ok (v{}, {} ASes, {} links, tiers {}/{}, {} bytes{})",
+        report.version,
+        thousands(report.nodes as u64),
+        thousands(report.links as u64),
+        report.tier_sizes.0,
+        report.tier_sizes.1,
+        thousands(report.file_bytes),
+        if report.deep { ", deep: recompiled CSR is bit-identical" } else { "" },
+    );
+    Ok(())
+}
+
+/// `flatnet snapshot fuzz --store FILE` — run the deterministic
+/// corruption corpus against a valid store image and fail unless every
+/// fault degrades to a typed error (the CI robustness gate).
+fn snapshot_fuzz(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[], &["store"])?;
+    let path = opts.required("store")?;
+    flatnet_store::verify(path, false)
+        .map_err(|e| format!("{path}: fuzz needs a valid store image: {e}"))?;
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let (total, failures) = flatnet_store::run_corpus_checked(&bytes, |r| match &r.outcome {
+        flatnet_store::FaultOutcome::TypedError(kind) => {
+            flatnet_obs::debug!("ok   {:<48} -> {kind}", r.name);
+        }
+        flatnet_store::FaultOutcome::Panicked => {
+            flatnet_obs::error!("FAIL {:<48} -> decoder panicked", r.name);
+        }
+        flatnet_store::FaultOutcome::Accepted => {
+            flatnet_obs::error!("FAIL {:<48} -> corrupted image accepted", r.name);
+        }
+    });
+    println!("{path}: {total} injected faults, {failures} failures");
+    if failures > 0 {
+        return Err(format!("{failures} of {total} injected faults were mishandled"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -60,11 +60,24 @@ USAGE:
 
   flatnet serve  [--as-rel FILE | --ases N --seed S] [--addr HOST:PORT]
                  [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
-                 [--tier1 .. --tier2 ..]
+                 [--io-timeout-ms MS] [--store FILE] [--tier1 .. --tier2 ..]
       Run the query daemon: reachability/reliance/what-if answers over
       HTTP from a compiled snapshot. Endpoints: /v1/reachability,
       /v1/reliance, /v1/whatif/leak, /healthz, /metrics, /admin/reload,
       /admin/shutdown. Without --as-rel, serves a synthetic topology.
+      With --store, warm-starts from the snapshot store when it is valid
+      (skipping the compile), self-heals it when it is corrupt, and
+      persists every successful reload to it.
+
+  flatnet snapshot save   --out FILE [--as-rel FILE | --ases N --seed S]
+                          [--tier1 .. --tier2 ..]
+  flatnet snapshot verify --store FILE [--deep]
+  flatnet snapshot fuzz   --store FILE
+      Manage crash-safe snapshot stores: `save` compiles a topology and
+      writes it atomically; `verify` checksum-checks it (--deep also
+      recompiles and compares bit-for-bit); `fuzz` injects the
+      deterministic corruption corpus and fails unless every fault
+      degrades to a typed error.
 
   flatnet bench propagate [--ases N] [--seed S] [--origins K]
                  [--threads N] [--out PATH]
@@ -78,6 +91,11 @@ USAGE:
       Closed-loop load benchmark against an in-process `flatnet serve`
       daemon; writes a flatnet-bench-serve/v1 JSON report (default
       BENCH_serve.json).
+
+  flatnet bench restart [--ases N] [--seed S] [--reps R] [--out PATH]
+      Cold start (generate + compile) vs warm start (snapshot-store
+      load) with a bit-identical-CSR check; writes a
+      flatnet-bench-restart/v1 JSON report (default BENCH_restart.json).
 
   flatnet help
       This message.
@@ -158,6 +176,7 @@ fn main() -> ExitCode {
         "relinfer" => commands::relinfer(rest),
         "dot" => commands::dot(rest),
         "serve" => commands::serve(rest),
+        "snapshot" => commands::snapshot(rest),
         "bench" => match rest.split_first() {
             Some((sub, bench_rest)) if sub == "propagate" => {
                 flatnet_bench::propbench::run(bench_rest)
@@ -165,13 +184,16 @@ fn main() -> ExitCode {
             Some((sub, bench_rest)) if sub == "serve" => {
                 flatnet_bench::servebench::run(bench_rest)
             }
-            Some((sub, _)) => {
-                Err(format!("unknown bench {sub:?} (try `bench propagate` or `bench serve`)"))
+            Some((sub, bench_rest)) if sub == "restart" => {
+                flatnet_bench::restartbench::run(bench_rest)
             }
-            None => {
-                Err("bench requires a subcommand (try `bench propagate` or `bench serve`)"
-                    .to_string())
-            }
+            Some((sub, _)) => Err(format!(
+                "unknown bench {sub:?} (try `bench propagate`, `bench serve`, or `bench restart`)"
+            )),
+            None => Err(
+                "bench requires a subcommand (try `bench propagate`, `bench serve`, or `bench restart`)"
+                    .to_string(),
+            ),
         },
         "repro" => flatnet_bench::repro::run(rest).and_then(|failed| {
             if failed == 0 {

@@ -69,6 +69,8 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     queue_cap: usize,
     deadline: Duration,
+    /// Per-connection socket read/write cap; `None` = deadline only.
+    io_timeout: Option<Duration>,
     pub(crate) workers: usize,
     /// Bound address, set once the listener exists; `/admin/shutdown`
     /// self-connects here to unblock the accept loop.
@@ -93,6 +95,7 @@ impl Shared {
         cache_capacity: usize,
         queue_cap: usize,
         deadline: Duration,
+        io_timeout: Option<Duration>,
         workers: usize,
         warm: usize,
     ) -> Self {
@@ -105,6 +108,7 @@ impl Shared {
             shutdown: AtomicBool::new(false),
             queue_cap,
             deadline,
+            io_timeout,
             workers,
             local_addr: OnceLock::new(),
             requests: reg.counter("serve.requests"),
@@ -248,9 +252,16 @@ fn handle_job(shared: &Arc<Shared>, ctx: &mut WorkerCtx, job: Job) {
         finish(shared, &stream, &resp, accepted);
         return;
     }
-    // Whatever deadline budget the queue left is the read budget.
-    let _ = stream.set_read_timeout(Some(shared.deadline - elapsed));
-    let _ = stream.set_write_timeout(Some(shared.deadline));
+    // The read budget is whatever deadline budget the queue left, capped
+    // by the per-connection io timeout so a stalled client can't pin a
+    // worker for the whole deadline. The parser maps a timed-out read to
+    // a 408 (see `crate::http`).
+    let mut budget = shared.deadline - elapsed;
+    if let Some(io) = shared.io_timeout {
+        budget = budget.min(io);
+    }
+    let _ = stream.set_read_timeout(Some(budget));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout.unwrap_or(shared.deadline)));
 
     let mut reader = BufReader::new(&stream);
     let resp = match read_request(&mut reader) {
@@ -577,17 +588,32 @@ fn whatif_leak(shared: &Arc<Shared>, req: &Request) -> Response {
 
 fn healthz(shared: &Arc<Shared>) -> Response {
     let snap = shared.mgr.current();
-    Response::json(
-        200,
-        format!(
-            "{{\"status\":\"ok\",\"snapshot_version\":{},\"ases\":{},\"workers\":{},\
-             \"cache_entries\":{}}}\n",
-            snap.version,
-            snap.graph.len(),
-            shared.workers,
-            shared.cache.len(),
-        ),
-    )
+    let status = shared.mgr.status();
+    let mut body = format!(
+        "{{\"status\":\"ok\",\"snapshot_version\":{},\"ases\":{},\"workers\":{},\
+         \"cache_entries\":{},\"warm_start\":{},\"store\":{},\
+         \"reload_failures\":{},\"reload_backoff_ms\":{}",
+        snap.version,
+        snap.graph.len(),
+        shared.workers,
+        shared.cache.len(),
+        status.warm_start,
+        status.store_configured,
+        status.consecutive_failures,
+        status.backoff_remaining_ms,
+    );
+    match (&status.last_error_kind, &status.last_error) {
+        (Some(kind), Some(msg)) => {
+            body.push_str(&format!(
+                ",\"last_reload_error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}",
+                escape(kind),
+                escape(msg)
+            ));
+        }
+        _ => body.push_str(",\"last_reload_error\":null"),
+    }
+    body.push_str("}\n");
+    Response::json(200, body)
 }
 
 fn admin_reload(shared: &Arc<Shared>) -> Response {
@@ -606,7 +632,24 @@ fn admin_reload(shared: &Arc<Shared>) -> Response {
                 ),
             )
         }
-        Err(e) => Response::error(500, &format!("reload failed; old snapshot still serving: {e}")),
+        // A reload failure never degrades service — the old snapshot
+        // keeps serving — so it's 503 (retryable), not 500.
+        Err(crate::error::ServeError::ReloadBackoff { retry_after_ms, last_error }) => {
+            let mut resp = Response::error(
+                503,
+                &format!("reload in backoff after failure: {last_error}"),
+            );
+            resp.retry_after = Some(retry_after_ms.div_ceil(1000).clamp(1, 60) as u32);
+            resp
+        }
+        Err(e) => {
+            let mut resp = Response::error(
+                503,
+                &format!("reload failed (kind={}); old snapshot still serving: {e}", e.kind()),
+            );
+            resp.retry_after = Some(1);
+            resp
+        }
     }
 }
 

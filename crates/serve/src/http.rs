@@ -81,6 +81,20 @@ impl ParseError {
     }
 }
 
+/// Maps a socket read error to the right parse error: a timed-out read
+/// (the per-connection io timeout from `ServeConfig::io_timeout_ms`,
+/// surfaced by the OS as `TimedOut` or `WouldBlock`) earns an explicit
+/// 408 so a slow client learns why it was cut off; any other transport
+/// error (reset, broken pipe) means the peer is gone — answering would
+/// just fail again, so close silently (status 0).
+fn read_error(e: std::io::Error) -> ParseError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => ParseError::new(408, "read timed out"),
+        _ => ParseError::new(0, format!("read failed: {e}")),
+    }
+}
+
 /// Reads one line (terminated by `\n`), enforcing `max` bytes *including*
 /// the terminator. Returns `None` on immediate EOF (peer closed).
 fn read_line_limited<R: BufRead>(
@@ -90,9 +104,7 @@ fn read_line_limited<R: BufRead>(
 ) -> Result<Option<Vec<u8>>, ParseError> {
     let mut line = Vec::new();
     loop {
-        let buf = r
-            .fill_buf()
-            .map_err(|e| ParseError::new(408, format!("read failed: {e}")))?;
+        let buf = r.fill_buf().map_err(read_error)?;
         if buf.is_empty() {
             if line.is_empty() {
                 return Ok(None);
@@ -228,8 +240,17 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, ParseError
             return Err(ParseError::new(413, "body too large"));
         }
         body.resize(len, 0);
-        std::io::Read::read_exact(r, &mut body)
-            .map_err(|_| ParseError::new(400, "truncated body"))?;
+        std::io::Read::read_exact(r, &mut body).map_err(|e| {
+            use std::io::ErrorKind;
+            match e.kind() {
+                // A client that declared a body and then stalled gets the
+                // same 408 as one that stalled on the request line.
+                ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                    ParseError::new(408, "read timed out")
+                }
+                _ => ParseError::new(400, "truncated body"),
+            }
+        })?;
     } else if headers.iter().any(|(k, _)| k == "transfer-encoding") {
         return Err(ParseError::new(400, "chunked encoding not supported"));
     }
@@ -391,6 +412,69 @@ mod tests {
             .unwrap();
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+    }
+
+    /// A reader that yields `prefix` and then fails every read with
+    /// `kind` — a socket whose peer stalled (timeout) or vanished
+    /// (reset) mid-request.
+    struct FailingReader {
+        prefix: &'static [u8],
+        kind: std::io::ErrorKind,
+    }
+
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.prefix.is_empty() {
+                return Err(std::io::Error::new(self.kind, "injected"));
+            }
+            let n = self.prefix.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[..n]);
+            self.prefix = &self.prefix[n..];
+            Ok(n)
+        }
+    }
+
+    fn parse_failing(prefix: &'static [u8], kind: std::io::ErrorKind) -> ParseError {
+        let mut r = BufReader::new(FailingReader { prefix, kind });
+        read_request(&mut r).expect_err("failing reader accepted")
+    }
+
+    #[test]
+    fn timed_out_read_is_408() {
+        for kind in [std::io::ErrorKind::TimedOut, std::io::ErrorKind::WouldBlock] {
+            // Stall before any bytes, mid-request-line, and mid-headers:
+            // all are the io-timeout path and must answer 408.
+            for prefix in
+                [&b""[..], &b"GET /heal"[..], &b"GET /x HTTP/1.1\r\nHost: lo"[..]]
+            {
+                let err = parse_failing(prefix, kind);
+                assert_eq!(err.status, 408, "prefix {prefix:?} kind {kind:?}");
+                assert!(err.wants_response());
+                assert_eq!(err.reason, "read timed out");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_out_body_read_is_408() {
+        let err = parse_failing(
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab",
+            std::io::ErrorKind::TimedOut,
+        );
+        assert_eq!(err.status, 408);
+    }
+
+    #[test]
+    fn transport_errors_close_silently() {
+        // A reset peer can't receive a response; writing one would just
+        // error again, so the parser asks for a silent close.
+        for kind in
+            [std::io::ErrorKind::ConnectionReset, std::io::ErrorKind::BrokenPipe]
+        {
+            let err = parse_failing(b"GET /x HT", kind);
+            assert_eq!(err.status, 0, "kind {kind:?}");
+            assert!(!err.wants_response());
+        }
     }
 
     #[test]

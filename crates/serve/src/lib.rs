@@ -30,11 +30,13 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod snapshot;
 
 pub use cache::{policy_fingerprint, CacheKey, ResultCache};
+pub use error::ServeError;
 pub use server::{serve, ServeConfig, Server};
-pub use snapshot::{ServeSnapshot, SnapshotManager, TopologySource};
+pub use snapshot::{ManagerStatus, ServeSnapshot, SnapshotManager, TopologySource};

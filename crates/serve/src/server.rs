@@ -5,6 +5,7 @@
 //! `accept()`.
 
 use crate::engine::{spawn_warmup, worker_loop, Shared};
+use crate::error::ServeError;
 use crate::snapshot::{SnapshotManager, TopologySource};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -29,6 +30,15 @@ pub struct ServeConfig {
     /// reload, sweep the `warm` highest-degree origins through the
     /// bit-parallel kernel and pre-fill the reachability cache. 0 = off.
     pub warm: usize,
+    /// Per-connection socket read/write timeout. A client that opens a
+    /// socket and then stalls (a slowloris, a dead NAT entry) would
+    /// otherwise pin a worker forever; on expiry the worker answers 408
+    /// and moves on. 0 = no timeout.
+    pub io_timeout_ms: u64,
+    /// Snapshot-store path: warm-start from it when valid, self-heal it
+    /// when not, persist every successful reload to it. `None` = no
+    /// persistence.
+    pub store: Option<String>,
     /// Where the topology comes from.
     pub source: TopologySource,
 }
@@ -42,6 +52,8 @@ impl Default for ServeConfig {
             cache_cap: 4096,
             deadline_ms: 5000,
             warm: 0,
+            io_timeout_ms: 10_000,
+            store: None,
             source: TopologySource::Generated { ases: 4000, seed: 2020 },
         }
     }
@@ -58,24 +70,32 @@ pub struct Server {
 }
 
 impl Server {
-    /// Ingests the topology (failing fast if the health gate refuses
-    /// it), binds the listener, and spawns the accept loop + worker
-    /// pool.
-    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
-        let mgr = SnapshotManager::new(cfg.source.clone())?;
-        let listener =
-            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
-        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    /// Ingests the topology (warm-starting from the snapshot store when
+    /// one is configured and valid, failing fast if the health gate
+    /// refuses it), binds the listener, and spawns the accept loop +
+    /// worker pool.
+    pub fn start(cfg: ServeConfig) -> Result<Server, ServeError> {
+        let mgr = SnapshotManager::with_store(cfg.source.clone(), cfg.store.clone())?;
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| ServeError::Bind { addr: cfg.addr.clone(), message: e.to_string() })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind { addr: cfg.addr.clone(), message: e.to_string() })?;
         let n_workers = if cfg.workers == 0 {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16)
         } else {
             cfg.workers
+        };
+        let io_timeout = match cfg.io_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
         };
         let shared = Arc::new(Shared::new(
             mgr,
             cfg.cache_cap,
             cfg.queue_cap,
             Duration::from_millis(cfg.deadline_ms.max(1)),
+            io_timeout,
             n_workers,
             cfg.warm,
         ));
@@ -88,7 +108,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(shared))
-                    .map_err(|e| format!("spawn worker: {e}"))
+                    .map_err(|e| ServeError::Spawn { what: "worker", message: e.to_string() })
             })
             .collect::<Result<_, _>>()?;
 
@@ -96,7 +116,7 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("serve-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))
-            .map_err(|e| format!("spawn accept loop: {e}"))?;
+            .map_err(|e| ServeError::Spawn { what: "accept loop", message: e.to_string() })?;
 
         flatnet_obs::info!("flatnet-serve listening on http://{addr} ({n_workers} workers)");
         Ok(Server { addr, shared, accept_thread: Some(accept_thread), workers })
@@ -165,7 +185,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 /// Runs a daemon in the foreground until `/admin/shutdown` (the CLI
 /// entry point).
-pub fn serve(cfg: ServeConfig) -> Result<(), String> {
+pub fn serve(cfg: ServeConfig) -> Result<(), ServeError> {
     let server = Server::start(cfg)?;
     println!("flatnet-serve listening on http://{}", server.addr());
     server.wait();

@@ -1,5 +1,5 @@
-//! The snapshot manager: topology ingestion, the health gate, and
-//! versioned hot-reload.
+//! The snapshot manager: topology ingestion, the health gate, versioned
+//! hot-reload, and the crash-safe store integration.
 //!
 //! A [`ServeSnapshot`] bundles everything a query needs — the graph, the
 //! tier sets, and the compiled [`TopologySnapshot`] — under one version
@@ -10,14 +10,39 @@
 //! in-flight query drops its handle. Reload *builds and health-gates the
 //! candidate before swapping*, so a topology that fails the PR-1 health
 //! checks leaves the serving snapshot untouched.
+//!
+//! ## The fallback ladder
+//!
+//! With a store path configured, startup walks a strict ladder and
+//! always lands on a healthy snapshot or a typed error — never a panic,
+//! never a silently wrong snapshot:
+//!
+//! 1. **Warm start** — load + checksum-verify the store, re-run the
+//!    health gate on the stored graph, and serve it without compiling
+//!    (the `serve.snapshot_compile` counter stays at 0).
+//! 2. **Recompile fallback** — on *any* store corruption, truncation,
+//!    or version mismatch, log a structured diagnostic, count it, and
+//!    rebuild from the source exactly as a store-less start would.
+//! 3. **Rewrite** — after a fallback (or a fresh start), atomically
+//!    rewrite the store so the next restart is warm again. A failed
+//!    write is logged and counted but never fatal: serving beats
+//!    persisting.
+//!
+//! Reload persists the new version on success and keeps serving the old
+//! `Arc` on failure; repeated failures arm an exponential backoff
+//! surfaced in `/healthz`.
 
+use crate::error::ServeError;
 use flatnet_asgraph::graph::RelConflict;
 use flatnet_asgraph::ingest::ParseOptions;
 use flatnet_asgraph::tiers::infer_tiers;
 use flatnet_asgraph::{caida, validate_topology, AsGraph, AsId, Tiers, ValidateOptions};
 use flatnet_bgpsim::TopologySnapshot;
+use flatnet_core::error::FlatnetError;
 use flatnet_netgen::{generate, NetGenConfig};
-use std::sync::{Arc, RwLock};
+use flatnet_store::StoredSnapshot;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Where the daemon's topology comes from; reload re-ingests from here.
 #[derive(Debug, Clone)]
@@ -65,43 +90,290 @@ pub struct ServeSnapshot {
     pub topo: TopologySnapshot,
 }
 
+/// First-failure backoff; doubles per consecutive failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(250);
+/// Backoff ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(10);
+
+/// Reload bookkeeping surfaced in `/healthz`.
+#[derive(Debug, Default)]
+struct ReloadState {
+    /// Kind + message of the most recent failure, until a success clears it.
+    last_error: Option<(&'static str, String)>,
+    /// Consecutive failures since the last success.
+    consecutive_failures: u32,
+    /// Reloads are refused until this instant (exponential backoff).
+    not_before: Option<Instant>,
+}
+
+/// A point-in-time copy of the reload/store health for `/healthz`.
+#[derive(Debug, Clone)]
+pub struct ManagerStatus {
+    /// Kind label of the last reload failure (`None` after a success).
+    pub last_error_kind: Option<&'static str>,
+    /// Message of the last reload failure.
+    pub last_error: Option<String>,
+    /// Consecutive reload failures since the last success.
+    pub consecutive_failures: u32,
+    /// Milliseconds until the next reload attempt will be accepted.
+    pub backoff_remaining_ms: u64,
+    /// Whether the first snapshot came from the store without a compile.
+    pub warm_start: bool,
+    /// Whether a store path is configured.
+    pub store_configured: bool,
+}
+
 /// Holds the current [`ServeSnapshot`] and knows how to build the next.
 pub struct SnapshotManager {
     source: TopologySource,
+    store_path: Option<String>,
+    warm_start: bool,
     current: RwLock<Arc<ServeSnapshot>>,
+    state: Mutex<ReloadState>,
     reloads: flatnet_obs::Counter,
+    reload_failures: flatnet_obs::Counter,
+    lock_poisoned: flatnet_obs::Counter,
+    store_writes: flatnet_obs::Counter,
+    store_write_failures: flatnet_obs::Counter,
 }
 
 impl SnapshotManager {
-    /// Ingests, health-gates, and compiles the first snapshot.
-    pub fn new(source: TopologySource) -> Result<Self, String> {
-        let first = load(&source, 1)?;
-        Ok(SnapshotManager {
+    /// Ingests, health-gates, and compiles the first snapshot (no store).
+    pub fn new(source: TopologySource) -> Result<Self, ServeError> {
+        Self::with_store(source, None)
+    }
+
+    /// As [`SnapshotManager::new`], with an optional snapshot-store path.
+    /// A valid store warm-starts without compiling; any corruption,
+    /// truncation, or version mismatch degrades to recompile-and-rewrite
+    /// (see the module docs for the full ladder).
+    pub fn with_store(
+        source: TopologySource,
+        store_path: Option<String>,
+    ) -> Result<Self, ServeError> {
+        let reg = flatnet_obs::global();
+        let store_faults = reg.counter("serve.store_rejected");
+        let warm_starts = reg.counter("serve.store_warm_start");
+
+        let mut warm = None;
+        if let Some(path) = &store_path {
+            if std::path::Path::new(path).exists() {
+                match try_warm_start(path) {
+                    Ok(snap) => {
+                        warm_starts.inc();
+                        flatnet_obs::info!(
+                            "store warm start: {path} v{} ({} ASes, {} links) — no compile",
+                            snap.version,
+                            snap.graph.len(),
+                            snap.graph.edge_count()
+                        );
+                        warm = Some(snap);
+                    }
+                    Err(e) => {
+                        store_faults.inc();
+                        flatnet_obs::warn!(
+                            "store rejected: path={path} kind={} detail={e}; \
+                             falling back to recompile from source",
+                            e.kind()
+                        );
+                    }
+                }
+            }
+        }
+
+        let warm_start = warm.is_some();
+        let first = match warm {
+            Some(snap) => snap,
+            None => load(&source, 1)?,
+        };
+        let mgr = SnapshotManager {
             source,
+            store_path,
+            warm_start,
             current: RwLock::new(Arc::new(first)),
-            reloads: flatnet_obs::counter("serve.reloads"),
-        })
+            state: Mutex::new(ReloadState::default()),
+            reloads: reg.counter("serve.reloads"),
+            reload_failures: reg.counter("serve.reload_failures"),
+            lock_poisoned: reg.counter("serve.lock_poisoned"),
+            store_writes: reg.counter("serve.store_writes"),
+            store_write_failures: reg.counter("serve.store_write_failures"),
+        };
+        if !warm_start {
+            // Fresh compile (or fallback after a rejected store): rewrite
+            // the store so the next restart is warm.
+            mgr.persist(&mgr.current());
+        }
+        Ok(mgr)
     }
 
     /// The current snapshot; cheap (one `Arc` clone under a read lock).
+    /// Recovers from a poisoned lock — the data is an `Arc` swap, never
+    /// left half-written, so a reloader that panicked mid-swap must not
+    /// take down every subsequent query.
     pub fn current(&self) -> Arc<ServeSnapshot> {
-        Arc::clone(&self.current.read().unwrap())
+        match self.current.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => {
+                self.lock_poisoned.inc();
+                Arc::clone(&poisoned.into_inner())
+            }
+        }
+    }
+
+    /// Where the store lives, if configured.
+    pub fn store_path(&self) -> Option<&str> {
+        self.store_path.as_deref()
+    }
+
+    /// Reload/store health for `/healthz`.
+    pub fn status(&self) -> ManagerStatus {
+        let state = self.lock_state();
+        let backoff_remaining_ms = state
+            .not_before
+            .and_then(|t| t.checked_duration_since(Instant::now()))
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        ManagerStatus {
+            last_error_kind: state.last_error.as_ref().map(|(k, _)| *k),
+            last_error: state.last_error.as_ref().map(|(_, m)| m.clone()),
+            consecutive_failures: state.consecutive_failures,
+            backoff_remaining_ms,
+            warm_start: self.warm_start,
+            store_configured: self.store_path.is_some(),
+        }
     }
 
     /// Re-ingests from the source and atomically swaps the new snapshot
     /// in. On any failure (unreadable file, failed health gate) the
-    /// current snapshot keeps serving and the error is returned.
-    pub fn reload(&self) -> Result<Arc<ServeSnapshot>, String> {
+    /// current snapshot keeps serving, the error is recorded for
+    /// `/healthz`, and repeated failures arm an exponential backoff that
+    /// refuses further attempts until it expires. On success the new
+    /// version is persisted to the store (best-effort) before the swap.
+    pub fn reload(&self) -> Result<Arc<ServeSnapshot>, ServeError> {
+        {
+            let state = self.lock_state();
+            if let Some(not_before) = state.not_before {
+                if let Some(remaining) = not_before.checked_duration_since(Instant::now()) {
+                    let last = state
+                        .last_error
+                        .as_ref()
+                        .map(|(_, m)| m.clone())
+                        .unwrap_or_else(|| "unknown".into());
+                    return Err(ServeError::ReloadBackoff {
+                        retry_after_ms: remaining.as_millis().max(1) as u64,
+                        last_error: last,
+                    });
+                }
+            }
+        }
+
         let next_version = self.current().version + 1;
-        let fresh = Arc::new(load(&self.source, next_version)?);
-        *self.current.write().unwrap() = Arc::clone(&fresh);
-        self.reloads.inc();
-        Ok(fresh)
+        match load(&self.source, next_version) {
+            Ok(fresh) => {
+                let fresh = Arc::new(fresh);
+                self.persist(&fresh);
+                match self.current.write() {
+                    Ok(mut cur) => *cur = Arc::clone(&fresh),
+                    Err(poisoned) => {
+                        self.lock_poisoned.inc();
+                        *poisoned.into_inner() = Arc::clone(&fresh);
+                    }
+                }
+                self.reloads.inc();
+                let mut state = self.lock_state();
+                state.last_error = None;
+                state.consecutive_failures = 0;
+                state.not_before = None;
+                Ok(fresh)
+            }
+            Err(e) => {
+                self.reload_failures.inc();
+                let mut state = self.lock_state();
+                state.consecutive_failures += 1;
+                let exp = state.consecutive_failures.saturating_sub(1).min(16);
+                let delay = BACKOFF_BASE.saturating_mul(1u32 << exp).min(BACKOFF_CAP);
+                state.not_before = Some(Instant::now() + delay);
+                state.last_error = Some((e.kind(), e.to_string()));
+                flatnet_obs::warn!(
+                    "reload failed (kind={}, consecutive={}, backoff={}ms): {e}; \
+                     old snapshot still serving",
+                    e.kind(),
+                    state.consecutive_failures,
+                    delay.as_millis()
+                );
+                Err(e)
+            }
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ReloadState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.lock_poisoned.inc();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Best-effort atomic store rewrite; failure is counted and logged,
+    /// never fatal.
+    fn persist(&self, snap: &ServeSnapshot) {
+        let Some(path) = &self.store_path else { return };
+        let stored = StoredSnapshot {
+            version: snap.version,
+            graph: snap.graph.clone(),
+            tiers: snap.tiers.clone(),
+            topo: snap.topo.clone(),
+        };
+        match flatnet_store::save_atomic(path, &stored) {
+            Ok(()) => {
+                self.store_writes.inc();
+                flatnet_obs::info!("store written: {path} v{}", snap.version);
+            }
+            Err(e) => {
+                self.store_write_failures.inc();
+                flatnet_obs::warn!("store write failed: path={path} kind={} detail={e}", e.kind());
+            }
+        }
     }
 }
 
-/// Ingest + health gate + compile, shared by startup and reload.
-fn load(source: &TopologySource, version: u64) -> Result<ServeSnapshot, String> {
+/// Loads and health-gates a stored snapshot. Every store-level fault is
+/// a typed [`flatnet_store::StoreError`]; a stored graph that no longer
+/// passes the health gate is reported as a malformed store (it must not
+/// be served, and rewriting it from source is the right recovery).
+fn try_warm_start(path: &str) -> Result<ServeSnapshot, flatnet_store::StoreError> {
+    let stored = flatnet_store::load(path)?;
+    let report = validate_topology(
+        &stored.graph,
+        &tier_asns(&stored.graph, stored.tiers.tier1()),
+        &tier_asns(&stored.graph, stored.tiers.tier2()),
+        &[],
+        &ValidateOptions::default(),
+    );
+    if !report.is_usable() {
+        return Err(flatnet_store::StoreError::Malformed {
+            section: flatnet_store::SectionId::Graph,
+            detail: format!("stored topology fails the health gate:\n{}", report.render()),
+        });
+    }
+    Ok(ServeSnapshot {
+        version: stored.version.max(1),
+        graph: stored.graph,
+        tiers: stored.tiers,
+        topo: stored.topo,
+    })
+}
+
+fn tier_asns(g: &AsGraph, nodes: &[flatnet_asgraph::NodeId]) -> Vec<AsId> {
+    nodes.iter().map(|&n| g.asn(n)).collect()
+}
+
+/// Ingest + health gate + compile, shared by startup and reload. The
+/// `serve.snapshot_compile` counter makes "did we compile?" observable —
+/// warm starts must leave it untouched.
+fn load(source: &TopologySource, version: u64) -> Result<ServeSnapshot, ServeError> {
     let _span = flatnet_obs::span("serve.snapshot_load");
     let (graph, tiers, conflicts) = match source {
         TopologySource::CaidaFile { path, tier1, tier2, lenient } => {
@@ -124,16 +396,21 @@ fn load(source: &TopologySource, version: u64) -> Result<ServeSnapshot, String> 
     // The PR-1 health gate: a daemon serving answers from a topology with
     // a broken Tier-1 clique or an empty graph would be confidently wrong
     // for every query, so critical findings refuse the snapshot.
-    let t1: Vec<AsId> = tiers.tier1().iter().map(|&n| graph.asn(n)).collect();
-    let t2: Vec<AsId> = tiers.tier2().iter().map(|&n| graph.asn(n)).collect();
-    let report = validate_topology(&graph, &t1, &t2, &conflicts, &ValidateOptions::default());
+    let report = validate_topology(
+        &graph,
+        &tier_asns(&graph, tiers.tier1()),
+        &tier_asns(&graph, tiers.tier2()),
+        &conflicts,
+        &ValidateOptions::default(),
+    );
     if !report.is_usable() {
-        return Err(format!("topology failed health gate:\n{}", report.render()));
+        return Err(ServeError::HealthGate { report: report.render() });
     }
     if !report.is_clean() {
         flatnet_obs::warn!("snapshot v{version} health findings:\n{}", report.render());
     }
 
+    flatnet_obs::counter("serve.snapshot_compile").inc();
     let topo = TopologySnapshot::compile(&graph);
     flatnet_obs::info!(
         "snapshot v{version}: {} ASes, {} links, {} Tier-1s, {} Tier-2s",
@@ -147,8 +424,10 @@ fn load(source: &TopologySource, version: u64) -> Result<ServeSnapshot, String> 
 
 /// Reads an as-rel file, sniffing serial-1 vs serial-2 from the field
 /// count of the first data line (same logic as the CLI loader).
-fn load_caida(path: &str, lenient: bool) -> Result<(AsGraph, Vec<RelConflict>), String> {
-    let data = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn load_caida(path: &str, lenient: bool) -> Result<(AsGraph, Vec<RelConflict>), ServeError> {
+    let data = std::fs::read_to_string(path).map_err(|e| {
+        ServeError::Ingest(FlatnetError::Io { path: path.into(), message: e.to_string() })
+    })?;
     let mode = if lenient { ParseOptions::lenient() } else { ParseOptions::strict() };
     let fields = data
         .lines()
@@ -161,7 +440,11 @@ fn load_caida(path: &str, lenient: bool) -> Result<(AsGraph, Vec<RelConflict>), 
     } else {
         caida::parse_serial1_with(data.as_bytes(), &mode)
     };
-    let (b, diag) = result.map_err(|e| format!("{path}: not a CAIDA as-rel file: {e}"))?;
+    let (b, diag) = result.map_err(|e| {
+        ServeError::Ingest(FlatnetError::Invalid(format!(
+            "{path}: not a CAIDA as-rel file: {e}"
+        )))
+    })?;
     if !diag.is_clean() {
         flatnet_obs::warn!("{path}: {}", diag.summary());
     }
@@ -177,6 +460,14 @@ mod tests {
         TopologySource::Generated { ases: 400, seed: 7 }
     }
 
+    fn temp_store(tag: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("flatnet-serve-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("snap.store").display().to_string()
+    }
+
     #[test]
     fn first_snapshot_is_version_one() {
         let mgr = SnapshotManager::new(tiny_source()).unwrap();
@@ -184,6 +475,10 @@ mod tests {
         assert_eq!(snap.version, 1);
         assert_eq!(snap.graph.len(), snap.topo.len());
         assert!(!snap.tiers.tier1().is_empty());
+        let status = mgr.status();
+        assert!(!status.warm_start);
+        assert!(!status.store_configured);
+        assert_eq!(status.consecutive_failures, 0);
     }
 
     #[test]
@@ -207,7 +502,8 @@ mod tests {
             lenient: false,
         });
         let err = result.err().expect("expected an ingestion error");
-        assert!(err.contains("/nonexistent"), "{err}");
+        assert_eq!(err.kind(), "ingest");
+        assert!(err.to_string().contains("/nonexistent"), "{err}");
     }
 
     #[test]
@@ -216,6 +512,110 @@ mod tests {
         // critical)…
         let empty = AsGraph::empty();
         let tiers = Tiers::from_lists(&empty, &[], &[]);
-        assert!(SnapshotManager::new(TopologySource::Preloaded { graph: empty, tiers }).is_err());
+        let err = SnapshotManager::new(TopologySource::Preloaded { graph: empty, tiers })
+            .err()
+            .expect("health gate must refuse an empty graph");
+        assert_eq!(err.kind(), "health-gate");
+    }
+
+    #[test]
+    fn cold_start_writes_the_store_and_next_start_is_warm() {
+        let path = temp_store("warm");
+        let mgr = SnapshotManager::with_store(tiny_source(), Some(path.clone())).unwrap();
+        assert!(!mgr.status().warm_start, "no store existed yet");
+        assert!(std::path::Path::new(&path).exists(), "cold start must write the store");
+        let cold = mgr.current();
+        drop(mgr);
+
+        let mgr2 = SnapshotManager::with_store(tiny_source(), Some(path.clone())).unwrap();
+        let warm = mgr2.current();
+        assert!(mgr2.status().warm_start, "second start must be warm");
+        assert_eq!(warm.version, cold.version);
+        assert!(
+            flatnet_store::topo_identical(&warm.topo, &cold.topo),
+            "warm-start snapshot must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn corrupted_store_degrades_to_recompile_and_rewrite() {
+        let path = temp_store("heal");
+        {
+            SnapshotManager::with_store(tiny_source(), Some(path.clone())).unwrap();
+        }
+        // Flip one byte somewhere in the payload region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mgr = SnapshotManager::with_store(tiny_source(), Some(path.clone())).unwrap();
+        let status = mgr.status();
+        assert!(!status.warm_start, "corrupted store must not warm-start");
+        // The healed store must verify and match a from-source compile.
+        let report = flatnet_store::verify(&path, true).expect("store rewritten after corruption");
+        assert_eq!(report.nodes, mgr.current().graph.len());
+        let direct = load(&tiny_source(), 1).unwrap();
+        assert!(flatnet_store::topo_identical(&mgr.current().topo, &direct.topo));
+    }
+
+    #[test]
+    fn reload_persists_the_new_version() {
+        let path = temp_store("reload");
+        let mgr = SnapshotManager::with_store(tiny_source(), Some(path.clone())).unwrap();
+        mgr.reload().unwrap();
+        let report = flatnet_store::verify(&path, false).unwrap();
+        assert_eq!(report.version, 2);
+        drop(mgr);
+        // A restart resumes at the persisted version, keeping cache keys
+        // monotonic across restarts.
+        let mgr2 = SnapshotManager::with_store(tiny_source(), Some(path)).unwrap();
+        assert_eq!(mgr2.current().version, 2);
+        assert!(mgr2.status().warm_start);
+    }
+
+    #[test]
+    fn failed_reloads_surface_in_status_and_arm_backoff() {
+        let dir = std::env::temp_dir()
+            .join(format!("flatnet-serve-backoff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rel = dir.join("as-rel.txt");
+        // Valid 5-node topology: 1 and 2 peer at the top.
+        let valid = "1|2|0|bgp\n1|3|-1|bgp\n2|3|-1|bgp\n1|4|-1|bgp\n2|5|-1|bgp\n3|4|0|bgp\n";
+        std::fs::write(&rel, valid).unwrap();
+        let source = TopologySource::CaidaFile {
+            path: rel.display().to_string(),
+            tier1: vec![AsId(1), AsId(2)],
+            tier2: vec![],
+            lenient: false,
+        };
+        let mgr = SnapshotManager::new(source).unwrap();
+
+        // Break the source; reload must fail, record the error, and arm
+        // the backoff.
+        std::fs::remove_file(&rel).unwrap();
+        let err = mgr.reload().expect_err("reload with a missing file must fail");
+        assert_eq!(err.kind(), "ingest");
+        let status = mgr.status();
+        assert_eq!(status.last_error_kind, Some("ingest"));
+        assert_eq!(status.consecutive_failures, 1);
+        assert!(status.backoff_remaining_ms > 0, "{status:?}");
+        assert_eq!(mgr.current().version, 1, "old snapshot still serving");
+
+        // Within the backoff window the reload is refused as such.
+        let err = mgr.reload().expect_err("backoff must refuse the retry");
+        assert_eq!(err.kind(), "backoff");
+
+        // Restore the source, wait out the backoff: reload succeeds and
+        // clears the failure state.
+        std::fs::write(&rel, valid).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        let snap = mgr.reload().expect("reload after backoff");
+        assert_eq!(snap.version, 2);
+        let status = mgr.status();
+        assert_eq!(status.last_error_kind, None);
+        assert_eq!(status.consecutive_failures, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

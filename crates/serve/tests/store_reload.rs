@@ -1,0 +1,253 @@
+//! The self-healing store and the reload path, end to end: warm starts
+//! must skip the compile and answer bit-identically, corruption must
+//! degrade to recompile-and-rewrite, and a daemon whose reloads keep
+//! failing must keep answering queries from the old snapshot with zero
+//! 5xx and monotonically non-decreasing versions.
+
+use flatnet_asgraph::caida;
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_serve::json::Json;
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn fetch(addr: SocketAddr, method: &str, path: &str) -> (u16, Json) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let doc = flatnet_serve::json::parse(body)
+        .unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}"));
+    (status, doc)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("flatnet-store-reload-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Obs counters are process-global and the test binary shares one
+/// registry across tests, so every assertion is on a *delta*.
+fn counter(name: &str) -> u64 {
+    flatnet_obs::global().counter(name).get()
+}
+
+#[test]
+fn warm_start_skips_the_compile_and_answers_identically() {
+    let dir = temp_dir("warm");
+    let store = dir.join("snap.store").display().to_string();
+    let source = TopologySource::Generated { ases: 400, seed: 21 };
+
+    // Cold start: compiles, writes the store, and we take a reference
+    // answer with it.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        store: Some(store.clone()),
+        source: source.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("cold start");
+    let (status, health) = fetch(server.addr(), "GET", "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("warm_start").and_then(Json::as_bool), Some(false));
+    assert_eq!(health.get("store").and_then(Json::as_bool), Some(true));
+    // Pick an origin that exists: regenerate the same deterministic
+    // topology the daemon built and take its first node's ASN.
+    let origin =
+        generate(&NetGenConfig::paper_2020(400, 21)).truth.asn(flatnet_asgraph::NodeId(0)).0;
+    let probe = format!("/v1/reachability?origin={origin}&full=1");
+    let (status, cold_doc) = fetch(server.addr(), "GET", &probe);
+    assert_eq!(status, 200, "{cold_doc:?}");
+    let cold_reach = cold_doc.get("reach").and_then(Json::as_array).unwrap().len();
+    server.shutdown();
+
+    // Warm start: no compile, at least one warm start, identical answer.
+    let compiles_before = counter("serve.snapshot_compile");
+    let warm_before = counter("serve.store_warm_start");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        store: Some(store.clone()),
+        source: source.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("warm start");
+    assert_eq!(
+        counter("serve.snapshot_compile"),
+        compiles_before,
+        "a warm start must not compile"
+    );
+    assert_eq!(counter("serve.store_warm_start"), warm_before + 1);
+    let (status, health) = fetch(server.addr(), "GET", "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("warm_start").and_then(Json::as_bool), Some(true));
+    let (status, warm_doc) = fetch(server.addr(), "GET", &probe);
+    assert_eq!(status, 200);
+    assert_eq!(
+        warm_doc.get("reach").and_then(Json::as_array).unwrap().len(),
+        cold_reach,
+        "warm-start answer differs from the cold-start answer"
+    );
+    assert_eq!(
+        warm_doc.get("reachable").and_then(Json::as_u64),
+        cold_doc.get("reachable").and_then(Json::as_u64),
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_recompiles_and_heals_the_file() {
+    let dir = temp_dir("heal");
+    let store = dir.join("snap.store").display().to_string();
+    let source = TopologySource::Generated { ases: 300, seed: 5 };
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store: Some(store.clone()),
+        source: source.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("cold start")
+    .shutdown();
+
+    // Truncate the store mid-file: the next start must reject it, count
+    // the rejection, recompile, and rewrite a valid store.
+    let bytes = std::fs::read(&store).unwrap();
+    std::fs::write(&store, &bytes[..bytes.len() / 2]).unwrap();
+
+    let rejected_before = counter("serve.store_rejected");
+    let compiles_before = counter("serve.snapshot_compile");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        store: Some(store.clone()),
+        source,
+        ..ServeConfig::default()
+    })
+    .expect("corruption must not prevent startup");
+    assert_eq!(counter("serve.store_rejected"), rejected_before + 1);
+    assert!(counter("serve.snapshot_compile") > compiles_before, "fallback must compile");
+    let (status, health) = fetch(server.addr(), "GET", "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("warm_start").and_then(Json::as_bool), Some(false));
+    server.shutdown();
+
+    // Self-healed: the rewritten store passes a deep verify.
+    let report = flatnet_store::verify(&store, true).expect("store must be healed");
+    assert_eq!(report.nodes, 300);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_under_fire_never_5xxes_queries_and_versions_stay_monotonic() {
+    let dir = temp_dir("fire");
+    let rel = dir.join("as-rel.txt");
+    let net = generate(&NetGenConfig::paper_2020(300, 9));
+    let valid = caida::write_serial2(&net.truth);
+    std::fs::write(&rel, &valid).unwrap();
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 3,
+        source: TopologySource::CaidaFile {
+            path: rel.display().to_string(),
+            tier1: vec![],
+            tier2: vec![],
+            lenient: false,
+        },
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Reference answer at version 1; the file never changes content, so
+    // every version must serve exactly this count.
+    let origin = net.truth.asn(flatnet_asgraph::NodeId(0)).0;
+    let probe: &'static str =
+        Box::leak(format!("/v1/reachability?origin={origin}").into_boxed_str());
+    let (status, doc) = fetch(addr, "GET", probe);
+    assert_eq!(status, 200, "{doc:?}");
+    let want_count = doc.get("reachable").and_then(Json::as_u64).expect("reachable");
+
+    // Fire: query threads hammer the daemon while reloads alternate
+    // between failing (file deleted) and succeeding (file restored).
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (status, doc) = fetch(addr, "GET", probe);
+                    let version =
+                        doc.get("snapshot_version").and_then(Json::as_u64).unwrap_or(0);
+                    let count = doc.get("reachable").and_then(Json::as_u64).unwrap_or(0);
+                    seen.push((status, version, count));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut expected_version = 1u64;
+    for round in 0..4 {
+        // Break the source: this reload fails, the old snapshot serves on.
+        std::fs::remove_file(&rel).unwrap();
+        let (status, doc) = fetch(addr, "POST", "/admin/reload");
+        assert_eq!(status, 503, "round {round}: failed reload must be 503: {doc:?}");
+        // An immediate retry is refused by the backoff, also with a 503.
+        let (status, _) = fetch(addr, "POST", "/admin/reload");
+        assert_eq!(status, 503, "round {round}: backoff must refuse the retry");
+
+        // Heal the source, wait out the backoff, reload for real.
+        std::fs::write(&rel, &valid).unwrap();
+        std::thread::sleep(Duration::from_millis(700));
+        let (status, doc) = fetch(addr, "POST", "/admin/reload");
+        assert_eq!(status, 200, "round {round}: healed reload must succeed: {doc:?}");
+        expected_version += 1;
+        assert_eq!(
+            doc.get("snapshot_version").and_then(Json::as_u64),
+            Some(expected_version),
+            "round {round}: versions must be monotonic with no gaps"
+        );
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in workers {
+        let seen = w.join().expect("query thread");
+        assert!(!seen.is_empty());
+        let mut last_version = 0u64;
+        for (status, version, count) in seen {
+            assert_eq!(status, 200, "a query 5xxed during reload fire");
+            assert_eq!(count, want_count, "a stale or wrong answer was served (v{version})");
+            assert!(
+                version >= last_version,
+                "snapshot version went backwards: {last_version} -> {version}"
+            );
+            last_version = version;
+        }
+    }
+
+    // The failures are visible in /healthz bookkeeping: the last reload
+    // succeeded, so the error is cleared and failures are zero again.
+    let (status, health) = fetch(addr, "GET", "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("reload_failures").and_then(Json::as_u64), Some(0));
+    assert_eq!(health.get("last_reload_error"), Some(&Json::Null));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

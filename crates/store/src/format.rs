@@ -1,0 +1,333 @@
+//! The binary container: magic, format version, checksummed section
+//! table, length-prefixed checksummed payloads.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FNSNAP\r\n"  (the \r\n catches newline mangling)
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      4     section count, u32 LE
+//! 16      24*k  section table: { id u32, crc32 u32, offset u64, len u64 }
+//! 16+24k  4     crc32 over bytes [0, 16+24k)
+//! ...           section payloads, contiguous, in table order
+//! ```
+//!
+//! Everything is little-endian. The decoder bounds-checks every length
+//! and offset with checked arithmetic before touching a payload, and
+//! requires the table to list exactly the known sections, ascending, with
+//! payloads packed contiguously — so a truncation, a reordering, or any
+//! trailing garbage is a typed error, never an out-of-bounds read and
+//! never a silently-ignored region.
+
+use crate::crc32::crc32;
+use crate::error::{SectionId, StoreError};
+
+/// The 8-byte file magic.
+pub const MAGIC: &[u8; 8] = b"FNSNAP\r\n";
+/// The format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header bytes before the section table.
+pub const FIXED_HEADER: usize = 16;
+/// Bytes per section-table entry.
+pub const TABLE_ENTRY: usize = 24;
+
+/// The sections every store file must contain, in table order.
+pub const REQUIRED_SECTIONS: [SectionId; 4] =
+    [SectionId::Meta, SectionId::Graph, SectionId::Tiers, SectionId::Csr];
+
+/// Assembles a container from the section payloads, in order.
+pub fn pack(payloads: &[(SectionId, Vec<u8>)]) -> Vec<u8> {
+    let table_len = payloads.len() * TABLE_ENTRY;
+    let header_len = FIXED_HEADER + table_len;
+    let mut out = Vec::with_capacity(
+        header_len + 4 + payloads.iter().map(|(_, p)| p.len()).sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    let mut offset = (header_len + 4) as u64;
+    for (id, payload) in payloads {
+        out.extend_from_slice(&id.wire().to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for (_, payload) in payloads {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        b[at],
+        b[at + 1],
+        b[at + 2],
+        b[at + 3],
+        b[at + 4],
+        b[at + 5],
+        b[at + 6],
+        b[at + 7],
+    ])
+}
+
+/// Splits a container into its verified section payloads, in
+/// [`REQUIRED_SECTIONS`] order. Every structural and checksum violation
+/// is a typed [`StoreError`]; no input can make this panic or read out
+/// of bounds.
+pub fn unpack(bytes: &[u8]) -> Result<Vec<(SectionId, &[u8])>, StoreError> {
+    if bytes.len() < FIXED_HEADER {
+        return Err(StoreError::TruncatedHeader { len: bytes.len(), need: FIXED_HEADER });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = read_u32(bytes, 8);
+    let count = read_u32(bytes, 12) as usize;
+    // The table extent must be known before the header CRC can be
+    // checked, so a truncated table reports as truncation, and a version
+    // we cannot read reports as such only once the header verifies.
+    let table_end = FIXED_HEADER
+        .checked_add(count.checked_mul(TABLE_ENTRY).ok_or(StoreError::BadSectionTable {
+            detail: format!("section count {count} overflows"),
+        })?)
+        .ok_or(StoreError::BadSectionTable { detail: format!("section count {count} overflows") })?;
+    let header_end = table_end
+        .checked_add(4)
+        .ok_or(StoreError::BadSectionTable { detail: "header size overflows".into() })?;
+    if bytes.len() < header_end {
+        return Err(StoreError::TruncatedHeader { len: bytes.len(), need: header_end });
+    }
+    let stored_crc = read_u32(bytes, table_end);
+    if crc32(&bytes[..table_end]) != stored_crc {
+        return Err(StoreError::HeaderChecksum);
+    }
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    if count != REQUIRED_SECTIONS.len() {
+        return Err(StoreError::BadSectionTable {
+            detail: format!("{count} sections, want {}", REQUIRED_SECTIONS.len()),
+        });
+    }
+
+    let mut sections = Vec::with_capacity(count);
+    let mut expect_offset = header_end as u64;
+    for (i, &want_id) in REQUIRED_SECTIONS.iter().enumerate() {
+        let at = FIXED_HEADER + i * TABLE_ENTRY;
+        let id = read_u32(bytes, at);
+        let payload_crc = read_u32(bytes, at + 4);
+        let offset = read_u64(bytes, at + 8);
+        let len = read_u64(bytes, at + 16);
+        if SectionId::from_wire(id) != Some(want_id) {
+            return Err(StoreError::BadSectionTable {
+                detail: format!(
+                    "entry {i} has id {id}, want '{}' ({})",
+                    want_id.name(),
+                    want_id.wire()
+                ),
+            });
+        }
+        if offset != expect_offset {
+            return Err(StoreError::BadSectionTable {
+                detail: format!(
+                    "section '{}' at offset {offset}, want contiguous {expect_offset}",
+                    want_id.name()
+                ),
+            });
+        }
+        let end = offset.checked_add(len).ok_or_else(|| StoreError::BadSectionTable {
+            detail: format!("section '{}' extent overflows", want_id.name()),
+        })?;
+        if end > bytes.len() as u64 {
+            return Err(StoreError::BadSectionTable {
+                detail: format!(
+                    "section '{}' ends at {end} but the file has {} bytes",
+                    want_id.name(),
+                    bytes.len()
+                ),
+            });
+        }
+        let payload = &bytes[offset as usize..end as usize];
+        if crc32(payload) != payload_crc {
+            return Err(StoreError::SectionChecksum { section: want_id });
+        }
+        sections.push((want_id, payload));
+        expect_offset = end;
+    }
+    if expect_offset != bytes.len() as u64 {
+        return Err(StoreError::TrailingBytes {
+            extra: (bytes.len() as u64 - expect_offset) as usize,
+        });
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives: a little-endian writer and a bounds-checked reader.
+// ---------------------------------------------------------------------
+
+/// Appends little-endian fields to a section payload.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty payload writer.
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` LE.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` LE.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` slice, element-wise LE (no length prefix; the
+    /// caller writes counts explicitly).
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads little-endian fields from a section payload; every read is
+/// bounds-checked and a short payload yields `Err` with what was
+/// missing, never a panic.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A reader over one section payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or_else(|| format!("{what}: length overflows"))?;
+        if end > self.bytes.len() {
+            return Err(format!(
+                "{what}: need {n} bytes at offset {}, payload has {}",
+                self.pos,
+                self.bytes.len()
+            ));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `u32` LE.
+    pub fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64` LE.
+    pub fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads `count` `u32`s. The count has already been validated
+    /// against the payload length by the time the allocation happens.
+    pub fn u32s(&mut self, count: usize, what: &str) -> Result<Vec<u32>, String> {
+        let n = count.checked_mul(4).ok_or_else(|| format!("{what}: count overflows"))?;
+        let b = self.take(n, what)?;
+        Ok(b.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+
+    /// Fails unless the whole payload was consumed (catches payloads
+    /// padded by corruption that still pass their checksum-free checks).
+    pub fn expect_end(&self, what: &str) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "{what}: {} unconsumed bytes after the last field",
+                self.bytes.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Vec<u8> {
+        pack(&[
+            (SectionId::Meta, vec![1, 2, 3]),
+            (SectionId::Graph, vec![4, 5]),
+            (SectionId::Tiers, vec![]),
+            (SectionId::Csr, vec![6; 10]),
+        ])
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bytes = tiny();
+        let sections = unpack(&bytes).unwrap();
+        assert_eq!(sections.len(), 4);
+        assert_eq!(sections[0], (SectionId::Meta, &[1u8, 2, 3][..]));
+        assert_eq!(sections[3].1, &[6u8; 10][..]);
+    }
+
+    #[test]
+    fn every_prefix_truncation_is_a_typed_error() {
+        let bytes = tiny();
+        for cut in 0..bytes.len() {
+            let err = unpack(&bytes[..cut]).expect_err(&format!("accepted {cut}-byte prefix"));
+            // Any error variant is fine; the point is no panic and no Ok.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = tiny();
+        bytes.push(0);
+        assert!(matches!(unpack(&bytes), Err(StoreError::TrailingBytes { extra: 1 })));
+    }
+
+    #[test]
+    fn cursor_reads_are_bounds_checked() {
+        let mut c = Cursor::new(&[1, 0, 0]);
+        assert!(c.u32("field").is_err());
+        let mut c = Cursor::new(&[1, 0, 0, 0, 9]);
+        assert_eq!(c.u32("field").unwrap(), 1);
+        assert!(c.expect_end("payload").is_err());
+        assert_eq!(c.u8("tail").unwrap(), 9);
+        assert!(c.expect_end("payload").is_ok());
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # flatnet-store — crash-safe persistence for compiled snapshots
+//!
+//! The serve daemon compiles a [`flatnet_bgpsim::TopologySnapshot`]
+//! from raw CAIDA/netgen input on every start; this crate gives that
+//! compile a durable, integrity-checked home so a restart costs a file
+//! read instead of a recompile, and a corrupted file costs a recompile
+//! instead of a wrong answer.
+//!
+//! Three guarantees, one per layer:
+//!
+//! * **Format** ([`format`], [`codec`]) — a versioned binary container
+//!   (magic + format version + section table) with length-prefixed,
+//!   individually CRC-32-checksummed sections for the AS graph, the
+//!   tier sets, and the CSR arrays. Every length and offset is
+//!   bounds-checked with checked arithmetic; [`decode`] never panics on
+//!   any input.
+//! * **Durability** ([`store`]) — [`save_atomic`] writes temp file →
+//!   fsync → rename → directory fsync, so a crash mid-write can never
+//!   leave a half-valid store under the real name; [`load`] verifies
+//!   every checksum before constructing anything.
+//! * **Fault injection** ([`fault`]) — a deterministic corruption
+//!   corpus (truncation at every section boundary, bit-flips in every
+//!   section, zeroed header, swapped sections, version skew) and a
+//!   runner pinning the decoder to "typed error, never a panic, never
+//!   a silent accept" in CI.
+//!
+//! The serve daemon's fallback ladder on top of this lives in
+//! `flatnet-serve`: warm-start from a valid store, recompile-and-rewrite
+//! on any [`StoreError`].
+
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod fault;
+pub mod format;
+pub mod store;
+
+pub use codec::{decode, encode, topo_identical, StoredSnapshot};
+pub use error::{SectionId, StoreError};
+pub use fault::{corruption_corpus, run_corpus, run_corpus_checked, FaultOutcome, FaultResult};
+pub use store::{load, save_atomic, verify, VerifyReport};

@@ -1,0 +1,166 @@
+//! Durable store operations: atomic save, verified load, deep verify.
+//!
+//! The write protocol is the classic crash-safe ladder: serialize to a
+//! sibling temp file, `fsync` the file, `rename` over the target, then
+//! `fsync` the containing directory so the rename itself is durable. A
+//! crash at any point leaves either the old store intact or the new one
+//! complete — never a half-written file under the real name (a stray
+//! temp file is harmless; it is re-created and renamed on the next
+//! save).
+
+use crate::codec::{decode, encode, topo_identical, StoredSnapshot};
+use crate::error::StoreError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn io_err(path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Cap on the store file size `load` will read (a corrupted or
+/// mis-pointed path must not OOM the daemon before decoding even
+/// starts). 4 GiB holds a CAIDA-scale snapshot ~400× over.
+const MAX_FILE_BYTES: u64 = 4 << 30;
+
+/// The temp-file path a save uses: `<store>.tmp` in the same directory
+/// (same filesystem, so the rename is atomic).
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically writes `snap` to `path`: temp file → fsync → rename →
+/// directory fsync.
+pub fn save_atomic(path: impl AsRef<Path>, snap: &StoredSnapshot) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let bytes = encode(snap);
+    let tmp = temp_path(path);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    // Make the rename durable: fsync the directory entry's parent.
+    // Directory fsync is a Unix-ism; on platforms where opening a
+    // directory fails, the rename alone is the best available.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and fully verifies a store file: size cap, header and section
+/// checksums, and structural validation of every section. Returns the
+/// decoded snapshot. Never panics on any input.
+pub fn load(path: impl AsRef<Path>) -> Result<StoredSnapshot, StoreError> {
+    let path = path.as_ref();
+    let meta = fs::metadata(path).map_err(|e| io_err(path, e))?;
+    if meta.len() > MAX_FILE_BYTES {
+        return Err(StoreError::Io {
+            path: path.display().to_string(),
+            message: format!("{} bytes exceeds the {MAX_FILE_BYTES}-byte store cap", meta.len()),
+        });
+    }
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    decode(&bytes)
+}
+
+/// What [`verify`] found in a healthy store.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Snapshot version recorded in the store.
+    pub version: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected link count.
+    pub links: usize,
+    /// Tier-1 / Tier-2 set sizes.
+    pub tier_sizes: (usize, usize),
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Whether the deep CSR-vs-recompile cross-check ran.
+    pub deep: bool,
+}
+
+/// Verifies a store file. The shallow pass is exactly what a warm start
+/// trusts (checksums + structural validation); `deep` additionally
+/// recompiles the stored graph and requires the stored CSR arrays to be
+/// bit-identical to the fresh compile, catching internally inconsistent
+/// files whose every checksum passes.
+pub fn verify(path: impl AsRef<Path>, deep: bool) -> Result<VerifyReport, StoreError> {
+    let path = path.as_ref();
+    let file_bytes = fs::metadata(path).map_err(|e| io_err(path, e))?.len();
+    let snap = load(path)?;
+    if deep {
+        let fresh = flatnet_bgpsim::TopologySnapshot::compile(&snap.graph);
+        if !topo_identical(&snap.topo, &fresh) {
+            return Err(StoreError::CsrMismatch);
+        }
+    }
+    Ok(VerifyReport {
+        version: snap.version,
+        nodes: snap.graph.len(),
+        links: snap.graph.edge_count(),
+        tier_sizes: (snap.tiers.tier1().len(), snap.tiers.tier2().len()),
+        file_bytes,
+        deep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatnet_asgraph::{AsGraphBuilder, AsId, Relationship, Tiers};
+    use flatnet_bgpsim::TopologySnapshot;
+
+    fn sample() -> StoredSnapshot {
+        let mut b = AsGraphBuilder::new();
+        b.add_link(AsId(1), AsId(2), Relationship::P2c);
+        b.add_link(AsId(1), AsId(3), Relationship::P2c);
+        b.add_link(AsId(2), AsId(3), Relationship::P2p);
+        let graph = b.build();
+        let tiers = Tiers::from_lists(&graph, &[AsId(1)], &[AsId(2)]);
+        let topo = TopologySnapshot::compile(&graph);
+        StoredSnapshot { version: 3, graph, tiers, topo }
+    }
+
+    #[test]
+    fn save_load_verify_round_trip() {
+        let dir = std::env::temp_dir().join(format!("flatnet-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.store");
+        let snap = sample();
+        save_atomic(&path, &snap).unwrap();
+        // No temp file left behind.
+        assert!(!temp_path(&path).exists());
+        let back = load(&path).unwrap();
+        assert_eq!(back.version, 3);
+        assert_eq!(back.graph.edges(), snap.graph.edges());
+        let report = verify(&path, true).unwrap();
+        assert_eq!(report.nodes, 3);
+        assert_eq!(report.links, 3);
+        assert!(report.deep);
+        // Saving over an existing store is atomic and keeps it loadable.
+        save_atomic(&path, &StoredSnapshot { version: 4, ..snap }).unwrap();
+        assert_eq!(load(&path).unwrap().version, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load("/nonexistent/flatnet.store").unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("/nonexistent"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The corruption corpus, pinned: every systematic mutation of a valid
+//! store image must yield a clean typed error — zero panics, zero
+//! silent accepts — and a pristine image must round-trip bit-identical
+//! to a from-source compile. This is the same differential-pinning
+//! discipline the propagation engines use (PR 3/5), applied to the
+//! persistence layer.
+
+use flatnet_asgraph::tiers::infer_tiers;
+use flatnet_bgpsim::TopologySnapshot;
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_store::{
+    corruption_corpus, decode, encode, run_corpus, topo_identical, FaultOutcome, StoredSnapshot,
+};
+
+fn sample_snapshot(ases: usize, seed: u64) -> StoredSnapshot {
+    let net = generate(&NetGenConfig::paper_2020(ases, seed));
+    let graph = net.truth;
+    let tiers = infer_tiers(&graph, 32, 28);
+    let topo = TopologySnapshot::compile(&graph);
+    StoredSnapshot { version: 1, graph, tiers, topo }
+}
+
+#[test]
+fn valid_image_round_trips_bit_identical_to_a_fresh_compile() {
+    let snap = sample_snapshot(300, 11);
+    let bytes = encode(&snap);
+    let back = decode(&bytes).expect("valid image decodes");
+    assert_eq!(back.graph.edges(), snap.graph.edges());
+    assert!(back.graph.asns().eq(snap.graph.asns()));
+    assert_eq!(back.tiers, snap.tiers);
+    // The stored CSR must be bit-identical both to what was encoded and
+    // to a compile of the decoded graph — the warm-start correctness
+    // property.
+    assert!(topo_identical(&back.topo, &snap.topo));
+    assert!(topo_identical(&back.topo, &TopologySnapshot::compile(&back.graph)));
+    // Encoding is deterministic and stable through a round trip.
+    assert_eq!(encode(&back), bytes);
+}
+
+#[test]
+fn every_injected_fault_yields_a_typed_error_and_never_a_panic() {
+    let snap = sample_snapshot(300, 11);
+    let bytes = encode(&snap);
+    let results = run_corpus(&bytes);
+    // The corpus must actually cover the layout: truncations at each of
+    // the four section boundaries, flips in each section, the header
+    // mutations, and the semantic mutations.
+    assert!(results.len() >= 30, "suspiciously small corpus: {}", results.len());
+    let mut kinds = std::collections::BTreeMap::new();
+    for r in &results {
+        match r.outcome {
+            FaultOutcome::TypedError(kind) => {
+                *kinds.entry(kind).or_insert(0usize) += 1;
+            }
+            FaultOutcome::Panicked => panic!("fault '{}' made the decoder panic", r.name),
+            FaultOutcome::Accepted => panic!("fault '{}' was silently accepted", r.name),
+        }
+    }
+    // The distinct failure modes must be distinguishable — the fallback
+    // ladder logs them separately.
+    for want in ["bad-magic", "truncated-header", "header-checksum", "section-checksum",
+        "unsupported-version", "bad-section-table", "trailing-bytes"]
+    {
+        assert!(kinds.contains_key(want), "no fault exercised kind {want:?}: {kinds:?}");
+    }
+}
+
+#[test]
+fn corpus_covers_every_section_with_flips_and_boundary_truncations() {
+    let snap = sample_snapshot(120, 3);
+    let bytes = encode(&snap);
+    let corpus = corruption_corpus(&bytes);
+    for section in 1..=4u32 {
+        let flips = corpus
+            .iter()
+            .filter(|f| f.name.starts_with("bitflip") && f.name.contains(&format!("section{section} ")))
+            .count();
+        assert!(flips >= 3, "section {section} has {flips} bit-flips, want >= 3");
+        let cuts = corpus
+            .iter()
+            .filter(|f| {
+                f.name.starts_with("truncate")
+                    && (f.name.contains(&format!("section{section} start"))
+                        || f.name.contains(&format!("section{section} end")))
+            })
+            .count();
+        assert!(cuts >= 1, "section {section} has no boundary truncation");
+    }
+    assert!(corpus.iter().any(|f| f.name == "zeroed header"));
+    assert!(corpus.iter().any(|f| f.name.starts_with("swap section ids")));
+    assert!(corpus.iter().any(|f| f.name == "format version 99"));
+}
+
+#[test]
+fn checked_in_tiny_store_still_decodes_and_survives_the_corpus() {
+    // The committed fixture pins the on-disk format: if an encoder
+    // change silently breaks compatibility with existing stores, this
+    // fails before any deployment does. CI also runs `snapshot fuzz`
+    // and `snapshot verify --deep` against the same file.
+    let bytes = std::fs::read(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/tiny.store"))
+        .expect("tests/data/tiny.store is checked in");
+    let snap = decode(&bytes).expect("the committed fixture must decode");
+    assert_eq!(snap.graph.len(), 120);
+    assert!(topo_identical(&snap.topo, &TopologySnapshot::compile(&snap.graph)));
+    for r in run_corpus(&bytes) {
+        assert!(
+            matches!(r.outcome, FaultOutcome::TypedError(_)),
+            "fixture fault '{}' was mishandled",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn decoder_survives_arbitrary_noise_prefixes() {
+    // Beyond the structured corpus: a few shapeless inputs.
+    let cases: &[&[u8]] = &[
+        b"",
+        b"FNSNAP",
+        b"FNSNAP\r\n",
+        b"\x00\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff",
+        b"GET / HTTP/1.1\r\n\r\n",
+    ];
+    for case in cases {
+        let err = decode(case).expect_err("noise accepted");
+        let _ = err.to_string();
+    }
+}
