@@ -131,6 +131,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let warm_ms = t_warm.elapsed().as_secs_f64() * 1e3;
 
+    // The server runs in-process, so the global obs registry holds its
+    // per-stage histograms; the delta across the load pass isolates the
+    // stage breakdown to exactly the measured requests.
+    let obs_before = flatnet_obs::snapshot();
+
     // Load pass: `conc` closed-loop clients pull request indices from a
     // shared counter and cycle the origin pool.
     let next = Arc::new(AtomicUsize::new(0));
@@ -170,7 +175,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
         samples.extend(c.join().map_err(|_| "client thread panicked")?);
     }
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let obs_delta = flatnet_obs::snapshot().delta_since(&obs_before);
     server.shutdown();
+
+    // Server-side per-stage percentiles over the load pass, from the
+    // `serve.stage_us{stage="..."}` histograms the trace layer feeds.
+    let stage_block = ["queue_wait", "cache_probe", "propagate", "write"]
+        .iter()
+        .map(|name| {
+            let key = format!("serve.stage_us{{stage=\"{name}\"}}");
+            let (p50, p90, p99) = obs_delta
+                .histograms
+                .get(&key)
+                .map(|h| {
+                    let pct = |p: f64| h.percentile_us(p).unwrap_or(0);
+                    (pct(50.0), pct(90.0), pct(99.0))
+                })
+                .unwrap_or((0, 0, 0));
+            format!("\"{name}\": {{ \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99} }}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
 
     // ---- Aggregate. ----
     let mut all_us: Vec<u64> = samples.iter().map(|s| s.us).collect();
@@ -199,6 +224,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "  \"elapsed_ms\": {elapsed_ms:.3},\n",
             "  \"qps\": {qps:.1},\n",
             "  \"latency\": {{ \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99} }},\n",
+            "  \"stages\": {{ {stages} }},\n",
             "  \"cache_hit\": {{ \"count\": {hitn}, \"p50_us\": {hit50}, \"p99_us\": {hit99} }},\n",
             "  \"cache_miss\": {{ \"count\": {missn}, \"p50_us\": {miss50}, \"p99_us\": {miss99} }},\n",
             "  \"status\": {{ \"ok_200\": {ok}, \"err_4xx\": {e4}, \"err_5xx\": {e5}, \"transport\": {tr} }}\n",
@@ -215,6 +241,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         p50 = percentile(&all_us, 50),
         p90 = percentile(&all_us, 90),
         p99 = percentile(&all_us, 99),
+        stages = stage_block,
         hitn = hit_us.len(),
         hit50 = percentile(&hit_us, 50),
         hit99 = percentile(&hit_us, 99),
@@ -275,6 +302,10 @@ mod tests {
         assert!(report.contains("\"err_5xx\": 0"), "5xx under closed-loop load:\n{report}");
         // The pool is warmed, so the load pass should be all hits.
         assert!(report.contains("\"ok_200\": 60"), "{report}");
+        // The per-stage breakdown comes from the in-process obs delta.
+        for stage in ["queue_wait", "cache_probe", "propagate", "write"] {
+            assert!(report.contains(&format!("\"{stage}\": {{ \"p50_us\": ")), "{report}");
+        }
     }
 
     #[test]

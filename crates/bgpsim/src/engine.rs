@@ -395,6 +395,7 @@ pub(crate) fn run_into(
     let n = snap.len();
     let obs = metrics();
     obs.runs.inc();
+    let started = std::time::Instant::now();
     ws.reset(n, origin);
     if n == 0 || pol.is_excluded(origin) {
         return;
@@ -546,6 +547,7 @@ pub(crate) fn run_into(
     obs.routes_provider.add(sel_d);
     obs.export_checks.add(export_checks);
     obs.dijkstra_pops.add(dijkstra_pops);
+    obs.run_us.record_us(started.elapsed().as_micros() as u64);
 }
 
 /// Builder-style front end over a compiled [`TopologySnapshot`].

@@ -293,6 +293,7 @@ impl LaneWorkspace {
         let obs = metrics();
         obs.runs.add(origins.len() as u64);
         obs.kernel_blocks.inc();
+        let started = std::time::Instant::now();
         self.begin(n, materialize);
         self.block_len = origins.len();
         if n == 0 || origins.is_empty() {
@@ -408,6 +409,7 @@ impl LaneWorkspace {
                 }
             }
         }
+        obs.kernel_block_us.record_us(started.elapsed().as_micros() as u64);
     }
 
     /// The three Gao-Rexford phases, word-wise. Monomorphized twice:

@@ -50,6 +50,11 @@ pub(crate) struct PropagateMetrics {
     /// Frontier rounds across the kernel's BFS phases; deterministic for
     /// a given (topology, origins, policy) regardless of thread count.
     pub(crate) kernel_rounds: Counter,
+    /// Wall time of one single-origin engine run (`run_into`), µs — the
+    /// `propagate` stage cost a cache-missing serve query pays.
+    pub(crate) run_us: std::sync::Arc<flatnet_obs::Histogram>,
+    /// Wall time of one bit-parallel kernel block (`crate::lanes`), µs.
+    pub(crate) kernel_block_us: std::sync::Arc<flatnet_obs::Histogram>,
 }
 
 pub(crate) fn metrics() -> &'static PropagateMetrics {
@@ -65,6 +70,8 @@ pub(crate) fn metrics() -> &'static PropagateMetrics {
             dijkstra_pops: reg.counter("propagate.dijkstra_pops"),
             kernel_blocks: reg.counter("propagate.kernel_blocks"),
             kernel_rounds: reg.counter("propagate.kernel_rounds"),
+            run_us: reg.histogram("propagate.run_us"),
+            kernel_block_us: reg.histogram("propagate.kernel_block_us"),
         }
     })
 }

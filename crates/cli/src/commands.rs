@@ -790,6 +790,98 @@ fn snapshot_fuzz(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `flatnet metrics [--in PATH] [--prom]` — render an obs snapshot (a
+/// `flatnet-obs/v1|v2` JSON file, or the live in-process registry when
+/// `--in` is omitted) as the summary table or the Prometheus text
+/// exposition.
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["prom"], &["in"])?;
+    let snap = match opts.get("in") {
+        Some(path) => {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            flatnet_obs::Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => flatnet_obs::snapshot(),
+    };
+    if opts.switch("prom") {
+        print!("{}", flatnet_obs::to_prometheus(&snap));
+    } else {
+        print!("{}", snap.render_table());
+    }
+    Ok(())
+}
+
+/// `flatnet trace top --in PATH [--top N]` — summarize a drained trace
+/// dump (a `flatnet-trace/v1` document from `/debug/trace/recent` or
+/// `/debug/trace/slow`): stage breakdown, slowest origins, slowest
+/// requests.
+pub fn trace(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("trace requires a subcommand (try `trace top --in DUMP.json`)".into());
+    };
+    if sub != "top" {
+        return Err(format!("unknown trace subcommand {sub:?} (want top)"));
+    }
+    let opts = Opts::parse(rest, &[], &["in", "top"])?;
+    let path = opts.required("in")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let dump = flatnet_obs::TraceDump::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", dump.render_top(opts.num_or("top", 10usize)?));
+    Ok(())
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn metrics_renders_file_snapshots_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("flatnet-cli-obs-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obs.json");
+        let reg = flatnet_obs::Registry::new();
+        reg.counter("parse.test.records_ok").add(5);
+        reg.histogram("serve.stage_us{stage=\"queue_wait\"}").record_us_tagged(80, 9, 15169);
+        fs::write(&path, reg.snapshot().to_json()).unwrap();
+        let argv = vec!["--in".to_string(), path.to_str().unwrap().to_string()];
+        metrics(&argv).unwrap();
+        let prom = vec![
+            "--in".to_string(),
+            path.to_str().unwrap().to_string(),
+            "--prom".to_string(),
+        ];
+        metrics(&prom).unwrap();
+        fs::write(&path, "not json").unwrap();
+        assert!(metrics(&argv).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_top_summarizes_a_dump() {
+        let dir = std::env::temp_dir().join(format!("flatnet-cli-trace-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.json");
+        let mut ev = flatnet_obs::TraceEvent {
+            trace_id: 7,
+            total_us: 1234,
+            status: 200,
+            origin: 64500,
+            ..flatnet_obs::TraceEvent::default()
+        };
+        ev.set_tag("reachability");
+        fs::write(&path, flatnet_obs::TraceDump { events: vec![ev] }.to_json()).unwrap();
+        let argv: Vec<String> =
+            ["top", "--in", path.to_str().unwrap(), "--top", "5"].iter().map(|s| s.to_string()).collect();
+        trace(&argv).unwrap();
+        assert!(trace(&["bogus".to_string()]).is_err());
+        assert!(trace(&[]).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
 #[cfg(test)]
 mod dot_tests {
     use super::*;

@@ -63,8 +63,11 @@ USAGE:
                  [--io-timeout-ms MS] [--store FILE] [--tier1 .. --tier2 ..]
       Run the query daemon: reachability/reliance/what-if answers over
       HTTP from a compiled snapshot. Endpoints: /v1/reachability,
-      /v1/reliance, /v1/whatif/leak, /healthz, /metrics, /admin/reload,
-      /admin/shutdown. Without --as-rel, serves a synthetic topology.
+      /v1/reliance, /v1/whatif/leak, /healthz, /metrics (add
+      ?format=prom for Prometheus text), /debug/trace/recent,
+      /debug/trace/slow?ms=N, /debug/queue, /admin/reload,
+      /admin/shutdown. Responses carry an X-Flatnet-Trace-Id header.
+      Without --as-rel, serves a synthetic topology.
       With --store, warm-starts from the snapshot store when it is valid
       (skipping the compile), self-heals it when it is corrupt, and
       persists every successful reload to it.
@@ -78,6 +81,17 @@ USAGE:
       recompiles and compares bit-for-bit); `fuzz` injects the
       deterministic corruption corpus and fails unless every fault
       degrades to a typed error.
+
+  flatnet metrics [--in PATH] [--prom]
+      Render an obs snapshot — from a file written with `--metrics PATH`
+      (or scraped from /metrics) when --in is given, else the live
+      process registry — as a text table, or as Prometheus text
+      exposition with --prom.
+
+  flatnet trace top --in DUMP.json [--top N]
+      Summarize a flatnet-trace/v1 dump (as returned by
+      /debug/trace/recent or /debug/trace/slow): per-stage time
+      breakdown, slowest origins, and the N slowest requests.
 
   flatnet bench propagate [--ases N] [--seed S] [--origins K]
                  [--threads N] [--out PATH]
@@ -104,7 +118,7 @@ Common flags take comma-separated AS numbers. All commands print text
 tables to stdout and are deterministic.
 
 Observability (any command):
-  --metrics PATH   On exit, write a flatnet-obs/v1 JSON snapshot of the
+  --metrics PATH   On exit, write a flatnet-obs/v2 JSON snapshot of the
                    process's spans, counters, and histograms to PATH.
   --log-level L    Stderr verbosity: error|warn|info|debug (default
                    info; $FLATNET_LOG is read first).
@@ -177,6 +191,8 @@ fn main() -> ExitCode {
         "dot" => commands::dot(rest),
         "serve" => commands::serve(rest),
         "snapshot" => commands::snapshot(rest),
+        "metrics" => commands::metrics(rest),
+        "trace" => commands::trace(rest),
         "bench" => match rest.split_first() {
             Some((sub, bench_rest)) if sub == "propagate" => {
                 flatnet_bench::propbench::run(bench_rest)

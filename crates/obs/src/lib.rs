@@ -23,15 +23,19 @@
 
 pub mod log;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use log::Level;
-pub use metrics::{bucket_bound_us, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use metrics::{bucket_bound_us, Counter, Exemplar, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use prom::to_prometheus;
 pub use registry::{global, Registry};
-pub use snapshot::{HistogramSnapshot, Snapshot, SCHEMA};
+pub use snapshot::{HistogramSnapshot, Snapshot, SCHEMA, SCHEMA_V1};
 pub use span::{SpanGuard, SpanStat};
+pub use trace::{Stage, TraceCtx, TraceDump, TraceEvent, TraceRing, Tracer};
 
 /// The counter named `name` in the global registry.
 pub fn counter(name: &str) -> Counter {

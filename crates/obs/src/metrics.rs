@@ -6,6 +6,16 @@
 //! lookup out of loops) and values commute, which is what makes counter
 //! totals bit-identical regardless of how a sweep is partitioned over
 //! threads.
+//!
+//! Histograms additionally keep three cheap sidecars that sharpen the
+//! tail without slowing the record path:
+//!
+//! - an exact-sample reservoir of the first [`RAW_SAMPLES`] observations,
+//!   so percentiles of small populations are *exact* instead of
+//!   bucket-bound estimates;
+//! - a running maximum, which clamps the top bucket's interpolation;
+//! - one **exemplar** slot per bucket (trace id, origin AS, exact value)
+//!   so an exported p99 can name the concrete request behind it.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -60,6 +70,12 @@ impl Gauge {
 /// plus a final overflow bucket.
 pub const HISTOGRAM_BUCKETS: usize = 28;
 
+/// Exact observations kept per histogram: while a histogram holds at most
+/// this many samples, its percentiles are computed from the raw values
+/// and are exact (a p99 over 60 samples is the 60th sample, not the
+/// upper bound of its power-of-two bucket).
+pub const RAW_SAMPLES: usize = 128;
+
 /// Upper bound (inclusive) of bucket `i` in microseconds; the last bucket
 /// is unbounded and reports `u64::MAX`.
 pub fn bucket_bound_us(i: usize) -> u64 {
@@ -70,17 +86,56 @@ pub fn bucket_bound_us(i: usize) -> u64 {
     }
 }
 
+/// One tail-latency exemplar: the concrete observation currently
+/// representing a bucket, carrying enough identity (trace id, origin AS)
+/// to find the request behind a percentile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace id of the request that recorded this observation (nonzero).
+    pub trace_id: u64,
+    /// Origin AS the request was about (0 when not applicable).
+    pub origin: u64,
+    /// The exact observed value, microseconds.
+    pub value_us: u64,
+}
+
 /// A fixed-bucket histogram for microsecond latencies.
 ///
-/// Buckets are powers of two, so recording is a `leading_zeros` plus one
-/// atomic increment — no allocation, no locks. Percentiles are estimated
-/// as the upper bound of the bucket containing the target rank, which is
-/// within 2× of the true value by construction.
-#[derive(Debug, Default)]
+/// Buckets are powers of two, so recording is a `leading_zeros` plus a
+/// handful of relaxed atomic stores — no allocation, no locks.
+/// Percentiles are exact while the population fits the raw reservoir
+/// (see [`RAW_SAMPLES`]), and linearly interpolated within the target
+/// bucket (clamped by the recorded maximum) beyond that.
+#[derive(Debug)]
 pub struct Histogram {
     pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     pub(crate) count: AtomicU64,
     pub(crate) sum_us: AtomicU64,
+    pub(crate) max_us: AtomicU64,
+    /// First observations, stored as `value + 1` (0 = empty slot) so a
+    /// legitimate 0 µs sample is distinguishable from an unwritten slot.
+    pub(crate) raw: [AtomicU64; RAW_SAMPLES],
+    pub(crate) raw_next: AtomicU64,
+    /// Per-bucket exemplar slots; `id == 0` means the slot is empty.
+    pub(crate) ex_id: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) ex_origin: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) ex_value: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+            raw: std::array::from_fn(|_| AtomicU64::new(0)),
+            raw_next: AtomicU64::new(0),
+            ex_id: std::array::from_fn(|_| AtomicU64::new(0)),
+            ex_origin: std::array::from_fn(|_| AtomicU64::new(0)),
+            ex_value: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Histogram {
@@ -104,6 +159,28 @@ impl Histogram {
         self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+        let slot = self.raw_next.fetch_add(1, Ordering::Relaxed);
+        if (slot as usize) < RAW_SAMPLES {
+            // `+1` so an all-zero slot still reads as "written".
+            self.raw[slot as usize].store(us.saturating_add(1).max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation and installs it as the exemplar of its
+    /// bucket. The exemplar slot is last-writer-wins across threads; a
+    /// torn (id, origin, value) triple under contention merely names a
+    /// *different real request* from the same bucket, which is still a
+    /// valid exemplar.
+    #[inline]
+    pub fn record_us_tagged(&self, us: u64, trace_id: u64, origin: u64) {
+        self.record_us(us);
+        if trace_id != 0 {
+            let b = Self::bucket_of(us);
+            self.ex_value[b].store(us, Ordering::Relaxed);
+            self.ex_origin[b].store(origin, Ordering::Relaxed);
+            self.ex_id[b].store(trace_id, Ordering::Relaxed);
+        }
     }
 
     /// Records a [`std::time::Duration`].
@@ -122,28 +199,110 @@ impl Histogram {
         self.sum_us.load(Ordering::Relaxed)
     }
 
-    /// Upper-bound estimate of the `p`-th percentile (0 < p <= 100) in
-    /// microseconds; `None` when empty.
+    /// Largest observation so far, microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The raw reservoir, sorted — complete (and therefore usable for
+    /// exact percentiles) only while `count() <= RAW_SAMPLES`.
+    pub(crate) fn raw_sorted(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .raw
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&v| v != 0)
+            .map(|v| v - 1)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The current exemplar of bucket `i`, if one was ever installed.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        let id = self.ex_id[i].load(Ordering::Relaxed);
+        if id == 0 {
+            return None;
+        }
+        Some(Exemplar {
+            trace_id: id,
+            origin: self.ex_origin[i].load(Ordering::Relaxed),
+            value_us: self.ex_value[i].load(Ordering::Relaxed),
+        })
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) in microseconds; `None` when
+    /// empty. Exact while the population fits the raw reservoir,
+    /// bucket-interpolated (clamped by the observed maximum) beyond.
     pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        if n <= RAW_SAMPLES as u64 {
+            let raw = self.raw_sorted();
+            if raw.len() as u64 == n {
+                return Some(percentile_exact(&raw, p));
+            }
+            // A concurrent writer bumped `count` before its raw slot
+            // became visible; fall through to the bucket estimate.
+        }
         let counts: Vec<u64> =
             self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        percentile_from_buckets(&counts, p)
+        percentile_from_buckets(&counts, p, Some(self.max_us()))
     }
 }
 
-/// Percentile estimation shared by live histograms and snapshots.
-pub(crate) fn percentile_from_buckets(counts: &[u64], p: f64) -> Option<u64> {
+/// Nearest-rank percentile over a sorted sample set — exact by
+/// construction. `sorted` must be non-empty.
+pub(crate) fn percentile_exact(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(n) - 1]
+}
+
+/// Percentile estimation shared by live histograms and snapshots: finds
+/// the bucket holding the target rank and interpolates linearly within
+/// it. `max_us`, when known, clamps the top occupied bucket (so a p99
+/// that lands in the maximum's bucket can never exceed the maximum —
+/// previously a sub-100-sample p99 collapsed to the bucket's upper
+/// bound, up to 2x above any real observation).
+pub(crate) fn percentile_from_buckets(
+    counts: &[u64],
+    p: f64,
+    max_us: Option<u64>,
+) -> Option<u64> {
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return None;
     }
     let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let top = counts.iter().rposition(|&c| c != 0).unwrap_or(0);
     let mut seen = 0u64;
     for (i, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= target {
-            return Some(bucket_bound_us(i));
+        if c == 0 {
+            continue;
         }
+        seen += c;
+        if seen < target {
+            continue;
+        }
+        let lower = if i == 0 { 0 } else { bucket_bound_us(i - 1) };
+        let mut upper = bucket_bound_us(i);
+        if i == top {
+            if let Some(max) = max_us {
+                // The global maximum lives in the top occupied bucket.
+                upper = upper.min(max.max(lower));
+            }
+        }
+        if upper == u64::MAX {
+            // Overflow bucket with no known maximum: no finite bound.
+            return Some(u64::MAX);
+        }
+        // Rank position within this bucket, 1..=c.
+        let r = c - (seen - target);
+        let span = (upper - lower) as u128;
+        return Some(lower + (span * r as u128 / c as u128) as u64);
     }
     Some(bucket_bound_us(counts.len() - 1))
 }
@@ -176,9 +335,11 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_track_the_distribution() {
+    fn small_populations_report_exact_percentiles() {
         let h = Histogram::new();
-        // 90 fast observations and 10 slow ones.
+        // 90 fast observations and 10 slow ones — under RAW_SAMPLES, so
+        // every percentile is the exact nearest-rank sample, not the
+        // bucket's upper bound.
         for _ in 0..90 {
             h.record_us(3);
         }
@@ -187,11 +348,67 @@ mod tests {
         }
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum_us(), 90 * 3 + 10 * 5000);
-        assert_eq!(h.percentile_us(50.0), Some(4));
-        assert_eq!(h.percentile_us(90.0), Some(4));
-        // The p99 lands in the slow bucket: 5000 <= 8192.
-        assert_eq!(h.percentile_us(99.0), Some(8192));
+        assert_eq!(h.max_us(), 5000);
+        assert_eq!(h.percentile_us(50.0), Some(3));
+        assert_eq!(h.percentile_us(90.0), Some(3));
+        assert_eq!(h.percentile_us(99.0), Some(5000), "p99 must be exact, not 8192");
+        assert_eq!(h.percentile_us(99.9), Some(5000));
+        assert_eq!(h.percentile_us(100.0), Some(5000));
         assert_eq!(Histogram::new().percentile_us(50.0), None);
+    }
+
+    #[test]
+    fn zero_valued_samples_are_exact_too() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record_us(0);
+        }
+        assert_eq!(h.percentile_us(99.0), Some(0));
+    }
+
+    #[test]
+    fn large_populations_interpolate_and_clamp_to_max() {
+        let h = Histogram::new();
+        // Overflow the reservoir so the bucket estimator takes over.
+        for _ in 0..(RAW_SAMPLES as u64 * 4) {
+            h.record_us(3000); // bucket (2048, 4096]
+        }
+        let p99 = h.percentile_us(99.0).unwrap();
+        assert!(p99 <= 3000, "interpolation must clamp to the observed max, got {p99}");
+        assert!(p99 > 2048, "interpolation must stay above the bucket floor, got {p99}");
+    }
+
+    #[test]
+    fn interpolation_tracks_rank_within_bucket() {
+        // No max clamp: 100 samples in bucket (8, 16]; p50 should land
+        // mid-bucket, not at the upper bound.
+        let counts = {
+            let mut c = vec![0u64; HISTOGRAM_BUCKETS];
+            c[4] = 100; // (8, 16]
+            c
+        };
+        let p50 = percentile_from_buckets(&counts, 50.0, None).unwrap();
+        assert_eq!(p50, 8 + (16 - 8) * 50 / 100);
+        let p100 = percentile_from_buckets(&counts, 100.0, None).unwrap();
+        assert_eq!(p100, 16);
+    }
+
+    #[test]
+    fn exemplars_land_in_the_right_bucket() {
+        let h = Histogram::new();
+        h.record_us_tagged(5000, 0xdead_beef, 15169);
+        h.record_us_tagged(3, 0x42, 64512);
+        let slow = h.exemplar(Histogram::bucket_of(5000)).unwrap();
+        assert_eq!(slow.trace_id, 0xdead_beef);
+        assert_eq!(slow.origin, 15169);
+        assert_eq!(slow.value_us, 5000);
+        let fast = h.exemplar(Histogram::bucket_of(3)).unwrap();
+        assert_eq!(fast.trace_id, 0x42);
+        // Zero trace ids never install an exemplar.
+        let h2 = Histogram::new();
+        h2.record_us_tagged(10, 0, 1);
+        assert!(h2.exemplar(Histogram::bucket_of(10)).is_none());
+        assert_eq!(h2.count(), 1, "the observation itself is still recorded");
     }
 
     #[test]

@@ -89,7 +89,26 @@ impl Registry {
                 for (b, slot) in h.buckets.iter().zip(buckets.iter_mut()) {
                     *slot = b.load(Ordering::Relaxed);
                 }
-                (k.clone(), HistogramSnapshot { buckets, sum_us: h.sum_us() })
+                let count: u64 = buckets.iter().sum();
+                // The raw sample set is only meaningful while complete —
+                // an overflowed reservoir describes an arbitrary prefix.
+                let raw = {
+                    let raw = h.raw_sorted();
+                    if raw.len() as u64 == count { raw } else { Vec::new() }
+                };
+                let exemplars = (0..HISTOGRAM_BUCKETS)
+                    .filter_map(|i| h.exemplar(i).map(|e| (i, e)))
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        buckets,
+                        sum_us: h.sum_us(),
+                        max_us: h.max_us(),
+                        raw,
+                        exemplars,
+                    },
+                )
             })
             .collect();
         let spans = self.spans.lock().unwrap().clone();

@@ -1,21 +1,29 @@
 //! Point-in-time metric snapshots and the two exporters: a deterministic
 //! JSON document and a human-readable summary table.
 //!
-//! The JSON schema (`flatnet-obs/v1`) is the machine-readable contract
+//! The JSON schema (`flatnet-obs/v2`) is the machine-readable contract
 //! for benchmark trajectories (`BENCH_*.json`) and the CI metrics
 //! artifact:
 //!
 //! ```json
 //! {
-//!   "schema": "flatnet-obs/v1",
+//!   "schema": "flatnet-obs/v2",
 //!   "counters": {"parse.caida.records_ok": 4},
 //!   "gauges": {"sweep.threads": 8},
 //!   "spans": {"measure": {"count": 1, "total_ns": 12345}},
 //!   "histograms": {"sweep.item_us": {
-//!       "count": 10, "sum_us": 50, "p50_us": 4, "p90_us": 8, "p99_us": 8,
-//!       "buckets": [[4, 7], [8, 3]]}}
+//!       "count": 10, "sum_us": 50, "max_us": 7,
+//!       "p50_us": 4, "p90_us": 7, "p99_us": 7, "p999_us": 7,
+//!       "buckets": [[4, 7], [8, 3]],
+//!       "raw": [1, 2, 4, 5, 5, 5, 6, 6, 7, 7],
+//!       "exemplars": [[8, 81985529216486895, 15169, 7]]}}
 //! }
 //! ```
+//!
+//! v2 added `max_us`, `p999_us`, and the optional `raw` (exact sample
+//! set, present while complete) and `exemplars`
+//! (`[bucket bound, trace id, origin AS, value]`) histogram fields;
+//! v1 documents still parse (the additions default to empty).
 //!
 //! Keys are sorted, maps are emitted in a single canonical form, and all
 //! values are integers, so two snapshots with equal contents serialize to
@@ -25,18 +33,29 @@
 //! emitter and a matching parser; [`Snapshot::from_json`] accepts exactly
 //! the documents [`Snapshot::to_json`] produces.
 
-use crate::metrics::{bucket_bound_us, percentile_from_buckets, HISTOGRAM_BUCKETS};
+use crate::metrics::{
+    bucket_bound_us, percentile_exact, percentile_from_buckets, Exemplar, HISTOGRAM_BUCKETS,
+};
 use crate::span::SpanStat;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Frozen state of one histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts (see [`bucket_bound_us`]).
     pub buckets: [u64; HISTOGRAM_BUCKETS],
     /// Sum of observations, microseconds.
     pub sum_us: u64,
+    /// Largest observation, microseconds (0 when empty). Clamps the top
+    /// bucket during percentile interpolation.
+    pub max_us: u64,
+    /// The exact (sorted) sample set, present only while the live
+    /// histogram's raw reservoir still covered every observation — then
+    /// `raw.len() == count()` and percentiles are exact.
+    pub raw: Vec<u64>,
+    /// Per-bucket exemplars as `(bucket index, exemplar)`, ascending.
+    pub exemplars: Vec<(usize, Exemplar)>,
 }
 
 impl HistogramSnapshot {
@@ -45,9 +64,18 @@ impl HistogramSnapshot {
         self.buckets.iter().sum()
     }
 
-    /// Upper-bound estimate of the `p`-th percentile in microseconds.
+    /// The `p`-th percentile in microseconds: exact when the raw sample
+    /// set is complete, bucket-interpolated (clamped by `max_us`)
+    /// otherwise.
     pub fn percentile_us(&self, p: f64) -> Option<u64> {
-        percentile_from_buckets(&self.buckets, p)
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        if self.raw.len() as u64 == n {
+            return Some(percentile_exact(&self.raw, p));
+        }
+        percentile_from_buckets(&self.buckets, p, Some(self.max_us))
     }
 }
 
@@ -64,8 +92,14 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanStat>,
 }
 
-/// Schema identifier emitted in every JSON document.
-pub const SCHEMA: &str = "flatnet-obs/v1";
+/// Schema identifier emitted in every JSON document. v2 added
+/// `max_us`, `p999_us`, and the optional `raw` / `exemplars` histogram
+/// fields; [`Snapshot::from_json`] still accepts v1 documents (the new
+/// fields default to empty).
+pub const SCHEMA: &str = "flatnet-obs/v2";
+
+/// The previous schema identifier, still accepted on input.
+pub const SCHEMA_V1: &str = "flatnet-obs/v1";
 
 impl Snapshot {
     /// The change from `earlier` to `self`: counters, span tallies, and
@@ -102,6 +136,17 @@ impl Snapshot {
                         *slot = slot.saturating_sub(*prev);
                     }
                     out.sum_us = out.sum_us.saturating_sub(e.sum_us);
+                    if e.count() > 0 {
+                        // The raw reservoir only describes the histogram's
+                        // full lifetime; a window starting mid-life cannot
+                        // be reconstructed from it.
+                        out.raw.clear();
+                    }
+                    // `max_us` stays the lifetime high-watermark: an upper
+                    // bound for the window, which keeps the interpolation
+                    // clamp safe. Exemplars survive only for buckets the
+                    // window actually touched.
+                    out.exemplars.retain(|(i, _)| out.buckets[*i] > 0);
                 }
                 (k.clone(), out)
             })
@@ -109,7 +154,7 @@ impl Snapshot {
         Snapshot { counters, gauges: self.gauges.clone(), histograms, spans }
     }
 
-    /// Serializes to the canonical `flatnet-obs/v1` JSON document.
+    /// Serializes to the canonical `flatnet-obs/v2` JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -143,18 +188,46 @@ impl Snapshot {
                 }
                 buckets.push(']');
                 let pct = |p: f64| h.percentile_us(p).unwrap_or(0);
-                (
-                    k.as_str(),
-                    format!(
-                        "{{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"buckets\": {}}}",
-                        h.count(),
-                        h.sum_us,
-                        pct(50.0),
-                        pct(90.0),
-                        pct(99.0),
-                        buckets
-                    ),
-                )
+                let mut doc = format!(
+                    "{{\"count\": {}, \"sum_us\": {}, \"max_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"buckets\": {}",
+                    h.count(),
+                    h.sum_us,
+                    h.max_us,
+                    pct(50.0),
+                    pct(90.0),
+                    pct(99.0),
+                    pct(99.9),
+                    buckets
+                );
+                if !h.raw.is_empty() {
+                    doc.push_str(", \"raw\": [");
+                    for (i, v) in h.raw.iter().enumerate() {
+                        if i > 0 {
+                            doc.push_str(", ");
+                        }
+                        let _ = write!(doc, "{v}");
+                    }
+                    doc.push(']');
+                }
+                if !h.exemplars.is_empty() {
+                    doc.push_str(", \"exemplars\": [");
+                    for (i, (bucket, ex)) in h.exemplars.iter().enumerate() {
+                        if i > 0 {
+                            doc.push_str(", ");
+                        }
+                        let _ = write!(
+                            doc,
+                            "[{}, {}, {}, {}]",
+                            bucket_bound_us(*bucket),
+                            ex.trace_id,
+                            ex.origin,
+                            ex.value_us
+                        );
+                    }
+                    doc.push(']');
+                }
+                doc.push('}');
+                (k.as_str(), doc)
             }),
         );
         out.push_str("}\n}\n");
@@ -169,7 +242,7 @@ impl Snapshot {
         let top = value.as_object("top level")?;
         let schema = top.get("schema").ok_or("missing \"schema\"")?;
         let schema = schema.as_str("schema")?;
-        if schema != SCHEMA {
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
         }
         let mut snap = Snapshot::default();
@@ -195,8 +268,13 @@ impl Snapshot {
         if let Some(v) = top.get("histograms") {
             for (k, v) in v.as_object("histograms")? {
                 let fields = v.as_object("histogram")?;
-                let mut h = HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], sum_us: 0 };
-                h.sum_us = fields.get("sum_us").ok_or("histogram missing sum_us")?.as_u64("sum_us")?;
+                let mut h = HistogramSnapshot {
+                    sum_us: fields
+                        .get("sum_us")
+                        .ok_or("histogram missing sum_us")?
+                        .as_u64("sum_us")?,
+                    ..HistogramSnapshot::default()
+                };
                 let buckets = fields.get("buckets").ok_or("histogram missing buckets")?;
                 for pair in buckets.as_array("buckets")? {
                     let pair = pair.as_array("bucket pair")?;
@@ -209,6 +287,46 @@ impl Snapshot {
                         .find(|&i| bucket_bound_us(i) == bound)
                         .ok_or_else(|| format!("unknown bucket bound {bound}"))?;
                     h.buckets[idx] = count;
+                }
+                match fields.get("max_us") {
+                    Some(v) => h.max_us = v.as_u64("max_us")?,
+                    // v1 document: the best safe clamp for the top bucket
+                    // is its own upper bound (a no-op for interpolation).
+                    None => {
+                        h.max_us = h
+                            .buckets
+                            .iter()
+                            .rposition(|&c| c != 0)
+                            .map(bucket_bound_us)
+                            .unwrap_or(0);
+                    }
+                }
+                if let Some(raw) = fields.get("raw") {
+                    for v in raw.as_array("raw")? {
+                        h.raw.push(v.as_u64("raw sample")?);
+                    }
+                }
+                if let Some(exs) = fields.get("exemplars") {
+                    for entry in exs.as_array("exemplars")? {
+                        let entry = entry.as_array("exemplar")?;
+                        if entry.len() != 4 {
+                            return Err(
+                                "exemplar must be [bound_us, trace_id, origin, value_us]".into()
+                            );
+                        }
+                        let bound = entry[0].as_u64("exemplar bound")?;
+                        let idx = (0..HISTOGRAM_BUCKETS)
+                            .find(|&i| bucket_bound_us(i) == bound)
+                            .ok_or_else(|| format!("unknown exemplar bound {bound}"))?;
+                        h.exemplars.push((
+                            idx,
+                            Exemplar {
+                                trace_id: entry[1].as_u64("exemplar trace_id")?,
+                                origin: entry[2].as_u64("exemplar origin")?,
+                                value_us: entry[3].as_u64("exemplar value_us")?,
+                            },
+                        ));
+                    }
                 }
                 snap.histograms.insert(k.clone(), h);
             }
@@ -308,8 +426,9 @@ fn json_string(s: &str) -> String {
 
 /// A minimal JSON reader for the subset `to_json` emits: objects, arrays,
 /// integers, and strings (escapes included). Floats, booleans, and null
-/// are rejected — the schema has none.
-mod json {
+/// are rejected — the schema has none. Shared with the trace-dump
+/// documents (`crate::trace`), which use the same integer-only subset.
+pub(crate) mod json {
     use std::collections::BTreeMap;
 
     #[derive(Debug, Clone, PartialEq)]
@@ -546,7 +665,7 @@ mod tests {
     #[test]
     fn json_contains_the_schema_and_sections() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": \"flatnet-obs/v1\""));
+        assert!(json.contains("\"schema\": \"flatnet-obs/v2\""));
         for section in ["counters", "gauges", "spans", "histograms"] {
             assert!(json.contains(&format!("\"{section}\"")), "{json}");
         }
@@ -597,6 +716,36 @@ mod tests {
         assert_eq!(delta.histograms["h"].sum_us, 105);
         assert_eq!(delta.spans["phase"].count, 1);
         assert_eq!(delta.gauges["g"], 2);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        let doc = "{\"schema\": \"flatnet-obs/v1\", \"histograms\": {\"h\": \
+                   {\"count\": 2, \"sum_us\": 10, \"p50_us\": 4, \"p90_us\": 8, \
+                   \"p99_us\": 8, \"buckets\": [[4, 1], [8, 1]]}}}";
+        let snap = Snapshot::from_json(doc).unwrap();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_us, 8, "v1 max synthesizes to the top occupied bucket bound");
+        assert!(h.raw.is_empty());
+        assert!(h.exemplars.is_empty());
+    }
+
+    #[test]
+    fn exemplars_and_raw_round_trip() {
+        let reg = Registry::new();
+        let h = reg.histogram("req_us");
+        h.record_us_tagged(5000, 77, 15169);
+        h.record_us(3);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"exemplars\": [[8192, 77, 15169, 5000]]"), "{json}");
+        assert!(json.contains("\"raw\": [3, 5000]"), "{json}");
+        assert!(json.contains("\"p999_us\": 5000"), "{json}");
+        assert!(json.contains("\"max_us\": 5000"), "{json}");
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::snapshot::{ServeSnapshot, SnapshotManager};
 use flatnet_asgraph::AsId;
 use flatnet_bgpsim::{reliance, NextHopDag, PropagationConfig, Workspace};
 use flatnet_core::leaks::{leak_cdf, Announce, Locking};
+use flatnet_obs::trace::{Stage, TraceCtx, TraceDump, Tracer, STAGES};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -35,10 +36,13 @@ const EXCL_PROVIDERS: u64 = 1;
 const EXCL_TIER1: u64 = 2;
 const EXCL_TIER2: u64 = 4;
 
-/// One accepted connection waiting for a worker.
+/// One accepted connection waiting for a worker, carrying the trace
+/// context allocated at accept time (so queue wait is part of the
+/// trace, not invisible pre-history).
 pub(crate) struct Job {
     pub(crate) stream: TcpStream,
     pub(crate) accepted: Instant,
+    pub(crate) trace: TraceCtx,
 }
 
 /// A cached answer: the expensive-to-compute core of a response, without
@@ -84,10 +88,23 @@ pub(crate) struct Shared {
     status_5xx: flatnet_obs::Counter,
     queue_depth: flatnet_obs::Gauge,
     request_us: Arc<flatnet_obs::Histogram>,
+    /// Per-stage latency histograms, indexed by `Stage as usize`; the
+    /// label-embedded names export as one `serve_stage_seconds` family.
+    stage_us: [Arc<flatnet_obs::Histogram>; STAGES],
+    /// Per-worker busy-time counters (µs handling requests), for the
+    /// `/debug/queue` utilization view.
+    busy_us: Vec<flatnet_obs::Counter>,
+    /// Trace rings (one per worker + one for the accept thread), the
+    /// slowest-K reservoir, and the id generator.
+    pub(crate) tracer: Tracer,
     /// How many top-degree origins to pre-warm after load/reload; 0 = off.
     warm: usize,
     warmed: flatnet_obs::Counter,
 }
+
+/// Ring capacity per designated writer; `/debug/trace/recent` can see at
+/// most `workers + 1` times this many events.
+const TRACE_RING_CAP: usize = 256;
 
 impl Shared {
     pub(crate) fn new(
@@ -120,27 +137,56 @@ impl Shared {
             status_5xx: reg.counter("serve.http_5xx"),
             queue_depth: reg.gauge("serve.queue_depth"),
             request_us: flatnet_obs::histogram("serve.request_us"),
+            stage_us: std::array::from_fn(|i| {
+                reg.histogram(&format!("serve.stage_us{{stage=\"{}\"}}", Stage::ALL[i].name()))
+            }),
+            busy_us: (0..workers)
+                .map(|i| reg.counter(&format!("serve.worker_busy_us{{worker=\"{i}\"}}")))
+                .collect(),
+            tracer: Tracer::new(workers + 1, TRACE_RING_CAP),
             warm,
             warmed: reg.counter("serve.cache_warmed"),
         }
     }
 
+    /// Records a finished trace: the event goes to writer `writer`'s
+    /// ring and the slow reservoir, and every stage the request entered
+    /// lands in its stage histogram, tagged so the histogram buckets can
+    /// exemplar this exact request.
+    fn record_trace(&self, writer: usize, trace: &mut TraceCtx, status: u16) {
+        let ev = trace.finish(status);
+        for stage in Stage::ALL {
+            if let Some(us) = ev.stage_us(stage) {
+                self.stage_us[stage as usize].record_us_tagged(us, ev.trace_id, ev.origin as u64);
+            }
+        }
+        self.request_us.record_us_tagged(ev.total_us, ev.trace_id, ev.origin as u64);
+        self.tracer.record(writer, ev);
+    }
+
     /// Hands an accepted connection to the pool, or answers
     /// `503 + Retry-After` right here when the queue is full —
-    /// backpressure must not itself consume a worker.
+    /// backpressure must not itself consume a worker. Allocates the
+    /// request's trace context; rejected requests are traced too, on
+    /// the accept thread's own ring (writer index `workers`).
     pub(crate) fn submit(&self, stream: TcpStream, accepted: Instant) {
+        let mut trace = TraceCtx::new(self.tracer.next_id());
         let mut q = self.queue.lock().unwrap();
         if q.len() >= self.queue_cap {
             drop(q);
             self.rejected.inc();
             self.status_5xx.inc();
+            trace.set_tag("rejected");
             let mut resp = Response::error(503, "request queue full");
             resp.retry_after = Some(1);
+            resp.trace_id = Some(trace.id());
             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
             let _ = resp.write_to(&mut &stream);
+            trace.mark(Stage::Write);
+            self.record_trace(self.workers, &mut trace, 503);
             return;
         }
-        q.push_back(Job { stream, accepted });
+        q.push_back(Job { stream, accepted, trace });
         self.queue_depth.set(q.len() as i64);
         drop(q);
         self.ready.notify_one();
@@ -220,7 +266,9 @@ impl WorkerCtx {
 /// The worker thread body: pop, enforce the deadline, parse, route,
 /// respond. Returns when shutdown is flagged *and* the queue is empty,
 /// so accepted requests are never dropped by a clean shutdown.
-pub(crate) fn worker_loop(shared: Arc<Shared>) {
+/// `worker` is this thread's index — its trace-ring writer slot and its
+/// utilization counter.
+pub(crate) fn worker_loop(shared: Arc<Shared>, worker: usize) {
     let mut ctx = WorkerCtx::new();
     loop {
         let job = {
@@ -237,19 +285,23 @@ pub(crate) fn worker_loop(shared: Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        handle_job(&shared, &mut ctx, job);
+        let started = Instant::now();
+        handle_job(&shared, &mut ctx, worker, job);
+        shared.busy_us[worker].add(started.elapsed().as_micros() as u64);
     }
 }
 
-fn handle_job(shared: &Arc<Shared>, ctx: &mut WorkerCtx, job: Job) {
-    let Job { stream, accepted } = job;
+fn handle_job(shared: &Arc<Shared>, ctx: &mut WorkerCtx, worker: usize, job: Job) {
+    let Job { stream, accepted, mut trace } = job;
+    trace.mark(Stage::QueueWait);
     shared.requests.inc();
     let elapsed = accepted.elapsed();
     if elapsed >= shared.deadline {
         shared.expired.inc();
+        trace.set_tag("expired");
         let mut resp = Response::error(503, "deadline expired while queued");
         resp.retry_after = Some(1);
-        finish(shared, &stream, &resp, accepted);
+        finish(shared, &stream, resp, worker, &mut trace);
         return;
     }
     // The read budget is whatever deadline budget the queue left, capped
@@ -267,55 +319,196 @@ fn handle_job(shared: &Arc<Shared>, ctx: &mut WorkerCtx, job: Job) {
     let resp = match read_request(&mut reader) {
         Ok(None) => return, // peer connected and left; nothing to answer
         Ok(Some(req)) => {
-            match catch_unwind(AssertUnwindSafe(|| route(shared, ctx, &req))) {
+            trace.mark(Stage::Parse);
+            match catch_unwind(AssertUnwindSafe(|| route(shared, ctx, &req, &mut trace))) {
                 Ok(resp) => resp,
                 Err(_) => {
                     // Isolate the panic to this request: count it, answer
-                    // 500, and discard possibly-inconsistent worker state.
+                    // 500, discard possibly-inconsistent worker state —
+                    // and still emit a terminal trace event, with the
+                    // time since the last marked boundary attributed to
+                    // the `panic` stage.
                     shared.panics.inc();
                     *ctx = WorkerCtx::new();
+                    trace.mark(Stage::Panic);
                     Response::error(500, "internal error")
                 }
             }
         }
-        Err(e) if e.wants_response() => Response::error(e.status, &e.reason),
+        Err(e) if e.wants_response() => {
+            trace.mark(Stage::Parse);
+            trace.set_tag("parse_error");
+            Response::error(e.status, &e.reason)
+        }
         Err(_) => return,
     };
-    finish(shared, &stream, &resp, accepted);
+    finish(shared, &stream, resp, worker, &mut trace);
 }
 
-/// Writes the response (best-effort — the peer may have gone) and records
-/// the request's status class and end-to-end latency.
-fn finish(shared: &Shared, stream: &TcpStream, resp: &Response, accepted: Instant) {
+/// Stamps the trace id onto the response, writes it (best-effort — the
+/// peer may have gone), and records the request's status class, its
+/// end-to-end latency, and the finished trace event.
+fn finish(
+    shared: &Shared,
+    stream: &TcpStream,
+    mut resp: Response,
+    worker: usize,
+    trace: &mut TraceCtx,
+) {
     match resp.status {
         200..=299 => shared.status_2xx.inc(),
         400..=499 => shared.status_4xx.inc(),
         _ => shared.status_5xx.inc(),
     }
+    resp.trace_id = Some(trace.id());
+    trace.mark(Stage::Serialize); // header assembly + body built since the last mark
     let _ = resp.write_to(&mut &*stream);
-    shared.request_us.record_us(accepted.elapsed().as_micros() as u64);
+    trace.mark(Stage::Write);
+    shared.record_trace(worker, trace, resp.status);
 }
 
 // ---------------------------------------------------------------------
 // Routing and endpoint handlers (the HTTP front's dispatch table).
 // ---------------------------------------------------------------------
 
-fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Response {
+fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request, trace: &mut TraceCtx) -> Response {
     match (req.method, req.path.as_str()) {
-        (Method::Get, "/v1/reachability") => reachability(shared, ctx, req),
-        (Method::Get, "/v1/reliance") => reliance_endpoint(shared, ctx, req),
-        (Method::Post, "/v1/whatif/leak") => whatif_leak(shared, req),
-        (Method::Get, "/healthz") => healthz(shared),
-        (Method::Get, "/metrics") => Response::json(200, flatnet_obs::snapshot().to_json()),
-        (Method::Post, "/admin/reload") => admin_reload(shared),
-        (Method::Post, "/admin/shutdown") => admin_shutdown(shared),
+        (Method::Get, "/v1/reachability") => {
+            trace.set_tag("reachability");
+            reachability(shared, ctx, req, trace)
+        }
+        (Method::Get, "/v1/reliance") => {
+            trace.set_tag("reliance");
+            reliance_endpoint(shared, ctx, req, trace)
+        }
+        (Method::Post, "/v1/whatif/leak") => {
+            trace.set_tag("whatif_leak");
+            let resp = whatif_leak(shared, req);
+            trace.mark(Stage::Propagate); // leak sweep is all compute
+            resp
+        }
+        (Method::Get, "/healthz") => {
+            trace.set_tag("healthz");
+            healthz(shared)
+        }
+        (Method::Get, "/metrics") => {
+            trace.set_tag("metrics");
+            metrics(req)
+        }
+        (Method::Get, "/debug/trace/recent") => {
+            trace.set_tag("trace_recent");
+            debug_trace_recent(shared, req)
+        }
+        (Method::Get, "/debug/trace/slow") => {
+            trace.set_tag("trace_slow");
+            debug_trace_slow(shared, req)
+        }
+        (Method::Get, "/debug/queue") => {
+            trace.set_tag("queue");
+            debug_queue(shared)
+        }
+        (Method::Get, "/debug/panic") => {
+            // Deliberate: exercises the worker panic-isolation path
+            // end-to-end (tests, drills). The catch_unwind in
+            // handle_job turns this into a traced 500.
+            trace.set_tag("panic");
+            panic!("debug-panic endpoint hit");
+        }
+        (Method::Post, "/admin/reload") => {
+            trace.set_tag("reload");
+            let resp = admin_reload(shared);
+            trace.mark(Stage::Propagate); // reload rebuilds the snapshot
+            resp
+        }
+        (Method::Post, "/admin/shutdown") => {
+            trace.set_tag("shutdown");
+            admin_shutdown(shared)
+        }
         (
             _,
             "/v1/reachability" | "/v1/reliance" | "/v1/whatif/leak" | "/healthz" | "/metrics"
+            | "/debug/trace/recent" | "/debug/trace/slow" | "/debug/queue" | "/debug/panic"
             | "/admin/reload" | "/admin/shutdown",
         ) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// `GET /metrics[?format=prom]` — the obs snapshot as the canonical JSON
+/// document, or as the Prometheus text exposition.
+fn metrics(req: &Request) -> Response {
+    match req.query_param("format") {
+        Some("prom") => Response::text(
+            200,
+            flatnet_obs::to_prometheus(&flatnet_obs::snapshot()),
+            flatnet_obs::prom::CONTENT_TYPE,
+        ),
+        Some("json") | None => Response::json(200, flatnet_obs::snapshot().to_json()),
+        Some(other) => Response::error(400, &format!("bad format {other:?} (want json|prom)")),
+    }
+}
+
+/// Parses a bounded positive integer query parameter.
+fn query_u64(req: &Request, name: &str, default: u64, max: u64) -> Result<u64, Response> {
+    match req.query_param(name).map(str::parse) {
+        None => Ok(default),
+        Some(Ok(v)) => Ok(std::cmp::min(v, max)),
+        Some(Err(_)) => Err(Response::error(400, &format!("bad '{name}' (want a number)"))),
+    }
+}
+
+/// `GET /debug/trace/recent[?n=K]` — the most recent stable trace
+/// events, newest first, as a `flatnet-trace/v1` document.
+fn debug_trace_recent(shared: &Arc<Shared>, req: &Request) -> Response {
+    let n = match query_u64(req, "n", 64, 4096) {
+        Ok(n) => n as usize,
+        Err(resp) => return resp,
+    };
+    Response::json(200, TraceDump { events: shared.tracer.recent(n) }.to_json())
+}
+
+/// `GET /debug/trace/slow[?ms=N][&n=K]` — the slowest-K reservoir,
+/// optionally floored at `ms` milliseconds, slowest first.
+fn debug_trace_slow(shared: &Arc<Shared>, req: &Request) -> Response {
+    let ms = match query_u64(req, "ms", 0, u64::MAX / 1000) {
+        Ok(ms) => ms,
+        Err(resp) => return resp,
+    };
+    let n = match query_u64(req, "n", Tracer::SLOW_K as u64, 4096) {
+        Ok(n) => n as usize,
+        Err(resp) => return resp,
+    };
+    Response::json(200, TraceDump { events: shared.tracer.slow(ms * 1000, n) }.to_json())
+}
+
+/// `GET /debug/queue` — queue depth, capacity, queue-wait percentiles,
+/// per-worker busy time, and trace-collection counters.
+fn debug_queue(shared: &Arc<Shared>) -> Response {
+    let wait = &shared.stage_us[Stage::QueueWait as usize];
+    let pct = |p: f64| wait.percentile_us(p).unwrap_or(0);
+    let mut body = format!(
+        "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"queue\",\"depth\":{},\
+         \"capacity\":{},\"rejected\":{},\"workers\":{},\
+         \"queue_wait_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}},\
+         \"traces_recorded\":{},\"worker_busy_us\":[",
+        shared.queue_depth.get(),
+        shared.queue_cap,
+        shared.rejected.get(),
+        shared.workers,
+        wait.count(),
+        pct(50.0),
+        pct(90.0),
+        pct(99.0),
+        shared.tracer.recorded(),
+    );
+    for (i, busy) in shared.busy_us.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&busy.get().to_string());
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
 }
 
 /// Parses `origin=ASN` (optionally `AS`-prefixed) and resolves it in the
@@ -374,12 +567,18 @@ fn exclude_names(bits: u64) -> String {
 }
 
 /// `GET /v1/reachability?origin=ASN[&exclude=...][&full=1]`
-fn reachability(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Response {
+fn reachability(
+    shared: &Arc<Shared>,
+    ctx: &mut WorkerCtx,
+    req: &Request,
+    trace: &mut TraceCtx,
+) -> Response {
     let snap = shared.mgr.current();
     let (asn, node) = match parse_origin(&snap, req) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    trace.set_origin(asn);
     let bits = match parse_exclude(req) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -391,7 +590,10 @@ fn reachability(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Res
         fingerprint: policy_fingerprint(EP_REACHABILITY, bits),
     };
 
-    let (answer, cached) = match shared.cache.get(&key) {
+    let probe = shared.cache.get(&key);
+    trace.mark(Stage::CacheProbe);
+    trace.set_cached(probe.is_some());
+    let (answer, cached) = match probe {
         Some(hit) => (hit, true),
         None => {
             // Build the exclusion mask the same way the reachability
@@ -417,6 +619,7 @@ fn reachability(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Res
             }
             mask[node.idx()] = false;
             ctx.ws.run(&snap.topo, node, &ctx.cfg);
+            trace.mark(Stage::Propagate);
             let answer = Arc::new(Answer::Reach {
                 words: ctx.ws.reach_words().to_vec(),
                 reached: ctx.ws.reachable_count(),
@@ -469,12 +672,18 @@ fn reachability(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Res
 }
 
 /// `GET /v1/reliance?origin=ASN[&top=K]`
-fn reliance_endpoint(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -> Response {
+fn reliance_endpoint(
+    shared: &Arc<Shared>,
+    ctx: &mut WorkerCtx,
+    req: &Request,
+    trace: &mut TraceCtx,
+) -> Response {
     let snap = shared.mgr.current();
     let (asn, node) = match parse_origin(&snap, req) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    trace.set_origin(asn);
     let top_k: usize = match req.query_param("top").map(str::parse).transpose() {
         Ok(k) => k.unwrap_or(20).min(1000),
         Err(_) => return Response::error(400, "bad 'top' (want a count)"),
@@ -485,7 +694,10 @@ fn reliance_endpoint(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -
         fingerprint: policy_fingerprint(EP_RELIANCE, 0),
     };
 
-    let (answer, cached) = match shared.cache.get(&key) {
+    let probe = shared.cache.get(&key);
+    trace.mark(Stage::CacheProbe);
+    trace.set_cached(probe.is_some());
+    let (answer, cached) = match probe {
         Some(hit) => (hit, true),
         None => {
             let n = snap.graph.len();
@@ -504,6 +716,7 @@ fn reliance_endpoint(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request) -
                 .collect();
             top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             top.truncate(1000); // cache the most anyone can ask for
+            trace.mark(Stage::Propagate);
             let answer = Arc::new(Answer::Reliance { receivers, top });
             shared.cache.put(key, Arc::clone(&answer));
             (answer, false)

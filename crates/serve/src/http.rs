@@ -263,16 +263,33 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, ParseError
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always JSON in this daemon).
+    /// Response body.
     pub body: String,
     /// Adds a `Retry-After: N` header (backpressure rejections).
     pub retry_after: Option<u32>,
+    /// `Content-Type` header value (JSON unless overridden — the
+    /// Prometheus exposition is the one plain-text endpoint).
+    pub content_type: &'static str,
+    /// Adds an `X-Flatnet-Trace-Id` header (set by the engine just
+    /// before the write, so every traced response names its trace).
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, body, retry_after: None }
+        Response {
+            status,
+            body,
+            retry_after: None,
+            content_type: "application/json",
+            trace_id: None,
+        }
+    }
+
+    /// A response with an explicit content type (Prometheus text).
+    pub fn text(status: u16, body: String, content_type: &'static str) -> Self {
+        Response { content_type, ..Response::json(status, body) }
     }
 
     /// An error response with a `{"error": ...}` body.
@@ -283,17 +300,21 @@ impl Response {
     /// Serializes status line, headers, and body to `w` as one write, so
     /// a response costs a single syscall on an unbuffered socket.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        let mut out = String::with_capacity(128 + self.body.len());
+        let mut out = String::with_capacity(160 + self.body.len());
         use std::fmt::Write as _;
         let _ = write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len()
         );
         if let Some(secs) = self.retry_after {
             let _ = write!(out, "Retry-After: {secs}\r\n");
+        }
+        if let Some(id) = self.trace_id {
+            let _ = write!(out, "X-Flatnet-Trace-Id: {id:016x}\r\n");
         }
         out.push_str("\r\n");
         out.push_str(&self.body);
@@ -475,6 +496,24 @@ mod tests {
             assert_eq!(err.status, 0, "kind {kind:?}");
             assert!(!err.wants_response());
         }
+    }
+
+    #[test]
+    fn response_serialization_includes_trace_id_and_content_type() {
+        let mut resp = Response::json(200, "{}\n".into());
+        resp.trace_id = Some(0xabcd);
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Flatnet-Trace-Id: 000000000000abcd\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"), "{text}");
+
+        let prom = Response::text(200, "# TYPE x counter\n".into(), "text/plain; version=0.0.4");
+        let mut out = Vec::new();
+        prom.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
+        assert!(!text.contains("X-Flatnet-Trace-Id"), "{text}");
     }
 
     #[test]

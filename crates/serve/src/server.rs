@@ -107,7 +107,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, i))
                     .map_err(|e| ServeError::Spawn { what: "worker", message: e.to_string() })
             })
             .collect::<Result<_, _>>()?;

@@ -1,0 +1,218 @@
+//! Request-scoped tracing, end to end over real TCP: every response
+//! carries an `X-Flatnet-Trace-Id` header, the `/debug/trace/*` and
+//! `/debug/queue` endpoints expose the recorded events, `/metrics`
+//! speaks Prometheus text when asked, a panicking worker still emits a
+//! terminal trace event (stage `panic`) without wedging the server, and
+//! `/healthz` + `/metrics` keep sending `Connection: close`.
+
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_obs::TraceDump;
+use flatnet_serve::json::{parse, Json};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One round trip, returning (status, raw header block, body).
+fn fetch_raw(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Deliberately no `Connection: close` request header: the server
+    // must close unconditionally (it advertises close on every reply).
+    write!(s, "{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {text:?}"));
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+fn trace_id_of(head: &str) -> u64 {
+    let hex = header(head, "X-Flatnet-Trace-Id")
+        .unwrap_or_else(|| panic!("missing X-Flatnet-Trace-Id in {head:?}"));
+    assert_eq!(hex.len(), 16, "trace id {hex:?} is not 16 hex chars");
+    u64::from_str_radix(hex, 16).unwrap_or_else(|e| panic!("bad trace id {hex:?}: {e}"))
+}
+
+/// Polls `/debug/trace/recent` until `pred` matches an event (traces
+/// are recorded just after the response bytes are written, so the
+/// client can outrun the ring by a hair).
+fn wait_for_event(
+    addr: SocketAddr,
+    pred: impl Fn(&flatnet_obs::TraceEvent) -> bool,
+) -> flatnet_obs::TraceEvent {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, _, body) = fetch_raw(addr, "GET", "/debug/trace/recent?n=256");
+        assert_eq!(status, 200);
+        let dump = TraceDump::from_json(&body).expect("flatnet-trace/v1 dump");
+        if let Some(ev) = dump.events.iter().find(|e| pred(e)) {
+            return *ev;
+        }
+        assert!(Instant::now() < deadline, "trace event never surfaced");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn start_server() -> Server {
+    let net = generate(&NetGenConfig::paper_2020(300, 11));
+    let tiers = net.tiers_for(&net.truth);
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        source: TopologySource::Preloaded { graph: net.truth, tiers },
+        ..ServeConfig::default()
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn responses_carry_trace_ids_and_debug_endpoints_expose_them() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // Find an origin the topology actually has via a ranked query.
+    let (status, head, body) = fetch_raw(addr, "GET", "/v1/reachability?origin=1");
+    let id = trace_id_of(&head);
+    let doc = parse(&body).expect("json body");
+    // Whether AS1 exists or not, the request is traced.
+    assert!(status == 200 || status == 404, "unexpected status {status}: {doc:?}");
+
+    let ev = wait_for_event(addr, |e| e.trace_id == id);
+    assert_eq!(ev.tag_str(), "reachability");
+    assert!(!ev.panicked);
+    assert!(
+        ev.stage_us(flatnet_obs::Stage::QueueWait).is_some(),
+        "queue_wait stage missing from {ev:?}"
+    );
+    assert!(ev.stage_us(flatnet_obs::Stage::Write).is_some(), "write stage missing from {ev:?}");
+
+    // /debug/trace/slow returns the same document shape, slowest first.
+    let (status, _, body) = fetch_raw(addr, "GET", "/debug/trace/slow?ms=0");
+    assert_eq!(status, 200);
+    let slow = TraceDump::from_json(&body).expect("slow dump parses");
+    assert!(!slow.events.is_empty(), "slow reservoir should have events by now");
+    for pair in slow.events.windows(2) {
+        assert!(pair[0].total_us >= pair[1].total_us, "slow dump not sorted");
+    }
+
+    // /debug/queue: depth/capacity/percentiles/worker utilization.
+    let (status, _, body) = fetch_raw(addr, "GET", "/debug/queue");
+    assert_eq!(status, 200);
+    let q = parse(&body).expect("queue json");
+    assert_eq!(q.get("schema").and_then(Json::as_str), Some("flatnet-serve/v1"));
+    assert!(q.get("capacity").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(q.get("workers").and_then(Json::as_u64), Some(2));
+    let wait = q.get("queue_wait_us").expect("queue_wait_us block");
+    assert!(wait.get("count").and_then(Json::as_u64).unwrap() >= 1);
+    for pct in ["p50", "p90", "p99"] {
+        assert!(wait.get(pct).and_then(Json::as_u64).is_some(), "missing {pct}");
+    }
+    let busy = q.get("worker_busy_us").and_then(Json::as_array).expect("worker_busy_us");
+    assert_eq!(busy.len(), 2);
+    assert!(q.get("traces_recorded").and_then(Json::as_u64).unwrap() >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_speaks_prometheus_when_asked() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // Drive one real query so the stage histograms have samples.
+    let (_, _, _) = fetch_raw(addr, "GET", "/v1/reachability?origin=1");
+
+    let (status, head, body) = fetch_raw(addr, "GET", "/metrics?format=prom");
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "Content-Type"), Some("text/plain; version=0.0.4"));
+    assert!(body.contains("# TYPE serve_stage_seconds histogram"), "missing stage family");
+    assert!(
+        body.contains("serve_stage_seconds_bucket{stage=\"queue_wait\""),
+        "missing queue_wait series"
+    );
+    assert!(body.contains("le=\"+Inf\""), "missing overflow bucket");
+
+    // Unknown formats are rejected; default stays JSON.
+    let (status, _, _) = fetch_raw(addr, "GET", "/metrics?format=xml");
+    assert_eq!(status, 400);
+    let (status, _, body) = fetch_raw(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    assert!(parse(&body).is_ok(), "bare /metrics must stay JSON");
+
+    server.shutdown();
+}
+
+#[test]
+fn panicking_worker_emits_terminal_trace_and_server_survives() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // Repeated panics: each one must come back as a traced 500, not a
+    // dropped connection, and must not leak a worker or a ring slot.
+    let mut ids = Vec::new();
+    for i in 0..8 {
+        let (status, head, _) = fetch_raw(addr, "GET", "/debug/panic");
+        assert_eq!(status, 500, "panic #{i} should surface as a 500");
+        ids.push(trace_id_of(&head));
+    }
+
+    // The terminal event for a panicked request names the panic stage.
+    let ev = wait_for_event(addr, |e| e.trace_id == ids[0]);
+    assert!(ev.panicked, "event not flagged panicked: {ev:?}");
+    assert_eq!(ev.status, 500);
+    assert_eq!(ev.tag_str(), "panic");
+    assert!(
+        ev.stage_us(flatnet_obs::Stage::Panic).is_some(),
+        "panic stage missing from {ev:?}"
+    );
+
+    // Every panic produced its own event — no ring slots were leaked
+    // or reused for the wrong request.
+    for &id in &ids {
+        let ev = wait_for_event(addr, move |e| e.trace_id == id);
+        assert!(ev.panicked);
+    }
+
+    // The pool is still healthy: real queries keep answering, and the
+    // trailing trace is an ordinary non-panicked one.
+    let (status, _, _) = fetch_raw(addr, "GET", "/healthz");
+    assert_eq!(status, 200);
+    let (status, head, _) = fetch_raw(addr, "GET", "/v1/reachability?origin=1");
+    assert!(status == 200 || status == 404);
+    let after = wait_for_event(addr, {
+        let id = trace_id_of(&head);
+        move |e| e.trace_id == id
+    });
+    assert!(!after.panicked, "post-panic request wrongly flagged: {after:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_close_the_connection() {
+    let server = start_server();
+    let addr = server.addr();
+    for path in ["/healthz", "/metrics"] {
+        let (status, head, _) = fetch_raw(addr, "GET", path);
+        assert_eq!(status, 200, "{path}");
+        // fetch_raw sends no Connection header, so read_to_end returning
+        // at all proves the server closed the socket; the header must
+        // say so explicitly too.
+        assert_eq!(header(&head, "Connection"), Some("close"), "{path} must advertise close");
+    }
+    server.shutdown();
+}
