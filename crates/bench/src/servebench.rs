@@ -2,20 +2,28 @@
 //! `flatnet-serve` daemon.
 //!
 //! Starts an in-process server on a loopback port, warms the origin
-//! pool (so the cache holds every origin once), then hammers it from
-//! `--conc` client threads, each issuing requests back-to-back
-//! (closed-loop: a new request leaves only when the previous response
-//! arrived, so the offered load adapts to the server instead of
-//! overrunning it). Latencies are split by cache hit/miss using the
-//! `"cached":` marker in the response body.
+//! pool (so the cache holds every origin once), then runs three load
+//! passes from `--conc` closed-loop client threads (a new request
+//! leaves only when the previous response arrived, so the offered load
+//! adapts to the server instead of overrunning it):
 //!
-//! The report (schema `flatnet-bench-serve/v1`) feeds the CI acceptance
-//! gate: cache-hit p50 under 1 ms and zero 5xx at the configured
-//! concurrency.
+//! 1. **close** — one fresh connection per request (`Connection:
+//!    close`), the historical baseline where TCP setup dominates;
+//! 2. **keepalive** — each client holds one persistent connection and
+//!    issues its requests back-to-back over it (optionally pipelined
+//!    `--pipeline` deep), measuring what connection reuse buys;
+//! 3. **batch** — persistent connections carrying `origins=` batch
+//!    queries that feed whole lane blocks to the sweep kernel.
+//!
+//! The report (schema `flatnet-bench-serve/v1`) carries per-pass
+//! requests/sec, per-connection reuse stats, and the
+//! `keepalive_vs_close` throughput ratio that CI gates on (≥3×),
+//! alongside the cache-hit latency split and server-side stage
+//! percentiles.
 
 use flatnet_netgen::{generate, NetGenConfig};
 use flatnet_serve::{ServeConfig, Server, TopologySource};
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -28,6 +36,7 @@ struct Sample {
     cached: bool,
 }
 
+/// One-shot fetch over a fresh connection (the close pass and warmup).
 fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
     let mut s = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     s.set_read_timeout(Some(Duration::from_secs(30))).ok();
@@ -46,12 +55,296 @@ fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
     Ok((status, raw))
 }
 
+/// Reads one framed response off a persistent connection: status line,
+/// headers, then a `Content-Length` or chunked body. Returns the body
+/// and whether the server announced it will close.
+fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String, bool), String> {
+    let mut line = String::new();
+    if r.read_line(&mut line).map_err(|e| format!("read status: {e}"))? == 0 {
+        return Err("connection closed before response".into());
+    }
+    let status: u16 = line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("bad status line: {line:?}"))?;
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    let mut close = false;
+    loop {
+        line.clear();
+        if r.read_line(&mut line).map_err(|e| format!("read header: {e}"))? == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            let v = v.trim();
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().map_err(|e| format!("bad Content-Length: {e}"))?;
+            } else if k.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = v.eq_ignore_ascii_case("chunked");
+            } else if k.eq_ignore_ascii_case("connection") {
+                close = v.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = String::new();
+    if chunked {
+        loop {
+            line.clear();
+            r.read_line(&mut line).map_err(|e| format!("read chunk size: {e}"))?;
+            let size = usize::from_str_radix(line.trim(), 16)
+                .map_err(|_| format!("bad chunk size {line:?}"))?;
+            let mut chunk = vec![0u8; size + 2]; // payload + CRLF
+            r.read_exact(&mut chunk).map_err(|e| format!("read chunk: {e}"))?;
+            if size == 0 {
+                break;
+            }
+            body.push_str(
+                std::str::from_utf8(&chunk[..size]).map_err(|_| "chunk not UTF-8")?,
+            );
+        }
+    } else if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        r.read_exact(&mut buf).map_err(|e| format!("read body: {e}"))?;
+        body = String::from_utf8(buf).map_err(|_| "body not UTF-8")?;
+    }
+    Ok((status, body, close))
+}
+
+/// A client that holds one persistent connection, reconnecting (and
+/// counting it) whenever the server closes — budget exhaustion, a 5xx,
+/// or a transport error.
+struct KeepAliveClient {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+    connections: usize,
+}
+
+impl KeepAliveClient {
+    fn new(addr: SocketAddr) -> Self {
+        KeepAliveClient { addr, stream: None, connections: 0 }
+    }
+
+    fn connect(&mut self) -> Result<(), String> {
+        let s = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+        s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        s.set_write_timeout(Some(Duration::from_secs(30))).ok();
+        s.set_nodelay(true).ok();
+        self.connections += 1;
+        self.stream = Some(BufReader::new(s));
+        Ok(())
+    }
+
+    /// Writes `paths.len()` pipelined requests, then reads that many
+    /// responses. On a mid-stream failure the connection is dropped and
+    /// the whole group retried once on a fresh one.
+    fn request_group(&mut self, paths: &[String]) -> Result<Vec<(u16, String)>, String> {
+        for attempt in 0..2 {
+            if self.stream.is_none() {
+                self.connect()?;
+            }
+            match self.try_group(paths) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    self.stream = None;
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("retry loop returns");
+    }
+
+    fn try_group(&mut self, paths: &[String]) -> Result<Vec<(u16, String)>, String> {
+        let reader = self.stream.as_mut().expect("connected");
+        let mut req = String::new();
+        for path in paths {
+            use std::fmt::Write as _;
+            let _ = write!(req, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+        }
+        reader
+            .get_mut()
+            .write_all(req.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        let mut out = Vec::with_capacity(paths.len());
+        for _ in paths {
+            let (status, body, closed) = read_response(reader)?;
+            out.push((status, body));
+            if closed {
+                self.stream = None;
+                break;
+            }
+        }
+        if out.len() < paths.len() {
+            return Err("server closed mid-pipeline".into());
+        }
+        Ok(out)
+    }
+}
+
+/// What one load pass measured.
+struct PassResult {
+    samples: Vec<Sample>,
+    elapsed_ms: f64,
+    connections: usize,
+}
+
+impl PassResult {
+    fn qps(&self) -> f64 {
+        self.samples.len() as f64 / (self.elapsed_ms / 1e3).max(1e-9)
+    }
+}
+
+enum Mode {
+    /// Fresh connection per request, `Connection: close`.
+    Close,
+    /// One persistent connection per client, `pipeline` requests in
+    /// flight at a time.
+    KeepAlive { pipeline: usize },
+    /// Persistent connections carrying `origins=` lists of this size.
+    Batch { size: usize },
+}
+
+/// Runs one closed-loop pass: `conc` clients pull request indices from
+/// a shared counter until `requests` have been issued.
+fn run_pass(
+    addr: SocketAddr,
+    conc: usize,
+    requests: usize,
+    origins: &Arc<Vec<u32>>,
+    mode: &Mode,
+) -> Result<PassResult, String> {
+    let next = Arc::new(AtomicUsize::new(0));
+    let group = match mode {
+        Mode::Close => 1,
+        Mode::KeepAlive { pipeline } => (*pipeline).max(1),
+        Mode::Batch { .. } => 1,
+    };
+    let batch = match mode {
+        Mode::Batch { size } => (*size).max(1),
+        _ => 0,
+    };
+    let keepalive = !matches!(mode, Mode::Close);
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..conc)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let origins = Arc::clone(origins);
+            std::thread::spawn(move || -> Result<(Vec<Sample>, usize), String> {
+                let mut samples = Vec::new();
+                let mut client = KeepAliveClient::new(addr);
+                loop {
+                    let i = next.fetch_add(group, Ordering::Relaxed);
+                    if i >= requests {
+                        return Ok((samples, client.connections));
+                    }
+                    let n = group.min(requests - i);
+                    let paths: Vec<String> = (i..i + n)
+                        .map(|j| {
+                            if batch > 0 {
+                                // Rotate a `batch`-wide window through the
+                                // pool so every request is a real batch.
+                                let list: Vec<String> = (0..batch)
+                                    .map(|k| {
+                                        origins[(j * batch + k) % origins.len()].to_string()
+                                    })
+                                    .collect();
+                                format!("/v1/reachability?origins={}", list.join(","))
+                            } else {
+                                format!(
+                                    "/v1/reachability?origin={}",
+                                    origins[j % origins.len()]
+                                )
+                            }
+                        })
+                        .collect();
+                    let t = Instant::now();
+                    if keepalive {
+                        match client.request_group(&paths) {
+                            Ok(responses) => {
+                                let us = t.elapsed().as_micros() as u64 / n as u64;
+                                for (status, body) in responses {
+                                    samples.push(Sample {
+                                        us,
+                                        status,
+                                        cached: body.contains("\"cached\":true")
+                                            && !body.contains("\"cached\":false"),
+                                    });
+                                }
+                            }
+                            Err(_) => {
+                                let us = t.elapsed().as_micros() as u64 / n as u64;
+                                for _ in 0..n {
+                                    samples.push(Sample { us, status: 0, cached: false });
+                                }
+                            }
+                        }
+                    } else {
+                        match fetch(addr, &paths[0]) {
+                            Ok((status, body)) => samples.push(Sample {
+                                us: t.elapsed().as_micros() as u64,
+                                status,
+                                cached: body.contains("\"cached\":true")
+                                    && !body.contains("\"cached\":false"),
+                            }),
+                            Err(_) => samples.push(Sample {
+                                us: t.elapsed().as_micros() as u64,
+                                status: 0,
+                                cached: false,
+                            }),
+                        }
+                        client.connections += 1; // one TCP connect per request
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(requests);
+    let mut connections = 0usize;
+    for c in clients {
+        let (s, conns) = c.join().map_err(|_| "client thread panicked")??;
+        samples.extend(s);
+        connections += conns;
+    }
+    Ok(PassResult { samples, elapsed_ms: t0.elapsed().as_secs_f64() * 1e3, connections })
+}
+
 fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
     let i = (sorted_us.len() * pct / 100).min(sorted_us.len() - 1);
     sorted_us[i]
+}
+
+/// Renders one pass's report block.
+fn pass_block(name: &str, pass: &PassResult, extra: &str) -> String {
+    let mut us: Vec<u64> = pass.samples.iter().map(|s| s.us).collect();
+    us.sort_unstable();
+    let ok = pass.samples.iter().filter(|s| s.status == 200).count();
+    let e4 = pass.samples.iter().filter(|s| (400..500).contains(&s.status)).count();
+    let e5 = pass.samples.iter().filter(|s| s.status >= 500).count();
+    let tr = pass.samples.iter().filter(|s| s.status == 0).count();
+    let reuse = pass.samples.len() as f64 / pass.connections.max(1) as f64;
+    format!(
+        "    \"{name}\": {{ \"requests\": {n}, \"elapsed_ms\": {ms:.3}, \"qps\": {qps:.1}, \
+         \"connections\": {conns}, \"requests_per_conn\": {reuse:.1}, \
+         \"latency\": {{ \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99} }}, \
+         \"status\": {{ \"ok_200\": {ok}, \"err_4xx\": {e4}, \"err_5xx\": {e5}, \
+         \"transport\": {tr} }}{extra} }}",
+        n = pass.samples.len(),
+        ms = pass.elapsed_ms,
+        qps = pass.qps(),
+        conns = pass.connections,
+        p50 = percentile(&us, 50),
+        p90 = percentile(&us, 90),
+        p99 = percentile(&us, 99),
+    )
 }
 
 fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
@@ -71,6 +364,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut requests = 4000usize;
     let mut pool = 64usize;
     let mut workers = 0usize;
+    let mut pipeline = 1usize;
+    let mut batch = 0usize;
     let mut out = String::from("BENCH_serve.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -81,30 +376,35 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--requests" => requests = flag_value("--requests", it.next())?,
             "--pool" => pool = flag_value("--pool", it.next())?,
             "--workers" => workers = flag_value("--workers", it.next())?,
+            "--pipeline" => pipeline = flag_value("--pipeline", it.next())?,
+            "--batch" => batch = flag_value("--batch", it.next())?,
             "--out" => out = it.next().ok_or("--out requires a file path")?.clone(),
             "--help" | "-h" => {
                 println!("usage: flatnet bench serve [--ases N] [--seed S] [--conc C]");
                 println!("                           [--requests R] [--pool P] [--workers W]");
-                println!("                           [--out PATH]");
+                println!("                           [--pipeline D] [--batch B] [--out PATH]");
                 println!("--ases N:     topology size (default 4000)");
                 println!("--seed S:     generator seed (default 2020)");
                 println!("--conc C:     concurrent closed-loop clients (default 8)");
-                println!("--requests R: total requests across all clients (default 4000)");
+                println!("--requests R: requests per pass across all clients (default 4000)");
                 println!("--pool P:     distinct origins cycled through (default 64)");
                 println!("--workers W:  server worker threads, 0 = all cores (default 0)");
+                println!("--pipeline D: pipelined requests in flight on the keepalive pass (default 1)");
+                println!("--batch B:    origins per batch request, 0 = pool size (default 0)");
                 println!("--out PATH:   JSON report path (default BENCH_serve.json)");
                 return Ok(());
             }
             other => return Err(format!("unknown argument {other:?} (see --help)")),
         }
     }
-    if conc == 0 || requests == 0 || pool == 0 {
-        return Err("--conc, --requests, and --pool must be positive".into());
+    if conc == 0 || requests == 0 || pool == 0 || pipeline == 0 {
+        return Err("--conc, --requests, --pool, and --pipeline must be positive".into());
     }
+    let batch = if batch == 0 { pool } else { batch };
 
     // Generate once and hand the graph to the server pre-built, so the
     // bench process does not pay for generation twice.
-    println!("# flatnet bench serve — {ases} ASes (seed {seed}), {conc} clients, {requests} requests");
+    println!("# flatnet bench serve — {ases} ASes (seed {seed}), {conc} clients, {requests} requests/pass");
     let net = generate(&NetGenConfig::paper_2020(ases, seed));
     let tiers = net.tiers_for(&net.truth);
     let origins: Vec<u32> = {
@@ -132,55 +432,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let warm_ms = t_warm.elapsed().as_secs_f64() * 1e3;
 
     // The server runs in-process, so the global obs registry holds its
-    // per-stage histograms; the delta across the load pass isolates the
-    // stage breakdown to exactly the measured requests.
+    // per-stage histograms; the delta across the load passes isolates
+    // the stage breakdown to exactly the measured requests.
     let obs_before = flatnet_obs::snapshot();
 
-    // Load pass: `conc` closed-loop clients pull request indices from a
-    // shared counter and cycle the origin pool.
-    let next = Arc::new(AtomicUsize::new(0));
     let origins = Arc::new(origins);
-    let t0 = Instant::now();
-    let clients: Vec<_> = (0..conc)
-        .map(|_| {
-            let next = Arc::clone(&next);
-            let origins = Arc::clone(&origins);
-            std::thread::spawn(move || -> Vec<Sample> {
-                let mut samples = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= requests {
-                        return samples;
-                    }
-                    let o = origins[i % origins.len()];
-                    let t = Instant::now();
-                    match fetch(addr, &format!("/v1/reachability?origin={o}")) {
-                        Ok((status, body)) => samples.push(Sample {
-                            us: t.elapsed().as_micros() as u64,
-                            status,
-                            cached: body.contains("\"cached\":true"),
-                        }),
-                        Err(_) => samples.push(Sample {
-                            us: t.elapsed().as_micros() as u64,
-                            status: 0,
-                            cached: false,
-                        }),
-                    }
-                }
-            })
-        })
-        .collect();
-    let mut samples = Vec::with_capacity(requests);
-    for c in clients {
-        samples.extend(c.join().map_err(|_| "client thread panicked")?);
-    }
-    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("pass 1/3: close-per-request ...");
+    let close = run_pass(addr, conc, requests, &origins, &Mode::Close)?;
+    println!("pass 2/3: keep-alive (pipeline {pipeline}) ...");
+    let keepalive =
+        run_pass(addr, conc, requests, &origins, &Mode::KeepAlive { pipeline })?;
+    println!("pass 3/3: batch ({batch} origins/request) ...");
+    let batch_requests = (requests / batch).max(conc);
+    let batch_pass =
+        run_pass(addr, conc, batch_requests, &origins, &Mode::Batch { size: batch })?;
     let obs_delta = flatnet_obs::snapshot().delta_since(&obs_before);
     server.shutdown();
 
-    // Server-side per-stage percentiles over the load pass, from the
+    // Server-side per-stage percentiles over the load passes, from the
     // `serve.stage_us{stage="..."}` histograms the trace layer feeds.
-    let stage_block = ["queue_wait", "cache_probe", "propagate", "write"]
+    let stage_block = ["queue_wait", "keepalive_idle", "cache_probe", "propagate", "write"]
         .iter()
         .map(|name| {
             let key = format!("serve.stage_us{{stage=\"{name}\"}}");
@@ -197,20 +468,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .collect::<Vec<_>>()
         .join(", ");
 
-    // ---- Aggregate. ----
-    let mut all_us: Vec<u64> = samples.iter().map(|s| s.us).collect();
-    let mut hit_us: Vec<u64> = samples.iter().filter(|s| s.cached).map(|s| s.us).collect();
+    // ---- Aggregate: the hit/miss latency split from the single-query
+    // passes (batch bodies mix hits and misses per response). ----
+    let singles: Vec<&Sample> = close.samples.iter().chain(&keepalive.samples).collect();
+    let mut hit_us: Vec<u64> = singles.iter().filter(|s| s.cached).map(|s| s.us).collect();
     let mut miss_us: Vec<u64> =
-        samples.iter().filter(|s| !s.cached && s.status == 200).map(|s| s.us).collect();
-    all_us.sort_unstable();
+        singles.iter().filter(|s| !s.cached && s.status == 200).map(|s| s.us).collect();
     hit_us.sort_unstable();
     miss_us.sort_unstable();
-    let ok_200 = samples.iter().filter(|s| s.status == 200).count();
-    let err_4xx = samples.iter().filter(|s| (400..500).contains(&s.status)).count();
-    let err_5xx = samples.iter().filter(|s| s.status >= 500).count();
-    let transport = samples.iter().filter(|s| s.status == 0).count();
-    let qps = samples.len() as f64 / (elapsed_ms / 1e3).max(1e-9);
+    let all: Vec<&Sample> =
+        singles.iter().copied().chain(&batch_pass.samples).collect();
+    let err_5xx = all.iter().filter(|s| s.status >= 500).count();
+    let transport = all.iter().filter(|s| s.status == 0).count();
+    let ratio = keepalive.qps() / close.qps().max(1e-9);
+    // Batch throughput in origins (answers) per second, the comparable
+    // unit against the single-query passes.
+    let origin_qps = batch_pass.qps() * batch as f64;
 
+    let batch_extra = format!(
+        ", \"origins_per_request\": {batch}, \"origin_qps\": {origin_qps:.1}"
+    );
     let report = format!(
         concat!(
             "{{\n",
@@ -218,29 +495,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "  \"ases\": {ases},\n",
             "  \"seed\": {seed},\n",
             "  \"concurrency\": {conc},\n",
-            "  \"requests\": {requests},\n",
             "  \"pool\": {pool},\n",
+            "  \"pipeline\": {pipeline},\n",
             "  \"warmup_ms\": {warm_ms:.3},\n",
-            "  \"elapsed_ms\": {elapsed_ms:.3},\n",
-            "  \"qps\": {qps:.1},\n",
-            "  \"latency\": {{ \"p50_us\": {p50}, \"p90_us\": {p90}, \"p99_us\": {p99} }},\n",
+            "  \"passes\": {{\n{close_block},\n{keepalive_block},\n{batch_block}\n  }},\n",
+            "  \"keepalive_vs_close\": {ratio:.2},\n",
             "  \"stages\": {{ {stages} }},\n",
             "  \"cache_hit\": {{ \"count\": {hitn}, \"p50_us\": {hit50}, \"p99_us\": {hit99} }},\n",
             "  \"cache_miss\": {{ \"count\": {missn}, \"p50_us\": {miss50}, \"p99_us\": {miss99} }},\n",
-            "  \"status\": {{ \"ok_200\": {ok}, \"err_4xx\": {e4}, \"err_5xx\": {e5}, \"transport\": {tr} }}\n",
+            "  \"status\": {{ \"err_5xx\": {e5}, \"transport\": {tr} }}\n",
             "}}\n",
         ),
         ases = ases,
         seed = seed,
         conc = conc,
-        requests = samples.len(),
         pool = pool,
+        pipeline = pipeline,
         warm_ms = warm_ms,
-        elapsed_ms = elapsed_ms,
-        qps = qps,
-        p50 = percentile(&all_us, 50),
-        p90 = percentile(&all_us, 90),
-        p99 = percentile(&all_us, 99),
+        close_block = pass_block("close", &close, ""),
+        keepalive_block = pass_block("keepalive", &keepalive, ""),
+        batch_block = pass_block("batch", &batch_pass, &batch_extra),
+        ratio = ratio,
         stages = stage_block,
         hitn = hit_us.len(),
         hit50 = percentile(&hit_us, 50),
@@ -248,29 +523,32 @@ pub fn run(args: &[String]) -> Result<(), String> {
         missn = miss_us.len(),
         miss50 = percentile(&miss_us, 50),
         miss99 = percentile(&miss_us, 99),
-        ok = ok_200,
-        e4 = err_4xx,
         e5 = err_5xx,
         tr = transport,
     );
     std::fs::write(&out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
 
     println!(
-        "served {} requests in {:.0} ms ({:.0} qps): p50 {} us, p99 {} us",
-        samples.len(),
-        elapsed_ms,
-        qps,
-        percentile(&all_us, 50),
-        percentile(&all_us, 99)
+        "close:     {:.0} qps over {} connections",
+        close.qps(),
+        close.connections
     );
     println!(
-        "cache: {} hits (p50 {} us) / {} misses (p50 {} us); status: {} ok, {} 4xx, {} 5xx, {} transport",
+        "keepalive: {:.0} qps over {} connections ({:.0} requests/conn) — {ratio:.2}x close",
+        keepalive.qps(),
+        keepalive.connections,
+        keepalive.samples.len() as f64 / keepalive.connections.max(1) as f64,
+    );
+    println!(
+        "batch:     {:.0} batch qps = {origin_qps:.0} origins/s ({batch} origins/request)",
+        batch_pass.qps(),
+    );
+    println!(
+        "cache: {} hits (p50 {} us) / {} misses (p50 {} us); {} 5xx, {} transport",
         hit_us.len(),
         percentile(&hit_us, 50),
         miss_us.len(),
         percentile(&miss_us, 50),
-        ok_200,
-        err_4xx,
         err_5xx,
         transport
     );
@@ -289,7 +567,7 @@ mod tests {
         let out = dir.join("BENCH_serve.json");
         let args: Vec<String> = [
             "--ases", "300", "--seed", "3", "--conc", "2", "--requests", "60",
-            "--pool", "8", "--workers", "2",
+            "--pool", "8", "--workers", "2", "--pipeline", "2",
             "--out", out.to_str().unwrap(),
         ]
         .iter()
@@ -298,12 +576,19 @@ mod tests {
         run(&args).expect("bench run");
         let report = std::fs::read_to_string(&out).unwrap();
         assert!(report.contains("\"schema\": \"flatnet-bench-serve/v1\""));
+        for pass in ["\"close\":", "\"keepalive\":", "\"batch\":"] {
+            assert!(report.contains(pass), "missing pass {pass}:\n{report}");
+        }
+        assert!(report.contains("\"keepalive_vs_close\":"), "{report}");
+        assert!(report.contains("\"requests_per_conn\":"), "{report}");
+        assert!(report.contains("\"origin_qps\":"), "{report}");
         assert!(report.contains("\"cache_hit\""));
         assert!(report.contains("\"err_5xx\": 0"), "5xx under closed-loop load:\n{report}");
-        // The pool is warmed, so the load pass should be all hits.
-        assert!(report.contains("\"ok_200\": 60"), "{report}");
+        // The pool is warmed, so the close and keepalive passes are all
+        // hits: 60 requests each, all 200.
+        assert_eq!(report.matches("\"ok_200\": 60").count(), 2, "{report}");
         // The per-stage breakdown comes from the in-process obs delta.
-        for stage in ["queue_wait", "cache_probe", "propagate", "write"] {
+        for stage in ["queue_wait", "keepalive_idle", "cache_probe", "propagate", "write"] {
             assert!(report.contains(&format!("\"{stage}\": {{ \"p50_us\": ")), "{report}");
         }
     }

@@ -659,6 +659,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             "deadline-ms",
             "warm",
             "io-timeout-ms",
+            "keepalive-max",
+            "keepalive-idle-ms",
             "store",
             "tier1",
             "tier2",
@@ -684,6 +686,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         deadline_ms: opts.num_or("deadline-ms", 5000u64)?,
         warm: opts.num_or("warm", 0usize)?,
         io_timeout_ms: opts.num_or("io-timeout-ms", 10_000u64)?,
+        keepalive_max: opts.num_or("keepalive-max", 1024u64)?,
+        keepalive_idle_ms: opts.num_or("keepalive-idle-ms", 5000u64)?,
         store: opts.get("store").map(str::to_string),
         source,
     };

@@ -60,13 +60,19 @@ USAGE:
 
   flatnet serve  [--as-rel FILE | --ases N --seed S] [--addr HOST:PORT]
                  [--workers N] [--queue N] [--cache N] [--deadline-ms MS]
-                 [--io-timeout-ms MS] [--store FILE] [--tier1 .. --tier2 ..]
+                 [--io-timeout-ms MS] [--keepalive-max N]
+                 [--keepalive-idle-ms MS] [--store FILE]
+                 [--tier1 .. --tier2 ..]
       Run the query daemon: reachability/reliance/what-if answers over
       HTTP from a compiled snapshot. Endpoints: /v1/reachability,
-      /v1/reliance, /v1/whatif/leak, /healthz, /metrics (add
-      ?format=prom for Prometheus text), /debug/trace/recent,
-      /debug/trace/slow?ms=N, /debug/queue, /admin/reload,
-      /admin/shutdown. Responses carry an X-Flatnet-Trace-Id header.
+      /v1/reliance (origin= or a comma-separated origins= batch),
+      /v1/whatif/leak, /healthz, /metrics (add ?format=prom for
+      Prometheus text), /debug/trace/recent, /debug/trace/slow?ms=N,
+      /debug/queue, /admin/reload, /admin/shutdown. Every /v1 body is
+      wrapped in the flatnet-serve/v1 envelope; responses carry an
+      X-Flatnet-Trace-Id header. Connections are keep-alive by default:
+      --keepalive-max (1024) bounds requests per connection,
+      --keepalive-idle-ms (5000) closes quiet ones.
       Without --as-rel, serves a synthetic topology.
       With --store, warm-starts from the snapshot store when it is valid
       (skipping the compile), self-heals it when it is corrupt, and
@@ -101,10 +107,13 @@ USAGE:
       BENCH_propagate.json).
 
   flatnet bench serve [--ases N] [--seed S] [--conc C] [--requests R]
-                 [--pool P] [--workers W] [--out PATH]
+                 [--pool P] [--workers W] [--pipeline D] [--batch B]
+                 [--out PATH]
       Closed-loop load benchmark against an in-process `flatnet serve`
-      daemon; writes a flatnet-bench-serve/v1 JSON report (default
-      BENCH_serve.json).
+      daemon: three passes (close-per-request, keep-alive with
+      --pipeline depth, origins= batch) with per-connection reuse stats
+      and the keepalive-vs-close throughput ratio; writes a
+      flatnet-bench-serve/v1 JSON report (default BENCH_serve.json).
 
   flatnet bench restart [--ases N] [--seed S] [--reps R] [--out PATH]
       Cold start (generate + compile) vs warm start (snapshot-store

@@ -35,27 +35,30 @@ use std::time::{Instant, SystemTime};
 pub enum Stage {
     /// Accept → worker dequeue.
     QueueWait = 0,
+    /// Parked on a persistent connection waiting for the next request.
+    KeepaliveIdle = 1,
     /// Reading and parsing the HTTP request head.
-    Parse = 1,
+    Parse = 2,
     /// Result-cache lookup (hit or miss).
-    CacheProbe = 2,
+    CacheProbe = 3,
     /// Engine / lane-kernel propagation on a cache miss.
-    Propagate = 3,
+    Propagate = 4,
     /// Rendering the response body.
-    Serialize = 4,
+    Serialize = 5,
     /// Writing the response to the socket.
-    Write = 5,
+    Write = 6,
     /// The worker panicked during this request.
-    Panic = 6,
+    Panic = 7,
 }
 
 /// Number of distinct stages.
-pub const STAGES: usize = 7;
+pub const STAGES: usize = 8;
 
 impl Stage {
     /// Every stage, in pipeline order.
     pub const ALL: [Stage; STAGES] = [
         Stage::QueueWait,
+        Stage::KeepaliveIdle,
         Stage::Parse,
         Stage::CacheProbe,
         Stage::Propagate,
@@ -68,6 +71,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::QueueWait => "queue_wait",
+            Stage::KeepaliveIdle => "keepalive_idle",
             Stage::Parse => "parse",
             Stage::CacheProbe => "cache_probe",
             Stage::Propagate => "propagate",
@@ -558,7 +562,7 @@ impl TraceDump {
             let pct = if total_us == 0 { 0.0 } else { 100.0 * sum as f64 / total_us as f64 };
             let _ = writeln!(
                 out,
-                "  {:<11}  {:>7} hits  {:>12} us total  {pct:>5.1}%",
+                "  {:<14}  {:>7} hits  {:>12} us total  {pct:>5.1}%",
                 stage.name(),
                 count,
                 sum,

@@ -101,6 +101,40 @@ impl<V> ResultCache<V> {
         }
     }
 
+    /// Bulk lookup for batch queries: probes every key, returning answers
+    /// positionally (`None` = miss). Keys are grouped by shard first, so
+    /// a 64-origin batch takes each shard lock once instead of 64 lock
+    /// round-trips. Hit/miss counters and recency behave exactly as if
+    /// [`ResultCache::get`] had been called per key.
+    pub fn probe_many(&self, keys: &[CacheKey]) -> Vec<Option<Arc<V>>> {
+        let mut out: Vec<Option<Arc<V>>> = Vec::with_capacity(keys.len());
+        out.resize_with(keys.len(), || None);
+        let mut by_shard: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, key) in keys.iter().enumerate() {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            by_shard[(h.finish() % SHARDS as u64) as usize].push(i);
+        }
+        for (si, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].lock().unwrap();
+            for &i in indices {
+                let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+                match shard.map.get_mut(&keys[i]) {
+                    Some((v, last)) => {
+                        *last = stamp;
+                        self.hits.inc();
+                        out[i] = Some(Arc::clone(v));
+                    }
+                    None => self.misses.inc(),
+                }
+            }
+        }
+        out
+    }
+
     /// Inserts `value` under `key`, evicting the shard's least-recently
     /// used entry if it is full.
     pub fn put(&self, key: CacheKey, value: Arc<V>) {
@@ -192,6 +226,21 @@ mod tests {
         cache.put(kb, Arc::new(2));
         assert!(cache.get(&ka).is_none(), "older entry should have been evicted");
         assert_eq!(cache.get(&kb).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn probe_many_matches_per_key_get() {
+        let cache: ResultCache<u32> = ResultCache::new(64);
+        for i in (0..32).step_by(2) {
+            cache.put(key(i), Arc::new(i));
+        }
+        let keys: Vec<CacheKey> = (0..32).map(key).collect();
+        let bulk = cache.probe_many(&keys);
+        for (i, got) in bulk.iter().enumerate() {
+            let want = cache.get(&keys[i]);
+            assert_eq!(got.as_deref(), want.as_deref(), "key {i}");
+            assert_eq!(got.is_some(), i % 2 == 0, "key {i}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The query engine: a fixed worker pool with per-worker propagation
-//! state, a bounded queue with backpressure, per-request deadlines, and
-//! the endpoint handlers themselves.
+//! state, a bounded queue with backpressure, persistent (keep-alive)
+//! connections with per-connection request budgets and idle timeouts,
+//! per-request deadlines, and the endpoint handlers themselves.
 //!
 //! Each worker owns a [`Workspace`] and a [`PropagationConfig`] for its
 //! whole lifetime, so the zero-steady-state-allocation property of the
@@ -10,17 +11,33 @@
 //! `Arc` (see [`crate::snapshot::SnapshotManager`]), which is what lets
 //! a worker keep its workspace across hot-reloads — the workspace
 //! resizes itself if the topology's node count changed.
+//!
+//! A worker holds one connection at a time for that connection's whole
+//! life: after each response it parks in [`wait_for_next`] (sliced
+//! reads, so shutdown is never delayed by more than one slice) until
+//! the next request's bytes arrive, the idle budget runs out, or the
+//! per-connection request budget is spent. Pipelined requests need no
+//! special handling — the parser consumes exactly one request's bytes,
+//! so back-to-back requests are already sitting in the connection's
+//! `BufReader` when the previous response is written.
+//!
+//! Every `/v1` response, success or failure, wears the same envelope:
+//! `{"schema":…,"snapshot_version":…,"trace_id":…,"data":{…}}` on
+//! success and `…,"error":{"kind":…,"message":…}}` on failure (error
+//! envelopes are shared by every endpoint); `kind` strings mirror
+//! [`crate::error::ServeError::kind`] labels where the failure is the
+//! server's, and name the request defect otherwise.
 
 use crate::cache::{policy_fingerprint, CacheKey, ResultCache};
 use crate::http::{read_request, Method, Request, Response};
-use crate::json::{escape, fmt_f64, Json};
+use crate::json::{envelope, envelope_prefix, error_envelope, escape, fmt_f64, Json};
 use crate::snapshot::{ServeSnapshot, SnapshotManager};
-use flatnet_asgraph::AsId;
-use flatnet_bgpsim::{reliance, NextHopDag, PropagationConfig, Workspace};
+use flatnet_asgraph::{AsId, NodeId};
+use flatnet_bgpsim::{reliance, NextHopDag, PropagationConfig, Simulation, Workspace};
 use flatnet_core::leaks::{leak_cdf, Announce, Locking};
 use flatnet_obs::trace::{Stage, TraceCtx, TraceDump, Tracer, STAGES};
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +53,13 @@ const EXCL_PROVIDERS: u64 = 1;
 const EXCL_TIER1: u64 = 2;
 const EXCL_TIER2: u64 = 4;
 
+/// Cap on origins per batch query (16 lane blocks).
+pub const MAX_BATCH_ORIGINS: usize = 1024;
+
+/// Cap on what-if leak queries per batch body (each one is a full
+/// leak-CDF sweep).
+pub const MAX_LEAK_QUERIES: usize = 64;
+
 /// One accepted connection waiting for a worker, carrying the trace
 /// context allocated at accept time (so queue wait is part of the
 /// trace, not invisible pre-history).
@@ -46,7 +70,8 @@ pub(crate) struct Job {
 }
 
 /// A cached answer: the expensive-to-compute core of a response, without
-/// per-request presentation choices (`full=1` re-renders from the words).
+/// per-request presentation choices (`detail=full` re-renders from the
+/// words).
 pub(crate) enum Answer {
     /// Word-packed reach bitset + count, exactly as the engine produced it.
     Reach {
@@ -64,6 +89,70 @@ pub(crate) enum Answer {
     },
 }
 
+/// A request-level failure, rendered into the error envelope by the
+/// dispatcher (which knows the snapshot version and trace id).
+struct ApiError {
+    status: u16,
+    kind: &'static str,
+    message: String,
+    retry_after: Option<u32>,
+}
+
+impl ApiError {
+    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> Self {
+        ApiError { status, kind, message: message.into(), retry_after: None }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        ApiError::new(400, "bad-request", message)
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        ApiError::new(404, "not-found", message)
+    }
+
+    fn unprocessable(message: impl Into<String>) -> Self {
+        ApiError::new(422, "unprocessable", message)
+    }
+
+    fn into_response(self, version: u64, trace_id: u64) -> Response {
+        let mut resp = Response::json(
+            self.status,
+            error_envelope(version, trace_id, self.kind, &self.message),
+        );
+        resp.retry_after = self.retry_after;
+        resp
+    }
+}
+
+/// The envelope error `kind` for a parse-layer status code.
+fn kind_for_status(status: u16) -> &'static str {
+    match status {
+        400 => "bad-request",
+        404 => "not-found",
+        405 => "method",
+        408 => "timeout",
+        413 => "payload",
+        414 => "uri-too-long",
+        422 => "unprocessable",
+        431 => "headers",
+        503 => "unavailable",
+        _ => "internal",
+    }
+}
+
+/// Builds a ready-to-write error-envelope response outside the
+/// dispatcher (accept-path 503s, parse errors, panics).
+fn error_response(
+    status: u16,
+    kind: &'static str,
+    message: &str,
+    version: u64,
+    trace_id: u64,
+) -> Response {
+    Response::json(status, error_envelope(version, trace_id, kind, message))
+}
+
 /// Everything the accept loop and the workers share.
 pub(crate) struct Shared {
     pub(crate) mgr: SnapshotManager,
@@ -75,11 +164,18 @@ pub(crate) struct Shared {
     deadline: Duration,
     /// Per-connection socket read/write cap; `None` = deadline only.
     io_timeout: Option<Duration>,
+    /// Requests served per connection before the server closes it.
+    keepalive_max: u64,
+    /// How long a persistent connection may sit idle between requests.
+    keepalive_idle: Duration,
     pub(crate) workers: usize,
     /// Bound address, set once the listener exists; `/admin/shutdown`
     /// self-connects here to unblock the accept loop.
     pub(crate) local_addr: OnceLock<SocketAddr>,
     requests: flatnet_obs::Counter,
+    connections: flatnet_obs::Counter,
+    keepalive_reuse: flatnet_obs::Counter,
+    keepalive_idle_closed: flatnet_obs::Counter,
     rejected: flatnet_obs::Counter,
     expired: flatnet_obs::Counter,
     panics: flatnet_obs::Counter,
@@ -107,12 +203,15 @@ pub(crate) struct Shared {
 const TRACE_RING_CAP: usize = 256;
 
 impl Shared {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         mgr: SnapshotManager,
         cache_capacity: usize,
         queue_cap: usize,
         deadline: Duration,
         io_timeout: Option<Duration>,
+        keepalive_max: u64,
+        keepalive_idle: Duration,
         workers: usize,
         warm: usize,
     ) -> Self {
@@ -126,9 +225,14 @@ impl Shared {
             queue_cap,
             deadline,
             io_timeout,
+            keepalive_max: keepalive_max.max(1),
+            keepalive_idle,
             workers,
             local_addr: OnceLock::new(),
             requests: reg.counter("serve.requests"),
+            connections: reg.counter("serve.connections"),
+            keepalive_reuse: reg.counter("serve.keepalive_reuse"),
+            keepalive_idle_closed: reg.counter("serve.keepalive_idle_closed"),
             rejected: reg.counter("serve.queue_rejected"),
             expired: reg.counter("serve.deadline_expired"),
             panics: reg.counter("serve.worker_panics"),
@@ -177,7 +281,13 @@ impl Shared {
             self.rejected.inc();
             self.status_5xx.inc();
             trace.set_tag("rejected");
-            let mut resp = Response::error(503, "request queue full");
+            let mut resp = error_response(
+                503,
+                "queue-full",
+                "request queue full",
+                self.mgr.current().version,
+                trace.id(),
+            );
             resp.retry_after = Some(1);
             resp.trace_id = Some(trace.id());
             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
@@ -219,11 +329,11 @@ pub(crate) fn spawn_warmup(shared: &Arc<Shared>, snap: Arc<ServeSnapshot>) {
     let shared = Arc::clone(shared);
     let spawned = std::thread::Builder::new().name("serve-warm".into()).spawn(move || {
         let g = &snap.graph;
-        let mut origins: Vec<flatnet_asgraph::NodeId> = g.nodes().collect();
+        let mut origins: Vec<NodeId> = g.nodes().collect();
         origins.sort_by_key(|&n| (std::cmp::Reverse(g.degree(n)), n.0));
         origins.truncate(top_n);
         let fingerprint = policy_fingerprint(EP_REACHABILITY, 0);
-        let sim = flatnet_bgpsim::Simulation::over(&snap.topo).threads(1);
+        let sim = Simulation::over(&snap.topo).threads(1);
         for block in origins.chunks(flatnet_bgpsim::LANES) {
             if shared.shutdown.load(Ordering::SeqCst)
                 || shared.mgr.current().version != snap.version
@@ -263,9 +373,9 @@ impl WorkerCtx {
     }
 }
 
-/// The worker thread body: pop, enforce the deadline, parse, route,
-/// respond. Returns when shutdown is flagged *and* the queue is empty,
-/// so accepted requests are never dropped by a clean shutdown.
+/// The worker thread body: pop a connection, serve every request on it
+/// (keep-alive), loop. Returns when shutdown is flagged *and* the queue
+/// is empty, so accepted requests are never dropped by a clean shutdown.
 /// `worker` is this thread's index — its trace-ring writer slot and its
 /// utilization counter.
 pub(crate) fn worker_loop(shared: Arc<Shared>, worker: usize) {
@@ -286,85 +396,205 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, worker: usize) {
         };
         let Some(job) = job else { return };
         let started = Instant::now();
-        handle_job(&shared, &mut ctx, worker, job);
+        handle_conn(&shared, &mut ctx, worker, job);
         shared.busy_us[worker].add(started.elapsed().as_micros() as u64);
     }
 }
 
-fn handle_job(shared: &Arc<Shared>, ctx: &mut WorkerCtx, worker: usize, job: Job) {
+/// Why [`wait_for_next`] returned.
+enum NextRequest {
+    /// Bytes are buffered (or just arrived): parse the next request.
+    Data,
+    /// The idle budget ran out with no new request: close cleanly.
+    Idle,
+    /// The peer closed (EOF) or the transport failed.
+    Closed,
+    /// The daemon is shutting down.
+    Shutdown,
+}
+
+/// Slice length for idle waits: an idle keep-alive connection re-checks
+/// the shutdown flag this often, bounding how long a parked worker can
+/// delay a clean shutdown.
+const IDLE_SLICE: Duration = Duration::from_millis(250);
+
+/// Parks on a persistent connection until the next request's bytes
+/// arrive, the idle budget runs out, the peer closes, or shutdown is
+/// flagged. Pipelined bytes already sitting in the `BufReader` return
+/// `Data` immediately without touching the socket timeout.
+fn wait_for_next(
+    shared: &Shared,
+    stream: &TcpStream,
+    reader: &mut BufReader<&TcpStream>,
+) -> NextRequest {
+    let start = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return NextRequest::Shutdown;
+        }
+        let left = shared.keepalive_idle.saturating_sub(start.elapsed());
+        if left.is_zero() {
+            return NextRequest::Idle;
+        }
+        let _ = stream.set_read_timeout(Some(IDLE_SLICE.min(left)));
+        match reader.fill_buf() {
+            Ok([]) => return NextRequest::Closed,
+            Ok(_) => return NextRequest::Data,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return NextRequest::Closed,
+        }
+    }
+}
+
+/// Serves one connection for its whole life: request loop with
+/// keep-alive negotiation, per-connection request budget, and idle
+/// timeout. Each request gets its own trace context and deadline; the
+/// first request's context was allocated at accept time (its queue wait
+/// is real), later ones are born when their bytes arrive (their idle
+/// wait lands in the `keepalive_idle` stage).
+fn handle_conn(shared: &Arc<Shared>, ctx: &mut WorkerCtx, worker: usize, job: Job) {
     let Job { stream, accepted, mut trace } = job;
     trace.mark(Stage::QueueWait);
-    shared.requests.inc();
-    let elapsed = accepted.elapsed();
-    if elapsed >= shared.deadline {
+    shared.connections.inc();
+
+    // The first request's deadline clock started at accept.
+    if accepted.elapsed() >= shared.deadline {
+        shared.requests.inc();
         shared.expired.inc();
         trace.set_tag("expired");
-        let mut resp = Response::error(503, "deadline expired while queued");
+        let mut resp = error_response(
+            503,
+            "deadline",
+            "deadline expired while queued",
+            shared.mgr.current().version,
+            trace.id(),
+        );
         resp.retry_after = Some(1);
         finish(shared, &stream, resp, worker, &mut trace);
         return;
     }
-    // The read budget is whatever deadline budget the queue left, capped
-    // by the per-connection io timeout so a stalled client can't pin a
-    // worker for the whole deadline. The parser maps a timed-out read to
-    // a 408 (see `crate::http`).
-    let mut budget = shared.deadline - elapsed;
-    if let Some(io) = shared.io_timeout {
-        budget = budget.min(io);
-    }
-    let _ = stream.set_read_timeout(Some(budget));
-    let _ = stream.set_write_timeout(Some(shared.io_timeout.unwrap_or(shared.deadline)));
 
     let mut reader = BufReader::new(&stream);
-    let resp = match read_request(&mut reader) {
-        Ok(None) => return, // peer connected and left; nothing to answer
-        Ok(Some(req)) => {
-            trace.mark(Stage::Parse);
-            match catch_unwind(AssertUnwindSafe(|| route(shared, ctx, &req, &mut trace))) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    // Isolate the panic to this request: count it, answer
-                    // 500, discard possibly-inconsistent worker state —
-                    // and still emit a terminal trace event, with the
-                    // time since the last marked boundary attributed to
-                    // the `panic` stage.
-                    shared.panics.inc();
-                    *ctx = WorkerCtx::new();
-                    trace.mark(Stage::Panic);
-                    Response::error(500, "internal error")
+    let mut pending = Some((trace, accepted.elapsed()));
+    let mut served: u64 = 0;
+    loop {
+        let (mut t, queued) = match pending.take() {
+            Some(first) => first,
+            None => {
+                let mut t = TraceCtx::new(shared.tracer.next_id());
+                match wait_for_next(shared, &stream, &mut reader) {
+                    NextRequest::Data => t.mark(Stage::KeepaliveIdle),
+                    NextRequest::Idle => {
+                        shared.keepalive_idle_closed.inc();
+                        return;
+                    }
+                    NextRequest::Closed | NextRequest::Shutdown => return,
+                }
+                shared.keepalive_reuse.inc();
+                (t, Duration::ZERO)
+            }
+        };
+        shared.requests.inc();
+        // The read budget is whatever deadline budget the queue left
+        // (later requests on the connection get the full deadline),
+        // capped by the per-connection io timeout so a stalled client
+        // can't pin a worker for the whole deadline. The parser maps a
+        // timed-out read to a 408 (see `crate::http`).
+        let mut budget = shared.deadline.saturating_sub(queued);
+        if let Some(io) = shared.io_timeout {
+            budget = budget.min(io);
+        }
+        let _ = stream.set_read_timeout(Some(budget));
+        let _ = stream.set_write_timeout(Some(shared.io_timeout.unwrap_or(shared.deadline)));
+
+        served += 1;
+        let budget_left = served < shared.keepalive_max;
+        let resp = match read_request(&mut reader) {
+            Ok(None) => return, // peer connected and left; nothing to answer
+            Ok(Some(req)) => {
+                t.mark(Stage::Parse);
+                let keep = budget_left
+                    && req.wants_keep_alive()
+                    && !shared.shutdown.load(Ordering::SeqCst);
+                match catch_unwind(AssertUnwindSafe(|| route(shared, ctx, &req, &mut t))) {
+                    Ok(mut resp) => {
+                        resp.close = !keep;
+                        resp.chunked_ok = !req.http10;
+                        resp
+                    }
+                    Err(_) => {
+                        // Isolate the panic to this request: count it,
+                        // answer 500, discard possibly-inconsistent
+                        // worker state, close the connection (its
+                        // framing state is suspect too) — and still emit
+                        // a terminal trace event, with the time since
+                        // the last marked boundary attributed to the
+                        // `panic` stage.
+                        shared.panics.inc();
+                        *ctx = WorkerCtx::new();
+                        t.mark(Stage::Panic);
+                        error_response(
+                            500,
+                            "panic",
+                            "internal error",
+                            shared.mgr.current().version,
+                            t.id(),
+                        )
+                    }
                 }
             }
+            Err(e) if e.wants_response() => {
+                // Framing is unknown after a parse error, so the
+                // response closes the connection (`close` defaults on).
+                t.mark(Stage::Parse);
+                t.set_tag("parse_error");
+                error_response(
+                    e.status,
+                    kind_for_status(e.status),
+                    &e.reason,
+                    shared.mgr.current().version,
+                    t.id(),
+                )
+            }
+            Err(_) => return,
+        };
+        let closed = finish(shared, &stream, resp, worker, &mut t);
+        if closed {
+            return;
         }
-        Err(e) if e.wants_response() => {
-            trace.mark(Stage::Parse);
-            trace.set_tag("parse_error");
-            Response::error(e.status, &e.reason)
-        }
-        Err(_) => return,
-    };
-    finish(shared, &stream, resp, worker, &mut trace);
+    }
 }
 
 /// Stamps the trace id onto the response, writes it (best-effort — the
 /// peer may have gone), and records the request's status class, its
-/// end-to-end latency, and the finished trace event.
+/// end-to-end latency, and the finished trace event. Returns whether
+/// the connection closed (negotiated, forced, or write failure).
 fn finish(
     shared: &Shared,
     stream: &TcpStream,
     mut resp: Response,
     worker: usize,
     trace: &mut TraceCtx,
-) {
-    match resp.status {
+) -> bool {
+    let status = resp.status;
+    match status {
         200..=299 => shared.status_2xx.inc(),
         400..=499 => shared.status_4xx.inc(),
         _ => shared.status_5xx.inc(),
     }
     resp.trace_id = Some(trace.id());
     trace.mark(Stage::Serialize); // header assembly + body built since the last mark
-    let _ = resp.write_to(&mut &*stream);
+    let closed = resp.write_to(&mut &*stream).unwrap_or(true);
     trace.mark(Stage::Write);
-    shared.record_trace(worker, trace, resp.status);
+    shared.record_trace(worker, trace, status);
+    closed
 }
 
 // ---------------------------------------------------------------------
@@ -372,6 +602,16 @@ fn finish(
 // ---------------------------------------------------------------------
 
 fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request, trace: &mut TraceCtx) -> Response {
+    route_inner(shared, ctx, req, trace)
+        .unwrap_or_else(|e| e.into_response(shared.mgr.current().version, trace.id()))
+}
+
+fn route_inner(
+    shared: &Arc<Shared>,
+    ctx: &mut WorkerCtx,
+    req: &Request,
+    trace: &mut TraceCtx,
+) -> Result<Response, ApiError> {
     match (req.method, req.path.as_str()) {
         (Method::Get, "/v1/reachability") => {
             trace.set_tag("reachability");
@@ -383,13 +623,13 @@ fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request, trace: &mut T
         }
         (Method::Post, "/v1/whatif/leak") => {
             trace.set_tag("whatif_leak");
-            let resp = whatif_leak(shared, req);
+            let resp = whatif_leak(shared, req, trace);
             trace.mark(Stage::Propagate); // leak sweep is all compute
             resp
         }
         (Method::Get, "/healthz") => {
             trace.set_tag("healthz");
-            healthz(shared)
+            Ok(healthz(shared))
         }
         (Method::Get, "/metrics") => {
             trace.set_tag("metrics");
@@ -405,12 +645,12 @@ fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request, trace: &mut T
         }
         (Method::Get, "/debug/queue") => {
             trace.set_tag("queue");
-            debug_queue(shared)
+            Ok(debug_queue(shared))
         }
         (Method::Get, "/debug/panic") => {
             // Deliberate: exercises the worker panic-isolation path
             // end-to-end (tests, drills). The catch_unwind in
-            // handle_job turns this into a traced 500.
+            // handle_conn turns this into a traced 500.
             trace.set_tag("panic");
             panic!("debug-panic endpoint hit");
         }
@@ -422,79 +662,75 @@ fn route(shared: &Arc<Shared>, ctx: &mut WorkerCtx, req: &Request, trace: &mut T
         }
         (Method::Post, "/admin/shutdown") => {
             trace.set_tag("shutdown");
-            admin_shutdown(shared)
+            Ok(admin_shutdown(shared))
         }
         (
             _,
             "/v1/reachability" | "/v1/reliance" | "/v1/whatif/leak" | "/healthz" | "/metrics"
             | "/debug/trace/recent" | "/debug/trace/slow" | "/debug/queue" | "/debug/panic"
             | "/admin/reload" | "/admin/shutdown",
-        ) => Response::error(405, "method not allowed for this path"),
-        _ => Response::error(404, "no such endpoint"),
+        ) => Err(ApiError::new(405, "method", "method not allowed for this path")),
+        _ => Err(ApiError::not_found("no such endpoint")),
     }
 }
 
 /// `GET /metrics[?format=prom]` — the obs snapshot as the canonical JSON
 /// document, or as the Prometheus text exposition.
-fn metrics(req: &Request) -> Response {
+fn metrics(req: &Request) -> Result<Response, ApiError> {
     match req.query_param("format") {
-        Some("prom") => Response::text(
+        Some("prom") => Ok(Response::text(
             200,
             flatnet_obs::to_prometheus(&flatnet_obs::snapshot()),
             flatnet_obs::prom::CONTENT_TYPE,
-        ),
-        Some("json") | None => Response::json(200, flatnet_obs::snapshot().to_json()),
-        Some(other) => Response::error(400, &format!("bad format {other:?} (want json|prom)")),
+        )),
+        Some("json") | None => Ok(Response::json(200, flatnet_obs::snapshot().to_json())),
+        Some(other) => Err(ApiError::bad_request(format!("bad format {other:?} (want json|prom)"))),
     }
 }
 
 /// Parses a bounded positive integer query parameter.
-fn query_u64(req: &Request, name: &str, default: u64, max: u64) -> Result<u64, Response> {
+fn query_u64(req: &Request, name: &str, default: u64, max: u64) -> Result<u64, ApiError> {
     match req.query_param(name).map(str::parse) {
         None => Ok(default),
         Some(Ok(v)) => Ok(std::cmp::min(v, max)),
-        Some(Err(_)) => Err(Response::error(400, &format!("bad '{name}' (want a number)"))),
+        Some(Err(_)) => Err(ApiError::bad_request(format!("bad '{name}' (want a number)"))),
     }
 }
 
 /// `GET /debug/trace/recent[?n=K]` — the most recent stable trace
 /// events, newest first, as a `flatnet-trace/v1` document.
-fn debug_trace_recent(shared: &Arc<Shared>, req: &Request) -> Response {
-    let n = match query_u64(req, "n", 64, 4096) {
-        Ok(n) => n as usize,
-        Err(resp) => return resp,
-    };
-    Response::json(200, TraceDump { events: shared.tracer.recent(n) }.to_json())
+fn debug_trace_recent(shared: &Arc<Shared>, req: &Request) -> Result<Response, ApiError> {
+    let n = query_u64(req, "n", 64, 4096)? as usize;
+    Ok(Response::json(200, TraceDump { events: shared.tracer.recent(n) }.to_json()))
 }
 
 /// `GET /debug/trace/slow[?ms=N][&n=K]` — the slowest-K reservoir,
 /// optionally floored at `ms` milliseconds, slowest first.
-fn debug_trace_slow(shared: &Arc<Shared>, req: &Request) -> Response {
-    let ms = match query_u64(req, "ms", 0, u64::MAX / 1000) {
-        Ok(ms) => ms,
-        Err(resp) => return resp,
-    };
-    let n = match query_u64(req, "n", Tracer::SLOW_K as u64, 4096) {
-        Ok(n) => n as usize,
-        Err(resp) => return resp,
-    };
-    Response::json(200, TraceDump { events: shared.tracer.slow(ms * 1000, n) }.to_json())
+fn debug_trace_slow(shared: &Arc<Shared>, req: &Request) -> Result<Response, ApiError> {
+    let ms = query_u64(req, "ms", 0, u64::MAX / 1000)?;
+    let n = query_u64(req, "n", Tracer::SLOW_K as u64, 4096)? as usize;
+    Ok(Response::json(200, TraceDump { events: shared.tracer.slow(ms * 1000, n) }.to_json()))
 }
 
 /// `GET /debug/queue` — queue depth, capacity, queue-wait percentiles,
-/// per-worker busy time, and trace-collection counters.
+/// per-worker busy time, connection-reuse counters, and
+/// trace-collection counters.
 fn debug_queue(shared: &Arc<Shared>) -> Response {
     let wait = &shared.stage_us[Stage::QueueWait as usize];
     let pct = |p: f64| wait.percentile_us(p).unwrap_or(0);
     let mut body = format!(
         "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"queue\",\"depth\":{},\
          \"capacity\":{},\"rejected\":{},\"workers\":{},\
+         \"connections\":{},\"keepalive_reuse\":{},\"keepalive_idle_closed\":{},\
          \"queue_wait_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}},\
          \"traces_recorded\":{},\"worker_busy_us\":[",
         shared.queue_depth.get(),
         shared.queue_cap,
         shared.rejected.get(),
         shared.workers,
+        shared.connections.get(),
+        shared.keepalive_reuse.get(),
+        shared.keepalive_idle_closed.get(),
         wait.count(),
         pct(50.0),
         pct(90.0),
@@ -511,28 +747,58 @@ fn debug_queue(shared: &Arc<Shared>) -> Response {
     Response::json(200, body)
 }
 
-/// Parses `origin=ASN` (optionally `AS`-prefixed) and resolves it in the
-/// snapshot.
-fn parse_origin(
-    snap: &ServeSnapshot,
-    req: &Request,
-) -> Result<(u32, flatnet_asgraph::NodeId), Response> {
-    let raw = req
-        .query_param("origin")
-        .ok_or_else(|| Response::error(400, "missing required query parameter 'origin'"))?;
+/// Parses one `ASN` / `AS123` token.
+fn parse_asn(raw: &str) -> Result<u32, ApiError> {
     let digits = raw.strip_prefix("AS").or_else(|| raw.strip_prefix("as")).unwrap_or(raw);
-    let asn: u32 = digits
+    digits
         .parse()
-        .map_err(|_| Response::error(400, &format!("bad origin {raw:?} (want an AS number)")))?;
-    let node = snap
-        .graph
-        .index_of(AsId(asn))
-        .ok_or_else(|| Response::error(404, &format!("AS{asn} is not in the topology")))?;
-    Ok((asn, node))
+        .map_err(|_| ApiError::bad_request(format!("bad origin {raw:?} (want an AS number)")))
 }
 
-/// Parses `exclude=providers,tier1,tier2` into flag bits.
-fn parse_exclude(req: &Request) -> Result<u64, Response> {
+/// Collects the query's origin list: `origins=a,b,c` (canonical batch
+/// form) and/or `origin=a` (single alias; also accepts a comma list),
+/// every ASN resolved against the snapshot. Returns the resolved list
+/// plus whether the response should use the batch shape (`origins=`
+/// present, or more than one origin).
+fn parse_origins(
+    snap: &ServeSnapshot,
+    req: &Request,
+) -> Result<(Vec<(u32, NodeId)>, bool), ApiError> {
+    let mut raw: Vec<&str> = Vec::new();
+    let mut plural = false;
+    for (k, v) in &req.query {
+        if k == "origins" || k == "origin" {
+            plural |= k == "origins";
+            raw.extend(v.split(',').filter(|s| !s.is_empty()));
+        }
+    }
+    if raw.is_empty() {
+        return Err(ApiError::bad_request(
+            "missing required query parameter 'origins' (or 'origin')",
+        ));
+    }
+    if raw.len() > MAX_BATCH_ORIGINS {
+        return Err(ApiError::bad_request(format!(
+            "too many origins ({} > {MAX_BATCH_ORIGINS})",
+            raw.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(raw.len());
+    for r in raw {
+        let asn = parse_asn(r)?;
+        let node = snap
+            .graph
+            .index_of(AsId(asn))
+            .ok_or_else(|| ApiError::not_found(format!("AS{asn} is not in the topology")))?;
+        out.push((asn, node));
+    }
+    let batch = plural || out.len() > 1;
+    Ok((out, batch))
+}
+
+/// Parses `exclude=providers,tier1,tier2` into flag bits (same
+/// semantics on every endpoint that accepts it).
+fn parse_exclude(req: &Request) -> Result<u64, ApiError> {
     let mut bits = 0u64;
     if let Some(list) = req.query_param("exclude") {
         for token in list.split(',').filter(|t| !t.is_empty()) {
@@ -541,15 +807,29 @@ fn parse_exclude(req: &Request) -> Result<u64, Response> {
                 "tier1" => EXCL_TIER1,
                 "tier2" => EXCL_TIER2,
                 other => {
-                    return Err(Response::error(
-                        400,
-                        &format!("unknown exclude token {other:?} (want providers|tier1|tier2)"),
-                    ))
+                    return Err(ApiError::bad_request(format!(
+                        "unknown exclude token {other:?} (want providers|tier1|tier2)"
+                    )))
                 }
             };
         }
     }
     Ok(bits)
+}
+
+/// `detail=full|summary` (canonical), with the legacy `full=1|true`
+/// spelling still honored.
+fn parse_detail(req: &Request) -> Result<bool, ApiError> {
+    if let Some(d) = req.query_param("detail") {
+        return match d {
+            "full" => Ok(true),
+            "summary" => Ok(false),
+            other => {
+                Err(ApiError::bad_request(format!("bad detail {other:?} (want full|summary)")))
+            }
+        };
+    }
+    Ok(matches!(req.query_param("full"), Some("1") | Some("true")))
 }
 
 fn exclude_names(bits: u64) -> String {
@@ -566,237 +846,485 @@ fn exclude_names(bits: u64) -> String {
     names.join(",")
 }
 
-/// `GET /v1/reachability?origin=ASN[&exclude=...][&full=1]`
+/// Fills the scalar exclusion mask for one origin the same way every
+/// reachability sweep does: providers of the origin, then the tier
+/// sets, with the origin itself never excluded.
+fn fill_exclusion_mask(snap: &ServeSnapshot, node: NodeId, bits: u64, mask: &mut [bool]) {
+    mask.fill(false);
+    if bits & EXCL_PROVIDERS != 0 {
+        for &p in snap.graph.providers(node) {
+            mask[p.idx()] = true;
+        }
+    }
+    if bits & EXCL_TIER1 != 0 {
+        for &t in snap.tiers.tier1() {
+            mask[t.idx()] = true;
+        }
+    }
+    if bits & EXCL_TIER2 != 0 {
+        for &t in snap.tiers.tier2() {
+            mask[t.idx()] = true;
+        }
+    }
+    mask[node.idx()] = false;
+}
+
+/// Solves the cache-missing origins of a reachability batch in one
+/// bit-parallel sweep — whole 64-origin lane blocks straight into the
+/// kernel. The tier exclusions are origin-independent, so they ride the
+/// shared config mask (broadcast once per block); the per-lane fill
+/// installs the origin's providers and carves the origin itself back
+/// out, exactly mirroring [`fill_exclusion_mask`] — which is what keeps
+/// batch answers bit-identical to the scalar single-origin path.
+fn solve_reach_misses(
+    snap: &ServeSnapshot,
+    misses: &[NodeId],
+    bits: u64,
+) -> Vec<(NodeId, Arc<Answer>)> {
+    let g = &snap.graph;
+    let mut cfg = PropagationConfig::default();
+    if bits & (EXCL_TIER1 | EXCL_TIER2) != 0 {
+        let mask = cfg.excluded_mask_mut(g.len());
+        if bits & EXCL_TIER1 != 0 {
+            for &t in snap.tiers.tier1() {
+                mask[t.idx()] = true;
+            }
+        }
+        if bits & EXCL_TIER2 != 0 {
+            for &t in snap.tiers.tier2() {
+                mask[t.idx()] = true;
+            }
+        }
+    }
+    let sim = Simulation::over(&snap.topo).threads(1).config(cfg);
+    let reach = sim.run_sweep_reach_with(misses, |o, ex| {
+        if bits & EXCL_PROVIDERS != 0 {
+            for &p in g.providers(o) {
+                ex.exclude(p);
+            }
+        }
+        ex.allow(o);
+    });
+    (0..reach.len())
+        .map(|i| {
+            let answer = Arc::new(Answer::Reach {
+                words: reach.reach_words(i).to_vec(),
+                reached: reach.reachable_count(i),
+            });
+            (reach.origin(i), answer)
+        })
+        .collect()
+}
+
+/// Renders one origin's reachability summary fields (shared by the flat
+/// single shape and each batch result entry).
+fn reach_summary_fields(asn: u32, reached: usize, max_possible: usize, cached: bool) -> String {
+    let pct = if max_possible > 0 { 100.0 * reached as f64 / max_possible as f64 } else { 0.0 };
+    format!(
+        "\"origin\":{asn},\"reachable\":{reached},\"max_possible\":{max_possible},\
+         \"pct\":{},\"cached\":{cached}",
+        fmt_f64((pct * 1e4).round() / 1e4),
+    )
+}
+
+/// Streams one origin's sorted reach-set ASNs into the sink as a JSON
+/// array body (no brackets), never materializing the whole list as one
+/// string.
+fn stream_reach_asns(
+    snap: &ServeSnapshot,
+    node: NodeId,
+    words: &[u64],
+    sink: &mut crate::http::ChunkSink<'_>,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    // Node indices ascend with ASN order per word-bit order only within
+    // the snapshot's indexing; collect + sort ASNs in bounded slabs is
+    // wrong for bit-exactness of ordering, so collect indices (cheap,
+    // u32 each) and sort once — the *rendered text* streams out in
+    // chunks regardless.
+    let mut asns: Vec<u32> = Vec::new();
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros();
+            let idx = (wi as u32) * 64 + bit;
+            if idx != node.0 {
+                asns.push(snap.graph.asn(NodeId(idx)).0);
+            }
+            w &= w - 1;
+        }
+    }
+    asns.sort_unstable();
+    let mut numbuf = String::with_capacity(16);
+    for (i, a) in asns.iter().enumerate() {
+        numbuf.clear();
+        if i > 0 {
+            numbuf.push(',');
+        }
+        let _ = write!(numbuf, "{a}");
+        sink.push(&numbuf)?;
+    }
+    Ok(())
+}
+
+/// `GET /v1/reachability?origins=a,b,c[&exclude=…][&detail=full]`
+/// (single-origin alias: `origin=ASN`; legacy `full=1` still honored).
+///
+/// Batch queries probe the cache per origin, solve all misses in one
+/// lane-kernel sweep, and insert each origin's answer under the same
+/// cache key a single-origin query would use — so batch and single
+/// answers are the same `Answer` values, bit for bit.
 fn reachability(
     shared: &Arc<Shared>,
     ctx: &mut WorkerCtx,
     req: &Request,
     trace: &mut TraceCtx,
-) -> Response {
+) -> Result<Response, ApiError> {
     let snap = shared.mgr.current();
-    let (asn, node) = match parse_origin(&snap, req) {
-        Ok(v) => v,
-        Err(resp) => return resp,
-    };
-    trace.set_origin(asn);
-    let bits = match parse_exclude(req) {
-        Ok(b) => b,
-        Err(resp) => return resp,
-    };
-    let full = matches!(req.query_param("full"), Some("1") | Some("true"));
-    let key = CacheKey {
-        version: snap.version,
-        origin: asn,
-        fingerprint: policy_fingerprint(EP_REACHABILITY, bits),
-    };
+    let (origins, batch) = parse_origins(&snap, req)?;
+    trace.set_origin(origins[0].0);
+    let bits = parse_exclude(req)?;
+    let full = parse_detail(req)?;
+    let fingerprint = policy_fingerprint(EP_REACHABILITY, bits);
 
-    let probe = shared.cache.get(&key);
+    let keys: Vec<CacheKey> = origins
+        .iter()
+        .map(|&(asn, _)| CacheKey { version: snap.version, origin: asn, fingerprint })
+        .collect();
+    let probes = if keys.len() == 1 {
+        vec![shared.cache.get(&keys[0])]
+    } else {
+        shared.cache.probe_many(&keys)
+    };
     trace.mark(Stage::CacheProbe);
-    trace.set_cached(probe.is_some());
-    let (answer, cached) = match probe {
-        Some(hit) => (hit, true),
-        None => {
-            // Build the exclusion mask the same way the reachability
-            // sweeps do: providers of the origin, then the tier sets,
-            // with the origin itself never excluded.
-            let n = snap.graph.len();
-            let mask = ctx.cfg.excluded_mask_mut(n);
-            mask.fill(false);
-            if bits & EXCL_PROVIDERS != 0 {
-                for &p in snap.graph.providers(node) {
-                    mask[p.idx()] = true;
+    trace.set_cached(probes.iter().all(Option::is_some));
+
+    // Resolve every origin to an `Answer`, solving misses in one sweep.
+    let mut results: Vec<(u32, NodeId, Arc<Answer>, bool)> = Vec::with_capacity(origins.len());
+    let mut miss_nodes: Vec<NodeId> = Vec::new();
+    for (&(asn, node), probe) in origins.iter().zip(&probes) {
+        match probe {
+            Some(hit) => results.push((asn, node, Arc::clone(hit), true)),
+            None => {
+                if !miss_nodes.contains(&node) {
+                    miss_nodes.push(node);
                 }
+                // Placeholder; filled from the sweep below.
+                results.push((asn, node, Arc::new(Answer::Reach { words: Vec::new(), reached: 0 }), false));
             }
-            if bits & EXCL_TIER1 != 0 {
-                for &t in snap.tiers.tier1() {
-                    mask[t.idx()] = true;
-                }
-            }
-            if bits & EXCL_TIER2 != 0 {
-                for &t in snap.tiers.tier2() {
-                    mask[t.idx()] = true;
-                }
-            }
-            mask[node.idx()] = false;
+        }
+    }
+    if !miss_nodes.is_empty() {
+        let solved: Vec<(NodeId, Arc<Answer>)> = if !batch && miss_nodes.len() == 1 {
+            // Single-origin scalar path: reuse the worker's long-lived
+            // workspace (zero steady-state allocation on the hot path).
+            let node = miss_nodes[0];
+            let mask = ctx.cfg.excluded_mask_mut(snap.graph.len());
+            fill_exclusion_mask(&snap, node, bits, mask);
             ctx.ws.run(&snap.topo, node, &ctx.cfg);
-            trace.mark(Stage::Propagate);
             let answer = Arc::new(Answer::Reach {
                 words: ctx.ws.reach_words().to_vec(),
                 reached: ctx.ws.reachable_count(),
             });
-            shared.cache.put(key, Arc::clone(&answer));
-            (answer, false)
+            vec![(node, answer)]
+        } else {
+            solve_reach_misses(&snap, &miss_nodes, bits)
+        };
+        trace.mark(Stage::Propagate);
+        for (node, answer) in solved {
+            for slot in results.iter_mut().filter(|(_, n, _, cached)| *n == node && !cached) {
+                slot.2 = Arc::clone(&answer);
+            }
+            let asn = snap.graph.asn(node).0;
+            shared.cache.put(
+                CacheKey { version: snap.version, origin: asn, fingerprint },
+                answer,
+            );
         }
-    };
-    let Answer::Reach { words, reached } = &*answer else {
-        return Response::error(500, "cache type confusion");
-    };
+    }
 
     let max_possible = snap.graph.len().saturating_sub(1);
-    let pct = if max_possible > 0 { 100.0 * *reached as f64 / max_possible as f64 } else { 0.0 };
-    let mut body = format!(
-        "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"reachability\",\"origin\":{asn},\
-         \"snapshot_version\":{},\"exclude\":[{}],\"reachable\":{reached},\
-         \"max_possible\":{max_possible},\"pct\":{},\"cached\":{cached}",
-        snap.version,
-        exclude_names(bits),
-        fmt_f64((pct * 1e4).round() / 1e4),
-    );
+    let version = snap.version;
+    let trace_id = trace.id();
+    let excl = exclude_names(bits);
+
     if full {
-        // The full reachable set, as sorted ASNs, for bit-exact
-        // differential checks against a direct Simulation run.
-        let mut asns: Vec<u32> = Vec::with_capacity(*reached);
-        for (wi, &word) in words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros();
-                let idx = (wi as u32) * 64 + bit;
-                if idx != node.0 {
-                    asns.push(snap.graph.asn(flatnet_asgraph::NodeId(idx)).0);
+        // Streamed: the reach arrays go out as chunked frames, so a
+        // large graph never materializes a multi-MB body.
+        let snap2 = Arc::clone(&snap);
+        let producer: crate::http::BodyProducer = Box::new(move |sink| {
+            sink.push(&envelope_prefix(version, trace_id))?;
+            if batch {
+                sink.push(&format!(
+                    "{{\"endpoint\":\"reachability\",\"exclude\":[{excl}],\"batch\":{},\
+                     \"results\":[",
+                    results.len()
+                ))?;
+            }
+            for (i, (asn, node, answer, cached)) in results.iter().enumerate() {
+                let Answer::Reach { words, reached } = &**answer else { continue };
+                if batch {
+                    if i > 0 {
+                        sink.push(",")?;
+                    }
+                    sink.push("{")?;
+                } else {
+                    sink.push("{\"endpoint\":\"reachability\",")?;
+                    sink.push(&format!("\"exclude\":[{excl}],"))?;
                 }
-                w &= w - 1;
+                sink.push(&reach_summary_fields(*asn, *reached, max_possible, *cached))?;
+                sink.push(",\"reach\":[")?;
+                stream_reach_asns(&snap2, *node, words, sink)?;
+                sink.push("]}")?;
             }
-        }
-        asns.sort_unstable();
-        body.push_str(",\"reach\":[");
-        for (i, a) in asns.iter().enumerate() {
-            if i > 0 {
-                body.push(',');
+            if batch {
+                sink.push("]}")?;
             }
-            body.push_str(&a.to_string());
-        }
-        body.push(']');
+            sink.push("}\n")
+        });
+        return Ok(Response::stream(200, producer));
     }
-    body.push_str("}\n");
-    Response::json(200, body)
+
+    let data = if batch {
+        let mut data = format!(
+            "{{\"endpoint\":\"reachability\",\"exclude\":[{excl}],\"batch\":{},\"results\":[",
+            results.len()
+        );
+        for (i, (asn, _, answer, cached)) in results.iter().enumerate() {
+            let Answer::Reach { reached, .. } = &**answer else { continue };
+            if i > 0 {
+                data.push(',');
+            }
+            data.push('{');
+            data.push_str(&reach_summary_fields(*asn, *reached, max_possible, *cached));
+            data.push('}');
+        }
+        data.push_str("]}");
+        data
+    } else {
+        let (asn, _, answer, cached) = &results[0];
+        let Answer::Reach { reached, .. } = &**answer else {
+            return Err(ApiError::new(500, "internal", "cache type confusion"));
+        };
+        format!(
+            "{{\"endpoint\":\"reachability\",\"exclude\":[{excl}],{}}}",
+            reach_summary_fields(*asn, *reached, max_possible, *cached),
+        )
+    };
+    Ok(Response::json(200, envelope(version, trace_id, &data)))
 }
 
-/// `GET /v1/reliance?origin=ASN[&top=K]`
+/// `GET /v1/reliance?origins=a,b[&exclude=…][&top=K]` (single-origin
+/// alias: `origin=ASN`). `exclude=` carries the same
+/// providers/tier1/tier2 semantics as reachability and is part of the
+/// cache fingerprint.
 fn reliance_endpoint(
     shared: &Arc<Shared>,
     ctx: &mut WorkerCtx,
     req: &Request,
     trace: &mut TraceCtx,
-) -> Response {
+) -> Result<Response, ApiError> {
     let snap = shared.mgr.current();
-    let (asn, node) = match parse_origin(&snap, req) {
-        Ok(v) => v,
-        Err(resp) => return resp,
-    };
-    trace.set_origin(asn);
+    let (origins, batch) = parse_origins(&snap, req)?;
+    trace.set_origin(origins[0].0);
+    let bits = parse_exclude(req)?;
     let top_k: usize = match req.query_param("top").map(str::parse).transpose() {
         Ok(k) => k.unwrap_or(20).min(1000),
-        Err(_) => return Response::error(400, "bad 'top' (want a count)"),
+        Err(_) => return Err(ApiError::bad_request("bad 'top' (want a count)")),
     };
-    let key = CacheKey {
-        version: snap.version,
-        origin: asn,
-        fingerprint: policy_fingerprint(EP_RELIANCE, 0),
-    };
+    let fingerprint = policy_fingerprint(EP_RELIANCE, bits);
 
-    let probe = shared.cache.get(&key);
-    trace.mark(Stage::CacheProbe);
-    trace.set_cached(probe.is_some());
-    let (answer, cached) = match probe {
-        Some(hit) => (hit, true),
-        None => {
-            let n = snap.graph.len();
-            // Reliance runs over the unrestricted topology.
-            ctx.cfg.excluded_mask_mut(n).fill(false);
-            ctx.ws.run(&snap.topo, node, &ctx.cfg);
-            let outcome = ctx.ws.to_outcome();
-            let dag = NextHopDag::build(&snap.graph, &ctx.cfg, &outcome);
-            let scores = reliance(&dag);
-            let receivers = scores[node.idx()];
-            let mut top: Vec<(u32, f64)> = scores
-                .iter()
-                .enumerate()
-                .filter(|&(i, &s)| s > 0.0 && i != node.idx())
-                .map(|(i, &s)| (snap.graph.asn(flatnet_asgraph::NodeId(i as u32)).0, s))
-                .collect();
-            top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            top.truncate(1000); // cache the most anyone can ask for
-            trace.mark(Stage::Propagate);
-            let answer = Arc::new(Answer::Reliance { receivers, top });
-            shared.cache.put(key, Arc::clone(&answer));
-            (answer, false)
+    let mut all_cached = true;
+    let mut rendered: Vec<String> = Vec::with_capacity(origins.len());
+    for &(asn, node) in &origins {
+        let key = CacheKey { version: snap.version, origin: asn, fingerprint };
+        let probe = shared.cache.get(&key);
+        let cached = probe.is_some();
+        all_cached &= cached;
+        let answer = match probe {
+            Some(hit) => hit,
+            None => {
+                // Reliance runs over the excluded topology (origin
+                // always allowed), then scores the next-hop DAG.
+                let mask = ctx.cfg.excluded_mask_mut(snap.graph.len());
+                fill_exclusion_mask(&snap, node, bits, mask);
+                ctx.ws.run(&snap.topo, node, &ctx.cfg);
+                let outcome = ctx.ws.to_outcome();
+                let dag = NextHopDag::build(&snap.graph, &ctx.cfg, &outcome);
+                let scores = reliance(&dag);
+                let receivers = scores[node.idx()];
+                let mut top: Vec<(u32, f64)> = scores
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &s)| s > 0.0 && i != node.idx())
+                    .map(|(i, &s)| (snap.graph.asn(NodeId(i as u32)).0, s))
+                    .collect();
+                top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                top.truncate(1000); // cache the most anyone can ask for
+                let answer = Arc::new(Answer::Reliance { receivers, top });
+                shared.cache.put(key, Arc::clone(&answer));
+                answer
+            }
+        };
+        let Answer::Reliance { receivers, top } = &*answer else {
+            return Err(ApiError::new(500, "internal", "cache type confusion"));
+        };
+        let mut entry = format!(
+            "{{\"origin\":{asn},\"receivers\":{},\"cached\":{cached},\"top\":[",
+            fmt_f64(*receivers),
+        );
+        for (i, (a, s)) in top.iter().take(top_k).enumerate() {
+            if i > 0 {
+                entry.push(',');
+            }
+            entry.push_str(&format!("{{\"asn\":{a},\"rely\":{}}}", fmt_f64(*s)));
         }
-    };
-    let Answer::Reliance { receivers, top } = &*answer else {
-        return Response::error(500, "cache type confusion");
-    };
-
-    let mut body = format!(
-        "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"reliance\",\"origin\":{asn},\
-         \"snapshot_version\":{},\"receivers\":{},\"cached\":{cached},\"top\":[",
-        snap.version,
-        fmt_f64(*receivers),
-    );
-    for (i, (a, s)) in top.iter().take(top_k).enumerate() {
-        if i > 0 {
-            body.push(',');
-        }
-        body.push_str(&format!("{{\"asn\":{a},\"rely\":{}}}", fmt_f64(*s)));
+        entry.push_str("]}");
+        rendered.push(entry);
     }
-    body.push_str("]}\n");
-    Response::json(200, body)
+    trace.mark(Stage::Propagate);
+    trace.set_cached(all_cached);
+
+    let excl = exclude_names(bits);
+    let data = if batch {
+        format!(
+            "{{\"endpoint\":\"reliance\",\"exclude\":[{excl}],\"batch\":{},\"results\":[{}]}}",
+            rendered.len(),
+            rendered.join(","),
+        )
+    } else {
+        // Flat single shape: splice the endpoint/exclude fields into the
+        // one rendered entry.
+        format!(
+            "{{\"endpoint\":\"reliance\",\"exclude\":[{excl}],{}",
+            rendered[0].strip_prefix('{').unwrap_or(&rendered[0]),
+        )
+    };
+    Ok(Response::json(200, envelope(snap.version, trace.id(), &data)))
 }
 
-/// `POST /v1/whatif/leak` with a JSON body:
-/// `{"victim": ASN, "leakers": K, "lock": "none|t1|t12|global",
-///   "seed": S, "announce": "all|t12p"}` (victim required).
-fn whatif_leak(shared: &Arc<Shared>, req: &Request) -> Response {
-    let snap = shared.mgr.current();
-    let text = match std::str::from_utf8(&req.body) {
-        Ok(t) => t,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
-    };
-    let doc = match crate::json::parse(text) {
-        Ok(d) => d,
-        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
-    };
+/// One parsed what-if leak query.
+struct LeakQuery {
+    victim: u64,
+    leakers: usize,
+    seed: u64,
+    lock_name: String,
+    locking: Locking,
+    announce_name: String,
+    announce: Announce,
+}
+
+/// Parses one leak-query JSON object (`victim` required; `leakers`,
+/// `lock`, `seed`, `announce` optional).
+fn parse_leak_query(doc: &Json) -> Result<LeakQuery, ApiError> {
     let Some(victim) = doc.get("victim").and_then(Json::as_u64) else {
-        return Response::error(422, "missing required field 'victim' (an AS number)");
+        return Err(ApiError::unprocessable("missing required field 'victim' (an AS number)"));
     };
     let leakers = doc.get("leakers").and_then(Json::as_u64).unwrap_or(50).min(5000) as usize;
     let seed = doc.get("seed").and_then(Json::as_u64).unwrap_or(1);
-    let lock_name = doc.get("lock").and_then(Json::as_str).unwrap_or("none");
-    let locking = match lock_name {
+    let lock_name = doc.get("lock").and_then(Json::as_str).unwrap_or("none").to_string();
+    let locking = match lock_name.as_str() {
         "none" => Locking::None,
         "t1" => Locking::Tier1,
         "t12" => Locking::Tier12,
         "global" => Locking::Global,
         other => {
-            return Response::error(422, &format!("bad lock {other:?} (want none|t1|t12|global)"))
+            return Err(ApiError::unprocessable(format!(
+                "bad lock {other:?} (want none|t1|t12|global)"
+            )))
         }
     };
-    let announce_name = doc.get("announce").and_then(Json::as_str).unwrap_or("all");
-    let announce = match announce_name {
+    let announce_name = doc.get("announce").and_then(Json::as_str).unwrap_or("all").to_string();
+    let announce = match announce_name.as_str() {
         "all" => Announce::ToAll,
         "t12p" => Announce::ToTier12AndProviders,
-        other => return Response::error(422, &format!("bad announce {other:?} (want all|t12p)")),
+        other => {
+            return Err(ApiError::unprocessable(format!("bad announce {other:?} (want all|t12p)")))
+        }
     };
+    Ok(LeakQuery { victim, leakers, seed, lock_name, locking, announce_name, announce })
+}
 
-    let Some(cdf) =
-        leak_cdf(&snap.graph, &snap.tiers, AsId(victim as u32), announce, locking, leakers, seed, None)
-    else {
-        return Response::error(404, &format!("AS{victim} is not in the topology"));
+/// Runs one leak query against the snapshot and renders its result
+/// object (shared by the flat single shape and batch entries).
+fn run_leak_query(snap: &ServeSnapshot, q: &LeakQuery) -> Result<String, ApiError> {
+    let Some(cdf) = leak_cdf(
+        &snap.graph,
+        &snap.tiers,
+        AsId(q.victim as u32),
+        q.announce,
+        q.locking,
+        q.leakers,
+        q.seed,
+        None,
+    ) else {
+        return Err(ApiError::not_found(format!("AS{} is not in the topology", q.victim)));
     };
-    Response::json(
-        200,
-        format!(
-            "{{\"schema\":\"flatnet-serve/v1\",\"endpoint\":\"whatif_leak\",\"victim\":{victim},\
-             \"snapshot_version\":{},\"leakers\":{},\"lock\":\"{}\",\"announce\":\"{}\",\
-             \"seed\":{seed},\"detour_fraction\":{{\"median\":{},\"p90\":{},\"max\":{}}}}}\n",
-            snap.version,
-            cdf.fractions.len(),
-            escape(lock_name),
-            escape(announce_name),
-            fmt_f64(cdf.median()),
-            fmt_f64(cdf.percentile(90.0)),
-            fmt_f64(cdf.max()),
-        ),
-    )
+    Ok(format!(
+        "{{\"victim\":{},\"leakers\":{},\"lock\":\"{}\",\"announce\":\"{}\",\
+         \"seed\":{},\"detour_fraction\":{{\"median\":{},\"p90\":{},\"max\":{}}}}}",
+        q.victim,
+        cdf.fractions.len(),
+        escape(&q.lock_name),
+        escape(&q.announce_name),
+        q.seed,
+        fmt_f64(cdf.median()),
+        fmt_f64(cdf.percentile(90.0)),
+        fmt_f64(cdf.max()),
+    ))
+}
+
+/// `POST /v1/whatif/leak` with a JSON body — either one query object
+/// `{"victim": ASN, "leakers": K, "lock": "none|t1|t12|global",
+/// "seed": S, "announce": "all|t12p"}` (victim required), or a batch
+/// `{"queries": [{…}, …]}` (at most [`MAX_LEAK_QUERIES`]) that
+/// amortizes snapshot access across the whole list.
+fn whatif_leak(
+    shared: &Arc<Shared>,
+    req: &Request,
+    trace: &mut TraceCtx,
+) -> Result<Response, ApiError> {
+    let snap = shared.mgr.current();
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("body is not UTF-8"))?;
+    let doc = crate::json::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("bad JSON body: {e}")))?;
+
+    let data = match doc.get("queries") {
+        Some(queries) => {
+            let Some(list) = queries.as_array() else {
+                return Err(ApiError::unprocessable("'queries' must be an array"));
+            };
+            if list.is_empty() {
+                return Err(ApiError::unprocessable("'queries' must not be empty"));
+            }
+            if list.len() > MAX_LEAK_QUERIES {
+                return Err(ApiError::unprocessable(format!(
+                    "too many queries ({} > {MAX_LEAK_QUERIES})",
+                    list.len()
+                )));
+            }
+            let mut entries = Vec::with_capacity(list.len());
+            for q in list {
+                let parsed = parse_leak_query(q)?;
+                entries.push(run_leak_query(&snap, &parsed)?);
+            }
+            format!(
+                "{{\"endpoint\":\"whatif_leak\",\"batch\":{},\"results\":[{}]}}",
+                entries.len(),
+                entries.join(","),
+            )
+        }
+        None => {
+            let q = parse_leak_query(&doc)?;
+            let entry = run_leak_query(&snap, &q)?;
+            format!(
+                "{{\"endpoint\":\"whatif_leak\",{}",
+                entry.strip_prefix('{').unwrap_or(&entry),
+            )
+        }
+    };
+    Ok(Response::json(200, envelope(snap.version, trace.id(), &data)))
 }
 
 fn healthz(shared: &Arc<Shared>) -> Response {
@@ -829,39 +1357,42 @@ fn healthz(shared: &Arc<Shared>) -> Response {
     Response::json(200, body)
 }
 
-fn admin_reload(shared: &Arc<Shared>) -> Response {
+fn admin_reload(shared: &Arc<Shared>) -> Result<Response, ApiError> {
     match shared.mgr.reload() {
         Ok(snap) => {
             // Old-version keys are unreachable already (the version is in
             // the key); clearing reclaims their memory immediately.
             shared.cache.clear();
             spawn_warmup(shared, Arc::clone(&snap));
-            Response::json(
+            Ok(Response::json(
                 200,
                 format!(
                     "{{\"status\":\"reloaded\",\"snapshot_version\":{},\"ases\":{}}}\n",
                     snap.version,
                     snap.graph.len()
                 ),
-            )
+            ))
         }
         // A reload failure never degrades service — the old snapshot
-        // keeps serving — so it's 503 (retryable), not 500.
+        // keeps serving — so it's 503 (retryable), not 500. The envelope
+        // kind passes the `ServeError::kind` label straight through.
         Err(crate::error::ServeError::ReloadBackoff { retry_after_ms, last_error }) => {
-            let mut resp = Response::error(
+            let mut e = ApiError::new(
                 503,
-                &format!("reload in backoff after failure: {last_error}"),
+                "backoff",
+                format!("reload in backoff after failure: {last_error}"),
             );
-            resp.retry_after = Some(retry_after_ms.div_ceil(1000).clamp(1, 60) as u32);
-            resp
+            e.retry_after = Some(retry_after_ms.div_ceil(1000).clamp(1, 60) as u32);
+            Err(e)
         }
         Err(e) => {
-            let mut resp = Response::error(
+            let mut api = ApiError::new(
                 503,
-                &format!("reload failed (kind={}); old snapshot still serving: {e}", e.kind()),
+                e.kind(),
+                format!("reload failed; old snapshot still serving: {e}"),
             );
-            resp.retry_after = Some(1);
-            resp
+            api.retry_after = Some(1);
+            Err(api)
         }
     }
 }

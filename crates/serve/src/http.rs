@@ -6,10 +6,17 @@
 //! allocation grows to match it, and any violation maps to a definite
 //! 4xx status rather than a panic or an unbounded read.
 //!
-//! Deliberate non-goals: keep-alive (every response is
-//! `Connection: close` — the clients are curl, monitoring probes, and
-//! the bench harness, all of which reconnect), chunked encoding, and
-//! HTTP/2. Pipelined garbage after a request is simply never read.
+//! Connections are persistent by default: HTTP/1.1 requests keep the
+//! socket open unless the client sends `Connection: close` (HTTP/1.0
+//! closes unless the client opts in with `Connection: keep-alive`), and
+//! the response writer emits the negotiated `Connection` header rather
+//! than unconditionally closing. Because [`read_request`] consumes
+//! exactly one request's bytes and never reads ahead, pipelined
+//! requests queued behind the current one survive intact in the
+//! connection's `BufRead` and are parsed on the next call. Streamed
+//! bodies use chunked transfer-encoding on HTTP/1.1 (see [`Body`] and
+//! [`ChunkSink`]); chunked *request* bodies and HTTP/2 remain
+//! non-goals.
 
 use std::io::{BufRead, Write};
 
@@ -44,6 +51,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// The request declared `HTTP/1.0` (affects keep-alive default and
+    /// forbids chunked response encoding).
+    pub http10: bool,
 }
 
 impl Request {
@@ -56,6 +66,25 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         let lower = name.to_ascii_lowercase();
         self.headers.iter().find(|(k, _)| *k == lower).map(|(_, v)| v.as_str())
+    }
+
+    /// Keep-alive negotiation: HTTP/1.1 persists unless the client says
+    /// `Connection: close`; HTTP/1.0 closes unless the client says
+    /// `Connection: keep-alive`. The header is parsed as a token list.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => {
+                let has = |tok: &str| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(tok));
+                if has("close") {
+                    false
+                } else if has("keep-alive") {
+                    true
+                } else {
+                    !self.http10
+                }
+            }
+            None => !self.http10,
+        }
     }
 }
 
@@ -176,6 +205,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, ParseError
     if parts.next().is_some() || !version.starts_with("HTTP/1.") {
         return Err(ParseError::new(400, "malformed request line"));
     }
+    let http10 = version == "HTTP/1.0";
     if !target.starts_with('/') {
         return Err(ParseError::new(400, "request target must be absolute"));
     }
@@ -255,7 +285,91 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, ParseError
         return Err(ParseError::new(400, "chunked encoding not supported"));
     }
 
-    Ok(Some(Request { method, path, query, headers, body }))
+    Ok(Some(Request { method, path, query, headers, body, http10 }))
+}
+
+/// Flush threshold for [`ChunkSink`]: buffered output is written to the
+/// socket in chunks of roughly this size, so a multi-MB reach set never
+/// materializes as one contiguous body.
+pub const CHUNK_FLUSH: usize = 32 * 1024;
+
+/// A streaming body writer handed to [`Body::Stream`] producers.
+///
+/// The producer appends text with [`ChunkSink::push`]; the sink buffers
+/// up to [`CHUNK_FLUSH`] bytes and writes each full buffer as one
+/// `Transfer-Encoding: chunked` frame (or raw bytes on the HTTP/1.0
+/// close-delimited fallback). The response writer finishes the stream
+/// with the terminal `0\r\n\r\n` frame.
+pub struct ChunkSink<'a> {
+    w: &'a mut dyn Write,
+    buf: String,
+    chunked: bool,
+}
+
+impl<'a> ChunkSink<'a> {
+    fn new(w: &'a mut dyn Write, chunked: bool) -> Self {
+        ChunkSink { w, buf: String::with_capacity(CHUNK_FLUSH + 512), chunked }
+    }
+
+    /// Appends `s`, flushing a chunk to the socket when the buffer
+    /// crosses [`CHUNK_FLUSH`].
+    pub fn push(&mut self, s: &str) -> std::io::Result<()> {
+        self.buf.push_str(s);
+        if self.buf.len() >= CHUNK_FLUSH {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.chunked {
+            // One writev-shaped sequence: size line, payload, CRLF.
+            let mut head = String::with_capacity(12);
+            use std::fmt::Write as _;
+            let _ = write!(head, "{:x}\r\n", self.buf.len());
+            self.w.write_all(head.as_bytes())?;
+            self.w.write_all(self.buf.as_bytes())?;
+            self.w.write_all(b"\r\n")?;
+        } else {
+            self.w.write_all(self.buf.as_bytes())?;
+        }
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        self.flush_buf()?;
+        if self.chunked {
+            self.w.write_all(b"0\r\n\r\n")?;
+        }
+        self.w.flush()
+    }
+}
+
+/// A body producer for streamed responses: called once with the live
+/// [`ChunkSink`] after the headers are on the wire.
+pub type BodyProducer = Box<dyn FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send>;
+
+/// A response body: either fully materialized text (framed with
+/// `Content-Length`) or a streaming producer (framed with chunked
+/// transfer-encoding on HTTP/1.1, close-delimited on HTTP/1.0).
+pub enum Body {
+    /// A complete body, written with a `Content-Length` header.
+    Text(String),
+    /// A streamed body, produced incrementally into a [`ChunkSink`].
+    Stream(BodyProducer),
+}
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Text(s) => f.debug_tuple("Text").field(&s.len()).finish(),
+            Body::Stream(_) => f.write_str("Stream(..)"),
+        }
+    }
 }
 
 /// A response ready to serialize.
@@ -263,8 +377,8 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, ParseError
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body.
-    pub body: String,
+    /// Response body (text or streamed).
+    pub body: Body,
     /// Adds a `Retry-After: N` header (backpressure rejections).
     pub retry_after: Option<u32>,
     /// `Content-Type` header value (JSON unless overridden — the
@@ -273,6 +387,14 @@ pub struct Response {
     /// Adds an `X-Flatnet-Trace-Id` header (set by the engine just
     /// before the write, so every traced response names its trace).
     pub trace_id: Option<u64>,
+    /// Close the connection after this response. Defaults to `true` so
+    /// one-shot paths (accept-side 503, parse errors) behave; the
+    /// connection loop clears it when keep-alive is negotiated.
+    pub close: bool,
+    /// The peer speaks HTTP/1.1, so chunked transfer-encoding is legal
+    /// for a [`Body::Stream`]. When false, a streamed body falls back
+    /// to a raw close-delimited stream (which forces `close`).
+    pub chunked_ok: bool,
 }
 
 impl Response {
@@ -280,10 +402,12 @@ impl Response {
     pub fn json(status: u16, body: String) -> Self {
         Response {
             status,
-            body,
+            body: Body::Text(body),
             retry_after: None,
             content_type: "application/json",
             trace_id: None,
+            close: true,
+            chunked_ok: true,
         }
     }
 
@@ -292,24 +416,44 @@ impl Response {
         Response { content_type, ..Response::json(status, body) }
     }
 
-    /// An error response with a `{"error": ...}` body.
-    pub fn error(status: u16, message: &str) -> Self {
-        Response::json(status, format!("{{\"error\":\"{}\"}}\n", crate::json::escape(message)))
+    /// A streamed JSON response.
+    pub fn stream(status: u16, producer: BodyProducer) -> Self {
+        Response { body: Body::Stream(producer), ..Response::json(status, String::new()) }
     }
 
-    /// Serializes status line, headers, and body to `w` as one write, so
-    /// a response costs a single syscall on an unbuffered socket.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        let mut out = String::with_capacity(160 + self.body.len());
+    /// Serializes status line, headers, and body to `w`. A text body
+    /// goes out as one write (single syscall on an unbuffered socket); a
+    /// streamed body writes the header block and then chunk-by-chunk as
+    /// the producer fills the [`ChunkSink`]. Returns whether the
+    /// connection must close afterwards (a close-delimited stream forces
+    /// it even if keep-alive was negotiated).
+    pub fn write_to<W: Write>(self, w: &mut W) -> std::io::Result<bool> {
+        let streamed_raw = matches!(self.body, Body::Stream(_)) && !self.chunked_ok;
+        let close = self.close || streamed_raw;
+        let mut out = String::with_capacity(match &self.body {
+            Body::Text(b) => 192 + b.len(),
+            Body::Stream(_) => 192,
+        });
         use std::fmt::Write as _;
         let _ = write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
-            self.body.len()
         );
+        match &self.body {
+            Body::Text(b) => {
+                let _ = write!(out, "Content-Length: {}\r\n", b.len());
+            }
+            Body::Stream(_) if self.chunked_ok => {
+                out.push_str("Transfer-Encoding: chunked\r\n");
+            }
+            // HTTP/1.0 streamed fallback: no length header at all — the
+            // body runs to EOF and the close below delimits it.
+            Body::Stream(_) => {}
+        }
+        let _ = write!(out, "Connection: {}\r\n", if close { "close" } else { "keep-alive" });
         if let Some(secs) = self.retry_after {
             let _ = write!(out, "Retry-After: {secs}\r\n");
         }
@@ -317,9 +461,20 @@ impl Response {
             let _ = write!(out, "X-Flatnet-Trace-Id: {id:016x}\r\n");
         }
         out.push_str("\r\n");
-        out.push_str(&self.body);
-        w.write_all(out.as_bytes())?;
-        w.flush()
+        match self.body {
+            Body::Text(b) => {
+                out.push_str(&b);
+                w.write_all(out.as_bytes())?;
+                w.flush()?;
+            }
+            Body::Stream(producer) => {
+                w.write_all(out.as_bytes())?;
+                let mut sink = ChunkSink::new(w, self.chunked_ok);
+                producer(&mut sink)?;
+                sink.finish()?;
+            }
+        }
+        Ok(close)
     }
 }
 
@@ -518,14 +673,95 @@ mod tests {
 
     #[test]
     fn response_serialization_includes_retry_after() {
-        let mut resp = Response::error(503, "queue full");
+        let mut resp = Response::json(503, "{\"error\":\"queue full\"}\n".into());
         resp.retry_after = Some(1);
         let mut out = Vec::new();
-        resp.write_to(&mut out).unwrap();
+        let closed = resp.write_to(&mut out).unwrap();
+        assert!(closed);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}\n"));
+    }
+
+    #[test]
+    fn connection_header_follows_close_flag() {
+        let mut resp = Response::json(200, "{}\n".into());
+        resp.close = false;
+        let mut out = Vec::new();
+        let closed = resp.write_to(&mut out).unwrap();
+        assert!(!closed);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_defaults() {
+        let req = |raw: &[u8]| parse(raw).unwrap().unwrap();
+        // HTTP/1.1 defaults to keep-alive...
+        assert!(req(b"GET /x HTTP/1.1\r\n\r\n").wants_keep_alive());
+        // ...unless the client closes, in any token-list spelling.
+        assert!(!req(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n").wants_keep_alive());
+        assert!(
+            !req(b"GET /x HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").wants_keep_alive()
+        );
+        // HTTP/1.0 defaults to close unless it opts in.
+        assert!(!req(b"GET /x HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(req(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
+        // Unknown tokens fall back to the version default.
+        assert!(req(b"GET /x HTTP/1.1\r\nConnection: upgrade\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn streamed_body_uses_chunked_encoding() {
+        let resp = Response::stream(
+            200,
+            Box::new(|sink| {
+                sink.push("{\"data\":[")?;
+                sink.push("1,2,3")?;
+                sink.push("]}\n")
+            }),
+        );
+        let mut out = Vec::new();
+        let closed = resp.write_to(&mut out).unwrap();
+        assert!(closed, "Response::stream defaults close=true");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        // The whole body fits one chunk: "{len:x}\r\n{body}\r\n0\r\n\r\n".
+        let body = "{\"data\":[1,2,3]}\n";
+        let framed = format!("{:x}\r\n{body}\r\n0\r\n\r\n", body.len());
+        assert!(text.ends_with(&framed), "{text}");
+    }
+
+    #[test]
+    fn streamed_body_flushes_in_chunks() {
+        let big = "x".repeat(CHUNK_FLUSH + 100);
+        let big2 = big.clone();
+        let resp = Response::stream(200, Box::new(move |sink| sink.push(&big2)));
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Two chunks: the flushed CHUNK_FLUSH+100 buffer, then terminal 0.
+        let framed = format!("{:x}\r\n{big}\r\n0\r\n\r\n", big.len());
+        assert!(text.ends_with(&framed), "tail = {:?}", &text[text.len().saturating_sub(64)..]);
+    }
+
+    #[test]
+    fn http10_streamed_body_is_close_delimited() {
+        let mut resp = Response::stream(200, Box::new(|sink| sink.push("raw-body")));
+        resp.chunked_ok = false;
+        resp.close = false; // even a negotiated keep-alive must be overridden
+        let mut out = Vec::new();
+        let closed = resp.write_to(&mut out).unwrap();
+        assert!(closed, "close-delimited stream must force close");
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Transfer-Encoding"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nraw-body"), "{text}");
     }
 }

@@ -300,6 +300,35 @@ pub fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// The shared prefix of every `/v1` envelope: schema tag, the snapshot
+/// version the answer was computed against, and the request's trace id
+/// (hex, correlating with `/debug/trace/*`), up to and including the
+/// `"data":` key. Callers append the data object and the closing `}`.
+pub fn envelope_prefix(version: u64, trace_id: u64) -> String {
+    format!(
+        "{{\"schema\":\"flatnet-serve/v1\",\"snapshot_version\":{version},\
+         \"trace_id\":\"{trace_id:016x}\",\"data\":"
+    )
+}
+
+/// Wraps a rendered data object in the success envelope:
+/// `{"schema":…,"snapshot_version":…,"trace_id":…,"data":{…}}`.
+pub fn envelope(version: u64, trace_id: u64, data: &str) -> String {
+    format!("{}{data}}}\n", envelope_prefix(version, trace_id))
+}
+
+/// The failure envelope: same framing fields, but an `error` member
+/// carrying a machine-readable `kind` and a human-readable `message`
+/// instead of `data`.
+pub fn error_envelope(version: u64, trace_id: u64, kind: &str, message: &str) -> String {
+    format!(
+        "{{\"schema\":\"flatnet-serve/v1\",\"snapshot_version\":{version},\
+         \"trace_id\":\"{trace_id:016x}\",\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}\n",
+        escape(kind),
+        escape(message),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +360,24 @@ mod tests {
         assert!(parse(&deep).is_err());
         let ok = "[".repeat(20) + &"]".repeat(20);
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn envelopes_parse_back() {
+        let ok = envelope(3, 0xabcd, "{\"x\":1}");
+        let doc = parse(ok.trim()).unwrap();
+        assert_eq!(doc.get("snapshot_version").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("trace_id").unwrap().as_str(), Some("000000000000abcd"));
+        assert_eq!(doc.get("data").unwrap().get("x").unwrap().as_u64(), Some(1));
+
+        let err = error_envelope(3, 1, "bad-request", "broken \"quote\"");
+        let doc = parse(err.trim()).unwrap();
+        assert!(doc.get("data").is_none());
+        assert_eq!(doc.get("error").unwrap().get("kind").unwrap().as_str(), Some("bad-request"));
+        assert_eq!(
+            doc.get("error").unwrap().get("message").unwrap().as_str(),
+            Some("broken \"quote\"")
+        );
     }
 
     #[test]

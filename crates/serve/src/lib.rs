@@ -22,11 +22,19 @@
 //!   sharded LRU [`cache`] keyed by
 //!   `(snapshot version, origin, policy fingerprint)`.
 //! * [`server`] + [`http`] — the accept loop and a strict, bounded
-//!   request parser hardened against malformed input.
+//!   request parser hardened against malformed input. Connections are
+//!   keep-alive by default (pipelining works, budgets and idle timeouts
+//!   bound reuse) and large reach sets stream as chunked responses.
 //!
-//! Endpoints: `GET /v1/reachability`, `GET /v1/reliance`,
-//! `POST /v1/whatif/leak`, `GET /healthz`, `GET /metrics`
-//! (flatnet-obs/v1), `POST /admin/reload`, `POST /admin/shutdown`.
+//! Endpoints: `GET /v1/reachability`, `GET /v1/reliance` (both take
+//! `origin=` or a comma-separated `origins=` batch fed to the lane
+//! kernel), `POST /v1/whatif/leak` (single or `{"queries":[…]}`),
+//! `GET /healthz`, `GET /metrics` (flatnet-obs/v2, `?format=prom`),
+//! `GET /debug/queue`, `GET /debug/trace/{recent,slow}`,
+//! `POST /admin/reload`, `POST /admin/shutdown`. Every `/v1` body is
+//! wrapped in the `{"schema":"flatnet-serve/v1","snapshot_version":…,
+//! "trace_id":…,"data"|"error":…}` envelope — see DESIGN.md § API
+//! reference.
 
 pub mod cache;
 pub mod engine;

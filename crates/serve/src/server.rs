@@ -35,6 +35,13 @@ pub struct ServeConfig {
     /// otherwise pin a worker forever; on expiry the worker answers 408
     /// and moves on. 0 = no timeout.
     pub io_timeout_ms: u64,
+    /// Requests served per connection before the server closes it (a
+    /// fairness bound: one chatty client cannot pin a worker forever).
+    /// 0 is treated as 1 (close after every request).
+    pub keepalive_max: u64,
+    /// How long a persistent connection may sit idle between requests
+    /// before the server closes it.
+    pub keepalive_idle_ms: u64,
     /// Snapshot-store path: warm-start from it when valid, self-heal it
     /// when not, persist every successful reload to it. `None` = no
     /// persistence.
@@ -53,6 +60,8 @@ impl Default for ServeConfig {
             deadline_ms: 5000,
             warm: 0,
             io_timeout_ms: 10_000,
+            keepalive_max: 1024,
+            keepalive_idle_ms: 5000,
             store: None,
             source: TopologySource::Generated { ases: 4000, seed: 2020 },
         }
@@ -96,6 +105,8 @@ impl Server {
             cfg.queue_cap,
             Duration::from_millis(cfg.deadline_ms.max(1)),
             io_timeout,
+            cfg.keepalive_max,
+            Duration::from_millis(cfg.keepalive_idle_ms),
             n_workers,
             cfg.warm,
         ));

@@ -13,6 +13,24 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Reassembles a `Transfer-Encoding: chunked` body (streamed `detail=full`
+/// responses) into the payload text.
+fn dechunk(mut body: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let Some((size_line, rest)) = body.split_once("\r\n") else {
+            panic!("truncated chunked body");
+        };
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size line {size_line:?}"));
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&rest[..size]);
+        body = rest[size..].strip_prefix("\r\n").expect("chunk terminator");
+    }
+}
+
 fn fetch(addr: SocketAddr, method: &str, path: &str) -> (u16, Json) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -26,8 +44,19 @@ fn fetch(addr: SocketAddr, method: &str, path: &str) -> (u16, Json) {
         .and_then(|r| r.split(' ').next())
         .and_then(|c| c.parse().ok())
         .unwrap_or_else(|| panic!("bad status line: {text:?}"));
-    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
-    (status, parse(body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}")))
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    let body = if head.contains("Transfer-Encoding: chunked") {
+        dechunk(body)
+    } else {
+        body.to_string()
+    };
+    (status, parse(&body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}")))
+}
+
+/// The response payload: the `data` member for enveloped `/v1` responses,
+/// the document itself for bare ones (healthz, metrics, admin).
+fn data_of(doc: &Json) -> &Json {
+    doc.get("data").unwrap_or(doc)
 }
 
 /// The reference: a fresh engine run with the same mask the daemon
@@ -71,15 +100,17 @@ fn direct_reach(
 }
 
 fn reach_of(doc: &Json) -> (usize, Vec<u32>, bool, u64) {
-    let count = doc.get("reachable").and_then(Json::as_u64).expect("reachable") as usize;
-    let asns: Vec<u32> = doc
+    let data = data_of(doc);
+    let count = data.get("reachable").and_then(Json::as_u64).expect("reachable") as usize;
+    let asns: Vec<u32> = data
         .get("reach")
         .and_then(Json::as_array)
-        .expect("reach array (full=1)")
+        .expect("reach array (detail=full)")
         .iter()
         .map(|v| v.as_u64().expect("asn") as u32)
         .collect();
-    let cached = doc.get("cached").and_then(Json::as_bool).expect("cached");
+    let cached = data.get("cached").and_then(Json::as_bool).expect("cached");
+    // The envelope carries the version; `data` carries the answer.
     let version = doc.get("snapshot_version").and_then(Json::as_u64).expect("version");
     (count, asns, cached, version)
 }
@@ -146,7 +177,7 @@ fn warmup_prefills_cache_with_bit_identical_answers() {
     let cold = g.asn(order[warm]).0;
     let (status, doc) = fetch(addr, "GET", &format!("/v1/reachability?origin={cold}&full=1"));
     assert_eq!(status, 200);
-    assert!(!doc.get("cached").and_then(Json::as_bool).unwrap(), "AS{cold} was not warmed");
+    assert!(!data_of(&doc).get("cached").and_then(Json::as_bool).unwrap(), "AS{cold} was not warmed");
 
     // Reload re-warms for the new version.
     let before = wait_for_warmed(addr, warm as u64);
@@ -158,7 +189,7 @@ fn warmup_prefills_cache_with_bit_identical_answers() {
     assert_eq!(status, 200);
     assert_eq!(doc.get("snapshot_version").and_then(Json::as_u64), Some(2));
     assert!(
-        doc.get("cached").and_then(Json::as_bool).unwrap(),
+        data_of(&doc).get("cached").and_then(Json::as_bool).unwrap(),
         "reload should re-warm AS{hot} under the new version"
     );
 
@@ -244,7 +275,7 @@ fn cached_answers_are_bit_identical_and_reload_invalidates() {
             for _ in 0..40 {
                 let (status, doc) =
                     fetch(addr, "GET", &format!("/v1/reachability?origin={origin}"));
-                let count = doc.get("reachable").and_then(Json::as_u64).unwrap_or(0);
+                let count = data_of(&doc).get("reachable").and_then(Json::as_u64).unwrap_or(0);
                 statuses.push((status, count));
             }
             statuses
@@ -265,13 +296,13 @@ fn cached_answers_are_bit_identical_and_reload_invalidates() {
     let rel = format!("/v1/reliance?origin={}", origins[0]);
     let (status, first) = fetch(addr, "GET", &rel);
     assert_eq!(status, 200);
-    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
-    let receivers = first.get("receivers").and_then(Json::as_f64).unwrap();
+    assert_eq!(data_of(&first).get("cached").and_then(Json::as_bool), Some(false));
+    let receivers = data_of(&first).get("receivers").and_then(Json::as_f64).unwrap();
     assert!(receivers > 1.0);
     let (status, second) = fetch(addr, "GET", &rel);
     assert_eq!(status, 200);
-    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
-    assert_eq!(second.get("receivers").and_then(Json::as_f64), Some(receivers));
+    assert_eq!(data_of(&second).get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(data_of(&second).get("receivers").and_then(Json::as_f64), Some(receivers));
 
     server.shutdown();
 }

@@ -1,0 +1,345 @@
+//! Keep-alive connection lifecycle over real TCP: pipelined
+//! back-to-back requests through the bounded parser, request bytes
+//! split across syscalls, the idle timeout closing quiet connections,
+//! `Connection: close` honored mid-stream, the per-connection request
+//! budget, and the batch/singles differential that pins `origins=`
+//! batch answers bit-identical to N separate `origin=` queries.
+
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_serve::json::{parse, Json};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Reads one framed response (Content-Length or chunked) off a
+/// persistent connection. Returns (status, headers, body, server will
+/// close).
+fn read_response<R: BufRead>(r: &mut R) -> (u16, String, String, bool) {
+    let mut line = String::new();
+    assert!(r.read_line(&mut line).expect("status line") > 0, "EOF before status line");
+    let status: u16 = line
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+    let mut head = String::new();
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    let mut close = false;
+    loop {
+        line.clear();
+        assert!(r.read_line(&mut line).expect("header line") > 0, "EOF in headers");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        head.push_str(trimmed);
+        head.push('\n');
+        if let Some((k, v)) = trimmed.split_once(':') {
+            let v = v.trim();
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().expect("Content-Length");
+            } else if k.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = v.eq_ignore_ascii_case("chunked");
+            } else if k.eq_ignore_ascii_case("connection") {
+                close = v.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = String::new();
+    if chunked {
+        loop {
+            line.clear();
+            r.read_line(&mut line).expect("chunk size");
+            let size = usize::from_str_radix(line.trim(), 16)
+                .unwrap_or_else(|_| panic!("bad chunk size {line:?}"));
+            let mut chunk = vec![0u8; size + 2];
+            r.read_exact(&mut chunk).expect("chunk payload");
+            if size == 0 {
+                break;
+            }
+            body.push_str(std::str::from_utf8(&chunk[..size]).expect("chunk utf-8"));
+        }
+    } else if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        r.read_exact(&mut buf).expect("body");
+        body = String::from_utf8(buf).expect("body utf-8");
+    }
+    (status, head, body, close)
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.set_nodelay(true).ok();
+    BufReader::new(s)
+}
+
+/// Issues one request on an established keep-alive connection.
+fn request(conn: &mut BufReader<TcpStream>, path: &str) -> (u16, String, String, bool) {
+    write!(conn.get_mut(), "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    read_response(conn)
+}
+
+fn start_server(cfg_tweak: impl FnOnce(&mut ServeConfig)) -> Server {
+    let net = generate(&NetGenConfig::paper_2020(300, 17));
+    let tiers = net.tiers_for(&net.truth);
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        source: TopologySource::Preloaded { graph: net.truth, tiers },
+        ..ServeConfig::default()
+    };
+    cfg_tweak(&mut cfg);
+    Server::start(cfg).expect("server starts")
+}
+
+/// Some origins that actually exist in the seed-17 topology.
+fn known_origins(n: usize) -> Vec<u32> {
+    let net = generate(&NetGenConfig::paper_2020(300, 17));
+    let total = net.truth.len();
+    let step = (total / n).max(1);
+    net.truth.asns().step_by(step).take(n).map(|a| a.0).collect()
+}
+
+fn data_of(doc: &Json) -> &Json {
+    doc.get("data").expect("enveloped /v1 response")
+}
+
+#[test]
+fn many_requests_reuse_one_connection_and_responses_stay_ordered() {
+    let server = start_server(|_| {});
+    let addr = server.addr();
+    let origins = known_origins(6);
+
+    let mut conn = connect(addr);
+    for (i, &o) in origins.iter().enumerate().cycle().take(24) {
+        let (status, head, body, close) =
+            request(&mut conn, &format!("/v1/reachability?origin={o}"));
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert!(!close, "request {i} must not close a healthy keep-alive connection");
+        assert!(head.contains("Connection: keep-alive"), "request {i}: {head}");
+        let doc = parse(&body).expect("json");
+        // Responses arrive in request order: the answer names the
+        // origin we just asked for, not a neighbor's.
+        assert_eq!(
+            data_of(&doc).get("origin").and_then(Json::as_u64),
+            Some(o as u64),
+            "request {i} got another request's answer"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = start_server(|_| {});
+    let addr = server.addr();
+    let origins = known_origins(5);
+
+    // Write all requests before reading anything: the parser must
+    // consume exactly one request's bytes per iteration, leaving the
+    // rest buffered for the next loop turn.
+    let mut conn = connect(addr);
+    let mut batch = String::new();
+    for &o in &origins {
+        use std::fmt::Write as _;
+        let _ = write!(batch, "GET /v1/reachability?origin={o} HTTP/1.1\r\nHost: t\r\n\r\n");
+    }
+    conn.get_mut().write_all(batch.as_bytes()).unwrap();
+    for &o in &origins {
+        let (status, _, body, close) = read_response(&mut conn);
+        assert_eq!(status, 200, "{body}");
+        assert!(!close);
+        let doc = parse(&body).expect("json");
+        assert_eq!(data_of(&doc).get("origin").and_then(Json::as_u64), Some(o as u64));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn request_bytes_split_across_syscalls_parse_fine() {
+    let server = start_server(|_| {});
+    let addr = server.addr();
+    let origin = known_origins(1)[0];
+
+    let mut conn = connect(addr);
+    let req = format!("GET /v1/reachability?origin={origin} HTTP/1.1\r\nHost: t\r\n\r\n");
+    // Dribble the request a few bytes per write, with pauses long
+    // enough that the server's reader sees many short reads — but well
+    // inside the io timeout, so this must NOT trip the 408 path.
+    for piece in req.as_bytes().chunks(7) {
+        conn.get_mut().write_all(piece).unwrap();
+        conn.get_mut().flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, _, body, close) = read_response(&mut conn);
+    assert_eq!(status, 200, "{body}");
+    assert!(!close, "a slow but complete request must keep the connection open");
+
+    // The connection is still usable afterwards.
+    let (status, _, _, _) = request(&mut conn, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_closed_cleanly_after_the_idle_timeout() {
+    let server = start_server(|cfg| cfg.keepalive_idle_ms = 300);
+    let addr = server.addr();
+
+    let mut conn = connect(addr);
+    let (status, _, _, close) = request(&mut conn, "/healthz");
+    assert_eq!(status, 200);
+    assert!(!close);
+
+    // Go quiet: the server must close the connection on its own — a
+    // clean EOF, not an error byte or a 408 response.
+    let t0 = Instant::now();
+    let mut leftover = Vec::new();
+    conn.read_to_end(&mut leftover).expect("clean close, not a reset");
+    assert!(leftover.is_empty(), "idle close must not write anything: {leftover:?}");
+    let waited = t0.elapsed();
+    assert!(
+        waited >= Duration::from_millis(250),
+        "closed too early ({waited:?}) — idle timeout is 300ms"
+    );
+    assert!(
+        waited < Duration::from_secs(10),
+        "idle close took {waited:?}, timeout is 300ms"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_mid_stream_is_honored() {
+    let server = start_server(|_| {});
+    let addr = server.addr();
+    let origin = known_origins(1)[0];
+
+    let mut conn = connect(addr);
+    for _ in 0..3 {
+        let (status, _, _, close) =
+            request(&mut conn, &format!("/v1/reachability?origin={origin}"));
+        assert_eq!(status, 200);
+        assert!(!close);
+    }
+    // Now ask to close: the response must carry `Connection: close` and
+    // the server must actually hang up after it.
+    write!(
+        conn.get_mut(),
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, head, _, close) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(close, "Connection: close must be advertised back: {head}");
+    let mut leftover = Vec::new();
+    conn.read_to_end(&mut leftover).expect("clean close");
+    assert!(leftover.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn per_connection_request_budget_closes_after_the_limit() {
+    let server = start_server(|cfg| cfg.keepalive_max = 3);
+    let addr = server.addr();
+
+    let mut conn = connect(addr);
+    for i in 0..3 {
+        let (status, _, _, close) = request(&mut conn, "/healthz");
+        assert_eq!(status, 200);
+        if i < 2 {
+            assert!(!close, "request {i} is inside the budget");
+        } else {
+            assert!(close, "request {i} exhausts the budget of 3");
+        }
+    }
+    let mut leftover = Vec::new();
+    conn.read_to_end(&mut leftover).expect("clean close");
+    assert!(leftover.is_empty());
+
+    // A fresh connection gets a fresh budget.
+    let mut conn = connect(addr);
+    let (status, _, _, close) = request(&mut conn, "/healthz");
+    assert_eq!(status, 200);
+    assert!(!close);
+    server.shutdown();
+}
+
+#[test]
+fn batch_answers_are_bit_identical_to_singles() {
+    let server = start_server(|_| {});
+    let addr = server.addr();
+    let origins = known_origins(8);
+    let list = origins.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(",");
+
+    for (suffix, field) in [("", "reachable"), ("&detail=full", "reach")] {
+        // N singles first (also warms the cache), then the batch; the
+        // batch path solves misses through the lane kernel, so equality
+        // here pins kernel answers to the scalar reference.
+        let mut singles = Vec::new();
+        for &o in &origins {
+            let mut conn = connect(addr);
+            let (status, _, body, _) =
+                request(&mut conn, &format!("/v1/reachability?origin={o}{suffix}"));
+            assert_eq!(status, 200, "{body}");
+            singles.push(parse(&body).expect("json"));
+        }
+        let mut conn = connect(addr);
+        let (status, _, body, _) =
+            request(&mut conn, &format!("/v1/reachability?origins={list}{suffix}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).expect("batch json");
+        let results = data_of(&doc).get("results").and_then(Json::as_array).expect("results");
+        assert_eq!(results.len(), origins.len());
+        for ((single, batch_entry), &o) in singles.iter().zip(results).zip(&origins) {
+            let single = data_of(single);
+            assert_eq!(batch_entry.get("origin").and_then(Json::as_u64), Some(o as u64));
+            assert_eq!(
+                single.get("reachable").and_then(Json::as_u64),
+                batch_entry.get("reachable").and_then(Json::as_u64),
+                "AS{o}: batch reachable count differs from the single query"
+            );
+            if field == "reach" {
+                let a = single.get("reach").and_then(Json::as_array).expect("single reach");
+                let b =
+                    batch_entry.get("reach").and_then(Json::as_array).expect("batch reach");
+                assert_eq!(a.len(), b.len(), "AS{o}: reach set size differs");
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.as_u64(),
+                        y.as_u64(),
+                        "AS{o}: reach set differs between batch and single"
+                    );
+                }
+            }
+        }
+    }
+
+    // An uncached batch must agree too: ask for origins the cache has
+    // never seen by using a different exclusion policy.
+    let mut conn = connect(addr);
+    let (status, _, body, _) = request(
+        &mut conn,
+        &format!("/v1/reachability?origins={list}&exclude=tier1"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let batch_doc = parse(&body).expect("json");
+    for (entry, &o) in
+        data_of(&batch_doc).get("results").and_then(Json::as_array).unwrap().iter().zip(&origins)
+    {
+        let mut conn = connect(addr);
+        let (status, _, body, _) =
+            request(&mut conn, &format!("/v1/reachability?origin={o}&exclude=tier1"));
+        assert_eq!(status, 200);
+        let single = parse(&body).expect("json");
+        assert_eq!(
+            data_of(&single).get("reachable").and_then(Json::as_u64),
+            entry.get("reachable").and_then(Json::as_u64),
+            "AS{o}: excluded-policy batch differs from single"
+        );
+    }
+    server.shutdown();
+}

@@ -12,6 +12,24 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Reassembles a `Transfer-Encoding: chunked` body (streamed `detail=full`
+/// responses) into the payload text.
+fn dechunk(mut body: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let Some((size_line, rest)) = body.split_once("\r\n") else {
+            panic!("truncated chunked body");
+        };
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size line {size_line:?}"));
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&rest[..size]);
+        body = rest[size..].strip_prefix("\r\n").expect("chunk terminator");
+    }
+}
+
 fn fetch(addr: SocketAddr, method: &str, path: &str) -> (u16, Json) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -25,10 +43,21 @@ fn fetch(addr: SocketAddr, method: &str, path: &str) -> (u16, Json) {
         .and_then(|r| r.split(' ').next())
         .and_then(|c| c.parse().ok())
         .unwrap_or_else(|| panic!("bad status line: {text:?}"));
-    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
-    let doc = flatnet_serve::json::parse(body)
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    let body = if head.contains("Transfer-Encoding: chunked") {
+        dechunk(body)
+    } else {
+        body.to_string()
+    };
+    let doc = flatnet_serve::json::parse(&body)
         .unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}"));
     (status, doc)
+}
+
+/// The response payload: the `data` member for enveloped `/v1` responses,
+/// the document itself for bare ones (healthz, admin).
+fn data_of(doc: &Json) -> &Json {
+    doc.get("data").unwrap_or(doc)
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -72,7 +101,7 @@ fn warm_start_skips_the_compile_and_answers_identically() {
     let probe = format!("/v1/reachability?origin={origin}&full=1");
     let (status, cold_doc) = fetch(server.addr(), "GET", &probe);
     assert_eq!(status, 200, "{cold_doc:?}");
-    let cold_reach = cold_doc.get("reach").and_then(Json::as_array).unwrap().len();
+    let cold_reach = data_of(&cold_doc).get("reach").and_then(Json::as_array).unwrap().len();
     server.shutdown();
 
     // Warm start: no compile, at least one warm start, identical answer.
@@ -98,13 +127,13 @@ fn warm_start_skips_the_compile_and_answers_identically() {
     let (status, warm_doc) = fetch(server.addr(), "GET", &probe);
     assert_eq!(status, 200);
     assert_eq!(
-        warm_doc.get("reach").and_then(Json::as_array).unwrap().len(),
+        data_of(&warm_doc).get("reach").and_then(Json::as_array).unwrap().len(),
         cold_reach,
         "warm-start answer differs from the cold-start answer"
     );
     assert_eq!(
-        warm_doc.get("reachable").and_then(Json::as_u64),
-        cold_doc.get("reachable").and_then(Json::as_u64),
+        data_of(&warm_doc).get("reachable").and_then(Json::as_u64),
+        data_of(&cold_doc).get("reachable").and_then(Json::as_u64),
     );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -180,7 +209,7 @@ fn reload_under_fire_never_5xxes_queries_and_versions_stay_monotonic() {
         Box::leak(format!("/v1/reachability?origin={origin}").into_boxed_str());
     let (status, doc) = fetch(addr, "GET", probe);
     assert_eq!(status, 200, "{doc:?}");
-    let want_count = doc.get("reachable").and_then(Json::as_u64).expect("reachable");
+    let want_count = data_of(&doc).get("reachable").and_then(Json::as_u64).expect("reachable");
 
     // Fire: query threads hammer the daemon while reloads alternate
     // between failing (file deleted) and succeeding (file restored).
@@ -194,7 +223,8 @@ fn reload_under_fire_never_5xxes_queries_and_versions_stay_monotonic() {
                     let (status, doc) = fetch(addr, "GET", probe);
                     let version =
                         doc.get("snapshot_version").and_then(Json::as_u64).unwrap_or(0);
-                    let count = doc.get("reachable").and_then(Json::as_u64).unwrap_or(0);
+                    let count =
+                        data_of(&doc).get("reachable").and_then(Json::as_u64).unwrap_or(0);
                     seen.push((status, version, count));
                 }
                 seen
