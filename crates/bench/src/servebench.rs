@@ -347,6 +347,144 @@ fn pass_block(name: &str, pass: &PassResult, extra: &str) -> String {
     )
 }
 
+/// The router scaling benchmark (`bench serve --router N`): the same
+/// closed-loop batch workload thrown at one single-process daemon and
+/// at an N-shard router fleet, every process capped at one worker
+/// thread so the only lever is the router spreading lane blocks across
+/// shard processes. Batches are sized to several 64-lane blocks per
+/// shard (960 origins for 3 shards): the single process sweeps all
+/// ~15 blocks sequentially, each shard sweeps ~5 — in parallel,
+/// because the scatter writes every sub-request before reading any
+/// response — so throughput should approach N×. Multiple blocks per
+/// shard matter: they amortise the fixed per-sub-request cost (parse,
+/// serialize, socket write) under propagation compute, and shrink the
+/// relative imbalance the hash split introduces. The cache is
+/// deliberately tiny relative to the origin pool — a cache-served
+/// answer would measure the allocator, not the sweep.
+///
+/// The report records the host's core count: on a box with fewer
+/// cores than `shards + 1` the shard processes time-slice one another
+/// and the ratio degenerates to ~1× or below by construction — such a
+/// result says nothing about the router. The CI gate checks the ratio
+/// only where the fleet can actually run in parallel.
+///
+/// One closed-loop client and no background prober, deliberately: a
+/// serve worker is bound to its connection for the connection's whole
+/// life (idle parking included), so a 1-worker shard can serve exactly
+/// one upstream connection. One client keeps the router at one pooled
+/// connection per shard; more would starve behind the parked worker
+/// and measure the shard's idle timeout instead of the sweep.
+fn run_router(
+    shards: u32,
+    ases: usize,
+    seed: u64,
+    conc: usize,
+    requests: usize,
+    pool: usize,
+    batch: usize,
+    out: &str,
+) -> Result<(), String> {
+    use flatnet_router::{Router, RouterConfig};
+
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    println!(
+        "# flatnet bench serve --router {shards} — {ases} ASes (seed {seed}), \
+         {conc} clients, {requests} batch requests/pass, {batch} origins/batch"
+    );
+    let net = generate(&NetGenConfig::paper_2020(ases, seed));
+    let tiers = net.tiers_for(&net.truth);
+    let origins: Vec<u32> = {
+        let n = net.truth.len();
+        let step = (n / pool.min(n)).max(1);
+        net.truth.asns().step_by(step).take(pool).map(|a| a.0).collect()
+    };
+    let start_one = |shard: Option<(u32, u32)>| {
+        Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_cap: 64,
+            shard,
+            source: TopologySource::Preloaded { graph: net.truth.clone(), tiers: tiers.clone() },
+            ..ServeConfig::default()
+        })
+    };
+
+    let origins = Arc::new(origins);
+    let single = start_one(None)?;
+    println!("pass 1/2: single process (1 worker) ...");
+    let single_pass =
+        run_pass(single.addr(), conc, requests, &origins, &Mode::Batch { size: batch })?;
+    single.shutdown();
+
+    let fleet: Vec<Server> =
+        (0..shards).map(|i| start_one(Some((i, shards)))).collect::<Result<_, _>>()?;
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: fleet.iter().map(|s| s.addr().to_string()).collect(),
+        probe_interval_ms: 0,
+        ..RouterConfig::default()
+    })
+    .map_err(|e| format!("router failed to start: {e}"))?;
+    println!("pass 2/2: router over {shards} shards (1 worker each) ...");
+    let router_pass =
+        run_pass(router.addr(), conc, requests, &origins, &Mode::Batch { size: batch })?;
+    router.shutdown();
+    for s in fleet {
+        s.shutdown();
+    }
+
+    let single_qps = single_pass.qps() * batch as f64;
+    let router_qps = router_pass.qps() * batch as f64;
+    let ratio = router_qps / (single_qps).max(1e-9);
+    let extra = format!(", \"origins_per_request\": {batch}");
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"flatnet-bench-router/v1\",\n",
+            "  \"ases\": {ases},\n",
+            "  \"seed\": {seed},\n",
+            "  \"shards\": {shards},\n",
+            "  \"cores\": {cores},\n",
+            "  \"concurrency\": {conc},\n",
+            "  \"pool\": {pool},\n",
+            "  \"batch\": {batch},\n",
+            "  \"passes\": {{\n{single_block},\n{router_block}\n  }},\n",
+            "  \"single_origin_qps\": {single_qps:.1},\n",
+            "  \"router_origin_qps\": {router_qps:.1},\n",
+            "  \"router_vs_single\": {ratio:.2}\n",
+            "}}\n",
+        ),
+        ases = ases,
+        seed = seed,
+        shards = shards,
+        cores = cores,
+        conc = conc,
+        pool = pool,
+        batch = batch,
+        single_block = pass_block("single", &single_pass, &extra),
+        router_block = pass_block("router", &router_pass, &extra),
+        single_qps = single_qps,
+        router_qps = router_qps,
+        ratio = ratio,
+    );
+    std::fs::write(out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    println!("single: {:.0} batch qps = {single_qps:.0} origins/s", single_pass.qps());
+    println!(
+        "router: {:.0} batch qps = {router_qps:.0} origins/s — {ratio:.2}x single \
+         ({shards} shards, {cores} cores)",
+        router_pass.qps(),
+    );
+    if cores <= shards as usize {
+        println!(
+            "note: only {cores} cores for {shards} shard processes + a client — the fleet \
+             is time-sliced, not parallel; the ratio is not meaningful on this host"
+        );
+    }
+    println!("report: {out}");
+    Ok(())
+}
+
 fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
@@ -358,49 +496,94 @@ where
 /// Runs the serve load benchmark with CLI-style `args` (the `bench
 /// serve` subcommand). Writes the JSON report and prints a summary.
 pub fn run(args: &[String]) -> Result<(), String> {
-    let mut ases = 4000usize;
+    let mut ases: Option<usize> = None;
     let mut seed = 2020u64;
-    let mut conc = 8usize;
-    let mut requests = 4000usize;
-    let mut pool = 64usize;
+    let mut conc: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut pool: Option<usize> = None;
     let mut workers = 0usize;
     let mut pipeline = 1usize;
-    let mut batch = 0usize;
-    let mut out = String::from("BENCH_serve.json");
+    let mut batch: Option<usize> = None;
+    let mut router: u32 = 0;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--ases" => ases = flag_value("--ases", it.next())?,
+            "--ases" => ases = Some(flag_value("--ases", it.next())?),
             "--seed" => seed = flag_value("--seed", it.next())?,
-            "--conc" => conc = flag_value("--conc", it.next())?,
-            "--requests" => requests = flag_value("--requests", it.next())?,
-            "--pool" => pool = flag_value("--pool", it.next())?,
+            "--conc" => conc = Some(flag_value("--conc", it.next())?),
+            "--requests" => requests = Some(flag_value("--requests", it.next())?),
+            "--pool" => pool = Some(flag_value("--pool", it.next())?),
             "--workers" => workers = flag_value("--workers", it.next())?,
             "--pipeline" => pipeline = flag_value("--pipeline", it.next())?,
-            "--batch" => batch = flag_value("--batch", it.next())?,
-            "--out" => out = it.next().ok_or("--out requires a file path")?.clone(),
+            "--batch" => batch = Some(flag_value("--batch", it.next())?),
+            "--router" => router = flag_value("--router", it.next())?,
+            "--out" => out = Some(it.next().ok_or("--out requires a file path")?.clone()),
             "--help" | "-h" => {
                 println!("usage: flatnet bench serve [--ases N] [--seed S] [--conc C]");
                 println!("                           [--requests R] [--pool P] [--workers W]");
                 println!("                           [--pipeline D] [--batch B] [--out PATH]");
-                println!("--ases N:     topology size (default 4000)");
+                println!("                           [--router N]");
+                println!("--ases N:     topology size (default 4000; 3000 with --router)");
                 println!("--seed S:     generator seed (default 2020)");
-                println!("--conc C:     concurrent closed-loop clients (default 8)");
-                println!("--requests R: requests per pass across all clients (default 4000)");
-                println!("--pool P:     distinct origins cycled through (default 64)");
+                println!("--conc C:     concurrent closed-loop clients (default 8; 1 with");
+                println!("              --router — a 1-worker shard serves one connection)");
+                println!("--requests R: requests per pass across all clients (default 4000;");
+                println!("              batch requests, default 24, with --router)");
+                println!("--pool P:     distinct origins cycled through (default 64; 5 batches");
+                println!("              worth with --router)");
                 println!("--workers W:  server worker threads, 0 = all cores (default 0)");
                 println!("--pipeline D: pipelined requests in flight on the keepalive pass (default 1)");
-                println!("--batch B:    origins per batch request, 0 = pool size (default 0)");
-                println!("--out PATH:   JSON report path (default BENCH_serve.json)");
+                println!("--batch B:    origins per batch request, 0 = pool size (default 0;");
+                println!("              5 x 64 lanes x shards, capped at 1024, with --router)");
+                println!("--router N:   compare an N-shard router fleet against one single-worker");
+                println!("              process on the batch workload; writes a");
+                println!("              flatnet-bench-router/v1 report (default BENCH_router.json)");
                 return Ok(());
             }
             other => return Err(format!("unknown argument {other:?} (see --help)")),
         }
     }
+    if router > 0 {
+        // Router mode: batches span several 64-lane blocks per shard so
+        // propagation compute dominates the fixed per-sub-request cost,
+        // and the pool cycles disjoint batches so the tiny shard caches
+        // never serve the answer.
+        let batch = match batch {
+            Some(0) | None => {
+                (64 * 5 * router as usize).min(flatnet_serve::engine::MAX_BATCH_ORIGINS)
+            }
+            Some(b) => b,
+        };
+        let conc = conc.unwrap_or(1);
+        let requests = requests.unwrap_or(24);
+        let pool = pool.unwrap_or(batch * 5);
+        if conc == 0 || requests == 0 || pool == 0 || batch == 0 {
+            return Err("--conc, --requests, --pool, and --batch must be positive".into());
+        }
+        return run_router(
+            router,
+            ases.unwrap_or(3000),
+            seed,
+            conc,
+            requests,
+            pool,
+            batch,
+            out.as_deref().unwrap_or("BENCH_router.json"),
+        );
+    }
+    let ases = ases.unwrap_or(4000);
+    let conc = conc.unwrap_or(8);
+    let requests = requests.unwrap_or(4000);
+    let pool = pool.unwrap_or(64);
+    let out = out.unwrap_or_else(|| "BENCH_serve.json".to_string());
     if conc == 0 || requests == 0 || pool == 0 || pipeline == 0 {
         return Err("--conc, --requests, --pool, and --pipeline must be positive".into());
     }
-    let batch = if batch == 0 { pool } else { batch };
+    let batch = match batch {
+        Some(0) | None => pool,
+        Some(b) => b,
+    };
 
     // Generate once and hand the graph to the server pre-built, so the
     // bench process does not pay for generation twice.
@@ -597,5 +780,36 @@ mod tests {
     fn rejects_unknown_flags_and_zero_values() {
         assert!(run(&["--bogus".to_string()]).is_err());
         assert!(run(&["--conc".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn router_bench_writes_schema_tagged_report() {
+        let dir = std::env::temp_dir().join("flatnet_routerbench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_router.json");
+        // Tiny on purpose: this pins the report contract, not the
+        // ratio — CI measures that at full size where it is meaningful.
+        let args: Vec<String> = [
+            "--router", "2", "--ases", "300", "--seed", "3", "--conc", "1",
+            "--requests", "6", "--batch", "16", "--pool", "64",
+            "--out", out.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).expect("router bench run");
+        let report = std::fs::read_to_string(&out).unwrap();
+        assert!(report.contains("\"schema\": \"flatnet-bench-router/v1\""), "{report}");
+        assert!(report.contains("\"shards\": 2"), "{report}");
+        assert!(report.contains("\"cores\": "), "{report}");
+        for field in
+            ["\"single\":", "\"router\":", "\"router_vs_single\":", "\"router_origin_qps\":"]
+        {
+            assert!(report.contains(field), "missing {field}:\n{report}");
+        }
+        // Both passes answered everything: 6 batch requests each, no
+        // 5xx and no transport failures.
+        assert_eq!(report.matches("\"ok_200\": 6").count(), 2, "{report}");
+        assert!(report.contains("\"err_5xx\": 0"), "{report}");
     }
 }

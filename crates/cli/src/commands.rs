@@ -664,8 +664,23 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             "store",
             "tier1",
             "tier2",
+            "shard-id",
+            "shard-count",
         ],
     )?;
+    let shard = match (opts.get("shard-id"), opts.get("shard-count")) {
+        (None, None) => None,
+        (Some(id), Some(count)) => {
+            let id: u32 = id.parse().map_err(|_| format!("--shard-id: bad number {id:?}"))?;
+            let count: u32 =
+                count.parse().map_err(|_| format!("--shard-count: bad number {count:?}"))?;
+            if count == 0 || id >= count {
+                return Err(format!("--shard-id {id} out of range for --shard-count {count}"));
+            }
+            Some((id, count))
+        }
+        _ => return Err("--shard-id and --shard-count go together".into()),
+    };
     let source = match opts.get("as-rel") {
         Some(path) => flatnet_serve::TopologySource::CaidaFile {
             path: path.to_string(),
@@ -689,9 +704,172 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         keepalive_max: opts.num_or("keepalive-max", 1024u64)?,
         keepalive_idle_ms: opts.num_or("keepalive-idle-ms", 5000u64)?,
         store: opts.get("store").map(str::to_string),
+        shard,
         source,
     };
     flatnet_serve::serve(cfg).map_err(String::from)
+}
+
+/// One blocking HTTP round trip with no client machinery — enough for
+/// readiness polling and shutdown nudges against our own daemons.
+fn tiny_http(addr: &str, method: &str, path: &str) -> std::io::Result<u16> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(5))).ok();
+    let mut reader = BufReader::new(stream);
+    reader.get_mut().write_all(
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    )?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    line.split_whitespace().nth(1).and_then(|c| c.parse().ok()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad status line {line:?}"))
+    })
+}
+
+/// Polls a shard's `/healthz` until it answers 200 (compiling a large
+/// topology can take a while, hence the generous budget).
+fn wait_shard_ready(addr: &str, budget: std::time::Duration) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        match tiny_http(addr, "GET", "/healthz") {
+            Ok(200) => return Ok(()),
+            Ok(status) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!("last /healthz status: {status}"));
+                }
+            }
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!("last error: {e}"));
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
+/// `flatnet router`: the sharded serving tier. Either spawns `--shards N`
+/// child `flatnet serve` processes (one consistent-hash slice each, all
+/// from the same topology flags) or adopts externally managed shards via
+/// `--shard-addrs`, then fronts them with the origin-hash scatter-gather
+/// router until `POST /admin/shutdown`.
+pub fn router(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["lenient"],
+        &[
+            "addr",
+            "shards",
+            "shard-addrs",
+            "base-port",
+            "store",
+            "as-rel",
+            "ases",
+            "seed",
+            "tier1",
+            "tier2",
+            "workers",
+            "cache",
+            "probe-ms",
+            "upstream-timeout-ms",
+        ],
+    )?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:8070").to_string();
+
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let shard_addrs: Vec<String> = if let Some(list) = opts.get("shard-addrs") {
+        if opts.get("shards").is_some() {
+            return Err("--shard-addrs (adopt) and --shards (spawn) are mutually exclusive".into());
+        }
+        let addrs: Vec<String> =
+            list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect();
+        if addrs.is_empty() {
+            return Err("--shard-addrs: no addresses given".into());
+        }
+        addrs
+    } else {
+        let n: u32 = opts.num_or("shards", 3u32)?;
+        if n == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        let base: u16 = opts.num_or("base-port", 8180u16)?;
+        let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+        let mut common: Vec<String> = Vec::new();
+        for flag in ["store", "as-rel", "ases", "seed", "tier1", "tier2", "workers", "cache"] {
+            if let Some(v) = opts.get(flag) {
+                common.push(format!("--{flag}"));
+                common.push(v.to_string());
+            }
+        }
+        if opts.get("workers").is_none() {
+            // A serve worker stays bound to its connection for the
+            // connection's whole life, so a shard needs at least as many
+            // workers as the router holds sockets to it at once — pooled
+            // data-plane connections plus a health probe plus a rolling
+            // reload — or the excess connections starve to the queue
+            // deadline. Workers beyond the core count are nearly free
+            // (they park in `fill_buf`), so spawned shards get a
+            // generous floor rather than serve's all-cores default.
+            let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+            common.push("--workers".into());
+            common.push(cores.max(8).to_string());
+        }
+        if opts.switch("lenient") {
+            common.push("--lenient".into());
+        }
+        let addrs: Vec<String> = (0..n)
+            .map(|i| {
+                base.checked_add(i as u16)
+                    .map(|p| format!("127.0.0.1:{p}"))
+                    .ok_or_else(|| format!("--base-port {base} + {n} shards overflows a port"))
+            })
+            .collect::<Result<_, _>>()?;
+        for (i, shard_addr) in addrs.iter().enumerate() {
+            let child = std::process::Command::new(&exe)
+                .arg("serve")
+                .args(["--addr", shard_addr])
+                .args(["--shard-id", &i.to_string()])
+                .args(["--shard-count", &n.to_string()])
+                .args(&common)
+                .spawn()
+                .map_err(|e| format!("spawning shard {i}: {e}"))?;
+            flatnet_obs::info!("spawned shard {i} (pid {}) on {shard_addr}", child.id());
+            children.push(child);
+        }
+        for (i, shard_addr) in addrs.iter().enumerate() {
+            if let Err(e) = wait_shard_ready(shard_addr, std::time::Duration::from_secs(120)) {
+                for c in &mut children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(format!("shard {i} on {shard_addr} never became healthy ({e})"));
+            }
+        }
+        addrs
+    };
+
+    let cfg = flatnet_router::RouterConfig {
+        addr,
+        shard_addrs: shard_addrs.clone(),
+        shard_pids: children.iter().map(std::process::Child::id).collect(),
+        probe_interval_ms: opts.num_or("probe-ms", 200u64)?,
+        upstream_timeout_ms: opts.num_or("upstream-timeout-ms", 10_000u64)?,
+        ..flatnet_router::RouterConfig::default()
+    };
+    let router = flatnet_router::Router::start(cfg)
+        .map_err(|e| format!("router failed to start: {e}"))?;
+    router.wait();
+
+    // The router was told to shut down; take the spawned shards with it.
+    // Adopted shards (--shard-addrs) stay up — they are not ours.
+    for (child, shard_addr) in children.iter_mut().zip(&shard_addrs) {
+        let _ = tiny_http(shard_addr, "POST", "/admin/shutdown");
+        let _ = child.wait();
+    }
+    Ok(())
 }
 
 /// `flatnet snapshot save|verify|fuzz`: the crash-safe snapshot store.

@@ -77,6 +77,28 @@ USAGE:
       With --store, warm-starts from the snapshot store when it is valid
       (skipping the compile), self-heals it when it is corrupt, and
       persists every successful reload to it.
+      --shard-id I --shard-count N mark the daemon as one slice of a
+      `flatnet router` fleet (surfaced in /healthz; normally set by the
+      router when it spawns shards, not by hand).
+
+  flatnet router [--shards N [--base-port P] | --shard-addrs A:P,..]
+                 [--addr HOST:PORT] [--probe-ms MS]
+                 [--upstream-timeout-ms MS] [--store FILE]
+                 [--as-rel FILE | --ases N --seed S] [--tier1 .. --tier2 ..]
+                 [--workers N] [--cache N]
+      Front a sharded serving tier: either spawn --shards N child
+      `flatnet serve` processes (default 3, listening from --base-port
+      8180 up, topology flags forwarded to each) or adopt running shards
+      with --shard-addrs. Each shard owns a consistent-hash slice of the
+      origin space; the router forwards single-origin /v1 queries to the
+      owning shard and scatter-gathers origins= batches across shards
+      over pooled keep-alive connections, merging the shard envelopes
+      bit-identically. A dead shard 503s only its slice (error kind
+      \"shard-unavailable\"; batches return a partial envelope flagged
+      with a router.partial marker). POST /admin/reload rolls the fleet
+      one shard at a time behind a health gate; /healthz, /metrics, and
+      /debug/shards aggregate across shards. Trace ids propagate to
+      shards via X-Flatnet-Trace-Id.
 
   flatnet snapshot save   --out FILE [--as-rel FILE | --ases N --seed S]
                           [--tier1 .. --tier2 ..]
@@ -199,6 +221,7 @@ fn main() -> ExitCode {
         "relinfer" => commands::relinfer(rest),
         "dot" => commands::dot(rest),
         "serve" => commands::serve(rest),
+        "router" => commands::router(rest),
         "snapshot" => commands::snapshot(rest),
         "metrics" => commands::metrics(rest),
         "trace" => commands::trace(rest),

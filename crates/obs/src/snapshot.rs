@@ -154,6 +154,56 @@ impl Snapshot {
         Snapshot { counters, gauges: self.gauges.clone(), histograms, spans }
     }
 
+    /// Folds `other` into `self`, entry-wise — the aggregation a router
+    /// needs to present N shard processes as one `/metrics` document.
+    /// Counters, gauges, and span tallies add; histograms add
+    /// bucket-wise (`sum_us` adds, `max_us` takes the max). The raw
+    /// sample sets merge (re-sorted) only while both sides were complete
+    /// — otherwise the merged reservoir would misrepresent the union and
+    /// is dropped, falling percentiles back to bucket interpolation.
+    /// Exemplars keep one entry per touched bucket, preferring the
+    /// larger observation (the more interesting outlier).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.spans {
+            let s = self.spans.entry(k.clone()).or_default();
+            s.count += v.count;
+            s.total_ns += v.total_ns;
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            let both_complete = mine.raw.len() as u64 == mine.count()
+                && h.raw.len() as u64 == h.count();
+            for (slot, add) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                *slot += add;
+            }
+            mine.sum_us += h.sum_us;
+            mine.max_us = mine.max_us.max(h.max_us);
+            if both_complete {
+                mine.raw.extend_from_slice(&h.raw);
+                mine.raw.sort_unstable();
+            } else {
+                mine.raw.clear();
+            }
+            for (i, ex) in &h.exemplars {
+                match mine.exemplars.iter_mut().find(|(j, _)| j == i) {
+                    Some((_, mine_ex)) => {
+                        if ex.value_us > mine_ex.value_us {
+                            *mine_ex = *ex;
+                        }
+                    }
+                    None => mine.exemplars.push((*i, *ex)),
+                }
+            }
+            mine.exemplars.sort_by_key(|(i, _)| *i);
+        }
+    }
+
     /// Serializes to the canonical `flatnet-obs/v2` JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();

@@ -163,6 +163,14 @@ impl TraceCtx {
         self.ev.trace_id
     }
 
+    /// Replaces the trace id — used when an upstream hop (a router in
+    /// front of this process) already assigned one and propagated it via
+    /// `X-Flatnet-Trace-Id`, so the two processes' traces stitch
+    /// together under a single id. Timing state is untouched.
+    pub fn set_id(&mut self, id: u64) {
+        self.ev.trace_id = id;
+    }
+
     /// Closes the interval since the previous boundary (or since
     /// [`new`](Self::new)) and attributes it to `stage`. Stages may
     /// repeat (durations add) and may be skipped entirely; skipped

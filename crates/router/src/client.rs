@@ -1,0 +1,274 @@
+//! Pooled keep-alive HTTP/1.1 client for router → shard traffic.
+//!
+//! One [`Upstream`] per shard holds a pool of persistent connections;
+//! the data path checks a connection out, writes one request, reads one
+//! response, and checks it back in. Scatter-gather wants the write and
+//! read halves separately (write to every owner shard first, then
+//! collect), so [`Upstream::send_on`] / [`Upstream::recv_on`] are split
+//! out and [`Upstream::request`] is the simple sequential composition
+//! with one retry — a pooled connection may have been idle-closed by
+//! the shard since its last use, which surfaces as an error on first
+//! reuse and must not surface to the client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Connections kept per shard beyond which check-ins just close; the
+/// front pool is small, so this is ample.
+const POOL_CAP: usize = 16;
+
+/// One checked-out upstream connection.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    /// Whether the connection came from the pool (a reuse — eligible
+    /// for one retry on failure) or was freshly dialed.
+    pub reused: bool,
+}
+
+/// A fully read upstream response.
+#[derive(Debug, Clone)]
+pub struct UpstreamResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The complete body (chunked transfer decoded).
+    pub body: String,
+    /// `Retry-After` header, if the shard sent one.
+    pub retry_after: Option<u32>,
+    /// The shard asked for (or implied) connection close.
+    pub close: bool,
+}
+
+/// The pooled client for one shard address.
+pub struct Upstream {
+    addr: String,
+    pool: Mutex<Vec<BufReader<TcpStream>>>,
+    timeout: Duration,
+    /// Lifetime dials, this upstream.
+    connects: AtomicU64,
+    /// Lifetime pool hits, this upstream.
+    reuse: AtomicU64,
+    connects_total: flatnet_obs::Counter,
+    reuse_total: flatnet_obs::Counter,
+}
+
+impl Upstream {
+    /// A client for `addr` whose socket operations time out after
+    /// `timeout`.
+    pub fn new(addr: String, timeout: Duration) -> Upstream {
+        let reg = flatnet_obs::global();
+        Upstream {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            timeout,
+            connects: AtomicU64::new(0),
+            reuse: AtomicU64::new(0),
+            connects_total: reg.counter("router.upstream_connects"),
+            reuse_total: reg.counter("router.upstream_reuse"),
+        }
+    }
+
+    /// The shard address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Lifetime `(connects, pool reuses)` for `/debug/shards`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.connects.load(Ordering::Relaxed), self.reuse.load(Ordering::Relaxed))
+    }
+
+    /// Checks a connection out of the pool, dialing if it is empty.
+    pub fn checkout(&self) -> std::io::Result<Conn> {
+        if let Some(reader) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            self.reuse.fetch_add(1, Ordering::Relaxed);
+            self.reuse_total.inc();
+            return Ok(Conn { reader, reused: true });
+        }
+        self.dial()
+    }
+
+    /// Always dials a fresh connection (the retry path).
+    pub fn dial(&self) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.timeout)).ok();
+        stream.set_write_timeout(Some(self.timeout)).ok();
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        self.connects_total.inc();
+        Ok(Conn { reader: BufReader::new(stream), reused: false })
+    }
+
+    /// Returns a healthy connection to the pool for the next request.
+    pub fn checkin(&self, conn: Conn) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < POOL_CAP {
+            pool.push(conn.reader);
+        }
+    }
+
+    /// Drops every pooled connection (after a shard was seen dead; its
+    /// sockets are all suspect).
+    pub fn drain_pool(&self) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Writes one request on `conn`. `body` implies POST semantics are
+    /// chosen by `method`.
+    pub fn send_on(
+        &self,
+        conn: &mut Conn,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+        trace_id: u64,
+    ) -> std::io::Result<()> {
+        let mut req = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\
+             X-Flatnet-Trace-Id: {trace_id:016x}\r\n",
+            self.addr
+        );
+        if let Some(b) = body {
+            req.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+                b.len()
+            ));
+        } else {
+            req.push_str("\r\n");
+        }
+        let stream = conn.reader.get_ref();
+        (&mut &*stream).write_all(req.as_bytes())
+    }
+
+    /// Reads one response off `conn`.
+    pub fn recv_on(&self, conn: &mut Conn) -> std::io::Result<UpstreamResponse> {
+        read_response(&mut conn.reader)
+    }
+
+    /// One request/response round trip over a pooled connection, with a
+    /// single retry on a fresh connection when the pooled one turned
+    /// out stale (idle-closed by the shard between uses).
+    pub fn request(
+        &self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+        trace_id: u64,
+    ) -> std::io::Result<UpstreamResponse> {
+        let mut conn = self.checkout()?;
+        let first = self
+            .send_on(&mut conn, method, target, body, trace_id)
+            .and_then(|()| self.recv_on(&mut conn));
+        match first {
+            Ok(resp) => {
+                if resp.close {
+                    drop(conn);
+                } else {
+                    self.checkin(conn);
+                }
+                Ok(resp)
+            }
+            Err(e) if conn.reused => {
+                drop(conn);
+                let mut fresh = self.dial().map_err(|dial| stale_then(e, dial))?;
+                let resp = self
+                    .send_on(&mut fresh, method, target, body, trace_id)
+                    .and_then(|()| self.recv_on(&mut fresh))?;
+                if resp.close {
+                    drop(fresh);
+                } else {
+                    self.checkin(fresh);
+                }
+                Ok(resp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn stale_then(stale: std::io::Error, dial: std::io::Error) -> std::io::Error {
+    std::io::Error::new(
+        dial.kind(),
+        format!("retry dial failed: {dial} (after stale pooled connection: {stale})"),
+    )
+}
+
+/// Reads one HTTP/1.1 response: status line, headers, then a
+/// `Content-Length` or chunked body. Close-delimited bodies (no length,
+/// no chunking) read to EOF and mark the connection closed.
+fn read_response<R: BufRead>(r: &mut R) -> std::io::Result<UpstreamResponse> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data(format!("bad status line {line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut close = false;
+    let mut retry_after = None;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("transfer-encoding")
+            && value.eq_ignore_ascii_case("chunked")
+        {
+            chunked = true;
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            close = true;
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse().ok();
+        }
+    }
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            r.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_data(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                let mut crlf = String::new();
+                r.read_line(&mut crlf)?;
+                break;
+            }
+            let mut chunk = vec![0u8; size + 2];
+            r.read_exact(&mut chunk)?;
+            chunk.truncate(size);
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        r.read_exact(&mut body)?;
+    } else {
+        r.read_to_end(&mut body)?;
+        close = true;
+    }
+    let body = String::from_utf8(body).map_err(|_| bad_data("non-UTF-8 body".to_string()))?;
+    Ok(UpstreamResponse { status, body, retry_after, close })
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # flatnet-router — a sharded, multi-process serving tier
+//!
+//! One `flatnet serve` process tops out at one machine's worth of
+//! worker threads and one result cache. This crate is the layer that
+//! scales the serving tier *out*: a router process fronts N shard
+//! processes, each a plain `flatnet-serve` daemon warm-started from the
+//! **same snapshot store**, and presents them as a single daemon with
+//! the exact same `/v1` API.
+//!
+//! * [`ring`] — consistent-hash ownership of the origin space. Every
+//!   shard holds the full topology; ownership partitions CPU and cache
+//!   so an origin's results live on exactly one process.
+//! * [`client`] — the pooled keep-alive HTTP client the router speaks
+//!   to shards (persistent connections, split send/recv halves for
+//!   scatter-gather, retry-once on stale pooled sockets).
+//! * [`shard`] — per-shard health state: a circuit breaker fed by both
+//!   a background `/healthz` prober and data-path failures.
+//! * [`merge`] — text-level JSON surgery that merges shard envelopes
+//!   into one response **byte-identical in `data`** to a single
+//!   process's answer (nothing a shard rendered is ever re-rendered).
+//! * [`server`] — the router front itself: single-origin forwarding,
+//!   parallel scatter-gather for `origins=` batches, slice-scoped
+//!   `503 shard-unavailable` with partial batch envelopes, rolling
+//!   `/admin/reload` behind per-shard health gates, and aggregated
+//!   `/healthz`, `/metrics`, `/debug/shards`.
+//!
+//! Trace ids propagate router → shard via `X-Flatnet-Trace-Id`, so one
+//! id stitches the router's view to every shard trace it fanned into.
+
+pub mod client;
+pub mod merge;
+pub mod ring;
+pub mod server;
+pub mod shard;
+
+pub use client::{Upstream, UpstreamResponse};
+pub use ring::HashRing;
+pub use server::{Router, RouterConfig, SHARD_UNAVAILABLE};
+pub use shard::{Shard, FAILS_TO_OPEN};

@@ -1,0 +1,272 @@
+//! Text-level JSON surgery for bit-identical envelope merging.
+//!
+//! The router's contract is that a scatter-gathered batch response is
+//! **byte-identical in `data`** to what a single `flatnet serve`
+//! process would have produced. Re-parsing and re-serializing shard
+//! responses would have to reproduce every formatting choice of the
+//! serve crate (float formatting, key order, escaping); instead the
+//! router never re-renders what a shard rendered — it slices member and
+//! array-element texts out of shard bodies verbatim and splices them
+//! back together. These helpers are the balanced scanner that makes
+//! that safe: they respect strings, escapes, and nesting, and refuse
+//! malformed input instead of guessing.
+
+/// Returns the end (exclusive byte index) of the JSON value starting at
+/// `pos` in `b`. `pos` must point at the first byte of a value.
+fn value_end(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    match b.get(pos) {
+        None => Err("empty value".into()),
+        Some(b'{') | Some(b'[') => {
+            let mut depth = 0usize;
+            let mut in_str = false;
+            let mut esc = false;
+            while pos < b.len() {
+                let c = b[pos];
+                if in_str {
+                    if esc {
+                        esc = false;
+                    } else if c == b'\\' {
+                        esc = true;
+                    } else if c == b'"' {
+                        in_str = false;
+                    }
+                } else {
+                    match c {
+                        b'"' => in_str = true,
+                        b'{' | b'[' => depth += 1,
+                        b'}' | b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Ok(pos + 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                pos += 1;
+            }
+            Err(format!("unbalanced value starting at byte {start}"))
+        }
+        Some(b'"') => {
+            pos += 1;
+            let mut esc = false;
+            while pos < b.len() {
+                let c = b[pos];
+                if esc {
+                    esc = false;
+                } else if c == b'\\' {
+                    esc = true;
+                } else if c == b'"' {
+                    return Ok(pos + 1);
+                }
+                pos += 1;
+            }
+            Err(format!("unterminated string at byte {start}"))
+        }
+        Some(_) => {
+            // Number / true / false / null: runs until a delimiter.
+            while pos < b.len() && !matches!(b[pos], b',' | b'}' | b']' | b' ' | b'\n' | b'\r' | b'\t')
+            {
+                pos += 1;
+            }
+            if pos == start {
+                Err(format!("empty scalar at byte {start}"))
+            } else {
+                Ok(pos)
+            }
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while matches!(b.get(pos), Some(b' ' | b'\n' | b'\r' | b'\t')) {
+        pos += 1;
+    }
+    pos
+}
+
+/// Splits the object text `obj` (starting at `{`) into its top-level
+/// members, each as `(key, value text)`, in document order. Value texts
+/// are verbatim slices of `obj`.
+pub fn members(obj: &str) -> Result<Vec<(&str, &str)>, String> {
+    let b = obj.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    if b.get(pos) != Some(&b'{') {
+        return Err("not an object".into());
+    }
+    pos = skip_ws(b, pos + 1);
+    let mut out = Vec::new();
+    if b.get(pos) == Some(&b'}') {
+        return Ok(out);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected member key at byte {pos}"));
+        }
+        let key_end = value_end(b, pos)?;
+        let key = &obj[pos + 1..key_end - 1];
+        pos = skip_ws(b, key_end);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        let vend = value_end(b, pos)?;
+        out.push((key, &obj[pos..vend]));
+        pos = skip_ws(b, vend);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(out),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// The verbatim value text of member `key` in object text `obj`.
+pub fn member<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    members(obj).ok()?.into_iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+/// Splits the array text `arr` (starting at `[`) into its top-level
+/// element texts, verbatim, in order.
+pub fn array_items(arr: &str) -> Result<Vec<&str>, String> {
+    let b = arr.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    if b.get(pos) != Some(&b'[') {
+        return Err("not an array".into());
+    }
+    pos = skip_ws(b, pos + 1);
+    let mut out = Vec::new();
+    if b.get(pos) == Some(&b']') {
+        return Ok(out);
+    }
+    loop {
+        let vend = value_end(b, pos)?;
+        out.push(&arr[pos..vend]);
+        pos = skip_ws(b, vend);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(out),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+/// Member `key` of `obj` parsed as an unsigned integer.
+pub fn member_u64(obj: &str, key: &str) -> Option<u64> {
+    member(obj, key)?.trim().parse().ok()
+}
+
+/// Member `key` of `obj` as the contents of a JSON string (no unescaping
+/// — the serve crate never escapes the fields the router reads: error
+/// kinds, status labels, hex trace ids).
+pub fn member_str<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let v = member(obj, key)?;
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// The `data` member of a `/v1` envelope body, verbatim.
+pub fn envelope_data(body: &str) -> Option<&str> {
+    member(body, "data")
+}
+
+/// The `error.kind` of a `/v1` error envelope body.
+pub fn envelope_error_kind(body: &str) -> Option<&str> {
+    member_str(member(body, "error")?, "kind")
+}
+
+/// Rebuilds a batch `data` object from a shard's `data` text, replacing
+/// the `results` array with `merged_results` (already rendered, comma
+/// separated) and the `batch` count with `batch`. Every other member —
+/// `endpoint`, `exclude`, whatever future fields shards grow — is
+/// copied verbatim, which is what keeps the merged document
+/// byte-identical to a single process's rendering.
+pub fn rebuild_batch_data(
+    template_data: &str,
+    merged_results: &str,
+    batch: usize,
+) -> Result<String, String> {
+    let mut out = String::with_capacity(template_data.len() + merged_results.len());
+    out.push('{');
+    let mut first = true;
+    for (key, value) in members(template_data)? {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(key);
+        out.push_str("\":");
+        match key {
+            "results" => {
+                out.push('[');
+                out.push_str(merged_results);
+                out.push(']');
+            }
+            "batch" => out.push_str(&batch.to_string()),
+            _ => out.push_str(value),
+        }
+    }
+    out.push('}');
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENVELOPE: &str = "{\"schema\":\"flatnet-serve/v1\",\"snapshot_version\":3,\
+        \"trace_id\":\"00000000deadbeef\",\"data\":{\"endpoint\":\"reachability\",\
+        \"exclude\":[\"providers\"],\"batch\":2,\"results\":[{\"origin\":1,\"pct\":99.5},\
+        {\"origin\":2,\"s\":\"a,]}\\\"b\"}]}}\n";
+
+    #[test]
+    fn slices_members_verbatim() {
+        let data = envelope_data(ENVELOPE).unwrap();
+        assert!(data.starts_with("{\"endpoint\""));
+        assert_eq!(member(data, "endpoint"), Some("\"reachability\""));
+        assert_eq!(member(data, "exclude"), Some("[\"providers\"]"));
+        assert_eq!(member_u64(data, "batch"), Some(2));
+        let items = array_items(member(data, "results").unwrap()).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], "{\"origin\":1,\"pct\":99.5}");
+        // Strings containing delimiters and escapes don't confuse the scan.
+        assert_eq!(items[1], "{\"origin\":2,\"s\":\"a,]}\\\"b\"}");
+    }
+
+    #[test]
+    fn rebuilds_with_replacements() {
+        let data = envelope_data(ENVELOPE).unwrap();
+        let rebuilt = rebuild_batch_data(data, "{\"origin\":7}", 1).unwrap();
+        assert_eq!(
+            rebuilt,
+            "{\"endpoint\":\"reachability\",\"exclude\":[\"providers\"],\
+             \"batch\":1,\"results\":[{\"origin\":7}]}"
+        );
+    }
+
+    #[test]
+    fn identity_rebuild_is_byte_identical() {
+        let data = envelope_data(ENVELOPE).unwrap();
+        let items = array_items(member(data, "results").unwrap()).unwrap();
+        let rebuilt = rebuild_batch_data(data, &items.join(","), 2).unwrap();
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn error_kind_extraction() {
+        let body = "{\"schema\":\"flatnet-serve/v1\",\"snapshot_version\":0,\
+            \"trace_id\":\"0000000000000001\",\"error\":{\"kind\":\"backoff\",\
+            \"message\":\"x\"}}\n";
+        assert_eq!(envelope_error_kind(body), Some("backoff"));
+        assert_eq!(envelope_data(body), None);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(members("[1]").is_err());
+        assert!(members("{\"a\":1").is_err());
+        assert!(array_items("{\"a\":1}").is_err());
+        assert!(value_end(b"\"unterminated", 0).is_err());
+    }
+}

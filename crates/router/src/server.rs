@@ -1,0 +1,1172 @@
+//! The router process: accept loop, shard routing, scatter-gather, and
+//! the aggregated control plane.
+//!
+//! The front reuses `flatnet_serve::http` (same bounded parser, same
+//! response framing, same keep-alive negotiation) so a client cannot
+//! tell a router from a shard by protocol behavior. Routing is
+//! origin-hash ownership over [`crate::ring::HashRing`]:
+//!
+//! * single-origin `/v1/*` → forwarded verbatim to the owner shard; the
+//!   shard's envelope passes through byte-for-byte (the router's trace
+//!   id was propagated via `X-Flatnet-Trace-Id`, so even `trace_id`
+//!   matches).
+//! * `origins=` batches → split by owner, fanned out in parallel over
+//!   pooled persistent connections (all sub-requests written before any
+//!   response is read), and merged back in request order from verbatim
+//!   text slices — `data` is byte-identical to a single process's
+//!   answer.
+//!
+//! A shard whose circuit is open (see [`crate::shard`]) answers `503`
+//! with the stable kind `shard-unavailable` for its slice only; in a
+//! batch the healthy slices still answer and the envelope carries a
+//! `router` member flagging the partial result. `/admin/reload` rolls
+//! the shards one at a time, waiting for each to pass its health gate
+//! before touching the next, so a healthy fleet never has two shards
+//! reloading at once.
+
+use crate::client::UpstreamResponse;
+use crate::merge;
+use crate::ring::HashRing;
+use crate::shard::Shard;
+use flatnet_serve::engine::MAX_BATCH_ORIGINS;
+use flatnet_serve::http::{read_request, Method, Request, Response};
+use flatnet_serve::json::{envelope, error_envelope, escape};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The stable error kind for a slice whose owner shard cannot answer.
+pub const SHARD_UNAVAILABLE: &str = "shard-unavailable";
+
+/// Router configuration; see field docs for defaults.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Shard addresses, one per ring slot, in shard-id order.
+    pub shard_addrs: Vec<String>,
+    /// Child pids parallel to `shard_addrs` when the CLI spawned the
+    /// shards (shown in `/debug/shards`); empty for adopted shards.
+    pub shard_pids: Vec<u32>,
+    /// Per-upstream-operation socket timeout.
+    pub upstream_timeout_ms: u64,
+    /// Health-probe period; 0 disables the background prober (tests).
+    pub probe_interval_ms: u64,
+    /// Client-facing keep-alive idle timeout.
+    pub keepalive_idle_ms: u64,
+    /// Requests per client connection before the router closes it.
+    pub keepalive_max: u64,
+    /// How long a rolling reload waits for a shard to pass its health
+    /// gate before aborting the roll.
+    pub reload_health_timeout_ms: u64,
+    /// Concurrent client connections beyond which new ones are bounced
+    /// with 503.
+    pub max_conns: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:8070".into(),
+            shard_addrs: Vec::new(),
+            shard_pids: Vec::new(),
+            upstream_timeout_ms: 10_000,
+            probe_interval_ms: 200,
+            keepalive_idle_ms: 5000,
+            keepalive_max: 1024,
+            reload_health_timeout_ms: 10_000,
+            max_conns: 256,
+        }
+    }
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    ring: HashRing,
+    shutdown: AtomicBool,
+    local_addr: OnceLock<SocketAddr>,
+    keepalive_idle: Duration,
+    keepalive_max: u64,
+    reload_health_timeout: Duration,
+    max_conns: usize,
+    active_conns: AtomicUsize,
+    /// Round-robin cursor for requests with no owner (unparsable
+    /// origins forwarded for an authoritative 4xx).
+    any_cursor: AtomicUsize,
+    /// Serializes rolling reloads.
+    reload_lock: Mutex<()>,
+    tracer: flatnet_obs::Tracer,
+    requests: flatnet_obs::Counter,
+    forwarded: flatnet_obs::Counter,
+    scatters: flatnet_obs::Counter,
+    partials: flatnet_obs::Counter,
+    unavailable: flatnet_obs::Counter,
+    connections: flatnet_obs::Counter,
+}
+
+/// A running router. Same lifecycle contract as
+/// [`flatnet_serve::Server`]: `wait()` blocks until `/admin/shutdown`,
+/// `shutdown()` stops it from the embedding process.
+pub struct Router {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the front listener and starts the accept loop and the
+    /// health prober. Shards are adopted as given — the router does not
+    /// spawn processes (the CLI layer does) and starts optimistic about
+    /// their health.
+    pub fn start(cfg: RouterConfig) -> std::io::Result<Router> {
+        assert!(!cfg.shard_addrs.is_empty(), "router needs at least one shard");
+        let timeout = Duration::from_millis(cfg.upstream_timeout_ms.max(1));
+        let shards: Vec<Shard> = cfg
+            .shard_addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                Shard::new(i as u32, addr.clone(), cfg.shard_pids.get(i).copied(), timeout)
+            })
+            .collect();
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let reg = flatnet_obs::global();
+        let inner = Arc::new(Inner {
+            ring: HashRing::new(shards.len() as u32),
+            shards,
+            shutdown: AtomicBool::new(false),
+            local_addr: OnceLock::new(),
+            keepalive_idle: Duration::from_millis(cfg.keepalive_idle_ms.max(1)),
+            keepalive_max: cfg.keepalive_max.max(1),
+            reload_health_timeout: Duration::from_millis(cfg.reload_health_timeout_ms.max(1)),
+            max_conns: cfg.max_conns.max(1),
+            active_conns: AtomicUsize::new(0),
+            any_cursor: AtomicUsize::new(0),
+            reload_lock: Mutex::new(()),
+            tracer: flatnet_obs::Tracer::new(1, 16),
+            requests: reg.counter("router.requests"),
+            forwarded: reg.counter("router.forwarded"),
+            scatters: reg.counter("router.scatter"),
+            partials: reg.counter("router.partial"),
+            unavailable: reg.counter("router.shard_unavailable"),
+            connections: reg.counter("router.connections"),
+        });
+        let _ = inner.local_addr.set(addr);
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::Builder::new()
+            .name("router-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))?;
+
+        let prober = if cfg.probe_interval_ms > 0 {
+            let probe_inner = Arc::clone(&inner);
+            let period = Duration::from_millis(cfg.probe_interval_ms);
+            Some(
+                std::thread::Builder::new()
+                    .name("router-prober".into())
+                    .spawn(move || prober_loop(probe_inner, period))?,
+            )
+        } else {
+            None
+        };
+
+        flatnet_obs::info!(
+            "flatnet-router listening on http://{addr} ({} shards)",
+            inner.shards.len()
+        );
+        Ok(Router { addr, inner, accept_thread: Some(accept_thread), prober })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Per-shard health view for embedding tests: `(healthy, snapshot
+    /// version)` in shard-id order.
+    pub fn shard_health(&self) -> Vec<(bool, u64)> {
+        self.inner.shards.iter().map(|s| (s.healthy(), s.snapshot_version())).collect()
+    }
+
+    /// Blocks until `/admin/shutdown` stops the router.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Stops the router from the embedding process.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.prober.take() {
+            let _ = t.join();
+        }
+        // Connection threads are detached; give in-flight requests a
+        // moment to finish so tests tearing the router down don't race
+        // half-written responses.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.inner.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn prober_loop(inner: Arc<Inner>, period: Duration) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        for shard in &inner.shards {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            shard.probe(inner.tracer.next_id());
+        }
+        let mut slept = Duration::ZERO;
+        while slept < period && !inner.shutdown.load(Ordering::SeqCst) {
+            let slice = (period - slept).min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    drop(stream);
+                    return;
+                }
+                stream.set_nodelay(true).ok();
+                if inner.active_conns.load(Ordering::SeqCst) >= inner.max_conns {
+                    let resp = error_resp(
+                        503,
+                        "unavailable",
+                        "router connection limit reached",
+                        &inner,
+                        inner.tracer.next_id(),
+                    );
+                    let _ = resp.write_to(&mut &stream);
+                    continue;
+                }
+                inner.connections.inc();
+                inner.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_inner = Arc::clone(&inner);
+                let spawned = std::thread::Builder::new()
+                    .name("router-conn".into())
+                    .spawn(move || {
+                        handle_conn(&conn_inner, stream);
+                        conn_inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                flatnet_obs::warn!("router accept error: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+enum NextData {
+    Data,
+    Gone,
+}
+
+/// Parks on the connection until bytes arrive, the idle budget runs
+/// out, the peer leaves, or shutdown flips — in shutdown-aware 250 ms
+/// slices, mirroring the serve front.
+fn wait_for_data(
+    inner: &Inner,
+    stream: &TcpStream,
+    reader: &mut BufReader<&TcpStream>,
+) -> NextData {
+    use std::io::BufRead as _;
+    let start = Instant::now();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return NextData::Gone;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        match reader.fill_buf() {
+            Ok([]) => return NextData::Gone,
+            Ok(_) => return NextData::Data,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if start.elapsed() >= inner.keepalive_idle {
+                    return NextData::Gone;
+                }
+            }
+            Err(_) => return NextData::Gone,
+        }
+    }
+}
+
+fn handle_conn(inner: &Arc<Inner>, stream: TcpStream) {
+    let mut reader = BufReader::new(&stream);
+    let mut served: u64 = 0;
+    loop {
+        match wait_for_data(inner, &stream, &mut reader) {
+            NextData::Data => {}
+            NextData::Gone => return,
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let (resp, trace_id) = match read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                served += 1;
+                inner.requests.inc();
+                // Adopt a client-sent trace id (the same contract the
+                // shards honor), else allocate; either way the id is
+                // propagated to every sub-request this request fans into.
+                let trace_id = req
+                    .header("x-flatnet-trace-id")
+                    .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+                    .filter(|&id| id != 0)
+                    .unwrap_or_else(|| inner.tracer.next_id());
+                let keep = served < inner.keepalive_max
+                    && req.wants_keep_alive()
+                    && !inner.shutdown.load(Ordering::SeqCst);
+                let mut resp = route(inner, &req, trace_id);
+                resp.close = !keep;
+                resp.chunked_ok = !req.http10;
+                (resp, trace_id)
+            }
+            Err(e) if e.wants_response() => {
+                let kind = parse_kind(e.status);
+                (error_resp(e.status, kind, &e.reason, inner, inner.tracer.next_id()), 0)
+            }
+            Err(_) => return,
+        };
+        let mut resp = resp;
+        if resp.trace_id.is_none() && trace_id != 0 {
+            resp.trace_id = Some(trace_id);
+        }
+        let closed = resp.write_to(&mut &stream).unwrap_or(true);
+        if closed {
+            return;
+        }
+    }
+}
+
+fn parse_kind(status: u16) -> &'static str {
+    match status {
+        400 => "bad-request",
+        405 => "method",
+        408 => "timeout",
+        413 => "payload",
+        414 => "uri-too-long",
+        431 => "headers",
+        _ => "internal",
+    }
+}
+
+/// Best known snapshot version across the fleet (the envelope version
+/// for router-composed bodies).
+fn fleet_version(inner: &Inner) -> u64 {
+    inner.shards.iter().map(|s| s.snapshot_version()).max().unwrap_or(0)
+}
+
+fn error_resp(
+    status: u16,
+    kind: &str,
+    message: &str,
+    inner: &Inner,
+    trace_id: u64,
+) -> Response {
+    let mut resp =
+        Response::json(status, error_envelope(fleet_version(inner), trace_id, kind, message));
+    if status == 503 {
+        resp.retry_after = Some(1);
+    }
+    resp.trace_id = Some(trace_id);
+    resp
+}
+
+fn route(inner: &Arc<Inner>, req: &Request, trace_id: u64) -> Response {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/v1/reachability") | (Method::Get, "/v1/reliance") => {
+            query_route(inner, req, trace_id)
+        }
+        (Method::Post, "/v1/whatif/leak") => leak_route(inner, req, trace_id),
+        (Method::Get, "/healthz") => healthz(inner),
+        (Method::Get, "/metrics") => metrics(inner, req, trace_id),
+        (Method::Get, "/debug/shards") => debug_shards(inner, trace_id),
+        (Method::Post, "/admin/reload") => rolling_reload(inner, trace_id),
+        (Method::Post, "/admin/shutdown") => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            if let Some(addr) = inner.local_addr.get() {
+                let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+            }
+            Response::json(200, "{\"status\":\"shutting-down\"}\n".to_string())
+        }
+        (method, path) => {
+            // Anything else (including /debug/trace/*) is answered by a
+            // healthy shard — debug state is per-process, and forwarding
+            // beats a router-side 404 for operator muscle memory.
+            let _ = (method, path);
+            forward_any(inner, req, trace_id)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data path: ownership, forwarding, scatter-gather.
+// ---------------------------------------------------------------------
+
+/// Mirrors the serve crate's ASN token parsing (`123` / `AS123`).
+fn parse_asn(raw: &str) -> Option<u32> {
+    raw.strip_prefix("AS").or_else(|| raw.strip_prefix("as")).unwrap_or(raw).parse().ok()
+}
+
+/// Percent-encodes a query token conservatively (unreserved + comma
+/// survive; the serve parser decodes everything else back).
+fn enc(s: &str, out: &mut String) {
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b',' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+}
+
+/// Rebuilds the request target. With `origins_override`, the first
+/// `origins=`/`origin=` parameter is replaced by a canonical
+/// `origins=<list>` (forcing the batch shape on sub-requests) and any
+/// further origin parameters are dropped; every other parameter is
+/// preserved in order.
+fn rebuild_target(req: &Request, origins_override: Option<&str>) -> String {
+    let mut out = String::new();
+    enc_path(&req.path, &mut out);
+    let mut sep = '?';
+    let mut origins_done = false;
+    for (k, v) in &req.query {
+        if origins_override.is_some() && (k == "origins" || k == "origin") {
+            if !origins_done {
+                out.push(sep);
+                sep = '&';
+                out.push_str("origins=");
+                out.push_str(origins_override.unwrap());
+                origins_done = true;
+            }
+            continue;
+        }
+        out.push(sep);
+        sep = '&';
+        enc(k, &mut out);
+        out.push('=');
+        enc(v, &mut out);
+    }
+    out
+}
+
+fn enc_path(path: &str, out: &mut String) {
+    for &b in path.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+}
+
+/// `GET /v1/reachability` / `GET /v1/reliance`: origin-hash routing.
+fn query_route(inner: &Arc<Inner>, req: &Request, trace_id: u64) -> Response {
+    // Collect origin tokens exactly like the serve parser does (both
+    // aliases, every occurrence, comma-split). Anything the router
+    // cannot interpret — no origins, a bad token, an oversized batch —
+    // is forwarded untouched so the *shard's* validation answers, and
+    // router and single-process behavior can't drift.
+    let mut tokens: Vec<&str> = Vec::new();
+    let mut plural = false;
+    for (k, v) in &req.query {
+        if k == "origins" || k == "origin" {
+            plural |= k == "origins";
+            tokens.extend(v.split(',').filter(|s| !s.is_empty()));
+        }
+    }
+    if tokens.is_empty() || tokens.len() > MAX_BATCH_ORIGINS {
+        return forward_any(inner, req, trace_id);
+    }
+    let mut asns = Vec::with_capacity(tokens.len());
+    for t in &tokens {
+        match parse_asn(t) {
+            Some(a) => asns.push(a),
+            None => return forward_any(inner, req, trace_id),
+        }
+    }
+    let batch = plural || asns.len() > 1;
+    if !batch {
+        let owner = inner.ring.owner(asns[0]) as usize;
+        return forward(inner, owner, req, &rebuild_target(req, None), trace_id);
+    }
+    scatter(inner, req, &asns, trace_id)
+}
+
+/// Forwards `req` verbatim to shard `owner`, passing the shard's
+/// response through byte-for-byte.
+fn forward(
+    inner: &Arc<Inner>,
+    owner: usize,
+    req: &Request,
+    target: &str,
+    trace_id: u64,
+) -> Response {
+    let shard = &inner.shards[owner];
+    if !shard.healthy() {
+        inner.unavailable.inc();
+        return error_resp(
+            503,
+            SHARD_UNAVAILABLE,
+            &format!("shard {} ({}) is unavailable", shard.id, shard.upstream.addr()),
+            inner,
+            trace_id,
+        );
+    }
+    let body_string;
+    let body = if req.body.is_empty() {
+        None
+    } else {
+        match std::str::from_utf8(&req.body) {
+            Ok(s) => {
+                body_string = s.to_string();
+                Some(body_string.as_str())
+            }
+            Err(_) => None,
+        }
+    };
+    let method = match req.method {
+        Method::Get => "GET",
+        Method::Post => "POST",
+    };
+    match shard.upstream.request(method, target, body, trace_id) {
+        Ok(up) => {
+            shard.record_ok();
+            inner.forwarded.inc();
+            let mut resp = Response::json(up.status, up.body);
+            resp.retry_after = up.retry_after;
+            resp.trace_id = Some(trace_id);
+            resp
+        }
+        Err(e) => {
+            shard.record_failure(&format!("forward failed: {e}"));
+            inner.unavailable.inc();
+            error_resp(
+                503,
+                SHARD_UNAVAILABLE,
+                &format!("shard {} ({}) failed: {e}", shard.id, shard.upstream.addr()),
+                inner,
+                trace_id,
+            )
+        }
+    }
+}
+
+/// Forwards to the next healthy shard in round-robin order — used when
+/// the router has no opinion about ownership (no parsable origin) and
+/// only wants an authoritative answer.
+fn forward_any(inner: &Arc<Inner>, req: &Request, trace_id: u64) -> Response {
+    let n = inner.shards.len();
+    let start = inner.any_cursor.fetch_add(1, Ordering::Relaxed);
+    for off in 0..n {
+        let idx = (start + off) % n;
+        if inner.shards[idx].healthy() {
+            return forward(inner, idx, req, &rebuild_target(req, None), trace_id);
+        }
+    }
+    inner.unavailable.inc();
+    error_resp(503, SHARD_UNAVAILABLE, "no healthy shards", inner, trace_id)
+}
+
+/// One sub-request of a fan-out.
+struct SubReq {
+    shard: usize,
+    /// Positions (indexes into the client's origin list) this
+    /// sub-request answers, in order.
+    positions: Vec<usize>,
+    method: &'static str,
+    target: String,
+    body: Option<String>,
+}
+
+/// The per-sub-request outcome of [`fan_out`].
+enum SubResult {
+    Ok(UpstreamResponse),
+    Failed(String),
+}
+
+/// Scatter phase: writes every sub-request before reading any response,
+/// so the shards compute in parallel while the router blocks on the
+/// slowest one only once. Transport failures retry once on a fresh
+/// connection (pooled sockets may be idle-closed), then feed the
+/// breaker and fail only their own slice.
+fn fan_out(inner: &Inner, subs: &[SubReq], trace_id: u64) -> Vec<SubResult> {
+    let mut conns: Vec<Option<crate::client::Conn>> = Vec::with_capacity(subs.len());
+    let mut results: Vec<Option<SubResult>> = subs.iter().map(|_| None).collect();
+    for (i, sub) in subs.iter().enumerate() {
+        let shard = &inner.shards[sub.shard];
+        if !shard.healthy() {
+            results[i] = Some(SubResult::Failed("circuit open".into()));
+            conns.push(None);
+            continue;
+        }
+        let sent = shard.upstream.checkout().and_then(|mut conn| {
+            match shard.upstream.send_on(
+                &mut conn,
+                sub.method,
+                &sub.target,
+                sub.body.as_deref(),
+                trace_id,
+            ) {
+                Ok(()) => Ok(conn),
+                Err(e) if conn.reused => {
+                    // Stale pooled socket; replay on a fresh one.
+                    drop(conn);
+                    let mut fresh = shard.upstream.dial().map_err(|d| {
+                        std::io::Error::new(d.kind(), format!("{d} (after stale send: {e})"))
+                    })?;
+                    shard
+                        .upstream
+                        .send_on(&mut fresh, sub.method, &sub.target, sub.body.as_deref(), trace_id)
+                        .map(|()| fresh)
+                }
+                Err(e) => Err(e),
+            }
+        });
+        match sent {
+            Ok(conn) => conns.push(Some(conn)),
+            Err(e) => {
+                shard.record_failure(&format!("scatter send failed: {e}"));
+                results[i] = Some(SubResult::Failed(e.to_string()));
+                conns.push(None);
+            }
+        }
+    }
+    // Gather phase: collect in sub-request order. A read failure gets
+    // one full replay (send + recv) on a fresh connection — the write
+    // above may have landed in a socket the shard had already closed.
+    for (i, sub) in subs.iter().enumerate() {
+        let Some(mut conn) = conns[i].take() else { continue };
+        let shard = &inner.shards[sub.shard];
+        let outcome = match shard.upstream.recv_on(&mut conn) {
+            Ok(resp) => {
+                if resp.close {
+                    drop(conn);
+                } else {
+                    shard.upstream.checkin(conn);
+                }
+                Ok(resp)
+            }
+            Err(first) if conn.reused => {
+                drop(conn);
+                shard
+                    .upstream
+                    .dial()
+                    .and_then(|mut fresh| {
+                        shard
+                            .upstream
+                            .send_on(
+                                &mut fresh,
+                                sub.method,
+                                &sub.target,
+                                sub.body.as_deref(),
+                                trace_id,
+                            )
+                            .and_then(|()| shard.upstream.recv_on(&mut fresh).map(|r| (fresh, r)))
+                    })
+                    .map(|(fresh, resp)| {
+                        if resp.close {
+                            drop(fresh);
+                        } else {
+                            shard.upstream.checkin(fresh);
+                        }
+                        resp
+                    })
+                    .map_err(|e| {
+                        std::io::Error::new(
+                            e.kind(),
+                            format!("{e} (after stale recv: {first})"),
+                        )
+                    })
+            }
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(resp) => {
+                shard.record_ok();
+                results[i] = Some(SubResult::Ok(resp));
+            }
+            Err(e) => {
+                shard.record_failure(&format!("scatter recv failed: {e}"));
+                results[i] = Some(SubResult::Failed(e.to_string()));
+            }
+        }
+    }
+    results.into_iter().map(|r| r.expect("every sub-request resolved")).collect()
+}
+
+/// Splits a batch by owner, fans out, and merges the shard envelopes
+/// into one response whose `data` is byte-identical to a single
+/// process's answer.
+fn scatter(inner: &Arc<Inner>, req: &Request, asns: &[u32], trace_id: u64) -> Response {
+    inner.scatters.inc();
+    // Group positions by owner, groups ordered by first appearance so
+    // the fan-out (and any error passthrough) is deterministic.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (pos, &asn) in asns.iter().enumerate() {
+        let owner = inner.ring.owner(asn) as usize;
+        match groups.iter_mut().find(|(s, _)| *s == owner) {
+            Some((_, positions)) => positions.push(pos),
+            None => groups.push((owner, vec![pos])),
+        }
+    }
+    // Single-owner batches skip the merge entirely: the whole request
+    // forwards verbatim and the shard's batch envelope passes through.
+    if groups.len() == 1 {
+        return forward(inner, groups[0].0, req, &rebuild_target(req, None), trace_id);
+    }
+    let subs: Vec<SubReq> = groups
+        .iter()
+        .map(|(shard, positions)| {
+            let list = positions
+                .iter()
+                .map(|&p| asns[p].to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            SubReq {
+                shard: *shard,
+                positions: positions.clone(),
+                method: "GET",
+                target: rebuild_target(req, Some(&list)),
+                body: None,
+            }
+        })
+        .collect();
+    let results = fan_out(inner, &subs, trace_id);
+    merge_batch(inner, &subs, results, asns.len(), "origin", asns, trace_id)
+}
+
+/// Gathers fan-out results into the merged batch envelope. `key` names
+/// the per-entry identity member for synthesized error entries
+/// (`origin` for reachability/reliance, `victim` for what-if leaks),
+/// and `ids[pos]` is its value at each position.
+fn merge_batch(
+    inner: &Arc<Inner>,
+    subs: &[SubReq],
+    results: Vec<SubResult>,
+    total: usize,
+    key: &str,
+    ids: &[u32],
+    trace_id: u64,
+) -> Response {
+    let mut bodies: Vec<Option<String>> = Vec::with_capacity(subs.len());
+    let mut failed_shards: Vec<u32> = Vec::new();
+    for (sub, result) in subs.iter().zip(results) {
+        match result {
+            SubResult::Ok(up) if up.status == 200 => bodies.push(Some(up.body)),
+            SubResult::Ok(up) if (400..500).contains(&up.status) => {
+                // The shard rejected its slice (unknown origin, bad
+                // parameter). A single process would reject the whole
+                // batch the same way; pass its verdict through.
+                let mut resp = Response::json(up.status, up.body);
+                resp.retry_after = up.retry_after;
+                resp.trace_id = Some(trace_id);
+                return resp;
+            }
+            SubResult::Ok(up) => {
+                // 5xx mid-scatter: the shard is alive but its slice got
+                // no answer (reload backoff, queue full). Partial, not
+                // fatal — and not a breaker event.
+                let kind = merge::envelope_error_kind(&up.body).unwrap_or("unavailable");
+                flatnet_obs::warn!(
+                    "router: shard {} answered {} ({kind}) mid-scatter",
+                    inner.shards[sub.shard].id,
+                    up.status
+                );
+                failed_shards.push(inner.shards[sub.shard].id);
+                bodies.push(None);
+            }
+            SubResult::Failed(err) => {
+                flatnet_obs::warn!(
+                    "router: shard {} lost its slice mid-scatter: {err}",
+                    inner.shards[sub.shard].id
+                );
+                failed_shards.push(inner.shards[sub.shard].id);
+                bodies.push(None);
+            }
+        }
+    }
+    let Some(template_body) = bodies.iter().flatten().next() else {
+        inner.unavailable.inc();
+        return error_resp(
+            503,
+            SHARD_UNAVAILABLE,
+            "every owner shard failed to answer the batch",
+            inner,
+            trace_id,
+        );
+    };
+    let version = bodies
+        .iter()
+        .flatten()
+        .filter_map(|b| merge::member_u64(b, "snapshot_version"))
+        .max()
+        .unwrap_or_else(|| fleet_version(inner));
+    let template_data = match merge::envelope_data(template_body) {
+        Some(d) => d.to_string(),
+        None => {
+            return error_resp(500, "internal", "shard envelope missing data", inner, trace_id)
+        }
+    };
+    // Re-slot every shard's entries back to their request positions.
+    let mut slots: Vec<Option<&str>> = vec![None; total];
+    for (sub, body) in subs.iter().zip(bodies.iter()) {
+        let Some(body) = body else { continue };
+        let entries = merge::envelope_data(body)
+            .and_then(|d| merge::member(d, "results"))
+            .and_then(|r| merge::array_items(r).ok());
+        let Some(entries) = entries else {
+            return error_resp(
+                500,
+                "internal",
+                "shard batch response missing results",
+                inner,
+                trace_id,
+            );
+        };
+        if entries.len() != sub.positions.len() {
+            return error_resp(
+                500,
+                "internal",
+                "shard returned a mis-sized results array",
+                inner,
+                trace_id,
+            );
+        }
+        for (&pos, entry) in sub.positions.iter().zip(entries) {
+            slots[pos] = Some(entry);
+        }
+    }
+    let mut merged = String::new();
+    for (pos, slot) in slots.iter().enumerate() {
+        if pos > 0 {
+            merged.push(',');
+        }
+        match slot {
+            Some(entry) => merged.push_str(entry),
+            None => merged.push_str(&format!(
+                "{{\"{key}\":{},\"error\":{{\"kind\":\"{SHARD_UNAVAILABLE}\"}}}}",
+                ids[pos]
+            )),
+        }
+    }
+    let data = match merge::rebuild_batch_data(&template_data, &merged, total) {
+        Ok(d) => d,
+        Err(e) => {
+            return error_resp(
+                500,
+                "internal",
+                &format!("cannot merge shard responses: {e}"),
+                inner,
+                trace_id,
+            )
+        }
+    };
+    let mut resp = if failed_shards.is_empty() {
+        Response::json(200, envelope(version, trace_id, &data))
+    } else {
+        // The documented partial envelope: same framing fields, plus a
+        // `router` member naming the failed shards, with the affected
+        // entries carrying `{"error":{"kind":"shard-unavailable"}}`.
+        inner.partials.inc();
+        let shards_list =
+            failed_shards.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+        Response::json(
+            200,
+            format!(
+                "{{\"schema\":\"flatnet-serve/v1\",\"snapshot_version\":{version},\
+                 \"trace_id\":\"{trace_id:016x}\",\"router\":{{\"partial\":true,\
+                 \"failed_shards\":[{shards_list}],\"kind\":\"{SHARD_UNAVAILABLE}\"}},\
+                 \"data\":{data}}}\n"
+            ),
+        )
+    };
+    resp.trace_id = Some(trace_id);
+    resp
+}
+
+/// `POST /v1/whatif/leak`: routed by victim; batch bodies split by
+/// victim owner.
+fn leak_route(inner: &Arc<Inner>, req: &Request, trace_id: u64) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return forward_any(inner, req, trace_id);
+    };
+    let queries = merge::member(body, "queries");
+    let Some(queries) = queries else {
+        // Single query: route by its victim; anything unparsable gets
+        // the shard's authoritative 4xx.
+        return match merge::member_u64(body, "victim") {
+            Some(victim) => {
+                let owner = inner.ring.owner(victim as u32) as usize;
+                forward(inner, owner, req, &rebuild_target(req, None), trace_id)
+            }
+            None => forward_any(inner, req, trace_id),
+        };
+    };
+    let Ok(items) = merge::array_items(queries) else {
+        return forward_any(inner, req, trace_id);
+    };
+    let mut victims = Vec::with_capacity(items.len());
+    for item in &items {
+        match merge::member_u64(item, "victim") {
+            Some(v) if v <= u32::MAX as u64 => victims.push(v as u32),
+            _ => return forward_any(inner, req, trace_id),
+        }
+    }
+    if victims.is_empty() {
+        return forward_any(inner, req, trace_id);
+    }
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (pos, &victim) in victims.iter().enumerate() {
+        let owner = inner.ring.owner(victim) as usize;
+        match groups.iter_mut().find(|(s, _)| *s == owner) {
+            Some((_, positions)) => positions.push(pos),
+            None => groups.push((owner, vec![pos])),
+        }
+    }
+    if groups.len() == 1 {
+        return forward(inner, groups[0].0, req, &rebuild_target(req, None), trace_id);
+    }
+    inner.scatters.inc();
+    let subs: Vec<SubReq> = groups
+        .iter()
+        .map(|(shard, positions)| {
+            let sub_body = format!(
+                "{{\"queries\":[{}]}}",
+                positions.iter().map(|&p| items[p]).collect::<Vec<_>>().join(",")
+            );
+            SubReq {
+                shard: *shard,
+                positions: positions.clone(),
+                method: "POST",
+                target: rebuild_target(req, None),
+                body: Some(sub_body),
+            }
+        })
+        .collect();
+    let results = fan_out(inner, &subs, trace_id);
+    merge_batch(inner, &subs, results, victims.len(), "victim", &victims, trace_id)
+}
+
+// ---------------------------------------------------------------------
+// Control plane: health, metrics, debug, rolling reload.
+// ---------------------------------------------------------------------
+
+fn healthz(inner: &Arc<Inner>) -> Response {
+    let healthy = inner.shards.iter().filter(|s| s.healthy()).count();
+    let status = if healthy == inner.shards.len() { "ok" } else { "degraded" };
+    let addr = inner
+        .local_addr
+        .get()
+        .map(|a| format!("\"{a}\""))
+        .unwrap_or_else(|| "null".into());
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{status}\",\"router\":true,\"shards\":{},\"healthy_shards\":{healthy},\
+             \"snapshot_version\":{},\"addr\":{addr},\"pid\":{}}}\n",
+            inner.shards.len(),
+            fleet_version(inner),
+            std::process::id(),
+        ),
+    )
+}
+
+/// Aggregated `/metrics`: the router's own registry plus every
+/// reachable shard's scrape, merged with [`flatnet_obs::Snapshot::merge`]
+/// (counters and spans sum, histograms merge bucket-wise).
+fn metrics(inner: &Arc<Inner>, req: &Request, trace_id: u64) -> Response {
+    let mut acc = flatnet_obs::snapshot();
+    for shard in &inner.shards {
+        if !shard.healthy() {
+            continue;
+        }
+        match shard.upstream.request("GET", "/metrics", None, trace_id) {
+            Ok(up) if up.status == 200 => match flatnet_obs::Snapshot::from_json(&up.body) {
+                Ok(snap) => acc.merge(&snap),
+                Err(e) => {
+                    flatnet_obs::warn!("router: shard {} metrics unparsable: {e}", shard.id)
+                }
+            },
+            Ok(up) => flatnet_obs::warn!("router: shard {} metrics: {}", shard.id, up.status),
+            Err(e) => flatnet_obs::warn!("router: shard {} metrics scrape failed: {e}", shard.id),
+        }
+    }
+    if req.query_param("format") == Some("prom") {
+        Response::text(200, flatnet_obs::to_prometheus(&acc), flatnet_obs::prom::CONTENT_TYPE)
+    } else {
+        Response::json(200, acc.to_json())
+    }
+}
+
+fn debug_shards(inner: &Arc<Inner>, trace_id: u64) -> Response {
+    let mut entries = String::new();
+    for (i, shard) in inner.shards.iter().enumerate() {
+        if i > 0 {
+            entries.push(',');
+        }
+        let (connects, reuse) = shard.upstream.stats();
+        let pid = shard.pid.map(|p| p.to_string()).unwrap_or_else(|| "null".into());
+        let last_error = shard.last_error();
+        let last_error = if last_error.is_empty() {
+            "null".to_string()
+        } else {
+            format!("\"{}\"", escape(&last_error))
+        };
+        entries.push_str(&format!(
+            "{{\"id\":{},\"addr\":\"{}\",\"healthy\":{},\"consecutive_failures\":{},\
+             \"snapshot_version\":{},\"pid\":{pid},\"upstream_connects\":{connects},\
+             \"upstream_reuse\":{reuse},\"last_error\":{last_error}}}",
+            shard.id,
+            escape(shard.upstream.addr()),
+            shard.healthy(),
+            shard.fails(),
+            shard.snapshot_version(),
+        ));
+    }
+    let data = format!("{{\"endpoint\":\"shards\",\"shards\":[{entries}]}}");
+    Response::json(200, envelope(fleet_version(inner), trace_id, &data))
+}
+
+/// `POST /admin/reload` — rolls the fleet one shard at a time: reload,
+/// then wait for that shard's health gate (healthz 200 at the new
+/// version) before touching the next. A shard that fails its gate
+/// aborts the roll (the rest keep serving the old snapshot); a shard
+/// that refuses the reload (backoff) is recorded and skipped.
+fn rolling_reload(inner: &Arc<Inner>, trace_id: u64) -> Response {
+    let _guard = inner.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let mut entries: Vec<String> = Vec::new();
+    let mut reloaded = 0usize;
+    let mut aborted = false;
+    for shard in &inner.shards {
+        if aborted {
+            entries.push(format!("{{\"id\":{},\"status\":\"not-attempted\"}}", shard.id));
+            continue;
+        }
+        if !shard.healthy() {
+            entries.push(format!("{{\"id\":{},\"status\":\"skipped-unhealthy\"}}", shard.id));
+            continue;
+        }
+        match shard.upstream.request("POST", "/admin/reload", None, trace_id) {
+            Ok(up) if up.status == 200 => {
+                let new_version = merge::member_u64(&up.body, "snapshot_version");
+                if wait_health_gate(inner, shard, new_version, trace_id) {
+                    reloaded += 1;
+                    entries.push(format!(
+                        "{{\"id\":{},\"status\":\"reloaded\",\"snapshot_version\":{}}}",
+                        shard.id,
+                        new_version.unwrap_or(0),
+                    ));
+                } else {
+                    aborted = true;
+                    entries.push(format!(
+                        "{{\"id\":{},\"status\":\"health-gate-timeout\"}}",
+                        shard.id
+                    ));
+                }
+            }
+            Ok(up) => {
+                let kind = merge::envelope_error_kind(&up.body).unwrap_or("unavailable");
+                entries.push(format!(
+                    "{{\"id\":{},\"status\":\"failed\",\"http\":{},\"kind\":\"{}\"}}",
+                    shard.id,
+                    up.status,
+                    escape(kind),
+                ));
+            }
+            Err(e) => {
+                shard.record_failure(&format!("reload failed: {e}"));
+                entries.push(format!(
+                    "{{\"id\":{},\"status\":\"failed\",\"kind\":\"{SHARD_UNAVAILABLE}\"}}",
+                    shard.id
+                ));
+            }
+        }
+    }
+    if reloaded == 0 {
+        let mut resp = error_resp(
+            503,
+            SHARD_UNAVAILABLE,
+            "no shard completed the rolling reload",
+            inner,
+            trace_id,
+        );
+        resp.retry_after = Some(1);
+        return resp;
+    }
+    let status = if reloaded == inner.shards.len() { "reloaded" } else { "partial" };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{status}\",\"reloaded\":{reloaded},\"shards\":[{}]}}\n",
+            entries.join(",")
+        ),
+    )
+}
+
+/// Polls one shard's `/healthz` until it answers 200 at (or past) the
+/// expected snapshot version, or the reload health budget runs out.
+fn wait_health_gate(
+    inner: &Inner,
+    shard: &Shard,
+    expect_version: Option<u64>,
+    trace_id: u64,
+) -> bool {
+    let deadline = Instant::now() + inner.reload_health_timeout;
+    loop {
+        if let Ok(up) = shard.upstream.request("GET", "/healthz", None, trace_id) {
+            if up.status == 200 {
+                let v = merge::member_u64(&up.body, "snapshot_version").unwrap_or(0);
+                if expect_version.map(|e| v >= e).unwrap_or(true) {
+                    shard.set_snapshot_version(v);
+                    shard.record_ok();
+                    return true;
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

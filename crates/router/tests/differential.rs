@@ -1,0 +1,226 @@
+//! The router's core contract over real TCP: for a fixed topology and
+//! query corpus — singles, `origins=` batches, `detail=full`,
+//! `exclude=` — every router-mediated response is **byte-identical in
+//! `data`** to a single-process `flatnet serve` answering the same
+//! corpus in the same order.
+
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_router::{merge, HashRing, Router, RouterConfig};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const ASES: usize = 300;
+const SEED: u64 = 17;
+
+fn start_shard(id: u32, count: u32) -> Server {
+    let net = generate(&NetGenConfig::paper_2020(ASES, SEED));
+    let tiers = net.tiers_for(&net.truth);
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shard: Some((id, count)),
+        source: TopologySource::Preloaded { graph: net.truth, tiers },
+        ..ServeConfig::default()
+    })
+    .expect("shard starts")
+}
+
+fn known_origins(n: usize) -> Vec<u32> {
+    let net = generate(&NetGenConfig::paper_2020(ASES, SEED));
+    let total = net.truth.len();
+    let step = (total / n).max(1);
+    net.truth.asns().step_by(step).take(n).map(|a| a.0).collect()
+}
+
+/// One HTTP exchange on a persistent connection.
+fn exchange(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> (u16, String) {
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: t\r\n");
+    if let Some(b) = body {
+        req.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+            b.len()
+        ));
+    } else {
+        req.push_str("\r\n");
+    }
+    conn.get_mut().write_all(req.as_bytes()).expect("write request");
+    read_response(conn)
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> (u16, String) {
+    let mut line = String::new();
+    assert!(r.read_line(&mut line).expect("status line") > 0, "EOF before status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    loop {
+        line.clear();
+        assert!(r.read_line(&mut line).expect("header") > 0, "EOF in headers");
+        let t = line.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            let v = v.trim();
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().expect("Content-Length");
+            } else if k.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = v.eq_ignore_ascii_case("chunked");
+            }
+        }
+    }
+    let mut body = String::new();
+    if chunked {
+        loop {
+            line.clear();
+            r.read_line(&mut line).expect("chunk size");
+            let size = usize::from_str_radix(line.trim(), 16)
+                .unwrap_or_else(|_| panic!("bad chunk size {line:?}"));
+            let mut chunk = vec![0u8; size + 2];
+            r.read_exact(&mut chunk).expect("chunk payload");
+            if size == 0 {
+                break;
+            }
+            body.push_str(std::str::from_utf8(&chunk[..size]).expect("chunk utf-8"));
+        }
+    } else if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        r.read_exact(&mut buf).expect("body");
+        body = String::from_utf8(buf).expect("body utf-8");
+    }
+    (status, body)
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    s.set_nodelay(true).ok();
+    BufReader::new(s)
+}
+
+#[test]
+fn router_responses_are_bit_identical_to_single_process() {
+    let shards: Vec<Server> = (0..3).map(|i| start_shard(i, 3)).collect();
+    let reference = start_shard(0, 1);
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: shards.iter().map(|s| s.addr().to_string()).collect(),
+        probe_interval_ms: 100,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let origins = known_origins(8);
+    // The corpus must actually exercise scatter-gather: the batch below
+    // has to span at least two shard slices.
+    let ring = HashRing::new(3);
+    let owners: std::collections::BTreeSet<u32> =
+        origins.iter().map(|&o| ring.owner(o)).collect();
+    assert!(owners.len() >= 2, "corpus covers one shard only; pick different origins");
+
+    let list = |n: usize| {
+        origins[..n].iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+    };
+    let mut corpus: Vec<(&str, String, Option<String>)> = Vec::new();
+    for &o in &origins {
+        corpus.push(("GET", format!("/v1/reachability?origin={o}"), None));
+    }
+    corpus.push(("GET", format!("/v1/reachability?origins={}", list(8)), None));
+    // Batch again: now every member is a cache hit, and the merged
+    // `cached` flags must match the single process's.
+    corpus.push(("GET", format!("/v1/reachability?origins={}", list(8)), None));
+    corpus.push(("GET", format!("/v1/reachability?origins={}&detail=full", list(4)), None));
+    // Cold exclude= variants miss the cache on both sides.
+    corpus.push(("GET", format!("/v1/reachability?origins={}&exclude=tier1", list(6)), None));
+    corpus.push((
+        "GET",
+        format!("/v1/reachability?origins={}&exclude=providers,tier2", list(5)),
+        None,
+    ));
+    corpus.push(("GET", format!("/v1/reliance?origin={}", origins[0]), None));
+    corpus.push(("GET", format!("/v1/reliance?origins={}&top=5", list(6)), None));
+    corpus.push(("GET", format!("/v1/reliance?origins={}&exclude=tier1", list(4)), None));
+    corpus.push((
+        "POST",
+        "/v1/whatif/leak".into(),
+        Some(format!("{{\"victim\":{},\"leakers\":3,\"seed\":1}}", origins[1])),
+    ));
+    let leak_queries = origins[..4]
+        .iter()
+        .map(|o| format!("{{\"victim\":{o},\"leakers\":2,\"seed\":7}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    corpus.push(("POST", "/v1/whatif/leak".into(), Some(format!("{{\"queries\":[{leak_queries}]}}"))));
+
+    let mut via_router = connect(router.addr());
+    let mut via_single = connect(reference.addr());
+    for (i, (method, target, body)) in corpus.iter().enumerate() {
+        let (rs, rb) = exchange(&mut via_router, method, target, body.as_deref());
+        let (ss, sb) = exchange(&mut via_single, method, target, body.as_deref());
+        assert_eq!(rs, ss, "query {i} ({target}): status diverged\nrouter: {rb}\nsingle: {sb}");
+        assert_eq!(rs, 200, "query {i} ({target}) failed: {rb}");
+        let rd = merge::envelope_data(&rb)
+            .unwrap_or_else(|| panic!("query {i}: router body has no data: {rb}"));
+        let sd = merge::envelope_data(&sb)
+            .unwrap_or_else(|| panic!("query {i}: single body has no data: {sb}"));
+        assert_eq!(rd, sd, "query {i} ({target}): data diverged");
+        // A clean (non-partial) merge must not leave router residue in
+        // the envelope.
+        assert!(!rb.contains("\"router\""), "query {i}: unexpected partial marker: {rb}");
+    }
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+    reference.shutdown();
+}
+
+#[test]
+fn trace_id_propagates_to_the_owning_shard() {
+    let shards: Vec<Server> = (0..2).map(|i| start_shard(i, 2)).collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: shards.iter().map(|s| s.addr().to_string()).collect(),
+        probe_interval_ms: 0,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let origin = known_origins(1)[0];
+    let mut conn = connect(router.addr());
+    // Pin the trace id from the client side; the router must adopt it
+    // and the shard's envelope must echo it — one id, two processes.
+    conn.get_mut()
+        .write_all(
+            format!(
+                "GET /v1/reachability?origin={origin} HTTP/1.1\r\nHost: t\r\n\
+                 X-Flatnet-Trace-Id: 00000000feedface\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, body) = read_response(&mut conn);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        merge::member_str(&body, "trace_id"),
+        Some("00000000feedface"),
+        "shard envelope did not adopt the propagated trace id: {body}"
+    );
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}

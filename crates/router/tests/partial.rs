@@ -1,0 +1,298 @@
+//! Partial-failure semantics: a batch query where one shard dies or
+//! 503s mid-scatter must return the documented partial envelope —
+//! healthy slices answered, failed slices marked `shard-unavailable` —
+//! never a hang and never a bare 500. Singles to a dead slice get a
+//! slice-scoped 503 with the stable `shard-unavailable` kind while
+//! other slices keep answering.
+
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_router::{merge, HashRing, Router, RouterConfig, SHARD_UNAVAILABLE};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+fn start_shard(id: u32, count: u32) -> Server {
+    let net = generate(&NetGenConfig::paper_2020(300, 17));
+    let tiers = net.tiers_for(&net.truth);
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shard: Some((id, count)),
+        source: TopologySource::Preloaded { graph: net.truth, tiers },
+        ..ServeConfig::default()
+    })
+    .expect("shard starts")
+}
+
+fn known_origins(n: usize) -> Vec<u32> {
+    let net = generate(&NetGenConfig::paper_2020(300, 17));
+    let total = net.truth.len();
+    let step = (total / n).max(1);
+    net.truth.asns().step_by(step).take(n).map(|a| a.0).collect()
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> (u16, String) {
+    let mut line = String::new();
+    assert!(r.read_line(&mut line).expect("status line") > 0, "EOF before status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    loop {
+        line.clear();
+        assert!(r.read_line(&mut line).expect("header") > 0, "EOF in headers");
+        let t = line.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            let v = v.trim();
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().expect("Content-Length");
+            } else if k.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = v.eq_ignore_ascii_case("chunked");
+            }
+        }
+    }
+    let mut body = String::new();
+    if chunked {
+        loop {
+            line.clear();
+            r.read_line(&mut line).expect("chunk size");
+            let size = usize::from_str_radix(line.trim(), 16)
+                .unwrap_or_else(|_| panic!("bad chunk size {line:?}"));
+            let mut chunk = vec![0u8; size + 2];
+            r.read_exact(&mut chunk).expect("chunk payload");
+            if size == 0 {
+                break;
+            }
+            body.push_str(std::str::from_utf8(&chunk[..size]).expect("chunk utf-8"));
+        }
+    } else if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        r.read_exact(&mut buf).expect("body");
+        body = String::from_utf8(buf).expect("body utf-8");
+    }
+    (status, body)
+}
+
+/// The hang guard: every read on the client side times out after 30s,
+/// so a wedged scatter fails the test instead of stalling CI.
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.set_nodelay(true).ok();
+    let mut conn = BufReader::new(s);
+    conn.get_mut()
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("write request");
+    read_response(&mut conn)
+}
+
+/// Origins from `pool` owned by shard `want` on an n-shard ring.
+fn owned_by(pool: &[u32], ring: &HashRing, want: u32, n: usize) -> Vec<u32> {
+    pool.iter().copied().filter(|&o| ring.owner(o) == want).take(n).collect()
+}
+
+/// Splits `pool` into (owned by `dead`, owned by others), at least one
+/// of each, panicking if the pool never crosses the slice boundary.
+fn split_by_owner(pool: &[u32], ring: &HashRing, dead: u32) -> (Vec<u32>, Vec<u32>) {
+    let lost = owned_by(pool, ring, dead, usize::MAX);
+    let alive: Vec<u32> = pool.iter().copied().filter(|&o| ring.owner(o) != dead).collect();
+    assert!(!lost.is_empty() && !alive.is_empty(), "origin pool misses a slice; widen it");
+    (lost, alive)
+}
+
+#[test]
+fn killed_shard_yields_partial_batch_and_slice_scoped_503() {
+    let shards: Vec<Server> = (0..3).map(|i| start_shard(i, 3)).collect();
+    let shard_addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs,
+        // No background prober: the data path alone must detect the
+        // death, deterministically, on this very request.
+        probe_interval_ms: 0,
+        upstream_timeout_ms: 5_000,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let pool = known_origins(12);
+    let ring = HashRing::new(3);
+    const DEAD: u32 = 1;
+    let (lost, alive) = split_by_owner(&pool, &ring, DEAD);
+
+    // Warm path first: prove the batch works before the kill.
+    let all: Vec<u32> = pool.clone();
+    let list = all.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    let (status, body) = get(router.addr(), &format!("/v1/reachability?origins={list}"));
+    assert_eq!(status, 200, "pre-kill batch failed: {body}");
+    assert!(!body.contains("\"router\""), "pre-kill batch must not be partial: {body}");
+
+    // Kill shard 1 mid-fleet. Its pooled router connections are now
+    // dead sockets; the next scatter hits them.
+    let mut shards = shards;
+    shards.remove(DEAD as usize).shutdown();
+
+    let (status, body) = get(router.addr(), &format!("/v1/reachability?origins={list}"));
+    assert_eq!(status, 200, "partial batch must still be 200: {body}");
+    let router_member = merge::member(&body, "router")
+        .unwrap_or_else(|| panic!("missing router partial marker: {body}"));
+    assert_eq!(merge::member(router_member, "partial"), Some("true"), "{body}");
+    assert_eq!(merge::member_str(router_member, "kind"), Some(SHARD_UNAVAILABLE), "{body}");
+    assert_eq!(merge::member(router_member, "failed_shards"), Some("[1]"), "{body}");
+    let data = merge::envelope_data(&body).expect("partial envelope still carries data");
+    assert_eq!(merge::member_u64(data, "batch"), Some(all.len() as u64), "{data}");
+    let results = merge::array_items(merge::member(data, "results").expect("results"))
+        .expect("results parse");
+    assert_eq!(results.len(), all.len(), "one entry per requested origin, in order");
+    for (i, (&origin, entry)) in all.iter().zip(&results).enumerate() {
+        assert_eq!(
+            merge::member_u64(entry, "origin"),
+            Some(origin as u64),
+            "entry {i} out of order: {entry}"
+        );
+        let failed = merge::member(entry, "error").is_some();
+        if ring.owner(origin) == DEAD {
+            assert!(failed, "entry {i} (origin {origin}) lost its shard yet has data: {entry}");
+            assert_eq!(
+                merge::envelope_error_kind(&format!("{{\"error\":{}}}", merge::member(entry, "error").unwrap())),
+                Some(SHARD_UNAVAILABLE),
+                "entry {i}: {entry}"
+            );
+        } else {
+            assert!(!failed, "entry {i} (origin {origin}) is on a healthy shard: {entry}");
+        }
+    }
+
+    // Singles to the dead slice: slice-scoped 503 with the stable kind,
+    // every time. Enough of them trip the breaker (FAILS_TO_OPEN
+    // consecutive transport failures) so the later /healthz view is
+    // deterministic without a background prober.
+    for round in 0..4 {
+        let (status, body) = get(router.addr(), &format!("/v1/reachability?origin={}", lost[0]));
+        assert_eq!(status, 503, "dead slice must 503 (round {round}): {body}");
+        assert_eq!(
+            merge::envelope_error_kind(&body),
+            Some(SHARD_UNAVAILABLE),
+            "round {round}: {body}"
+        );
+    }
+    assert!(!router.shard_health()[DEAD as usize].0, "breaker should be open by now");
+
+    // Healthy slices keep answering as if nothing happened.
+    let (status, body) = get(router.addr(), &format!("/v1/reachability?origin={}", alive[0]));
+    assert_eq!(status, 200, "healthy slice must keep answering: {body}");
+    assert!(body.contains("\"data\""), "{body}");
+
+    // The aggregate health view downgrades but stays up.
+    let (status, body) = get(router.addr(), "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(merge::member_str(&body, "status"), Some("degraded"), "{body}");
+    assert_eq!(merge::member_u64(&body, "healthy_shards"), Some(2), "{body}");
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// A shard stand-in that speaks just enough keep-alive HTTP to answer
+/// every request with a 503 error envelope — the "up but refusing"
+/// failure mode, distinct from a dead socket.
+fn start_refusing_shard() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::Builder::new()
+        .name("fake-503-shard".into())
+        .spawn(move || {
+            // Serve a handful of connections then quit; tests never need
+            // more, and bounding it lets the thread die on its own.
+            for stream in listener.incoming().take(8) {
+                let Ok(stream) = stream else { break };
+                stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+                let mut reader = BufReader::new(stream);
+                loop {
+                    // Consume one request (headers only; the router only
+                    // ever GETs query endpoints here).
+                    let mut saw_any = false;
+                    loop {
+                        let mut line = String::new();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => return,
+                            Ok(_) if line.trim_end().is_empty() && saw_any => break,
+                            Ok(_) if line.trim_end().is_empty() => return,
+                            Ok(_) => saw_any = true,
+                        }
+                    }
+                    let body = "{\"schema\":\"flatnet-serve/v1\",\"snapshot_version\":0,\
+                                \"trace_id\":\"0000000000000000\",\
+                                \"error\":{\"kind\":\"backoff\",\"message\":\"refusing\"}}";
+                    let resp = format!(
+                        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                         Content-Length: {}\r\nConnection: keep-alive\r\nRetry-After: 1\r\n\r\n{body}",
+                        body.len()
+                    );
+                    if reader.get_mut().write_all(resp.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn fake shard");
+    (addr, handle)
+}
+
+#[test]
+fn refusing_shard_yields_partial_batch_never_500() {
+    let real: Vec<Server> = (0..2).map(|i| start_shard(i, 3)).collect();
+    let (fake_addr, _fake) = start_refusing_shard();
+    let mut shard_addrs: Vec<String> = real.iter().map(|s| s.addr().to_string()).collect();
+    shard_addrs.push(fake_addr.to_string());
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs,
+        probe_interval_ms: 0,
+        upstream_timeout_ms: 5_000,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let pool = known_origins(12);
+    let ring = HashRing::new(3);
+    const FAKE: u32 = 2;
+    let (_lost, _alive) = split_by_owner(&pool, &ring, FAKE);
+
+    let list = pool.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    let (status, body) = get(router.addr(), &format!("/v1/reachability?origins={list}"));
+    assert_eq!(status, 200, "app-level 503 from one shard must yield a partial 200: {body}");
+    assert_ne!(status, 500, "never a bare 500");
+    let router_member = merge::member(&body, "router")
+        .unwrap_or_else(|| panic!("missing router partial marker: {body}"));
+    assert_eq!(merge::member(router_member, "partial"), Some("true"), "{body}");
+    assert_eq!(merge::member(router_member, "failed_shards"), Some("[2]"), "{body}");
+    let data = merge::envelope_data(&body).expect("data");
+    let results = merge::array_items(merge::member(data, "results").expect("results")).unwrap();
+    for (&origin, entry) in pool.iter().zip(&results) {
+        if ring.owner(origin) == FAKE {
+            assert!(entry.contains(SHARD_UNAVAILABLE), "origin {origin}: {entry}");
+        } else {
+            assert!(merge::member(entry, "error").is_none(), "origin {origin}: {entry}");
+        }
+    }
+
+    // An app-level 503 is the shard talking, not the socket dying: it
+    // must NOT trip the circuit breaker.
+    let health = router.shard_health();
+    assert!(health[FAKE as usize].0, "app 503 wrongly opened the circuit");
+
+    router.shutdown();
+    for s in real {
+        s.shutdown();
+    }
+}

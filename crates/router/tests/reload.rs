@@ -1,0 +1,148 @@
+//! Coordinated rolling reload: `POST /admin/reload` on the router rolls
+//! the fleet one shard at a time behind the health gate, bumping every
+//! shard's snapshot version, while queries on healthy slices never see
+//! a 5xx. A dead shard is skipped and reported, not retried into a
+//! hang.
+
+use flatnet_netgen::{generate, NetGenConfig};
+use flatnet_router::{merge, Router, RouterConfig};
+use flatnet_serve::{ServeConfig, Server, TopologySource};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start_shard(id: u32, count: u32) -> Server {
+    let net = generate(&NetGenConfig::paper_2020(300, 17));
+    let tiers = net.tiers_for(&net.truth);
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shard: Some((id, count)),
+        source: TopologySource::Preloaded { graph: net.truth, tiers },
+        ..ServeConfig::default()
+    })
+    .expect("shard starts")
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> (u16, String) {
+    let mut line = String::new();
+    assert!(r.read_line(&mut line).expect("status line") > 0, "EOF before status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        assert!(r.read_line(&mut line).expect("header") > 0, "EOF in headers");
+        let t = line.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = t.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("Content-Length");
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    r.read_exact(&mut buf).expect("body");
+    (status, String::from_utf8(buf).expect("body utf-8"))
+}
+
+fn roundtrip(addr: SocketAddr, method: &str, target: &str) -> (u16, String) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut conn = BufReader::new(s);
+    conn.get_mut()
+        .write_all(
+            format!("{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("write request");
+    read_response(&mut conn)
+}
+
+#[test]
+fn rolling_reload_bumps_every_shard_behind_the_health_gate() {
+    let shards: Vec<Server> = (0..3).map(|i| start_shard(i, 3)).collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: shards.iter().map(|s| s.addr().to_string()).collect(),
+        probe_interval_ms: 50,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    // Let the prober learn every shard's starting version.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.shard_health().iter().any(|&(_, v)| v == 0) {
+        assert!(std::time::Instant::now() < deadline, "prober never learned shard versions");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (status, body) = roundtrip(router.addr(), "POST", "/admin/reload");
+    assert_eq!(status, 200, "rolling reload failed: {body}");
+    assert_eq!(merge::member_str(&body, "status"), Some("reloaded"), "{body}");
+    assert_eq!(merge::member_u64(&body, "reloaded"), Some(3), "{body}");
+    let per_shard = merge::array_items(merge::member(&body, "shards").expect("shards")).unwrap();
+    assert_eq!(per_shard.len(), 3);
+    for (i, entry) in per_shard.iter().enumerate() {
+        assert_eq!(merge::member_str(entry, "status"), Some("reloaded"), "shard {i}: {entry}");
+        assert_eq!(
+            merge::member_u64(entry, "snapshot_version"),
+            Some(2),
+            "shard {i} did not bump: {entry}"
+        );
+    }
+
+    // The fleet version visible through the router follows.
+    let (status, body) = roundtrip(router.addr(), "GET", "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(merge::member_u64(&body, "snapshot_version"), Some(2), "{body}");
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn rolling_reload_skips_a_dead_shard_and_reports_partial() {
+    let shards: Vec<Server> = (0..3).map(|i| start_shard(i, 3)).collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: shards.iter().map(|s| s.addr().to_string()).collect(),
+        probe_interval_ms: 25,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    let mut shards = shards;
+    shards.remove(1).shutdown();
+    // Wait for the prober to open shard 1's breaker so the roll skips it
+    // instead of timing out against a dead socket.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.shard_health()[1].0 {
+        assert!(std::time::Instant::now() < deadline, "prober never opened the breaker");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (status, body) = roundtrip(router.addr(), "POST", "/admin/reload");
+    assert_eq!(status, 200, "partial roll must still be 200: {body}");
+    assert_eq!(merge::member_str(&body, "status"), Some("partial"), "{body}");
+    assert_eq!(merge::member_u64(&body, "reloaded"), Some(2), "{body}");
+    let per_shard = merge::array_items(merge::member(&body, "shards").expect("shards")).unwrap();
+    let skipped: Vec<_> = per_shard
+        .iter()
+        .filter(|e| merge::member_str(e, "status") == Some("skipped-unhealthy"))
+        .collect();
+    assert_eq!(skipped.len(), 1, "exactly the dead shard is skipped: {body}");
+    assert_eq!(merge::member_u64(skipped[0], "id"), Some(1), "{body}");
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}

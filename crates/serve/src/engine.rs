@@ -196,6 +196,9 @@ pub(crate) struct Shared {
     /// How many top-degree origins to pre-warm after load/reload; 0 = off.
     warm: usize,
     warmed: flatnet_obs::Counter,
+    /// `(id, count)` when this process is one shard of a routed layout;
+    /// rendered in `/healthz` so the process can identify itself.
+    shard: Option<(u32, u32)>,
 }
 
 /// Ring capacity per designated writer; `/debug/trace/recent` can see at
@@ -214,6 +217,7 @@ impl Shared {
         keepalive_idle: Duration,
         workers: usize,
         warm: usize,
+        shard: Option<(u32, u32)>,
     ) -> Self {
         let reg = flatnet_obs::global();
         Shared {
@@ -250,6 +254,7 @@ impl Shared {
             tracer: Tracer::new(workers + 1, TRACE_RING_CAP),
             warm,
             warmed: reg.counter("serve.cache_warmed"),
+            shard,
         }
     }
 
@@ -520,6 +525,16 @@ fn handle_conn(shared: &Arc<Shared>, ctx: &mut WorkerCtx, worker: usize, job: Jo
             Ok(None) => return, // peer connected and left; nothing to answer
             Ok(Some(req)) => {
                 t.mark(Stage::Parse);
+                // A router in front of this shard propagates its trace id
+                // so the hop's traces stitch to ours; adopt it. Garbage
+                // values are ignored — the locally allocated id stands.
+                if let Some(hex) = req.header("x-flatnet-trace-id") {
+                    if let Ok(id) = u64::from_str_radix(hex.trim(), 16) {
+                        if id != 0 {
+                            t.set_id(id);
+                        }
+                    }
+                }
                 let keep = budget_left
                     && req.wants_keep_alive()
                     && !shared.shutdown.load(Ordering::SeqCst);
@@ -1343,6 +1358,21 @@ fn healthz(shared: &Arc<Shared>) -> Response {
         status.consecutive_failures,
         status.backoff_remaining_ms,
     );
+    // Self-identification: the bound address (a process behind a router
+    // must be discoverable by what it actually listens on, not what it
+    // was asked to bind — port 0 resolves here), its shard slot when it
+    // serves a slice of a sharded layout, and the pid for operators.
+    match shared.local_addr.get() {
+        Some(addr) => body.push_str(&format!(",\"addr\":\"{addr}\"")),
+        None => body.push_str(",\"addr\":null"),
+    }
+    match shared.shard {
+        Some((id, count)) => {
+            body.push_str(&format!(",\"shard\":{{\"id\":{id},\"count\":{count}}}"))
+        }
+        None => body.push_str(",\"shard\":null"),
+    }
+    body.push_str(&format!(",\"pid\":{}", std::process::id()));
     match (&status.last_error_kind, &status.last_error) {
         (Some(kind), Some(msg)) => {
             body.push_str(&format!(

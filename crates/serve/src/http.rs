@@ -20,8 +20,11 @@
 
 use std::io::{BufRead, Write};
 
-/// Cap on the request line (`GET /path?query HTTP/1.1`).
-pub const MAX_REQUEST_LINE: usize = 2048;
+/// Cap on the request line (`GET /path?query HTTP/1.1`). Sized so a
+/// full [`MAX_BATCH_ORIGINS`](crate::engine::MAX_BATCH_ORIGINS)-origin
+/// `origins=` list of 10-digit ASNs still fits — the engine's batch cap
+/// is the binding limit, not the transport's.
+pub const MAX_REQUEST_LINE: usize = 16 * 1024;
 /// Cap on one header line.
 pub const MAX_HEADER_LINE: usize = 1024;
 /// Cap on the number of headers.

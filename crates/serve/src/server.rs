@@ -46,6 +46,11 @@ pub struct ServeConfig {
     /// when not, persist every successful reload to it. `None` = no
     /// persistence.
     pub store: Option<String>,
+    /// Shard identity as `(id, count)` when this process is one slice of
+    /// a sharded layout behind `flatnet router`; surfaced in `/healthz`
+    /// so the router (and an operator) can tell shards apart. `None` =
+    /// standalone daemon.
+    pub shard: Option<(u32, u32)>,
     /// Where the topology comes from.
     pub source: TopologySource,
 }
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
             keepalive_max: 1024,
             keepalive_idle_ms: 5000,
             store: None,
+            shard: None,
             source: TopologySource::Generated { ases: 4000, seed: 2020 },
         }
     }
@@ -109,6 +115,7 @@ impl Server {
             Duration::from_millis(cfg.keepalive_idle_ms),
             n_workers,
             cfg.warm,
+            cfg.shard,
         ));
         let _ = shared.local_addr.set(addr);
         spawn_warmup(&shared, shared.mgr.current());

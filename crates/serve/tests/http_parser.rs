@@ -15,8 +15,12 @@ fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
-    s.write_all(raw).expect("write");
-    s.shutdown(Shutdown::Write).expect("half-close");
+    // The server may reject and close while we are still writing (e.g.
+    // an oversized request line answered 414 mid-upload), so neither
+    // the write nor the half-close is allowed to fail the test — the
+    // response (or clean close) read below is the contract.
+    let _ = s.write_all(raw);
+    let _ = s.shutdown(Shutdown::Write);
     let mut out = Vec::new();
     let _ = s.read_to_end(&mut out); // a reset instead of EOF is fine too
     String::from_utf8_lossy(&out).into_owned()
@@ -63,7 +67,7 @@ fn daemon_survives_malformed_request_corpus() {
     // Oversized request line -> 414; oversized header -> 431; header
     // flood -> 431.
     let mut huge_line = b"GET /".to_vec();
-    huge_line.extend(std::iter::repeat_n(b'a', 5000));
+    huge_line.extend(std::iter::repeat_n(b'a', flatnet_serve::http::MAX_REQUEST_LINE + 10));
     huge_line.extend_from_slice(b" HTTP/1.1\r\n\r\n");
     let mut huge_header = b"GET /healthz HTTP/1.1\r\nX-Big: ".to_vec();
     huge_header.extend(std::iter::repeat_n(b'b', 5000));

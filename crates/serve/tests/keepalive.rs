@@ -343,3 +343,59 @@ fn batch_answers_are_bit_identical_to_singles() {
     }
     server.shutdown();
 }
+
+/// The router's upstream pool is a client-side mirror of the keep-alive
+/// contract this file pins server-side: N single-origin requests
+/// through an in-process router must ride pooled persistent connections
+/// to the shards, dialing at most once per shard. The reuse counter has
+/// to account for everything else.
+#[test]
+fn router_pools_upstream_connections() {
+    use flatnet_router::{Router, RouterConfig};
+
+    let reg = flatnet_obs::global();
+    let reuse_before = reg.counter("router.upstream_reuse").get();
+    let connects_before = reg.counter("router.upstream_connects").get();
+
+    let shards: Vec<Server> = (0..3)
+        .map(|i| start_server(|cfg| cfg.shard = Some((i, 3))))
+        .collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: shards.iter().map(|s| s.addr().to_string()).collect(),
+        // No background prober: only the data path may move the
+        // upstream counters, so the arithmetic below is exact.
+        probe_interval_ms: 0,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    const REQUESTS: usize = 30;
+    let origins = known_origins(6);
+    let mut conn = connect(router.addr());
+    for (i, &o) in origins.iter().cycle().take(REQUESTS).enumerate() {
+        let (status, _, body, close) =
+            request(&mut conn, &format!("/v1/reachability?origin={o}"));
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert!(!close, "request {i} closed the client keep-alive connection");
+    }
+
+    let reuse = reg.counter("router.upstream_reuse").get() - reuse_before;
+    let connects = reg.counter("router.upstream_connects").get() - connects_before;
+    // Every request is one checkout — a dial or a pool hit — plus at
+    // most a rare stale-retry dial, never a per-request dial.
+    assert!(
+        reuse + connects >= REQUESTS as u64,
+        "checkout accounting broken: {connects} dials + {reuse} reuses < {REQUESTS} requests"
+    );
+    assert!(
+        reuse >= (REQUESTS - shards.len()) as u64,
+        "pooled upstream connections were not reused: \
+         {connects} dials / {reuse} reuses over {REQUESTS} requests"
+    );
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
