@@ -10,13 +10,23 @@
 //! steady state allocates nothing.
 //!
 //! A third pass runs the same workload through the bit-parallel
-//! multi-origin kernel (64 origins per `u64` lane word,
-//! `Simulation::run_sweep_reach_counts_with`), and a final pair of
-//! passes re-times the engine and kernel sweeps multithreaded
-//! (`--mt-threads`, default all cores).
+//! multi-origin kernel pinned at the narrowest lane width (64 origins
+//! per block, `Simulation::run_sweep_reach_counts_with`). A fourth pair
+//! (`kernel_dense` / `kernel_wide`) times the serve batch and
+//! cache-warm workload — an unrestricted full-reach sweep of the same
+//! origins, where lanes share most node visits — first in 64-lane
+//! blocks, then at the wide lane width (256 origins per block on AVX2
+//! hardware, or whatever `--lane-width` selects); the
+//! `kernel_wide_vs_kernel` ratio compares those two legs and is the CI
+//! lane-widening gate. A final pair of passes re-times the engine and
+//! 64-lane kernel sweeps multithreaded (`--mt-threads`, default all
+//! cores).
 //!
 //! Results go to stdout and to a JSON report (schema
 //! `flatnet-bench-propagate/v1`) consumed by the CI regression gate.
+//! The report records the resolved lane widths, per-pass block lane
+//! occupancy, and the detected CPU SIMD features, so baselines measured
+//! on different runners are comparable.
 //! Every speedup is a within-run ratio (totals measured on the same
 //! machine in the same process), so it is comparable across hosts; the
 //! headline passes default to single-threaded for the same reason —
@@ -26,8 +36,8 @@
 
 use flatnet_asgraph::{AsGraph, NodeId, Tiers};
 use flatnet_bgpsim::{
-    propagate_legacy, LaneExcluder, PropagationConfig, Simulation, SweepCtx, TopologySnapshot,
-    LANES,
+    cpu_features, propagate_legacy, LaneExcluder, LaneWidth, PropagationConfig, Simulation,
+    SweepCtx, TopologySnapshot, LANES,
 };
 use flatnet_netgen::{generate, NetGenConfig};
 use std::time::Instant;
@@ -133,6 +143,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut mt_threads = 0usize;
     let mut reps = 7usize;
     let mut out = String::from("BENCH_propagate.json");
+    let mut lane_width_flag = String::from("auto");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -142,11 +153,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--threads" => threads = flag_value("--threads", it.next())?,
             "--mt-threads" => mt_threads = flag_value("--mt-threads", it.next())?,
             "--reps" => reps = flag_value("--reps", it.next())?,
+            "--lane-width" => {
+                lane_width_flag = it.next().ok_or("--lane-width requires a value")?.clone()
+            }
             "--out" => out = it.next().ok_or("--out requires a file path")?.clone(),
             "--help" | "-h" => {
                 println!("usage: flatnet bench propagate [--ases N] [--seed S] [--origins K]");
                 println!("                               [--threads N] [--mt-threads N] [--reps R]");
-                println!("                               [--out PATH]");
+                println!("                               [--lane-width W] [--out PATH]");
                 println!("--ases N:       topology size (default 4000)");
                 println!("--seed S:       generator seed (default 2020)");
                 println!("--origins K:    origins to sweep, 0 = every AS (default 600)");
@@ -156,6 +170,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 println!("                (default 0 = all cores)");
                 println!("--reps R:       repetitions per pass, fastest wins (default 7;");
                 println!("                the first rep warms allocators and page cache)");
+                println!("--lane-width W: kernel_wide pass lane width: auto, 64, 128, or 256");
+                println!("                (default auto = widest the CPU runs well)");
                 println!("--out PATH:     JSON report path (default BENCH_propagate.json)");
                 return Ok(());
             }
@@ -163,6 +179,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
     let reps = reps.max(1);
+    let lane_width = LaneWidth::parse(&lane_width_flag)?;
 
     let net = generate(&NetGenConfig::paper_2020(ases, seed));
     let g = &net.truth;
@@ -237,9 +254,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    // ---- Kernel pass: 64 origins per lane word; tiers broadcast via the
+    // ---- Kernel pass, pinned at the narrowest width (64 origins per
+    // block) as the lane-widening baseline; tiers broadcast via the
     // shared mask, providers + origin-allow per lane. ----
-    let ksim = Simulation::over(&snap).threads(threads).excluded(tier_mask(&tiers, n));
+    let ksim = Simulation::over(&snap)
+        .threads(threads)
+        .excluded(tier_mask(&tiers, n))
+        .lane_width(LaneWidth::W64);
     let mut kernel_total_ms = f64::INFINITY;
     let mut kernel_reach = 0u64;
     for _ in 0..reps {
@@ -249,11 +270,56 @@ pub fn run(args: &[String]) -> Result<(), String> {
         kernel_reach = counts.iter().map(|&c| c as u64).sum();
         kernel_total_ms = kernel_total_ms.min(total_ms);
     }
-    let kernel_blocks = origins.len().div_ceil(LANES);
+    let kernel_blocks = origins.len().div_ceil(LANES).max(1);
+    // Mean origins actually occupying each block (the report used to
+    // hardcode 64, wrong for every partial tail block).
+    let kernel_occupancy = origins.len() as f64 / kernel_blocks as f64;
     if kernel_reach != legacy.total_reach {
         return Err(format!(
             "kernel disagrees with legacy: total reach {kernel_reach} vs {}",
             legacy.total_reach
+        ));
+    }
+
+    // ---- Wide-kernel pair: the serve batch / cache-warm workload — an
+    // unrestricted full-reach sweep of the same origins, where every
+    // lane's announcement floods most of the graph. This is the workload
+    // lane *width* exists for: the per-node traversal is shared by every
+    // lane that reaches the node, so 256-lane blocks amortize the graph
+    // walk over 4x the origins while AVX2 keeps each mask op one vector
+    // instruction. (The hierarchy-free pass above is the opposite shape:
+    // tier exclusions shrink each reach set to a few dozen nearly
+    // disjoint nodes, so there is no shared traversal to amortize and
+    // the bench pins that pass to 64 lanes.) The
+    // 64-lane leg of the pair runs the *same* dense workload, so the
+    // ratio isolates lane widening alone. ----
+    let wide_lanes = LANES * lane_width.words_for(origins.len());
+    let dsim = Simulation::over(&snap).threads(threads).lane_width(LaneWidth::W64);
+    let mut kernel_dense_ms = f64::INFINITY;
+    let mut dense_reach = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let counts = dsim.run_sweep_reach_counts(&origins);
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        dense_reach = counts.iter().map(|&c| c as u64).sum();
+        kernel_dense_ms = kernel_dense_ms.min(total_ms);
+    }
+    let wsim = Simulation::over(&snap).threads(threads).lane_width(lane_width);
+    let mut kernel_wide_ms = f64::INFINITY;
+    let mut kernel_wide_reach = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let counts = wsim.run_sweep_reach_counts(&origins);
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        kernel_wide_reach = counts.iter().map(|&c| c as u64).sum();
+        kernel_wide_ms = kernel_wide_ms.min(total_ms);
+    }
+    let kernel_wide_blocks = origins.len().div_ceil(wide_lanes).max(1);
+    let kernel_wide_occupancy = origins.len() as f64 / kernel_wide_blocks as f64;
+    if kernel_wide_reach != dense_reach {
+        return Err(format!(
+            "wide kernel disagrees with 64-lane kernel on the dense sweep: \
+             total reach {kernel_wide_reach} vs {dense_reach}"
         ));
     }
 
@@ -272,7 +338,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         engine_mt_ms = engine_mt_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         mt_reach = mt_timed.iter().sum();
     }
-    let kmt_sim = Simulation::over(&snap).threads(mt_threads).excluded(tier_mask(&tiers, n));
+    let kmt_sim = Simulation::over(&snap)
+        .threads(mt_threads)
+        .excluded(tier_mask(&tiers, n))
+        .lane_width(LaneWidth::W64);
     let mut kernel_mt_ms = f64::INFINITY;
     let mut kernel_mt_reach = 0u64;
     for _ in 0..reps {
@@ -292,6 +361,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let speedup = legacy.total_ms / engine.total_ms.max(1e-9);
     let speedup_kernel = legacy.total_ms / kernel_total_ms.max(1e-9);
     let kernel_vs_engine = engine.total_ms / kernel_total_ms.max(1e-9);
+    // Within-pair ratio: both legs run the dense full-reach sweep, so
+    // this isolates what lane widening alone buys (the CI gate).
+    let kernel_wide_vs_kernel = kernel_dense_ms / kernel_wide_ms.max(1e-9);
+    let features = cpu_features();
     let rss = peak_rss_bytes();
     println!("legacy : {:9.1} ms total, p50 {:6} us, p90 {:6} us", legacy.total_ms, legacy.p50_us, legacy.p90_us);
     println!(
@@ -300,13 +373,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
     println!(
         "kernel : {kernel_total_ms:9.1} ms total, {kernel_blocks} blocks of {LANES} lanes \
-         ({kernel_vs_engine:.2}x over engine)"
+         (mean occupancy {kernel_occupancy:.1}, {kernel_vs_engine:.2}x over engine)"
+    );
+    println!(
+        "dense64: {kernel_dense_ms:9.1} ms total (full-reach sweep, 64-lane blocks — the \
+         serve batch/warm workload)"
+    );
+    println!(
+        "wide   : {kernel_wide_ms:9.1} ms total, {kernel_wide_blocks} blocks of {wide_lanes} \
+         lanes (mean occupancy {kernel_wide_occupancy:.1}, {kernel_wide_vs_kernel:.2}x over \
+         64-lane kernel on the same sweep)"
     );
     println!(
         "mt     : engine {engine_mt_ms:9.1} ms, kernel {kernel_mt_ms:9.1} ms \
          (threads: {mt_threads}, 0 = all cores)"
     );
-    println!("speedup: {speedup:.2}x   peak RSS: {:.1} MiB", rss as f64 / (1 << 20) as f64);
+    println!(
+        "speedup: {speedup:.2}x   cpu: [{}]   peak RSS: {:.1} MiB",
+        features.join(" "),
+        rss as f64 / (1 << 20) as f64
+    );
 
     let json = format!(
         concat!(
@@ -318,15 +404,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "  \"threads\": {},\n",
             "  \"mt_threads\": {},\n",
             "  \"reps\": {},\n",
+            "  \"lane_width\": \"{}\",\n",
+            "  \"cpu_features\": [{}],\n",
             "  \"legacy\": {{ \"total_ms\": {:.3}, \"p50_us\": {}, \"p90_us\": {} }},\n",
             "  \"engine\": {{ \"total_ms\": {:.3}, \"p50_us\": {}, \"p90_us\": {}, \"compile_ms\": {:.3} }},\n",
-            "  \"kernel\": {{ \"total_ms\": {:.3}, \"blocks\": {}, \"lanes\": {} }},\n",
+            "  \"kernel\": {{ \"total_ms\": {:.3}, \"blocks\": {}, \"lanes\": {}, \"occupancy\": {:.2} }},\n",
+            "  \"kernel_dense\": {{ \"total_ms\": {:.3}, \"total_reach\": {} }},\n",
+            "  \"kernel_wide\": {{ \"total_ms\": {:.3}, \"blocks\": {}, \"lanes\": {}, \"occupancy\": {:.2} }},\n",
             "  \"engine_mt\": {{ \"total_ms\": {:.3} }},\n",
             "  \"kernel_mt\": {{ \"total_ms\": {:.3} }},\n",
             "  \"total_reach\": {},\n",
             "  \"speedup\": {:.4},\n",
             "  \"speedup_kernel\": {:.4},\n",
             "  \"kernel_vs_engine\": {:.4},\n",
+            "  \"kernel_wide_vs_kernel\": {:.4},\n",
             "  \"peak_rss_bytes\": {}\n",
             "}}\n"
         ),
@@ -336,6 +427,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         threads,
         mt_threads,
         reps,
+        lane_width_flag,
+        features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", "),
         legacy.total_ms,
         legacy.p50_us,
         legacy.p90_us,
@@ -346,12 +439,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
         kernel_total_ms,
         kernel_blocks,
         LANES,
+        kernel_occupancy,
+        kernel_dense_ms,
+        dense_reach,
+        kernel_wide_ms,
+        kernel_wide_blocks,
+        wide_lanes,
+        kernel_wide_occupancy,
         engine_mt_ms,
         kernel_mt_ms,
         engine.total_reach,
         speedup,
         speedup_kernel,
         kernel_vs_engine,
+        kernel_wide_vs_kernel,
         rss,
     );
     std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -395,6 +496,11 @@ mod tests {
         assert!(body.contains("\"kernel_vs_engine\""));
         assert!(body.contains("\"kernel_mt\""));
         assert!(body.contains("\"reps\""));
+        assert!(body.contains("\"kernel_wide\""));
+        assert!(body.contains("\"kernel_wide_vs_kernel\""));
+        assert!(body.contains("\"lane_width\": \"auto\""));
+        assert!(body.contains("\"cpu_features\""));
+        assert!(body.contains("\"occupancy\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -53,14 +53,16 @@
 //! sorted into the legacy's ascending node order, keeping the bucket
 //! push/pop sequence identical).
 
-use crate::lanes::{LaneExcluder, LaneWorkspace, SweepReach, LANES};
+use crate::lanes::{
+    AsExclusionLanes, LaneArity, LaneExcluder, LanePools, LaneWidth, LaneWorkspace, Lanes,
+    NodeWords, PooledLaneWs, SweepReach,
+};
 use crate::parallel::{self, SweepError};
 use crate::propagate::{
     metrics, ImportPolicy, PolicyView, PropagationConfig, RouteClass, RoutingOutcome, UNREACHED,
 };
 use flatnet_asgraph::{AsGraph, NodeId};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// An immutable, compiled copy of an [`AsGraph`]'s adjacency, laid out
 /// for propagation: one contiguous `u32` slice per node, split by
@@ -569,11 +571,17 @@ pub struct Simulation<'s> {
     snap: &'s TopologySnapshot,
     cfg: PropagationConfig,
     threads: usize,
-    /// Checked-out-and-returned pool of kernel workspaces: repeated
-    /// reach sweeps on one `Simulation` (per-block cache warming,
-    /// multi-pass profiles, benchmark reps) reuse buffers instead of
-    /// paying allocation plus first-touch page faults every sweep.
-    lane_pool: Mutex<Vec<LaneWorkspace>>,
+    /// Kernel lane width for the `run_sweep_reach*` family; `Auto`
+    /// (default) picks the widest width the CPU runs well and clamps to
+    /// the sweep's origin count (see [`LaneWidth`]).
+    lane_width: LaneWidth,
+    /// Checked-out-and-returned pools of kernel workspaces, one pool per
+    /// lane width: repeated reach sweeps on one `Simulation` (per-block
+    /// cache warming, multi-pass profiles, benchmark reps) reuse buffers
+    /// instead of paying allocation plus first-touch page faults every
+    /// sweep, and a width change draws from a different pool without
+    /// discarding the others' warm workspaces.
+    lane_pool: LanePools,
 }
 
 impl Clone for Simulation<'_> {
@@ -583,52 +591,51 @@ impl Clone for Simulation<'_> {
             snap: self.snap,
             cfg: self.cfg.clone(),
             threads: self.threads,
-            lane_pool: Mutex::new(Vec::new()),
+            lane_width: self.lane_width,
+            lane_pool: LanePools::default(),
         }
     }
 }
 
-/// A [`LaneWorkspace`] checked out of a [`Simulation`]'s pool; returned
-/// on drop (including when a sweep worker unwinds).
-struct PooledLanes<'p> {
-    ws: Option<LaneWorkspace>,
-    pool: &'p Mutex<Vec<LaneWorkspace>>,
+/// A [`LaneWorkspace`] checked out of a [`Simulation`]'s width-matched
+/// pool; returned on drop (including when a sweep worker unwinds).
+struct PooledLanes<'p, T: PooledLaneWs> {
+    ws: Option<T>,
+    pool: &'p LanePools,
 }
 
-impl PooledLanes<'_> {
-    fn get(&mut self) -> &mut LaneWorkspace {
+impl<T: PooledLaneWs> PooledLanes<'_, T> {
+    fn get(&mut self) -> &mut T {
         self.ws.as_mut().expect("workspace present until drop")
     }
 }
 
-impl Drop for PooledLanes<'_> {
+impl<T: PooledLaneWs> Drop for PooledLanes<'_, T> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
-            self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(ws);
+            T::put(self.pool, ws);
         }
     }
 }
 
 impl<'s> Simulation<'s> {
-    /// Checks a kernel workspace out of the pool (or sizes a fresh one
-    /// for the snapshot); the guard returns it on drop.
-    fn lane_ws(&self) -> PooledLanes<'_> {
-        let ws = self
-            .lane_pool
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_else(|| LaneWorkspace::for_snapshot(self.snap));
+    /// Checks a kernel workspace of the requested width out of its pool
+    /// (or sizes a fresh one for the snapshot); the guard returns it on
+    /// drop.
+    fn lane_ws<T: PooledLaneWs>(&self) -> PooledLanes<'_, T> {
+        let ws = T::take(&self.lane_pool).unwrap_or_else(|| T::for_snapshot(self.snap));
         PooledLanes { ws: Some(ws), pool: &self.lane_pool }
     }
     /// Starts a simulation over a compiled snapshot with default config
-    /// (no restrictions, all ties kept, auto thread count for sweeps).
+    /// (no restrictions, all ties kept, auto thread count for sweeps,
+    /// auto lane width).
     pub fn over(snap: &'s TopologySnapshot) -> Self {
         Simulation {
             snap,
             cfg: PropagationConfig::default(),
             threads: 0,
-            lane_pool: Mutex::new(Vec::new()),
+            lane_width: LaneWidth::Auto,
+            lane_pool: LanePools::default(),
         }
     }
 
@@ -666,6 +673,17 @@ impl<'s> Simulation<'s> {
     /// uses the available parallelism.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Kernel lane width for [`Self::run_sweep_reach`] and friends:
+    /// origins per bit-parallel block (64/128/256, or [`LaneWidth::Auto`]
+    /// — the default — to pick from detected CPU features). The width
+    /// never changes results, only throughput; whatever is selected is
+    /// clamped down for sweeps whose origin count fits a narrower block
+    /// ([`LaneWidth::words_for`]).
+    pub fn lane_width(mut self, width: LaneWidth) -> Self {
+        self.lane_width = width;
         self
     }
 
@@ -729,12 +747,13 @@ impl<'s> Simulation<'s> {
     }
 
     /// Sweeps `origins` through the bit-parallel kernel
-    /// ([`crate::lanes`]): origins are chunked into 64-lane blocks, each
-    /// block advances all its origins in one word-wise frontier
-    /// expansion, and blocks fan out over [`crate::parallel`] (one
-    /// [`LaneWorkspace`] per worker). Returns the materialized
-    /// reach bitsets, bit-identical to per-origin [`Workspace`] runs
-    /// under the same config.
+    /// ([`crate::lanes`]): origins are chunked into 64/128/256-lane
+    /// blocks (per the configured [`Self::lane_width`]), each block
+    /// advances all its origins in one lane-vector frontier expansion,
+    /// and blocks fan out over [`crate::parallel`] (one [`LaneWorkspace`]
+    /// per worker). Returns the materialized reach bitsets, bit-identical
+    /// to per-origin [`Workspace`] runs under the same config at every
+    /// width.
     ///
     /// Reach sets only — no distances, selections, or tie paths; use
     /// [`Self::run`] / [`Self::run_sweep_map`] when those are needed.
@@ -751,12 +770,27 @@ impl<'s> Simulation<'s> {
     where
         F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
     {
+        match self.lane_width.words_for(origins.len()) {
+            1 => self.sweep_reach_w::<1, F>(origins, fill),
+            2 => self.sweep_reach_w::<2, F>(origins, fill),
+            _ => self.sweep_reach_w::<4, F>(origins, fill),
+        }
+    }
+
+    /// [`Self::run_sweep_reach_with`] monomorphized at lane width `W`.
+    fn sweep_reach_w<const W: usize, F>(&self, origins: &[NodeId], fill: F) -> SweepReach
+    where
+        Lanes<W>: LaneArity,
+        [NodeWords<W>]: AsExclusionLanes,
+        LaneWorkspace<W>: PooledLaneWs,
+        F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
+    {
         let wp = self.snap.len().div_ceil(64);
-        let blocks: Vec<&[NodeId]> = origins.chunks(LANES).collect();
+        let blocks: Vec<&[NodeId]> = origins.chunks(LaneWorkspace::<W>::BLOCK_LANES).collect();
         let parts: Vec<(Vec<u64>, Vec<u32>)> = parallel::parallel_map_ctx(
             &blocks,
             self.threads,
-            || self.lane_ws(),
+            || self.lane_ws::<LaneWorkspace<W>>(),
             |pw, block| {
                 let ws = pw.get();
                 ws.run_block_inner(self.snap, block, &self.cfg, |o, ex| fill(o, ex), true);
@@ -792,11 +826,26 @@ impl<'s> Simulation<'s> {
     where
         F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
     {
-        let blocks: Vec<&[NodeId]> = origins.chunks(LANES).collect();
+        match self.lane_width.words_for(origins.len()) {
+            1 => self.sweep_counts_w::<1, F>(origins, fill),
+            2 => self.sweep_counts_w::<2, F>(origins, fill),
+            _ => self.sweep_counts_w::<4, F>(origins, fill),
+        }
+    }
+
+    /// [`Self::run_sweep_reach_counts_with`] monomorphized at width `W`.
+    fn sweep_counts_w<const W: usize, F>(&self, origins: &[NodeId], fill: F) -> Vec<u32>
+    where
+        Lanes<W>: LaneArity,
+        [NodeWords<W>]: AsExclusionLanes,
+        LaneWorkspace<W>: PooledLaneWs,
+        F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
+    {
+        let blocks: Vec<&[NodeId]> = origins.chunks(LaneWorkspace::<W>::BLOCK_LANES).collect();
         let parts: Vec<Vec<u32>> = parallel::parallel_map_ctx(
             &blocks,
             self.threads,
-            || self.lane_ws(),
+            || self.lane_ws::<LaneWorkspace<W>>(),
             |pw, block| {
                 let ws = pw.get();
                 ws.run_block_inner(self.snap, block, &self.cfg, |o, ex| fill(o, ex), false);
@@ -818,11 +867,31 @@ impl<'s> Simulation<'s> {
     where
         F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
     {
-        let blocks: Vec<&[NodeId]> = origins.chunks(LANES).collect();
+        match self.lane_width.words_for(origins.len()) {
+            1 => self.try_sweep_counts_w::<1, F>(origins, fill),
+            2 => self.try_sweep_counts_w::<2, F>(origins, fill),
+            _ => self.try_sweep_counts_w::<4, F>(origins, fill),
+        }
+    }
+
+    /// [`Self::try_run_sweep_reach_counts_with`] monomorphized at `W`.
+    fn try_sweep_counts_w<const W: usize, F>(
+        &self,
+        origins: &[NodeId],
+        fill: F,
+    ) -> Vec<Result<u32, SweepError>>
+    where
+        Lanes<W>: LaneArity,
+        [NodeWords<W>]: AsExclusionLanes,
+        LaneWorkspace<W>: PooledLaneWs,
+        F: Fn(NodeId, &mut LaneExcluder<'_>) + Sync,
+    {
+        let block_lanes = LaneWorkspace::<W>::BLOCK_LANES;
+        let blocks: Vec<&[NodeId]> = origins.chunks(block_lanes).collect();
         let parts = parallel::try_parallel_map_ctx(
             &blocks,
             self.threads,
-            || self.lane_ws(),
+            || self.lane_ws::<LaneWorkspace<W>>(),
             |pw, block| {
                 let ws = pw.get();
                 let mut lane_errs: Vec<(usize, String)> = Vec::new();
@@ -854,7 +923,7 @@ impl<'s> Simulation<'s> {
         );
         let mut out = Vec::with_capacity(origins.len());
         for (bi, part) in parts.into_iter().enumerate() {
-            let base = bi * LANES;
+            let base = bi * block_lanes;
             match part {
                 Ok((counts, errs)) => {
                     let start = out.len();
@@ -864,7 +933,7 @@ impl<'s> Simulation<'s> {
                     }
                 }
                 Err(e) => {
-                    let blk_len = origins.len().min(base + LANES) - base;
+                    let blk_len = origins.len().min(base + block_lanes) - base;
                     out.extend((0..blk_len).map(|k| {
                         Err(SweepError { index: base + k, message: e.message.clone() })
                     }));

@@ -1,21 +1,61 @@
-//! Bit-parallel multi-origin propagation kernel: 64 origins per `u64`.
+//! Bit-parallel multi-origin propagation kernel with width-generic SIMD
+//! lanes: 64, 128, or 256 origins per kernel block.
 //!
 //! Sweeps dominate every headline experiment — the same valley-free
 //! propagation repeated over hundreds or thousands of origins on one
 //! immutable [`TopologySnapshot`]. The scalar engine
 //! ([`crate::engine::Workspace`]) already amortizes allocation, but it
-//! still walks the adjacency once *per origin*. This module packs 64
-//! origins into one `u64` **lane word** per node and runs the three
-//! Gao-Rexford phases word-wise, so a single frontier expansion advances
-//! all 64 origins at once.
+//! still walks the adjacency once *per origin*. This module packs one
+//! origin per bit of a **lane vector** — `W ∈ {1, 2, 4}` `u64` words per
+//! node, i.e. 64/128/256 origins per block — and runs the three
+//! Gao-Rexford phases vector-wise, so a single frontier expansion
+//! advances every origin in the block at once.
+//!
+//! ## Width selection policy
+//!
+//! The lane vector width is a runtime choice, not a compile-time one:
+//!
+//! * [`LaneWidth::Auto`] (the default everywhere) resolves to 256-bit
+//!   lanes (`W = 4`, one AVX2 vector per mask op) when the CPU reports
+//!   AVX2, and 128-bit lanes otherwise — two `u64` words autovectorize
+//!   to one SSE2/NEON vector on every supported target.
+//! * `--lane-width {auto,64,128,256}` overrides the choice end-to-end
+//!   (CLI `serve`/`router`, `bench propagate`); programmatic callers use
+//!   [`Simulation::lane_width`](crate::engine::Simulation::lane_width).
+//! * A sweep never runs wider than its origin count needs: the selected
+//!   width is clamped so a 40-origin sweep uses one-word lanes and a
+//!   100-origin sweep two-word lanes even when 256-bit lanes are
+//!   selected ([`LaneWidth::words_for`]) — upper words would only add
+//!   per-node memory traffic for permanently-empty lanes.
+//!
+//! What widening buys depends on the workload's *reach density*. Wide
+//! blocks win by sharing node visits between lanes: a full-reach sweep
+//! (the serve batch and cache-warm paths) walks the whole graph once
+//! per block instead of once per 64 origins, and measures ~2x faster at
+//! 256 lanes than at 64 on AVX2 (`flatnet bench propagate`, the
+//! `kernel_wide_vs_kernel` ratio). Exclusion-heavy sweeps whose
+//! per-origin reach sets are small and nearly disjoint (the
+//! hierarchy-free workload) have almost no visits to share — every
+//! width does essentially the same traversal work, and the wider
+//! per-node state only adds memory traffic. Lane width never changes
+//! answers, so `Auto` stays the right default; pin `--lane-width 64`
+//! only for workloads known to be sparse.
+//!
+//! The hot loops are straight-line word-parallel code (`for j in 0..W`
+//! over fixed-size arrays) that LLVM autovectorizes for the compile
+//! target's baseline; on x86-64 the whole phase runner is additionally
+//! compiled a second time with the AVX2 target feature enabled and
+//! dispatched at runtime ([`cpu_features`] reports what was detected),
+//! so `[u64; 4]` mask ops run as single 256-bit instructions without
+//! requiring `-C target-cpu=native` builds.
 //!
 //! ## Bit-sliced representation
 //!
-//! Per node `i`, two lane words track route *existence*, not distance:
+//! Per node `i`, two lane vectors track route *existence*, not distance:
 //!
-//! * `c[i]` — bit `k` set ⟺ node `i` has a customer-learned route (or is
-//!   the origin) for lane `k`'s origin — the only class the peer phase
-//!   may export;
+//! * `c[i]` — lane `k` set ⟺ node `i` has a customer-learned route (or
+//!   is the origin) for lane `k`'s origin — the only class the peer
+//!   phase may export;
 //! * `r[i]` — a route of *any* class (customer, peer, or provider): the
 //!   reach set the kernel outputs.
 //!
@@ -25,15 +65,20 @@
 //! itself, so any class split finer than "customer vs any" carries no
 //! information the kernel needs.
 //!
-//! Two more words encode the per-lane policy environment:
+//! Two more vectors encode the per-lane policy environment:
 //!
-//! * `is_origin[i]` — bit `k` set ⟺ node `i` *is* lane `k`'s origin.
-//!   Every origin-relative policy rule (`OnlyDirectFromOrigin`,
+//! * `iso[i]` — lane `k` set ⟺ node `i` *is* lane `k`'s origin. Every
+//!   origin-relative policy rule (`OnlyDirectFromOrigin`,
 //!   `RejectDirectFromOrigin`, origin-export masks, "receiver ≠ origin")
-//!   becomes one AND with this word or its complement.
-//! * `blocked[i]` — bit `k` set ⟺ node `i` is excluded for lane `k`
+//!   becomes one AND with this vector or its complement.
+//! * `blocked[i]` — lane `k` set ⟺ node `i` is excluded for lane `k`
 //!   (the shared exclusion mask broadcast to all lanes, plus any
 //!   per-lane exclusions installed through [`LaneExcluder`]).
+//!
+//! All four live in one [`NodeWords`] struct, cache-line aligned
+//! (32 bytes at `W = 1`, one line at `W = 2`, exactly two lines at
+//! `W = 4`; compile-time asserted) so a frontier edge inspects one or
+//! two lines per receiver instead of four scattered arrays.
 //!
 //! ## Reach-set-only contract
 //!
@@ -46,7 +91,7 @@
 //! Consumers that need per-origin selections, next-hop DAGs, or tie
 //! information must use the scalar [`crate::engine::Workspace`]; the
 //! differential test in `tests/engine_equiv.rs` pins the kernel's reach
-//! words bit-identical to per-origin workspace runs.
+//! words bit-identical to per-origin workspace runs at every width.
 //!
 //! ## Phase equivalence (vs the scalar engine)
 //!
@@ -54,10 +99,10 @@
 //!    guard `dist_c[p] == UNREACHED` becomes `& !c[p]`; the origin's own
 //!    seeded bit blocks re-entry exactly like its `dist_c = 0`.
 //! 2. **Peer phase** — one relaxation over the customer-reached set:
-//!    `r[peer] |= c[v]` masked by policy and `!is_origin[peer]` (the
-//!    scalar `u != origin` test), received where no route exists yet
-//!    (`!r` — a node that already holds a customer route gains nothing
-//!    reach-wise from a peer route).
+//!    `r[peer] |= c[v]` masked by policy and `!iso[peer]` (the scalar
+//!    `u != origin` test), received where no route exists yet (`!r` — a
+//!    node that already holds a customer route gains nothing reach-wise
+//!    from a peer route).
 //! 3. **Provider phase** — closure down customer edges seeded from every
 //!    routed node: `out = r & !blocked`, received into `r` where no
 //!    route exists yet. The scalar engine's distance ordering (bucket
@@ -66,46 +111,282 @@
 //!    set.
 //!
 //! All phases only ever OR bits in, so the fixpoint is unique and the
-//! result is deterministic regardless of frontier order or thread count.
+//! result is deterministic regardless of frontier order, thread count,
+//! or lane width.
 //!
 //! The sweep front ends live on [`Simulation`](crate::engine::Simulation)
-//! (`run_sweep_reach` & friends): origins are chunked into 64-lane
-//! blocks and the blocks fan out over [`crate::parallel`], one
-//! [`LaneWorkspace`] per worker, preserving the engine's zero
-//! steady-state allocation property (asserted by the counting-allocator
-//! smoke in `tests/engine_equiv.rs`).
+//! (`run_sweep_reach` & friends): origins are chunked into
+//! `64 × W`-lane blocks and the blocks fan out over [`crate::parallel`],
+//! one [`LaneWorkspace`] per worker (pooled per width), preserving the
+//! engine's zero steady-state allocation property (asserted by the
+//! counting-allocator smoke in `tests/engine_equiv.rs`).
 
 use crate::engine::TopologySnapshot;
 use crate::propagate::{metrics, ImportPolicy, PropagationConfig};
 use flatnet_asgraph::NodeId;
+use std::sync::Mutex;
 
-/// Origins processed per kernel block: one bit lane per origin.
+/// Origins per lane *word*: one bit lane per origin per `u64`.
 pub const LANES: usize = 64;
 
-/// One node's lane words, kept together so a frontier edge inspects a
-/// single cache line per receiver (`blocked`, `is_origin`, both route
-/// classes) instead of four scattered arrays.
-#[derive(Clone, Copy, Default, Debug)]
-struct NodeWords {
-    /// Customer-route lane word (origin seed included) — the only class
-    /// the peer phase exports.
-    c: u64,
-    /// Any-class route word — the reach set the kernel outputs.
-    r: u64,
-    /// Per-lane exclusion word.
-    blocked: u64,
-    /// Origin-membership word.
-    iso: u64,
+/// Widest supported lane vector, in `u64` words (256 lanes).
+pub const MAX_LANE_WORDS: usize = 4;
+
+/// Origins per kernel block at the widest supported lane width.
+pub const MAX_LANES: usize = LANES * MAX_LANE_WORDS;
+
+/// Runtime-selectable kernel lane width (origins per kernel block).
+///
+/// This is the type `--lane-width` parses into and
+/// [`Simulation::lane_width`](crate::engine::Simulation::lane_width)
+/// accepts; see the [module docs](self) for the selection policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// Pick the widest width the CPU runs well: 256 lanes when AVX2 is
+    /// detected, 128 otherwise (one SSE2/NEON vector per mask op).
+    #[default]
+    Auto,
+    /// One `u64` word per node — 64 origins per block.
+    W64,
+    /// Two words (128-bit lanes) — 128 origins per block.
+    W128,
+    /// Four words (256-bit lanes, one AVX2 vector) — 256 origins per block.
+    W256,
+}
+
+impl LaneWidth {
+    /// Parses a `--lane-width` value: `auto`, `64`, `128`, or `256`.
+    pub fn parse(s: &str) -> Result<LaneWidth, String> {
+        match s {
+            "auto" => Ok(LaneWidth::Auto),
+            "64" => Ok(LaneWidth::W64),
+            "128" => Ok(LaneWidth::W128),
+            "256" => Ok(LaneWidth::W256),
+            other => Err(format!("bad lane width {other:?} (expected auto, 64, 128, or 256)")),
+        }
+    }
+
+    /// Lane words per node at this width; `Auto` resolves via
+    /// [`detected_lane_words`].
+    pub fn words(self) -> usize {
+        match self {
+            LaneWidth::Auto => detected_lane_words(),
+            LaneWidth::W64 => 1,
+            LaneWidth::W128 => 2,
+            LaneWidth::W256 => 4,
+        }
+    }
+
+    /// Origins per kernel block at this width (`Auto` resolved).
+    pub fn lanes(self) -> usize {
+        LANES * self.words()
+    }
+
+    /// Lane words actually used for a sweep of `n_origins`: the selected
+    /// (or detected) width, clamped down when a narrower width already
+    /// fits every origin in one block — upper words would only add
+    /// per-node memory traffic for permanently-empty lanes.
+    pub fn words_for(self, n_origins: usize) -> usize {
+        let need = match n_origins.div_ceil(LANES) {
+            0 | 1 => 1,
+            2 => 2,
+            _ => MAX_LANE_WORDS,
+        };
+        self.words().min(need)
+    }
+}
+
+/// Lane words per node that [`LaneWidth::Auto`] resolves to on this CPU:
+/// 4 (256-bit lanes) when AVX2 is available, else 2 (one SSE2/NEON
+/// vector).
+pub fn detected_lane_words() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            4
+        } else {
+            2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        2
+    }
+}
+
+/// SIMD features relevant to the kernel, as detected at runtime.
+/// Recorded in `flatnet bench propagate` reports so baselines measured
+/// on different runners are comparable.
+pub fn cpu_features() -> Vec<&'static str> {
+    #[allow(unused_mut)]
+    let mut f: Vec<&'static str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        f.push("sse2");
+        if std::arch::is_x86_feature_detected!("avx2") {
+            f.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            f.push("avx512f");
+        }
+        if std::arch::is_x86_feature_detected!("avx512vpopcntdq") {
+            f.push("avx512vpopcntdq");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            f.push("neon");
+        }
+    }
+    f
+}
+
+/// Zero-sized 32-byte-alignment marker (see [`LaneArity`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(align(32))]
+pub struct Align32;
+
+/// Zero-sized cache-line-alignment marker (see [`LaneArity`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct Align64;
+
+/// Ties a supported lane width to its [`NodeWords`] alignment: 32 bytes
+/// at `W = 1` (two nodes per cache line, never straddling one) and a
+/// full cache line at `W = 2` and `W = 4` (one and exactly two lines per
+/// node). Implemented for [`Lanes<1>`], [`Lanes<2>`], and [`Lanes<4>`]
+/// only — the width set the kernel supports.
+pub trait LaneArity {
+    /// Zero-sized alignment marker embedded in [`NodeWords`].
+    type Align: Copy + Clone + std::fmt::Debug + Default + PartialEq + Eq + Send + Sync;
+}
+
+/// Width-selector type: `Lanes<W>` implements [`LaneArity`] for each
+/// supported lane width `W ∈ {1, 2, 4}`, which is how width-generic code
+/// states "W is a supported width" as a bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Lanes<const W: usize>;
+
+impl LaneArity for Lanes<1> {
+    type Align = Align32;
+}
+impl LaneArity for Lanes<2> {
+    type Align = Align64;
+}
+impl LaneArity for Lanes<4> {
+    type Align = Align64;
+}
+
+/// One node's lane vectors, kept together (and cache-line aligned, see
+/// [`LaneArity`]) so a frontier edge inspects one or two cache lines per
+/// receiver (`blocked`, `iso`, both route classes) instead of four
+/// scattered arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[doc(hidden)]
+pub struct NodeWords<const W: usize>
+where
+    Lanes<W>: LaneArity,
+{
+    _align: [<Lanes<W> as LaneArity>::Align; 0],
+    /// Customer-route lanes (origin seed included) — the only class the
+    /// peer phase exports.
+    c: [u64; W],
+    /// Any-class route lanes — the reach set the kernel outputs.
+    r: [u64; W],
+    /// Per-lane exclusion lanes.
+    blocked: [u64; W],
+    /// Origin-membership lanes.
+    iso: [u64; W],
+}
+
+impl<const W: usize> Default for NodeWords<W>
+where
+    Lanes<W>: LaneArity,
+{
+    fn default() -> Self {
+        NodeWords { _align: [], c: [0; W], r: [0; W], blocked: [0; W], iso: [0; W] }
+    }
+}
+
+// A node's lane vectors must never straddle cache lines: 32-byte nodes
+// are 32-aligned (two per line), 64-byte nodes fill one line, 128-byte
+// nodes fill exactly two. Checked at compile time so a field reorder or
+// width addition cannot silently regress the kernel's memory layout.
+const _: () = {
+    assert!(std::mem::size_of::<NodeWords<1>>() == 32);
+    assert!(std::mem::align_of::<NodeWords<1>>() == 32);
+    assert!(std::mem::size_of::<NodeWords<2>>() == 64);
+    assert!(std::mem::align_of::<NodeWords<2>>() == 64);
+    assert!(std::mem::size_of::<NodeWords<4>>() == 128);
+    assert!(std::mem::align_of::<NodeWords<4>>() == 64);
+    assert!(std::mem::size_of::<NodeWords<4>>().is_multiple_of(std::mem::align_of::<NodeWords<4>>()));
+};
+
+/// OR-reduction of a lane vector — zero iff no lane is set.
+#[inline(always)]
+fn or_all<const W: usize>(a: &[u64; W]) -> u64 {
+    let mut x = 0u64;
+    for &w in a.iter() {
+        x |= w;
+    }
+    x
+}
+
+/// Width-erased view of the per-node `blocked` lanes, so one
+/// [`LaneExcluder`] type (and every fill closure written against it)
+/// works for every lane width. An implementation detail of
+/// [`LaneExcluder`]; not constructible outside the crate.
+#[derive(Debug)]
+#[doc(hidden)]
+pub enum ExclusionLanes<'w> {
+    #[doc(hidden)]
+    W1(&'w mut [NodeWords<1>]),
+    #[doc(hidden)]
+    W2(&'w mut [NodeWords<2>]),
+    #[doc(hidden)]
+    W4(&'w mut [NodeWords<4>]),
+}
+
+/// Wraps a node-words slice into the width-erased [`ExclusionLanes`]
+/// view; implemented per supported width so width-generic kernel code
+/// can construct a [`LaneExcluder`] without naming its own `W`.
+/// An implementation detail of [`LaneWorkspace`].
+#[doc(hidden)]
+pub trait AsExclusionLanes {
+    #[doc(hidden)]
+    fn as_exclusion_lanes(&mut self) -> ExclusionLanes<'_>;
+}
+
+impl AsExclusionLanes for [NodeWords<1>] {
+    fn as_exclusion_lanes(&mut self) -> ExclusionLanes<'_> {
+        ExclusionLanes::W1(self)
+    }
+}
+impl AsExclusionLanes for [NodeWords<2>] {
+    fn as_exclusion_lanes(&mut self) -> ExclusionLanes<'_> {
+        ExclusionLanes::W2(self)
+    }
+}
+impl AsExclusionLanes for [NodeWords<4>] {
+    fn as_exclusion_lanes(&mut self) -> ExclusionLanes<'_> {
+        ExclusionLanes::W4(self)
+    }
 }
 
 /// Per-lane exclusion writer handed to the fill callbacks of
 /// [`Simulation::run_sweep_reach_with`](crate::engine::Simulation::run_sweep_reach_with):
 /// marks nodes as excluded *for the current origin's lane only*, the
-/// word-parallel replacement for refilling a `Vec<bool>` mask per origin.
+/// word-parallel replacement for refilling a `Vec<bool>` mask per
+/// origin. Width-erased: the same fill closure drives 64-, 128-, and
+/// 256-lane blocks.
 #[derive(Debug)]
 pub struct LaneExcluder<'w> {
-    words: &'w mut [NodeWords],
+    lanes: ExclusionLanes<'w>,
     blocked_touched: &'w mut Vec<u32>,
+    /// Lane word holding this origin's bit.
+    word: usize,
+    /// This origin's bit within that word.
     bit: u64,
 }
 
@@ -118,49 +399,91 @@ impl LaneExcluder<'_> {
     #[inline]
     pub fn exclude(&mut self, node: NodeId) {
         let i = node.idx();
-        if self.words[i].blocked == 0 {
-            self.blocked_touched.push(node.0);
+        match &mut self.lanes {
+            ExclusionLanes::W1(w) => {
+                if or_all(&w[i].blocked) == 0 {
+                    self.blocked_touched.push(node.0);
+                }
+                w[i].blocked[self.word] |= self.bit;
+            }
+            ExclusionLanes::W2(w) => {
+                if or_all(&w[i].blocked) == 0 {
+                    self.blocked_touched.push(node.0);
+                }
+                w[i].blocked[self.word] |= self.bit;
+            }
+            ExclusionLanes::W4(w) => {
+                if or_all(&w[i].blocked) == 0 {
+                    self.blocked_touched.push(node.0);
+                }
+                w[i].blocked[self.word] |= self.bit;
+            }
         }
-        self.words[i].blocked |= self.bit;
     }
 
     /// Clears `node`'s exclusion for this lane (the mirror of the scalar
     /// sweeps' `mask[origin] = false` after a blanket tier fill).
     #[inline]
     pub fn allow(&mut self, node: NodeId) {
-        self.words[node.idx()].blocked &= !self.bit;
+        let i = node.idx();
+        match &mut self.lanes {
+            ExclusionLanes::W1(w) => w[i].blocked[self.word] &= !self.bit,
+            ExclusionLanes::W2(w) => w[i].blocked[self.word] &= !self.bit,
+            ExclusionLanes::W4(w) => w[i].blocked[self.word] &= !self.bit,
+        }
     }
 }
 
-/// Reusable state for the bit-parallel kernel: the per-node lane words,
-/// frontier queues, and the transposed output.
-/// Create once per worker (or via
+/// Reusable state for the bit-parallel kernel at lane width `W` words
+/// (64·W origins per block): the per-node lane vectors, frontier queues,
+/// and the transposed output. Create once per worker (or via
 /// [`LaneWorkspace::for_snapshot`]) and run many blocks through it —
-/// after the first block a run performs no heap allocation.
+/// after the first block a run performs no heap allocation. The default
+/// width parameter keeps plain `LaneWorkspace` meaning the one-word
+/// 64-lane kernel.
 #[derive(Debug)]
-pub struct LaneWorkspace {
-    /// Per-node lane words (route classes + policy environment).
-    words: Vec<NodeWords>,
+pub struct LaneWorkspace<const W: usize = 1>
+where
+    Lanes<W>: LaneArity,
+{
+    /// Per-node lane vectors (route classes + policy environment).
+    words: Vec<NodeWords<W>>,
     /// Nodes with any route bit — the undo list for O(reached) resets.
     touched: Vec<u32>,
     /// Nodes with any blocked bit (undo list).
     blocked_touched: Vec<u32>,
-    /// Nodes with any is_origin bit (undo list).
+    /// Nodes with any iso bit (undo list).
     origin_touched: Vec<u32>,
     frontier: Vec<u32>,
     next: Vec<u32>,
     queued: Vec<bool>,
+    /// Per-node "no further adds possible" flags: set once `r | blocked`
+    /// covers every active lane. Receiver visits in the peer and
+    /// customer phases then skip the node on a one-byte read instead of
+    /// loading its `NodeWords` (two cache lines at the widest width) —
+    /// in dense sweeps most late-round edge visits hit saturated
+    /// receivers, so this is where the wide widths win their memory
+    /// traffic back.
+    sat: Vec<u8>,
+    /// Bitmask of the current block's active lanes (lane `k` set iff
+    /// `k < block_len`), the saturation reference.
+    lane_mask: [u64; W],
     /// Transposed reach sets, lane-major: lane `k`'s words at
     /// `out[k * words_per .. (k + 1) * words_per]`.
     out: Vec<u64>,
-    /// Raw per-lane reach popcounts (origin bit included).
-    counts: [u32; LANES],
+    /// Raw per-lane reach popcounts (origin bit included). Sized for the
+    /// widest width so the array (1 KiB) needs no const-generic length
+    /// arithmetic; only the first `64·W` entries are ever set.
+    counts: [u32; MAX_LANES],
     /// Origins of the most recent block, in lane order.
     block_len: usize,
     n: usize,
 }
 
-impl Default for LaneWorkspace {
+impl<const W: usize> Default for LaneWorkspace<W>
+where
+    Lanes<W>: LaneArity,
+{
     fn default() -> Self {
         LaneWorkspace {
             words: Vec::new(),
@@ -170,15 +493,24 @@ impl Default for LaneWorkspace {
             frontier: Vec::new(),
             next: Vec::new(),
             queued: Vec::new(),
+            sat: Vec::new(),
+            lane_mask: [0; W],
             out: Vec::new(),
-            counts: [0; LANES],
+            counts: [0; MAX_LANES],
             block_len: 0,
             n: 0,
         }
     }
 }
 
-impl LaneWorkspace {
+impl<const W: usize> LaneWorkspace<W>
+where
+    Lanes<W>: LaneArity,
+    [NodeWords<W>]: AsExclusionLanes,
+{
+    /// Origins per kernel block at this workspace's width.
+    pub const BLOCK_LANES: usize = LANES * W;
+
     /// An empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()
@@ -204,16 +536,22 @@ impl LaneWorkspace {
     /// fixed topology a reset is O(previously reached), not O(n).
     fn begin(&mut self, n: usize, materialize: bool) {
         if self.words.len() == n {
+            // `sat` implies `r | blocked` is non-zero, so every saturated
+            // node sits on one of these two undo lists and the reset
+            // stays O(reached).
             for t in 0..self.touched.len() {
                 let i = self.touched[t] as usize;
-                self.words[i].c = 0;
-                self.words[i].r = 0;
+                self.words[i].c = [0; W];
+                self.words[i].r = [0; W];
+                self.sat[i] = 0;
             }
             for t in 0..self.blocked_touched.len() {
-                self.words[self.blocked_touched[t] as usize].blocked = 0;
+                let i = self.blocked_touched[t] as usize;
+                self.words[i].blocked = [0; W];
+                self.sat[i] = 0;
             }
             for t in 0..self.origin_touched.len() {
-                self.words[self.origin_touched[t] as usize].iso = 0;
+                self.words[self.origin_touched[t] as usize].iso = [0; W];
             }
             // A panic mid-block (a fill callback indexing out of bounds)
             // can leave entries queued; drain the flags so a reused
@@ -226,6 +564,8 @@ impl LaneWorkspace {
             self.words.resize(n, NodeWords::default());
             self.queued.clear();
             self.queued.resize(n, false);
+            self.sat.clear();
+            self.sat.resize(n, 0);
             self.frontier.clear();
             self.next.clear();
         }
@@ -234,20 +574,20 @@ impl LaneWorkspace {
         self.origin_touched.clear();
         self.n = n;
         if materialize {
-            let need = LANES * self.words_per();
+            let need = Self::BLOCK_LANES * self.words_per();
             if self.out.len() != need {
                 self.out.clear();
                 self.out.resize(need, 0);
             }
         }
-        self.counts = [0; LANES];
+        self.counts = [0; MAX_LANES];
     }
 
     /// First-touch bookkeeping for the undo list; call before OR-ing the
     /// first route bit into node `i`.
     #[inline]
     fn touch(&mut self, i: u32) {
-        if self.words[i as usize].r == 0 {
+        if or_all(&self.words[i as usize].r) == 0 {
             self.touched.push(i);
         }
     }
@@ -257,9 +597,14 @@ impl LaneWorkspace {
         self.block_len
     }
 
-    /// Runs one block of up to [`LANES`] origins over `snap` under
-    /// `cfg`; results are read through [`LaneWorkspace::lane_reach_words`]
-    /// and [`LaneWorkspace::lane_reachable_count`].
+    /// Lane words per node at this workspace's width.
+    pub fn lane_words(&self) -> usize {
+        W
+    }
+
+    /// Runs one block of up to `64·W` origins over `snap` under `cfg`;
+    /// results are read through [`LaneWorkspace::lane_reach_words`] and
+    /// [`LaneWorkspace::lane_reachable_count`].
     pub fn run_block(&mut self, snap: &TopologySnapshot, origins: &[NodeId], cfg: &PropagationConfig) {
         self.run_block_inner(snap, origins, cfg, |_, _| {}, true);
     }
@@ -288,7 +633,12 @@ impl LaneWorkspace {
         mut fill: impl FnMut(NodeId, &mut LaneExcluder<'_>),
         materialize: bool,
     ) {
-        assert!(origins.len() <= LANES, "a kernel block holds at most {LANES} origins");
+        assert!(
+            origins.len() <= Self::BLOCK_LANES,
+            "a {}-lane kernel block holds at most {} origins",
+            Self::BLOCK_LANES,
+            Self::BLOCK_LANES
+        );
         let n = snap.len();
         let obs = metrics();
         obs.runs.add(origins.len() as u64);
@@ -299,30 +649,39 @@ impl LaneWorkspace {
         if n == 0 || origins.is_empty() {
             return;
         }
+        for j in 0..W {
+            let lanes_here = origins.len().saturating_sub(j * 64).min(64);
+            self.lane_mask[j] = match lanes_here {
+                0 => 0,
+                64 => !0,
+                l => (1u64 << l) - 1,
+            };
+        }
         let pol = cfg.view();
 
         // Broadcast the shared exclusion mask to all lanes.
         if let Some(mask) = pol.excluded {
             for (i, &ex) in mask.iter().enumerate() {
                 if ex {
-                    if self.words[i].blocked == 0 {
+                    if or_all(&self.words[i].blocked) == 0 {
                         self.blocked_touched.push(i as u32);
                     }
-                    self.words[i].blocked = !0u64;
+                    self.words[i].blocked = [!0u64; W];
                 }
             }
         }
         // Per-lane exclusions + origin membership.
         for (k, &o) in origins.iter().enumerate() {
-            let bit = 1u64 << k;
+            let (word, bit) = (k >> 6, 1u64 << (k & 63));
             let oi = o.idx();
-            if self.words[oi].iso == 0 {
+            if or_all(&self.words[oi].iso) == 0 {
                 self.origin_touched.push(o.0);
             }
-            self.words[oi].iso |= bit;
+            self.words[oi].iso[word] |= bit;
             let mut ex = LaneExcluder {
-                words: &mut self.words,
+                lanes: self.words.as_mut_slice().as_exclusion_lanes(),
                 blocked_touched: &mut self.blocked_touched,
+                word,
                 bit,
             };
             fill(o, &mut ex);
@@ -331,14 +690,14 @@ impl LaneWorkspace {
         // (the scalar engine's `dist_c[origin] = 0`); an excluded origin
         // leaves its lane empty, matching the scalar empty outcome.
         for (k, &o) in origins.iter().enumerate() {
-            let bit = 1u64 << k;
+            let (word, bit) = (k >> 6, 1u64 << (k & 63));
             let oi = o.idx();
-            if self.words[oi].blocked & bit != 0 {
+            if self.words[oi].blocked[word] & bit != 0 {
                 continue;
             }
             self.touch(o.0);
-            self.words[oi].c |= bit;
-            self.words[oi].r |= bit;
+            self.words[oi].c[word] |= bit;
+            self.words[oi].r[word] |= bit;
             if !self.queued[oi] {
                 self.queued[oi] = true;
                 self.frontier.push(o.0);
@@ -348,75 +707,132 @@ impl LaneWorkspace {
         // Sweep workloads (mask-only policies) take the specialized path
         // where the per-edge policy checks compile out entirely.
         let rounds = if pol.import.is_none() && pol.origin_export.is_none() {
-            self.run_phases::<false>(snap, None, None)
+            self.dispatch_phases::<false>(snap, None, None)
         } else {
-            self.run_phases::<true>(snap, pol.import, pol.origin_export)
+            self.dispatch_phases::<true>(snap, pol.import, pol.origin_export)
         };
         obs.kernel_rounds.add(rounds);
 
         // Counts-only blocks with sparse reach sets skip the transpose:
         // iterating the set bits of the touched nodes costs one step per
         // (origin, node) reach pair, which beats the fixed
-        // ~8-ops-per-node transpose until the block is about 1/8 full.
+        // ~8-ops-per-word-per-node transpose until the block is about
+        // 1/8 full.
         let words_per = self.words_per();
         let sparse = !materialize && {
             let mut bits = 0u64;
             for t in 0..self.touched.len() {
-                bits += self.words[self.touched[t] as usize].r.count_ones() as u64;
+                let r = &self.words[self.touched[t] as usize].r;
+                for &w in r.iter() {
+                    bits += w.count_ones() as u64;
+                }
             }
-            (bits as usize) < 8 * n
+            (bits as usize) < 8 * n * W
         };
         if sparse {
             for t in 0..self.touched.len() {
-                let mut w = self.words[self.touched[t] as usize].r;
-                while w != 0 {
-                    self.counts[w.trailing_zeros() as usize] += 1;
-                    w &= w - 1;
+                let r = self.words[self.touched[t] as usize].r;
+                for (j, &word) in r.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        self.counts[j * 64 + w.trailing_zeros() as usize] += 1;
+                        w &= w - 1;
+                    }
                 }
             }
         } else {
             // Transpose node-major lane words into origin-major reach
-            // rows, accumulating per-lane popcounts. Nodes past `n` in
-            // the last group are zero-padded, so tail words mask
-            // themselves.
+            // rows, accumulating per-lane popcounts: one 64×64 transpose
+            // per (64-node group, lane word). Nodes past `n` in the last
+            // group are zero-padded, so tail words mask themselves; lane
+            // words wholly past `block_len` are skipped.
             let mut buf = [0u64; 64];
             for gb in 0..words_per {
                 let base = gb * 64;
                 let lim = (n - base).min(64);
-                let mut any = 0u64;
-                for (r, b) in buf.iter_mut().enumerate().take(lim) {
-                    let i = base + r;
-                    *b = self.words[i].r;
-                    any |= *b;
-                }
-                for b in buf.iter_mut().take(64).skip(lim) {
-                    *b = 0;
-                }
-                if any == 0 {
-                    if materialize {
-                        for k in 0..self.block_len {
-                            self.out[k * words_per + gb] = 0;
+                for j in 0..W {
+                    let lanes_here = self.block_len.saturating_sub(j * 64).min(64);
+                    if lanes_here == 0 {
+                        break;
+                    }
+                    let mut any = 0u64;
+                    for (r, b) in buf.iter_mut().enumerate().take(lim) {
+                        *b = self.words[base + r].r[j];
+                        any |= *b;
+                    }
+                    for b in buf.iter_mut().take(64).skip(lim) {
+                        *b = 0;
+                    }
+                    if any == 0 {
+                        if materialize {
+                            for k in 0..lanes_here {
+                                self.out[(j * 64 + k) * words_per + gb] = 0;
+                            }
                         }
+                        continue;
                     }
-                    continue;
-                }
-                transpose64(&mut buf);
-                for (k, &w) in buf.iter().enumerate().take(self.block_len) {
-                    if materialize {
-                        self.out[k * words_per + gb] = w;
+                    transpose64(&mut buf);
+                    for (k, &w) in buf.iter().enumerate().take(lanes_here) {
+                        if materialize {
+                            self.out[(j * 64 + k) * words_per + gb] = w;
+                        }
+                        self.counts[j * 64 + k] += w.count_ones();
                     }
-                    self.counts[k] += w.count_ones();
                 }
             }
         }
         obs.kernel_block_us.record_us(started.elapsed().as_micros() as u64);
     }
 
-    /// The three Gao-Rexford phases, word-wise. Monomorphized twice:
-    /// `POL = false` is the fast path for mask-only sweeps (`imp` and
-    /// `oe` must be `None`) where every per-edge policy branch compiles
-    /// out; `POL = true` keeps the full per-receiver policy algebra.
+    /// Routes a block to the widest phase runner the CPU supports: on
+    /// x86-64 with AVX2, the phase loops are recompiled with 256-bit
+    /// vectors enabled ([`Self::run_phases_avx2`]); everywhere else the
+    /// portable build's autovectorization applies.
+    #[inline]
+    fn dispatch_phases<const POL: bool>(
+        &mut self,
+        snap: &TopologySnapshot,
+        imp: Option<&[ImportPolicy]>,
+        oe: Option<&[bool]>,
+    ) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if W >= 2 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence is verified at runtime; the wrapper
+            // only widens codegen of portable word-parallel loops.
+            return unsafe { self.run_phases_avx2::<POL>(snap, imp, oe) };
+        }
+        self.run_phases::<POL>(snap, imp, oe)
+    }
+
+    /// [`Self::run_phases`] compiled with the AVX2 target feature, so
+    /// the `[u64; W]` mask ops in the phase loops become 256-bit vector
+    /// instructions without a `-C target-cpu` build flag. Correctness is
+    /// untouched — it is the same portable code, recompiled.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_phases_avx2<const POL: bool>(
+        &mut self,
+        snap: &TopologySnapshot,
+        imp: Option<&[ImportPolicy]>,
+        oe: Option<&[bool]>,
+    ) -> u64 {
+        self.run_phases::<POL>(snap, imp, oe)
+    }
+
+    /// The three Gao-Rexford phases, lane-vector-wise. Monomorphized
+    /// twice per width: `POL = false` is the fast path for mask-only
+    /// sweeps (`imp` and `oe` must be `None`) where every per-edge
+    /// policy branch compiles out; `POL = true` keeps the full
+    /// per-receiver policy algebra. Every mask op is a straight-line
+    /// `for j in 0..W` loop over fixed-size arrays — the shape LLVM
+    /// autovectorizes — and the whole function is additionally compiled
+    /// under the AVX2 target feature (see [`Self::dispatch_phases`]).
     /// Returns the number of BFS rounds for the kernel-rounds counter.
+    // The indexed `for j in 0..W` loops are the point: every lane array
+    // is walked in lockstep by one counter, the exact shape LLVM turns
+    // into single vector ops. Iterator zips obscure that contract.
+    #[allow(clippy::needless_range_loop)]
+    #[inline(always)]
     fn run_phases<const POL: bool>(
         &mut self,
         snap: &TopologySnapshot,
@@ -433,17 +849,27 @@ impl LaneWorkspace {
                 let u = self.frontier[f];
                 let ui = u as usize;
                 self.queued[ui] = false;
-                let wu = self.words[ui];
-                let send = wu.c & !wu.blocked;
-                if send == 0 {
-                    continue;
+                let wu = &self.words[ui];
+                let mut send = [0u64; W];
+                for j in 0..W {
+                    send[j] = wu.c[j] & !wu.blocked[j];
                 }
                 let iso_u = wu.iso;
+                if or_all(&send) == 0 {
+                    continue;
+                }
                 for &pi in snap.providers(u) {
                     let pu = pi as usize;
-                    let wp = self.words[pu];
-                    let mut add = send & !wp.blocked & !wp.c;
-                    if add == 0 {
+                    // Borrow the receiver in place: a by-value copy here
+                    // would move 32*W bytes per edge visit (128 B at the
+                    // widest width), which at wide widths costs more than
+                    // the mask algebra itself.
+                    let wp = &mut self.words[pu];
+                    let mut add = [0u64; W];
+                    for j in 0..W {
+                        add[j] = send[j] & !wp.blocked[j] & !wp.c[j];
+                    }
+                    if or_all(&add) == 0 {
                         continue;
                     }
                     if POL {
@@ -451,24 +877,41 @@ impl LaneWorkspace {
                             match imp[pu] {
                                 ImportPolicy::Normal => {}
                                 ImportPolicy::Never => continue,
-                                ImportPolicy::OnlyDirectFromOrigin => add &= iso_u,
-                                ImportPolicy::RejectDirectFromOrigin => add &= !iso_u,
+                                ImportPolicy::OnlyDirectFromOrigin => {
+                                    for j in 0..W {
+                                        add[j] &= iso_u[j];
+                                    }
+                                }
+                                ImportPolicy::RejectDirectFromOrigin => {
+                                    for j in 0..W {
+                                        add[j] &= !iso_u[j];
+                                    }
+                                }
                             }
                         }
                         if let Some(m) = oe {
                             if !m[pu] {
-                                add &= !iso_u;
+                                for j in 0..W {
+                                    add[j] &= !iso_u[j];
+                                }
                             }
                         }
-                        if add == 0 {
+                        if or_all(&add) == 0 {
                             continue;
                         }
                     }
-                    if wp.r == 0 {
+                    if or_all(&wp.r) == 0 {
                         self.touched.push(pi);
                     }
-                    self.words[pu].c |= add;
-                    self.words[pu].r |= add;
+                    // No saturation bookkeeping here: phase-1 receivers
+                    // are guarded by `c`, not `r`, so they never consult
+                    // `sat`, and phases 2/3 refresh the flag on their own
+                    // updates. Keeping phase 1 lean matters for sparse
+                    // exclusion-heavy sweeps where it does most adds.
+                    for j in 0..W {
+                        wp.c[j] |= add[j];
+                        wp.r[j] |= add[j];
+                    }
                     if !self.queued[pu] {
                         self.queued[pu] = true;
                         self.next.push(pi);
@@ -485,17 +928,28 @@ impl LaneWorkspace {
         for t in 0..customer_reached {
             let v = self.touched[t];
             let vi = v as usize;
-            let wv = self.words[vi];
-            let send = wv.c & !wv.blocked;
-            if send == 0 {
-                continue;
+            let wv = &self.words[vi];
+            let mut send = [0u64; W];
+            for j in 0..W {
+                send[j] = wv.c[j] & !wv.blocked[j];
             }
             let iso_v = wv.iso;
+            if or_all(&send) == 0 {
+                continue;
+            }
             for &ui in snap.peers(v) {
                 let uu = ui as usize;
-                let wu = self.words[uu];
-                let mut add = send & !wu.blocked & !wu.iso & !wu.r;
-                if add == 0 {
+                // Saturated receivers can never take another bit; the
+                // one-byte flag spares the two-cache-line struct load.
+                if self.sat[uu] != 0 {
+                    continue;
+                }
+                let wu = &mut self.words[uu];
+                let mut add = [0u64; W];
+                for j in 0..W {
+                    add[j] = send[j] & !wu.blocked[j] & !wu.iso[j] & !wu.r[j];
+                }
+                if or_all(&add) == 0 {
                     continue;
                 }
                 if POL {
@@ -503,23 +957,40 @@ impl LaneWorkspace {
                         match imp[uu] {
                             ImportPolicy::Normal => {}
                             ImportPolicy::Never => continue,
-                            ImportPolicy::OnlyDirectFromOrigin => add &= iso_v,
-                            ImportPolicy::RejectDirectFromOrigin => add &= !iso_v,
+                            ImportPolicy::OnlyDirectFromOrigin => {
+                                for j in 0..W {
+                                    add[j] &= iso_v[j];
+                                }
+                            }
+                            ImportPolicy::RejectDirectFromOrigin => {
+                                for j in 0..W {
+                                    add[j] &= !iso_v[j];
+                                }
+                            }
                         }
                     }
                     if let Some(m) = oe {
                         if !m[uu] {
-                            add &= !iso_v;
+                            for j in 0..W {
+                                add[j] &= !iso_v[j];
+                            }
                         }
                     }
-                    if add == 0 {
+                    if or_all(&add) == 0 {
                         continue;
                     }
                 }
-                if wu.r == 0 {
+                if or_all(&wu.r) == 0 {
                     self.touched.push(ui);
                 }
-                self.words[uu].r |= add;
+                let mut full = true;
+                for j in 0..W {
+                    wu.r[j] |= add[j];
+                    full &= (wu.r[j] | wu.blocked[j]) & self.lane_mask[j] == self.lane_mask[j];
+                }
+                if full {
+                    self.sat[uu] = 1;
+                }
             }
         }
 
@@ -539,17 +1010,29 @@ impl LaneWorkspace {
                 let u = self.frontier[f];
                 let ui = u as usize;
                 self.queued[ui] = false;
-                let wu = self.words[ui];
-                let send = wu.r & !wu.blocked;
-                if send == 0 {
-                    continue;
+                let wu = &self.words[ui];
+                let mut send = [0u64; W];
+                for j in 0..W {
+                    send[j] = wu.r[j] & !wu.blocked[j];
                 }
                 let iso_u = wu.iso;
+                if or_all(&send) == 0 {
+                    continue;
+                }
                 for &xi in snap.customers(u) {
                     let xu = xi as usize;
-                    let wx = self.words[xu];
-                    let mut add = send & !wx.blocked & !wx.iso & !wx.r;
-                    if add == 0 {
+                    // Same one-byte skip as the peer phase: in dense
+                    // sweeps most late-round visits land on saturated
+                    // nodes.
+                    if self.sat[xu] != 0 {
+                        continue;
+                    }
+                    let wx = &mut self.words[xu];
+                    let mut add = [0u64; W];
+                    for j in 0..W {
+                        add[j] = send[j] & !wx.blocked[j] & !wx.iso[j] & !wx.r[j];
+                    }
+                    if or_all(&add) == 0 {
                         continue;
                     }
                     if POL {
@@ -557,23 +1040,40 @@ impl LaneWorkspace {
                             match imp[xu] {
                                 ImportPolicy::Normal => {}
                                 ImportPolicy::Never => continue,
-                                ImportPolicy::OnlyDirectFromOrigin => add &= iso_u,
-                                ImportPolicy::RejectDirectFromOrigin => add &= !iso_u,
+                                ImportPolicy::OnlyDirectFromOrigin => {
+                                    for j in 0..W {
+                                        add[j] &= iso_u[j];
+                                    }
+                                }
+                                ImportPolicy::RejectDirectFromOrigin => {
+                                    for j in 0..W {
+                                        add[j] &= !iso_u[j];
+                                    }
+                                }
                             }
                         }
                         if let Some(m) = oe {
                             if !m[xu] {
-                                add &= !iso_u;
+                                for j in 0..W {
+                                    add[j] &= !iso_u[j];
+                                }
                             }
                         }
-                        if add == 0 {
+                        if or_all(&add) == 0 {
                             continue;
                         }
                     }
-                    if wx.r == 0 {
+                    if or_all(&wx.r) == 0 {
                         self.touched.push(xi);
                     }
-                    self.words[xu].r |= add;
+                    let mut full = true;
+                    for j in 0..W {
+                        wx.r[j] |= add[j];
+                        full &= (wx.r[j] | wx.blocked[j]) & self.lane_mask[j] == self.lane_mask[j];
+                    }
+                    if full {
+                        self.sat[xu] = 1;
+                    }
                     if !self.queued[xu] {
                         self.queued[xu] = true;
                         self.next.push(xi);
@@ -604,6 +1104,46 @@ impl LaneWorkspace {
     }
 }
 
+/// Width-segregated pools of warm [`LaneWorkspace`]s, held by
+/// [`Simulation`](crate::engine::Simulation): repeated sweeps reuse
+/// buffers (and their faulted-in pages) instead of reallocating, and a
+/// width change simply draws from a different pool — earlier widths'
+/// workspaces stay warm for the next sweep at their width.
+#[derive(Debug, Default)]
+pub(crate) struct LanePools {
+    w1: Mutex<Vec<LaneWorkspace<1>>>,
+    w2: Mutex<Vec<LaneWorkspace<2>>>,
+    w4: Mutex<Vec<LaneWorkspace<4>>>,
+}
+
+/// Checkout/return of a width's workspace from [`LanePools`];
+/// implemented per supported width so width-generic engine code can pool
+/// without naming its own `W`.
+pub(crate) trait PooledLaneWs: Sized {
+    fn take(pools: &LanePools) -> Option<Self>;
+    fn put(pools: &LanePools, ws: Self);
+    fn for_snapshot(snap: &TopologySnapshot) -> Self;
+}
+
+macro_rules! impl_pooled {
+    ($w:literal, $field:ident) => {
+        impl PooledLaneWs for LaneWorkspace<$w> {
+            fn take(pools: &LanePools) -> Option<Self> {
+                pools.$field.lock().unwrap_or_else(|e| e.into_inner()).pop()
+            }
+            fn put(pools: &LanePools, ws: Self) {
+                pools.$field.lock().unwrap_or_else(|e| e.into_inner()).push(ws);
+            }
+            fn for_snapshot(snap: &TopologySnapshot) -> Self {
+                LaneWorkspace::for_snapshot(snap)
+            }
+        }
+    };
+}
+impl_pooled!(1, w1);
+impl_pooled!(2, w2);
+impl_pooled!(4, w4);
+
 /// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3 scaled to
 /// 64 bits): afterwards, bit `i` of `a[j]` is what bit `j` of `a[i]` was.
 pub(crate) fn transpose64(a: &mut [u64; 64]) {
@@ -626,7 +1166,7 @@ pub(crate) fn transpose64(a: &mut [u64; 64]) {
 /// ([`Simulation::run_sweep_reach`](crate::engine::Simulation::run_sweep_reach)):
 /// one word-packed reach bitset per origin, in input order, bit-identical
 /// to what a per-origin [`Workspace`](crate::engine::Workspace) run
-/// would produce.
+/// would produce — regardless of the lane width that computed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepReach {
     n: usize,
@@ -726,6 +1266,41 @@ mod tests {
         // An involution: transposing twice restores the original.
         transpose64(&mut t);
         assert_eq!(t, a);
+    }
+
+    #[test]
+    fn node_words_never_straddle_cache_lines() {
+        // Mirrors the compile-time asserts, visible in test output: a
+        // node's lane vectors fit 32/64/128 bytes at width-appropriate
+        // alignment, so no vector crosses a 64-byte line boundary.
+        assert_eq!(std::mem::size_of::<NodeWords<1>>(), 32);
+        assert_eq!(std::mem::align_of::<NodeWords<1>>(), 32);
+        assert_eq!(std::mem::size_of::<NodeWords<2>>(), 64);
+        assert_eq!(std::mem::align_of::<NodeWords<2>>(), 64);
+        assert_eq!(std::mem::size_of::<NodeWords<4>>(), 128);
+        assert_eq!(std::mem::align_of::<NodeWords<4>>(), 64);
+    }
+
+    #[test]
+    fn lane_width_parse_and_clamp() {
+        assert_eq!(LaneWidth::parse("auto").unwrap(), LaneWidth::Auto);
+        assert_eq!(LaneWidth::parse("64").unwrap(), LaneWidth::W64);
+        assert_eq!(LaneWidth::parse("128").unwrap(), LaneWidth::W128);
+        assert_eq!(LaneWidth::parse("256").unwrap(), LaneWidth::W256);
+        assert!(LaneWidth::parse("512").is_err());
+        assert_eq!(LaneWidth::W256.lanes(), 256);
+        // Clamp: a sweep never runs wider than its origin count needs.
+        assert_eq!(LaneWidth::W256.words_for(1), 1);
+        assert_eq!(LaneWidth::W256.words_for(64), 1);
+        assert_eq!(LaneWidth::W256.words_for(65), 2);
+        assert_eq!(LaneWidth::W256.words_for(128), 2);
+        assert_eq!(LaneWidth::W256.words_for(129), 4);
+        assert_eq!(LaneWidth::W256.words_for(10_000), 4);
+        assert_eq!(LaneWidth::W64.words_for(10_000), 1);
+        assert_eq!(LaneWidth::W128.words_for(10_000), 2);
+        // Auto resolves to whatever the CPU supports, and clamps too.
+        assert_eq!(LaneWidth::Auto.words(), detected_lane_words());
+        assert_eq!(LaneWidth::Auto.words_for(1), 1);
     }
 
     fn diamond() -> AsGraph {
@@ -857,33 +1432,120 @@ mod tests {
         }
     }
 
+    /// Every width produces bit-identical reach sets on a topology whose
+    /// origin count is not a multiple of any block width (n = 200:
+    /// 200 % 64, 200 % 128, 200 % 256 all non-zero), covering partial
+    /// tail *blocks* and, at `W = 4`, lanes past bit 63 inside one block.
+    #[test]
+    fn widths_agree_bit_identically_on_tail_blocks() {
+        let g = mixed(200);
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let mut ws = Workspace::for_snapshot(&snap);
+        let cfg = PropagationConfig::default();
+        for width in [LaneWidth::W64, LaneWidth::W128, LaneWidth::W256] {
+            let sim = Simulation::over(&snap).threads(1).lane_width(width);
+            let reach = sim.run_sweep_reach(&origins);
+            let counts = sim.run_sweep_reach_counts(&origins);
+            for (i, &o) in origins.iter().enumerate() {
+                ws.run(&snap, o, &cfg);
+                assert_eq!(reach.reach_words(i), ws.reach_words(), "{width:?} origin {o:?}");
+                assert_eq!(reach.reachable_count(i), ws.reachable_count(), "{width:?} origin {o:?}");
+                assert_eq!(counts[i] as usize, ws.reachable_count(), "{width:?} origin {o:?}");
+            }
+        }
+    }
+
+    /// Per-lane `LaneExcluder` fills land in the correct lane word for
+    /// lanes ≥ 64: sweep 200 origins in one 256-lane block, each lane
+    /// with its own exclusion, and pin every lane against a scalar run
+    /// with the equivalent mask.
+    #[test]
+    fn per_lane_exclusions_beyond_lane_63_match_scalar_masks() {
+        let g = mixed(200);
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let excl_for = |o: NodeId| NodeId((o.0 + 7) % g.len() as u32);
+        let sim = Simulation::over(&snap).threads(1).lane_width(LaneWidth::W256);
+        let reach = sim.run_sweep_reach_with(&origins, |o, ex| {
+            ex.exclude(excl_for(o));
+            ex.allow(o);
+        });
+        let mut ws = Workspace::for_snapshot(&snap);
+        for (i, &o) in origins.iter().enumerate() {
+            let mut cfg = PropagationConfig::new();
+            let mask = cfg.excluded_mask_mut(g.len());
+            mask[excl_for(o).idx()] = true;
+            mask[o.idx()] = false;
+            ws.run(&snap, o, &cfg);
+            assert_eq!(reach.reach_words(i), ws.reach_words(), "lane {i} origin {o:?}");
+            assert_eq!(reach.reachable_count(i), ws.reachable_count(), "lane {i} origin {o:?}");
+        }
+    }
+
     #[test]
     fn workspace_reuse_across_snapshot_sizes() {
         // Growing, shrinking, and re-growing the same LaneWorkspace takes
         // begin()'s resize path each time the size changes and the
         // undo-list path when it does not; results must stay identical to
-        // fresh per-origin runs throughout.
-        let g65 = mixed(65);
-        let g127 = mixed(127);
-        let s65 = TopologySnapshot::compile(&g65);
-        let s127 = TopologySnapshot::compile(&g127);
-        let mut lanes = LaneWorkspace::new();
-        let cfg = PropagationConfig::default();
-        for (snap, g) in [(&s127, &g127), (&s65, &g65), (&s127, &g127)] {
-            let origins: Vec<NodeId> = g.nodes().collect();
-            let mut ws = Workspace::for_snapshot(snap);
-            for block in origins.chunks(LANES) {
-                lanes.run_block(snap, block, &cfg);
-                for (k, &o) in block.iter().enumerate() {
-                    ws.run(snap, o, &cfg);
-                    assert_eq!(
-                        lanes.lane_reach_words(k),
-                        ws.reach_words(),
-                        "n={} origin {o:?}",
-                        g.len()
-                    );
-                    assert_eq!(lanes.lane_reachable_count(k), ws.reachable_count());
+        // fresh per-origin runs throughout. Runs at the narrowest and
+        // widest widths.
+        fn check<const W: usize>()
+        where
+            Lanes<W>: LaneArity,
+            [NodeWords<W>]: AsExclusionLanes,
+        {
+            let g65 = mixed(65);
+            let g127 = mixed(127);
+            let s65 = TopologySnapshot::compile(&g65);
+            let s127 = TopologySnapshot::compile(&g127);
+            let mut lanes = LaneWorkspace::<W>::new();
+            let cfg = PropagationConfig::default();
+            for (snap, g) in [(&s127, &g127), (&s65, &g65), (&s127, &g127)] {
+                let origins: Vec<NodeId> = g.nodes().collect();
+                let mut ws = Workspace::for_snapshot(snap);
+                for block in origins.chunks(LANES * W) {
+                    lanes.run_block(snap, block, &cfg);
+                    for (k, &o) in block.iter().enumerate() {
+                        ws.run(snap, o, &cfg);
+                        assert_eq!(
+                            lanes.lane_reach_words(k),
+                            ws.reach_words(),
+                            "W={W} n={} origin {o:?}",
+                            g.len()
+                        );
+                        assert_eq!(lanes.lane_reachable_count(k), ws.reachable_count());
+                    }
                 }
+            }
+        }
+        check::<1>();
+        check::<4>();
+    }
+
+    /// One `Simulation` serving sweeps at several widths in sequence:
+    /// the width-segregated pools hand back the right workspace after
+    /// each change, and results stay bit-identical throughout.
+    #[test]
+    fn pooled_workspaces_survive_width_changes() {
+        let g = mixed(200);
+        let snap = TopologySnapshot::compile(&g);
+        let origins: Vec<NodeId> = g.nodes().collect();
+        let sim = Simulation::over(&snap).threads(1);
+        let mut ws = Workspace::for_snapshot(&snap);
+        let cfg = PropagationConfig::default();
+        // Auto → widest: warms one pool; the narrow sweep of 40 origins
+        // clamps to one-word lanes (a different pool); then back wide.
+        let wide = sim.run_sweep_reach(&origins);
+        let narrow: Vec<NodeId> = origins.iter().copied().take(40).collect();
+        let small = sim.run_sweep_reach(&narrow);
+        let wide2 = sim.run_sweep_reach(&origins);
+        assert_eq!(wide, wide2, "width round-trip changed a sweep result");
+        for (i, &o) in origins.iter().enumerate() {
+            ws.run(&snap, o, &cfg);
+            assert_eq!(wide.reach_words(i), ws.reach_words(), "origin {o:?}");
+            if i < narrow.len() {
+                assert_eq!(small.reach_words(i), ws.reach_words(), "narrow origin {o:?}");
             }
         }
     }

@@ -28,10 +28,12 @@
 //!   [`TopologySnapshot`], reusable per-worker [`Workspace`]s, and the
 //!   builder-style [`Simulation`] sweep API every whole-Internet
 //!   experiment runs on.
-//! * [`lanes`] — the bit-parallel multi-origin kernel: 64 origins per
-//!   `u64` lane word, one frontier expansion advancing all of them, reach
-//!   sets bit-identical to per-origin [`Workspace`] runs (the
-//!   `Simulation::run_sweep_reach` family).
+//! * [`lanes`] — the bit-parallel multi-origin kernel: 64/128/256
+//!   origins per block (one to four `u64` lane words per node, width
+//!   picked at runtime from CPU features via [`LaneWidth`], AVX2 path
+//!   included), one frontier expansion advancing all of them, reach
+//!   sets bit-identical to per-origin [`Workspace`] runs at every width
+//!   (the `Simulation::run_sweep_reach` family).
 //! * [`parallel`] — panic-isolated parallel sweeps with per-worker
 //!   contexts (re-exported by `flatnet_core::parallel`).
 //! * [`dag`] — the tied-best next-hop DAG and exact/floating path counting.
@@ -56,7 +58,10 @@ pub mod reliance;
 pub use collectors::{collect_ribs, visible_links, RibEntry};
 pub use dag::NextHopDag;
 pub use engine::{Simulation, SweepCtx, TopologySnapshot, Workspace};
-pub use lanes::{LaneExcluder, LaneWorkspace, SweepReach, LANES};
+pub use lanes::{
+    cpu_features, detected_lane_words, LaneExcluder, LaneWidth, LaneWorkspace, SweepReach, LANES,
+    MAX_LANES, MAX_LANE_WORDS,
+};
 pub use leak::{
     simulate_leak, simulate_subprefix_hijack, subprefix_detour_fractions, DetourState,
     LeakOutcome, LeakScenario, LeakSim, LockingSemantics,

@@ -33,7 +33,7 @@ use crate::http::{read_request, Method, Request, Response};
 use crate::json::{envelope, envelope_prefix, error_envelope, escape, fmt_f64, Json};
 use crate::snapshot::{ServeSnapshot, SnapshotManager};
 use flatnet_asgraph::{AsId, NodeId};
-use flatnet_bgpsim::{reliance, NextHopDag, PropagationConfig, Simulation, Workspace};
+use flatnet_bgpsim::{reliance, LaneWidth, NextHopDag, PropagationConfig, Simulation, Workspace};
 use flatnet_core::leaks::{leak_cdf, Announce, Locking};
 use flatnet_obs::trace::{Stage, TraceCtx, TraceDump, Tracer, STAGES};
 use std::collections::VecDeque;
@@ -53,7 +53,8 @@ const EXCL_PROVIDERS: u64 = 1;
 const EXCL_TIER1: u64 = 2;
 const EXCL_TIER2: u64 = 4;
 
-/// Cap on origins per batch query (16 lane blocks).
+/// Cap on origins per batch query (4 kernel blocks at 256-lane width,
+/// 16 at the narrowest).
 pub const MAX_BATCH_ORIGINS: usize = 1024;
 
 /// Cap on what-if leak queries per batch body (each one is a full
@@ -196,6 +197,9 @@ pub(crate) struct Shared {
     /// How many top-degree origins to pre-warm after load/reload; 0 = off.
     warm: usize,
     warmed: flatnet_obs::Counter,
+    /// Kernel lane width for batch sweeps and cache warming (the
+    /// `--lane-width` override; `Auto` picks from CPU features).
+    lane_width: LaneWidth,
     /// `(id, count)` when this process is one shard of a routed layout;
     /// rendered in `/healthz` so the process can identify itself.
     shard: Option<(u32, u32)>,
@@ -217,6 +221,7 @@ impl Shared {
         keepalive_idle: Duration,
         workers: usize,
         warm: usize,
+        lane_width: LaneWidth,
         shard: Option<(u32, u32)>,
     ) -> Self {
         let reg = flatnet_obs::global();
@@ -254,6 +259,7 @@ impl Shared {
             tracer: Tracer::new(workers + 1, TRACE_RING_CAP),
             warm,
             warmed: reg.counter("serve.cache_warmed"),
+            lane_width,
             shard,
         }
     }
@@ -319,13 +325,14 @@ impl Shared {
 /// when warming is configured off).
 ///
 /// The "serve-warm" thread sweeps the configured number of highest-degree
-/// origins through the bit-parallel kernel — 64 origins per block — and
-/// pre-fills the reachability cache with the default-policy (no
-/// exclusions) answer for each, so the first client query for a popular
-/// origin after startup or a hot-reload is a cache hit. The thread bails
-/// between blocks if the daemon shuts down or the snapshot version moves
-/// on, and it only ever *adds* entries for its own version, so it can
-/// never resurrect stale answers.
+/// origins through the bit-parallel kernel — whole blocks at the
+/// configured lane width, so warming 1024 origins at 256-lane width is 4
+/// sweeps instead of 16 — and pre-fills the reachability cache with the
+/// default-policy (no exclusions) answer for each, so the first client
+/// query for a popular origin after startup or a hot-reload is a cache
+/// hit. The thread bails between blocks if the daemon shuts down or the
+/// snapshot version moves on, and it only ever *adds* entries for its
+/// own version, so it can never resurrect stale answers.
 pub(crate) fn spawn_warmup(shared: &Arc<Shared>, snap: Arc<ServeSnapshot>) {
     let top_n = shared.warm;
     if top_n == 0 {
@@ -338,8 +345,8 @@ pub(crate) fn spawn_warmup(shared: &Arc<Shared>, snap: Arc<ServeSnapshot>) {
         origins.sort_by_key(|&n| (std::cmp::Reverse(g.degree(n)), n.0));
         origins.truncate(top_n);
         let fingerprint = policy_fingerprint(EP_REACHABILITY, 0);
-        let sim = Simulation::over(&snap.topo).threads(1);
-        for block in origins.chunks(flatnet_bgpsim::LANES) {
+        let sim = Simulation::over(&snap.topo).threads(1).lane_width(shared.lane_width);
+        for block in origins.chunks(shared.lane_width.lanes()) {
             if shared.shutdown.load(Ordering::SeqCst)
                 || shared.mgr.current().version != snap.version
             {
@@ -885,8 +892,10 @@ fn fill_exclusion_mask(snap: &ServeSnapshot, node: NodeId, bits: u64, mask: &mut
 }
 
 /// Solves the cache-missing origins of a reachability batch in one
-/// bit-parallel sweep — whole 64-origin lane blocks straight into the
-/// kernel. The tier exclusions are origin-independent, so they ride the
+/// bit-parallel sweep — whole lane blocks (up to 256 origins each at the
+/// configured width) straight into the kernel, so a full 1024-origin
+/// batch is 4 block runs on AVX2 hardware instead of 16. The tier
+/// exclusions are origin-independent, so they ride the
 /// shared config mask (broadcast once per block); the per-lane fill
 /// installs the origin's providers and carves the origin itself back
 /// out, exactly mirroring [`fill_exclusion_mask`] — which is what keeps
@@ -895,6 +904,7 @@ fn solve_reach_misses(
     snap: &ServeSnapshot,
     misses: &[NodeId],
     bits: u64,
+    lane_width: LaneWidth,
 ) -> Vec<(NodeId, Arc<Answer>)> {
     let g = &snap.graph;
     let mut cfg = PropagationConfig::default();
@@ -911,7 +921,7 @@ fn solve_reach_misses(
             }
         }
     }
-    let sim = Simulation::over(&snap.topo).threads(1).config(cfg);
+    let sim = Simulation::over(&snap.topo).threads(1).config(cfg).lane_width(lane_width);
     let reach = sim.run_sweep_reach_with(misses, |o, ex| {
         if bits & EXCL_PROVIDERS != 0 {
             for &p in g.providers(o) {
@@ -1043,7 +1053,7 @@ fn reachability(
             });
             vec![(node, answer)]
         } else {
-            solve_reach_misses(&snap, &miss_nodes, bits)
+            solve_reach_misses(&snap, &miss_nodes, bits, shared.lane_width)
         };
         trace.mark(Stage::Propagate);
         for (node, answer) in solved {

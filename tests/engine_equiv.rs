@@ -13,8 +13,8 @@
 
 use flatnet_asgraph::NodeId;
 use flatnet_bgpsim::{
-    propagate, propagate_legacy, ImportPolicy, LaneWorkspace, PropagationConfig, Simulation,
-    SweepCtx, TopologySnapshot, Workspace,
+    propagate, propagate_legacy, ImportPolicy, LaneWidth, LaneWorkspace, PropagationConfig,
+    Simulation, SweepCtx, TopologySnapshot, Workspace,
 };
 use flatnet_netgen::{generate, NetGenConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -143,9 +143,11 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
     assert!(compared >= 50 * 5, "only ran {compared} comparisons");
 
     // ---- Part 1b: the bit-parallel kernel is bit-identical to
-    // per-origin Workspace runs over the same topology corpus. Sweeping
-    // every node covers multiple 64-lane blocks plus a partial tail
-    // block, and the n % 64 != 0 sizes exercise the tail-word masking.
+    // per-origin Workspace runs over the same topology corpus, at every
+    // lane width (64, 128, and 256 origins per block). Sweeping every
+    // node covers multiple blocks plus a partial tail block at each
+    // width, and the n % 64 != 0 sizes exercise the tail-word masking;
+    // at 256 lanes the per-lane fills land in lane words beyond bit 63.
     let mut kernel_compared = 0usize;
     for seed in 0..52u64 {
         let mut gen_cfg = NetGenConfig::tiny(seed);
@@ -183,7 +185,6 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
             // scalar sweeps do; per-lane providers ride on top for the
             // all-knobs variant to cover the LaneExcluder path too.
             let with_providers = variant == 4;
-            let sim = Simulation::over(&snap).config(cfg.clone()).threads(1);
             let fill = |o: NodeId, ex: &mut flatnet_bgpsim::LaneExcluder<'_>| {
                 if with_providers {
                     for &p in g.providers(o) {
@@ -192,8 +193,15 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
                 }
                 ex.allow(o);
             };
-            let reach = sim.run_sweep_reach_with(&origins, fill);
-            let counts = sim.run_sweep_reach_counts_with(&origins, fill);
+            let widths = [LaneWidth::W64, LaneWidth::W128, LaneWidth::W256];
+            let per_width: Vec<(flatnet_bgpsim::SweepReach, Vec<u32>)> = widths
+                .iter()
+                .map(|&w| {
+                    let sim =
+                        Simulation::over(&snap).config(cfg.clone()).threads(1).lane_width(w);
+                    (sim.run_sweep_reach_with(&origins, fill), sim.run_sweep_reach_counts_with(&origins, fill))
+                })
+                .collect();
 
             let mut ws = Workspace::for_snapshot(&snap);
             for (i, &o) in origins.iter().enumerate() {
@@ -206,21 +214,23 @@ fn engine_matches_legacy_and_allocates_nothing_in_steady_state() {
                 }
                 mask[o.idx()] = false;
                 ws.run(&snap, o, &scalar_cfg);
-                assert_eq!(
-                    reach.reach_words(i),
-                    ws.reach_words(),
-                    "seed {seed} variant {variant} origin {o:?}: kernel reach words"
-                );
-                assert_eq!(
-                    reach.reachable_count(i),
-                    ws.reachable_count(),
-                    "seed {seed} variant {variant} origin {o:?}: kernel reach count"
-                );
-                assert_eq!(
-                    counts[i] as usize,
-                    ws.reachable_count(),
-                    "seed {seed} variant {variant} origin {o:?}: counts-only sweep"
-                );
+                for (w, (reach, counts)) in widths.iter().zip(&per_width) {
+                    assert_eq!(
+                        reach.reach_words(i),
+                        ws.reach_words(),
+                        "seed {seed} variant {variant} origin {o:?} width {w:?}: kernel reach words"
+                    );
+                    assert_eq!(
+                        reach.reachable_count(i),
+                        ws.reachable_count(),
+                        "seed {seed} variant {variant} origin {o:?} width {w:?}: kernel reach count"
+                    );
+                    assert_eq!(
+                        counts[i] as usize,
+                        ws.reachable_count(),
+                        "seed {seed} variant {variant} origin {o:?} width {w:?}: counts-only sweep"
+                    );
+                }
             }
             kernel_compared += 1;
         }

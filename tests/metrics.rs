@@ -50,8 +50,12 @@ fn counters_are_thread_count_invariant() {
     assert!(serial.spans.contains_key("propagate"), "spans: {:?}", serial.spans);
 
     // Gauges are explicitly allowed to differ: they record environment,
-    // not work (e.g. `sweep.threads` is the resolved worker count).
-    assert_eq!(parallel.gauges.get("sweep.threads"), Some(&4));
+    // not work (e.g. `sweep.threads` is the resolved worker count —
+    // capped by how many work items the sweep actually had, and kernel
+    // sweeps chunk origins into lane blocks, so 300 origins in 256-lane
+    // blocks resolve to fewer workers than requested).
+    let resolved = parallel.gauges.get("sweep.threads").copied().unwrap_or(0);
+    assert!((1..=4).contains(&resolved), "resolved sweep.threads = {resolved}");
 
     // A snapshot of real measured data must round-trip through the JSON
     // exporter byte-stably.
